@@ -1,0 +1,396 @@
+//! AXI channel payload types.
+//!
+//! One value of these types corresponds to one accepted handshake on the
+//! respective channel. Data channels carry real bytes so that the packing
+//! datapath can be verified end-to-end, not just timed.
+
+use crate::config::{BusConfig, ElemSize, IdxSize};
+use crate::pack::PackMode;
+use crate::Addr;
+
+/// AXI transaction identifier.
+///
+/// Transactions with the same ID must stay ordered; different IDs may
+/// interleave. The simulated systems use a small fixed ID space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct AxiId(pub u8);
+
+impl std::fmt::Display for AxiId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "id{}", self.0)
+    }
+}
+
+/// AXI burst type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Burst {
+    /// Fixed-address burst (e.g. FIFO draining).
+    Fixed,
+    /// Incrementing burst — the normal contiguous transfer.
+    #[default]
+    Incr,
+    /// Wrapping burst (cache-line fills).
+    Wrap,
+}
+
+/// AXI response code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Resp {
+    /// Normal success.
+    #[default]
+    Okay,
+    /// Slave error (e.g. access out of backing-store range).
+    Slverr,
+}
+
+/// Maximum beats in one AXI4 INCR burst.
+pub const MAX_BURST_BEATS: u32 = 256;
+
+/// One AR (read request) or AW (write request) channel beat.
+///
+/// The same payload shape serves both request channels; whether it travels
+/// on AR or AW is determined by which [`simkit::Fifo`] it is pushed into.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArBeat {
+    /// Transaction ID.
+    pub id: AxiId,
+    /// Start address. For packed indirect bursts this is the address of the
+    /// *index array*; the element base travels in `user`.
+    pub addr: Addr,
+    /// Number of data beats in the burst (1..=256). This is AXI's
+    /// `AxLEN + 1`.
+    pub beats: u32,
+    /// Element size (`AxSIZE`). For plain full-width bursts this is the bus
+    /// width; for packed bursts it is the size of each scattered element.
+    pub size: ElemSize,
+    /// Burst type. Packed bursts are always `Incr` at the AXI4 level.
+    pub burst: Burst,
+    /// Raw user-field bits carrying the AXI-Pack extension (0 = plain AXI4).
+    pub user: u64,
+    /// Valid elements in the *last* beat of a packed burst; `0` means the
+    /// last beat is full. Travels in spare user bits (52+) on the wire —
+    /// packed streams are bus-aligned, so only the tail needs masking, and
+    /// the converters must know it to avoid gathering past the stream end.
+    pub tail_elems: u16,
+}
+
+impl ArBeat {
+    /// A plain AXI4 incrementing burst of full-bus-width beats.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beats` is not in `1..=256`.
+    pub fn incr(id: u8, addr: Addr, beats: u32, bus: &BusConfig) -> Self {
+        assert!(
+            (1..=MAX_BURST_BEATS).contains(&beats),
+            "AXI4 burst length must be 1..=256 beats, got {beats}"
+        );
+        ArBeat {
+            id: AxiId(id),
+            addr,
+            beats,
+            size: ElemSize::from_bytes(bus.data_bytes()).expect("bus width is a valid AxSIZE"),
+            burst: Burst::Incr,
+            user: 0,
+            tail_elems: 0,
+        }
+    }
+
+    /// A plain AXI4 *narrow* single-beat transfer of one element.
+    ///
+    /// This is what the BASE system issues per element on strided/indexed
+    /// accesses — the access pattern whose inefficiency motivates AXI-Pack.
+    pub fn narrow(id: u8, addr: Addr, size: ElemSize) -> Self {
+        ArBeat {
+            id: AxiId(id),
+            addr,
+            beats: 1,
+            size,
+            burst: Burst::Incr,
+            user: 0,
+            tail_elems: 0,
+        }
+    }
+
+    /// A packed strided burst fetching `n_elems` elements `stride` elements
+    /// apart, starting at `addr`.
+    ///
+    /// `n_elems` is rounded up to a whole number of beats; the requestor
+    /// masks the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_elems` is zero or the burst would exceed 256 beats.
+    pub fn packed_strided(
+        id: u8,
+        addr: Addr,
+        n_elems: u32,
+        size: ElemSize,
+        stride: i32,
+        bus: &BusConfig,
+    ) -> Self {
+        assert!(n_elems > 0, "empty packed burst");
+        let epb = bus.elems_per_beat(size) as u32;
+        let beats = n_elems.div_ceil(epb);
+        assert!(
+            beats <= MAX_BURST_BEATS,
+            "packed burst of {beats} beats exceeds the AXI4 maximum"
+        );
+        ArBeat {
+            id: AxiId(id),
+            addr,
+            beats,
+            size,
+            burst: Burst::Incr,
+            user: PackMode::Strided { stride }.encode(),
+            tail_elems: (n_elems % epb) as u16,
+        }
+    }
+
+    /// A packed indirect burst gathering `n_elems` elements through the
+    /// index array at `idx_addr`, relative to `elem_base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_elems` is zero or the burst would exceed 256 beats.
+    pub fn packed_indirect(
+        id: u8,
+        idx_addr: Addr,
+        n_elems: u32,
+        size: ElemSize,
+        idx_size: IdxSize,
+        elem_base: Addr,
+        bus: &BusConfig,
+    ) -> Self {
+        assert!(n_elems > 0, "empty packed burst");
+        let epb = bus.elems_per_beat(size) as u32;
+        let beats = n_elems.div_ceil(epb);
+        assert!(
+            beats <= MAX_BURST_BEATS,
+            "packed burst of {beats} beats exceeds the AXI4 maximum"
+        );
+        ArBeat {
+            id: AxiId(id),
+            addr: idx_addr,
+            beats,
+            size,
+            burst: Burst::Incr,
+            user: PackMode::Indirect {
+                idx_size,
+                elem_base,
+            }
+            .encode(),
+            tail_elems: (n_elems % epb) as u16,
+        }
+    }
+
+    /// Decodes the AXI-Pack mode, `None` for plain AXI4 bursts.
+    #[inline]
+    pub fn pack_mode(&self) -> Option<PackMode> {
+        PackMode::decode(self.user)
+    }
+
+    /// Number of data beats (`AxLEN + 1`).
+    #[inline]
+    pub fn beats(&self) -> u32 {
+        self.beats
+    }
+
+    /// Bytes each beat carries for *this* request on the given bus: the full
+    /// bus width for full-size or packed beats, the element size for narrow
+    /// plain beats.
+    pub fn beat_payload_bytes(&self, bus: &BusConfig) -> usize {
+        if self.pack_mode().is_some() || self.size.bytes() == bus.data_bytes() {
+            bus.data_bytes()
+        } else {
+            self.size.bytes()
+        }
+    }
+
+    /// Number of elements the burst moves, *including* the padding that
+    /// rounds the last beat up (beats × elements per beat for packed and
+    /// full-width bursts; 1 for narrow plain bursts).
+    pub fn elems(&self, bus: &BusConfig) -> u32 {
+        if self.pack_mode().is_some() || self.size.bytes() == bus.data_bytes() {
+            self.beats * bus.elems_per_beat(self.size) as u32
+        } else {
+            self.beats
+        }
+    }
+
+    /// Number of *valid* elements the burst moves — [`ArBeat::elems`] minus
+    /// the masked tail of the last beat.
+    pub fn valid_elems(&self, bus: &BusConfig) -> u32 {
+        let padded = self.elems(bus);
+        if self.tail_elems == 0 {
+            padded
+        } else {
+            padded - bus.elems_per_beat(self.size) as u32 + self.tail_elems as u32
+        }
+    }
+
+    /// Number of valid elements in beat `b` (`0`-based) of a packed burst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn beat_valid_elems(&self, b: u32, bus: &BusConfig) -> usize {
+        assert!(b < self.beats, "beat index {b} out of {}", self.beats);
+        let epb = bus.elems_per_beat(self.size);
+        if b + 1 == self.beats && self.tail_elems != 0 {
+            self.tail_elems as usize
+        } else {
+            epb
+        }
+    }
+}
+
+/// One R (read data) channel beat, carrying real bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RBeat {
+    /// ID of the transaction this beat belongs to.
+    pub id: AxiId,
+    /// Beat payload; length equals the bus width in bytes (narrow beats are
+    /// placed in the low lanes, the rest is zero).
+    pub data: Vec<u8>,
+    /// Bytes of `data` that carry useful payload (for utilization stats).
+    pub payload_bytes: usize,
+    /// Set on the final beat of a burst.
+    pub last: bool,
+    /// Response code.
+    pub resp: Resp,
+}
+
+/// One W (write data) channel beat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WBeat {
+    /// Beat payload; length equals the bus width in bytes.
+    pub data: Vec<u8>,
+    /// Byte-enable strobe, bit *i* enables `data[i]`. A 1024-bit bus has
+    /// 128 byte lanes, so `u128` always suffices.
+    pub strb: u128,
+    /// Set on the final beat of a burst.
+    pub last: bool,
+}
+
+impl WBeat {
+    /// A beat with every byte lane enabled.
+    pub fn full(data: Vec<u8>, last: bool) -> Self {
+        let strb = if data.len() >= 128 {
+            u128::MAX
+        } else {
+            (1u128 << data.len()) - 1
+        };
+        WBeat { data, strb, last }
+    }
+
+    /// Returns `true` if byte lane `i` is enabled.
+    #[inline]
+    pub fn lane_enabled(&self, i: usize) -> bool {
+        self.strb >> i & 1 == 1
+    }
+
+    /// Number of enabled byte lanes.
+    pub fn payload_bytes(&self) -> usize {
+        self.strb.count_ones() as usize
+    }
+}
+
+/// One B (write response) channel beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BBeat {
+    /// ID of the completed write transaction.
+    pub id: AxiId,
+    /// Response code.
+    pub resp: Resp,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus() -> BusConfig {
+        BusConfig::new(256)
+    }
+
+    #[test]
+    fn incr_burst_is_plain_axi4() {
+        let ar = ArBeat::incr(1, 0x100, 4, &bus());
+        assert_eq!(ar.pack_mode(), None);
+        assert_eq!(ar.beats(), 4);
+        assert_eq!(ar.size, ElemSize::B32);
+        assert_eq!(ar.beat_payload_bytes(&bus()), 32);
+        assert_eq!(ar.elems(&bus()), 4);
+    }
+
+    #[test]
+    fn narrow_beats_waste_bus_bytes() {
+        let ar = ArBeat::narrow(0, 0x40, ElemSize::B4);
+        assert_eq!(ar.beat_payload_bytes(&bus()), 4);
+        assert_eq!(ar.elems(&bus()), 1);
+    }
+
+    #[test]
+    fn packed_strided_rounds_up_to_beats() {
+        let ar = ArBeat::packed_strided(0, 0, 17, ElemSize::B4, 5, &bus());
+        assert_eq!(ar.beats(), 3); // 17 elems at 8/beat
+        assert_eq!(ar.elems(&bus()), 24);
+        assert_eq!(ar.valid_elems(&bus()), 17);
+        assert_eq!(ar.tail_elems, 1);
+        assert_eq!(ar.beat_valid_elems(0, &bus()), 8);
+        assert_eq!(ar.beat_valid_elems(2, &bus()), 1);
+        assert_eq!(
+            ar.pack_mode(),
+            Some(PackMode::Strided { stride: 5 })
+        );
+        assert_eq!(ar.beat_payload_bytes(&bus()), 32);
+    }
+
+    #[test]
+    fn full_burst_has_no_tail() {
+        let ar = ArBeat::packed_strided(0, 0, 16, ElemSize::B4, 2, &bus());
+        assert_eq!(ar.tail_elems, 0);
+        assert_eq!(ar.valid_elems(&bus()), 16);
+        assert_eq!(ar.beat_valid_elems(1, &bus()), 8);
+    }
+
+    #[test]
+    fn packed_indirect_carries_both_addresses() {
+        let ar = ArBeat::packed_indirect(2, 0x1000, 8, ElemSize::B4, IdxSize::B4, 0x8000, &bus());
+        assert_eq!(ar.addr, 0x1000);
+        assert_eq!(
+            ar.pack_mode(),
+            Some(PackMode::Indirect {
+                idx_size: IdxSize::B4,
+                elem_base: 0x8000
+            })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the AXI4 maximum")]
+    fn oversized_packed_burst_rejected() {
+        let _ = ArBeat::packed_strided(0, 0, 8 * 257, ElemSize::B4, 1, &bus());
+    }
+
+    #[test]
+    fn wbeat_strobe_helpers() {
+        let w = WBeat::full(vec![0u8; 32], true);
+        assert_eq!(w.payload_bytes(), 32);
+        assert!(w.lane_enabled(0));
+        assert!(w.lane_enabled(31));
+        assert!(!w.lane_enabled(32));
+        let partial = WBeat {
+            data: vec![0u8; 32],
+            strb: 0b1111,
+            last: false,
+        };
+        assert_eq!(partial.payload_bytes(), 4);
+    }
+
+    #[test]
+    fn max_width_strobe_saturates() {
+        let w = WBeat::full(vec![0u8; 128], false);
+        assert_eq!(w.payload_bytes(), 128);
+    }
+}

@@ -1,0 +1,323 @@
+//! Protocol conformance monitoring.
+//!
+//! A [`Monitor`] observes one requestor/endpoint pair's traffic and checks
+//! the burst-level invariants AXI4 (and AXI-Pack, which preserves them)
+//! requires: every R beat belongs to an outstanding read, bursts produce
+//! exactly the advertised number of beats, `last` is set on — and only on —
+//! the final beat, and same-ID transactions complete in order.
+
+use std::collections::VecDeque;
+
+use crate::beat::{ArBeat, AxiId, BBeat, RBeat, WBeat};
+use crate::config::BusConfig;
+
+/// A protocol violation detected by a [`Monitor`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An R beat arrived with an ID that has no outstanding read burst.
+    OrphanRBeat(AxiId),
+    /// `last` was set before the advertised burst length was reached.
+    EarlyLast(AxiId),
+    /// The advertised burst length was exceeded without `last`.
+    MissingLast(AxiId),
+    /// An R beat's data length differs from the bus width.
+    BadBeatWidth { expected: usize, got: usize },
+    /// A W beat arrived with no outstanding write burst.
+    OrphanWBeat,
+    /// A B response arrived with no outstanding write burst awaiting one.
+    OrphanBResp(AxiId),
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::OrphanRBeat(id) => write!(f, "R beat without outstanding read ({id})"),
+            Violation::EarlyLast(id) => write!(f, "last asserted early ({id})"),
+            Violation::MissingLast(id) => write!(f, "burst overran advertised length ({id})"),
+            Violation::BadBeatWidth { expected, got } => {
+                write!(f, "beat width {got} B, bus is {expected} B")
+            }
+            Violation::OrphanWBeat => write!(f, "W beat without outstanding write"),
+            Violation::OrphanBResp(id) => write!(f, "B response without outstanding write ({id})"),
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+#[derive(Debug)]
+struct OpenBurst {
+    id: AxiId,
+    beats_left: u32,
+}
+
+/// Observes channel traffic and records protocol violations.
+///
+/// Attach one monitor per bus; call the `observe_*` method for every
+/// accepted handshake. Violations accumulate and are queryable at any time —
+/// integration tests assert the list is empty at the end of a run.
+///
+/// # Examples
+///
+/// ```
+/// use axi_proto::{checker::Monitor, ArBeat, BusConfig, RBeat, Resp};
+///
+/// let bus = BusConfig::new(64);
+/// let mut mon = Monitor::new(bus);
+/// mon.observe_ar(&ArBeat::incr(0, 0x0, 1, &bus));
+/// mon.observe_r(&RBeat {
+///     id: axi_proto::AxiId(0),
+///     data: vec![0u8; 8],
+///     payload_bytes: 8,
+///     last: true,
+///     resp: Resp::Okay,
+/// });
+/// assert!(mon.violations().is_empty());
+/// ```
+#[derive(Debug)]
+pub struct Monitor {
+    bus: BusConfig,
+    /// Outstanding read bursts, per ID, in issue order.
+    reads: Vec<VecDeque<OpenBurst>>,
+    /// Outstanding write bursts (beats still expected on W), issue order.
+    writes: VecDeque<OpenBurst>,
+    /// Writes whose data is complete, awaiting a B response.
+    awaiting_b: VecDeque<AxiId>,
+    violations: Vec<Violation>,
+    /// Counters for reporting.
+    r_beats: u64,
+    w_beats: u64,
+}
+
+/// Number of distinct IDs the monitor tracks.
+const ID_SPACE: usize = 256;
+
+impl Monitor {
+    /// Creates a monitor for a bus of the given width.
+    pub fn new(bus: BusConfig) -> Self {
+        Monitor {
+            bus,
+            reads: (0..ID_SPACE).map(|_| VecDeque::new()).collect(),
+            writes: VecDeque::new(),
+            awaiting_b: VecDeque::new(),
+            violations: Vec::new(),
+            r_beats: 0,
+            w_beats: 0,
+        }
+    }
+
+    /// Records an accepted AR handshake.
+    pub fn observe_ar(&mut self, ar: &ArBeat) {
+        self.reads[ar.id.0 as usize].push_back(OpenBurst {
+            id: ar.id,
+            beats_left: ar.beats,
+        });
+    }
+
+    /// Records an accepted AW handshake.
+    pub fn observe_aw(&mut self, aw: &ArBeat) {
+        self.writes.push_back(OpenBurst {
+            id: aw.id,
+            beats_left: aw.beats,
+        });
+    }
+
+    /// Records an accepted R handshake.
+    pub fn observe_r(&mut self, r: &RBeat) {
+        self.r_beats += 1;
+        if r.data.len() != self.bus.data_bytes() {
+            self.violations.push(Violation::BadBeatWidth {
+                expected: self.bus.data_bytes(),
+                got: r.data.len(),
+            });
+        }
+        let queue = &mut self.reads[r.id.0 as usize];
+        let Some(open) = queue.front_mut() else {
+            self.violations.push(Violation::OrphanRBeat(r.id));
+            return;
+        };
+        open.beats_left -= 1;
+        if open.beats_left == 0 {
+            if !r.last {
+                self.violations.push(Violation::MissingLast(open.id));
+            }
+            queue.pop_front();
+        } else if r.last {
+            self.violations.push(Violation::EarlyLast(open.id));
+            queue.pop_front();
+        }
+    }
+
+    /// Records an accepted W handshake.
+    pub fn observe_w(&mut self, w: &WBeat) {
+        self.w_beats += 1;
+        if w.data.len() != self.bus.data_bytes() {
+            self.violations.push(Violation::BadBeatWidth {
+                expected: self.bus.data_bytes(),
+                got: w.data.len(),
+            });
+        }
+        let Some(open) = self.writes.front_mut() else {
+            self.violations.push(Violation::OrphanWBeat);
+            return;
+        };
+        open.beats_left -= 1;
+        if open.beats_left == 0 {
+            if !w.last {
+                self.violations.push(Violation::MissingLast(open.id));
+            }
+            let done = self.writes.pop_front().expect("front exists");
+            self.awaiting_b.push_back(done.id);
+        } else if w.last {
+            self.violations.push(Violation::EarlyLast(open.id));
+            self.writes.pop_front();
+        }
+    }
+
+    /// Records an accepted B handshake.
+    pub fn observe_b(&mut self, b: &BBeat) {
+        match self.awaiting_b.iter().position(|id| *id == b.id) {
+            Some(pos) => {
+                self.awaiting_b.remove(pos);
+            }
+            None => self.violations.push(Violation::OrphanBResp(b.id)),
+        }
+    }
+
+    /// Violations observed so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Returns `true` if every observed burst has fully completed.
+    pub fn quiescent(&self) -> bool {
+        self.reads.iter().all(|q| q.is_empty()) && self.writes.is_empty() && self.awaiting_b.is_empty()
+    }
+
+    /// Total R beats observed.
+    pub fn r_beats(&self) -> u64 {
+        self.r_beats
+    }
+
+    /// Total W beats observed.
+    pub fn w_beats(&self) -> u64 {
+        self.w_beats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beat::Resp;
+    use crate::ElemSize;
+
+    fn bus() -> BusConfig {
+        BusConfig::new(64)
+    }
+
+    fn rbeat(id: u8, last: bool) -> RBeat {
+        RBeat {
+            id: AxiId(id),
+            data: vec![0u8; 8],
+            payload_bytes: 8,
+            last,
+            resp: Resp::Okay,
+        }
+    }
+
+    #[test]
+    fn clean_burst_passes() {
+        let mut m = Monitor::new(bus());
+        m.observe_ar(&ArBeat::incr(3, 0, 2, &bus()));
+        m.observe_r(&rbeat(3, false));
+        m.observe_r(&rbeat(3, true));
+        assert!(m.violations().is_empty());
+        assert!(m.quiescent());
+        assert_eq!(m.r_beats(), 2);
+    }
+
+    #[test]
+    fn orphan_r_beat_detected() {
+        let mut m = Monitor::new(bus());
+        m.observe_r(&rbeat(0, true));
+        assert_eq!(m.violations(), &[Violation::OrphanRBeat(AxiId(0))]);
+    }
+
+    #[test]
+    fn early_last_detected() {
+        let mut m = Monitor::new(bus());
+        m.observe_ar(&ArBeat::incr(0, 0, 3, &bus()));
+        m.observe_r(&rbeat(0, true));
+        assert_eq!(m.violations(), &[Violation::EarlyLast(AxiId(0))]);
+    }
+
+    #[test]
+    fn missing_last_detected() {
+        let mut m = Monitor::new(bus());
+        m.observe_ar(&ArBeat::incr(0, 0, 1, &bus()));
+        m.observe_r(&rbeat(0, false));
+        assert_eq!(m.violations(), &[Violation::MissingLast(AxiId(0))]);
+    }
+
+    #[test]
+    fn wrong_width_detected() {
+        let mut m = Monitor::new(bus());
+        m.observe_ar(&ArBeat::incr(0, 0, 1, &bus()));
+        m.observe_r(&RBeat {
+            id: AxiId(0),
+            data: vec![0u8; 4],
+            payload_bytes: 4,
+            last: true,
+            resp: Resp::Okay,
+        });
+        assert!(m
+            .violations()
+            .contains(&Violation::BadBeatWidth { expected: 8, got: 4 }));
+    }
+
+    #[test]
+    fn interleaved_ids_tracked_independently() {
+        let mut m = Monitor::new(bus());
+        m.observe_ar(&ArBeat::incr(0, 0, 2, &bus()));
+        m.observe_ar(&ArBeat::incr(1, 0x100, 1, &bus()));
+        m.observe_r(&rbeat(0, false));
+        m.observe_r(&rbeat(1, true));
+        m.observe_r(&rbeat(0, true));
+        assert!(m.violations().is_empty());
+        assert!(m.quiescent());
+    }
+
+    #[test]
+    fn write_burst_lifecycle() {
+        let mut m = Monitor::new(bus());
+        let aw = ArBeat {
+            id: AxiId(5),
+            addr: 0,
+            beats: 2,
+            size: ElemSize::B8,
+            burst: crate::Burst::Incr,
+            user: 0,
+            tail_elems: 0,
+        };
+        m.observe_aw(&aw);
+        m.observe_w(&WBeat::full(vec![0u8; 8], false));
+        m.observe_w(&WBeat::full(vec![0u8; 8], true));
+        assert!(!m.quiescent()); // B still pending
+        m.observe_b(&BBeat {
+            id: AxiId(5),
+            resp: Resp::Okay,
+        });
+        assert!(m.violations().is_empty());
+        assert!(m.quiescent());
+    }
+
+    #[test]
+    fn orphan_b_detected() {
+        let mut m = Monitor::new(bus());
+        m.observe_b(&BBeat {
+            id: AxiId(7),
+            resp: Resp::Okay,
+        });
+        assert_eq!(m.violations(), &[Violation::OrphanBResp(AxiId(7))]);
+    }
+}

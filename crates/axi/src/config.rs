@@ -1,0 +1,312 @@
+//! Bus and element-size configuration.
+
+/// Width configuration of one AXI data bus.
+///
+/// The paper evaluates 64-, 128- and 256-bit buses (2, 4 and 8 Ara lanes).
+/// The memory-side word width (the bank width, 32 bit in the paper) lives in
+/// `banked-mem`; this type only describes the interconnect.
+///
+/// # Examples
+///
+/// ```
+/// use axi_proto::BusConfig;
+///
+/// let bus = BusConfig::new(256);
+/// assert_eq!(bus.data_bytes(), 32);
+/// assert_eq!(bus.data_bits(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BusConfig {
+    data_bits: u32,
+}
+
+impl BusConfig {
+    /// Creates a bus configuration for a `data_bits`-wide data channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `data_bits` is a power of two between 32 and 1024 —
+    /// the range AXI4 itself permits.
+    pub fn new(data_bits: u32) -> Self {
+        assert!(
+            data_bits.is_power_of_two() && (32..=1024).contains(&data_bits),
+            "AXI data width must be a power of two in 32..=1024, got {data_bits}"
+        );
+        BusConfig { data_bits }
+    }
+
+    /// Data-channel width in bits.
+    #[inline]
+    pub fn data_bits(&self) -> u32 {
+        self.data_bits
+    }
+
+    /// Data-channel width in bytes.
+    #[inline]
+    pub fn data_bytes(&self) -> usize {
+        (self.data_bits / 8) as usize
+    }
+
+    /// How many elements of `elem` size fit in one beat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element is wider than the bus.
+    #[inline]
+    pub fn elems_per_beat(&self, elem: ElemSize) -> usize {
+        let e = elem.bytes();
+        assert!(
+            e <= self.data_bytes(),
+            "element ({e} B) wider than bus ({} B)",
+            self.data_bytes()
+        );
+        self.data_bytes() / e
+    }
+}
+
+impl Default for BusConfig {
+    /// The paper's evaluation default: a 256-bit bus.
+    fn default() -> Self {
+        BusConfig::new(256)
+    }
+}
+
+impl std::fmt::Display for BusConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}b bus", self.data_bits)
+    }
+}
+
+/// Size of one data element moved by a (packed) burst.
+///
+/// Mirrors the AXI `AxSIZE` field: a power-of-two number of bytes. The
+/// paper's workloads use 4-byte (FP32) elements; the sensitivity study
+/// sweeps 4 to 32 bytes.
+///
+/// # Examples
+///
+/// ```
+/// use axi_proto::ElemSize;
+///
+/// assert_eq!(ElemSize::B4.bits(), 32);
+/// assert_eq!(ElemSize::from_bytes(16), Some(ElemSize::B16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ElemSize {
+    /// 1-byte elements.
+    B1,
+    /// 2-byte elements (FP16 / 16-bit ints).
+    B2,
+    /// 4-byte elements (FP32 / 32-bit ints) — the paper's default.
+    B4,
+    /// 8-byte elements.
+    B8,
+    /// 16-byte elements.
+    B16,
+    /// 32-byte elements.
+    B32,
+}
+
+impl ElemSize {
+    /// All sizes, smallest first.
+    pub const ALL: [ElemSize; 6] = [
+        ElemSize::B1,
+        ElemSize::B2,
+        ElemSize::B4,
+        ElemSize::B8,
+        ElemSize::B16,
+        ElemSize::B32,
+    ];
+
+    /// log2 of the size in bytes — the AXI `AxSIZE` encoding.
+    #[inline]
+    pub fn log2_bytes(&self) -> u32 {
+        match self {
+            ElemSize::B1 => 0,
+            ElemSize::B2 => 1,
+            ElemSize::B4 => 2,
+            ElemSize::B8 => 3,
+            ElemSize::B16 => 4,
+            ElemSize::B32 => 5,
+        }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        1 << self.log2_bytes()
+    }
+
+    /// Size in bits.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        8 * self.bytes() as u32
+    }
+
+    /// Converts a byte count to an `ElemSize`, if it is a supported size.
+    pub fn from_bytes(bytes: usize) -> Option<ElemSize> {
+        ElemSize::ALL.into_iter().find(|e| e.bytes() == bytes)
+    }
+
+    /// Converts an AXI `AxSIZE` encoding (log2 bytes) to an `ElemSize`.
+    pub fn from_log2(log2: u32) -> Option<ElemSize> {
+        ElemSize::ALL.into_iter().find(|e| e.log2_bytes() == log2)
+    }
+}
+
+impl std::fmt::Display for ElemSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}b", self.bits())
+    }
+}
+
+/// Size of one index of an indirect burst.
+///
+/// The paper's sensitivity study (Fig. 5a) sweeps 8-, 16- and 32-bit
+/// indices; smaller indices raise the achievable utilization bound
+/// `r / (r + 1)` where `r` is the element:index size ratio.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IdxSize {
+    /// 8-bit indices.
+    B1,
+    /// 16-bit indices.
+    B2,
+    /// 32-bit indices — the paper's workload default.
+    B4,
+    /// 64-bit indices.
+    B8,
+}
+
+impl IdxSize {
+    /// All sizes, smallest first.
+    pub const ALL: [IdxSize; 4] = [IdxSize::B1, IdxSize::B2, IdxSize::B4, IdxSize::B8];
+
+    /// log2 of the size in bytes.
+    #[inline]
+    pub fn log2_bytes(&self) -> u32 {
+        match self {
+            IdxSize::B1 => 0,
+            IdxSize::B2 => 1,
+            IdxSize::B4 => 2,
+            IdxSize::B8 => 3,
+        }
+    }
+
+    /// Size in bytes.
+    #[inline]
+    pub fn bytes(&self) -> usize {
+        1 << self.log2_bytes()
+    }
+
+    /// Size in bits.
+    #[inline]
+    pub fn bits(&self) -> u32 {
+        8 * self.bytes() as u32
+    }
+
+    /// Largest index value representable at this size.
+    #[inline]
+    pub fn max_index(&self) -> u64 {
+        match self {
+            IdxSize::B8 => u64::MAX,
+            _ => (1u64 << self.bits()) - 1,
+        }
+    }
+
+    /// Reads one index value from a little-endian byte slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than the index size.
+    pub fn read_le(&self, bytes: &[u8]) -> u64 {
+        let n = self.bytes();
+        let mut v = 0u64;
+        for (i, b) in bytes[..n].iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes one index value into a little-endian byte buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than the index size or `value` does not
+    /// fit in this index size.
+    pub fn write_le(&self, value: u64, out: &mut [u8]) {
+        assert!(
+            value <= self.max_index(),
+            "index {value} does not fit in {} bits",
+            self.bits()
+        );
+        let n = self.bytes();
+        for (i, b) in out[..n].iter_mut().enumerate() {
+            *b = (value >> (8 * i)) as u8;
+        }
+    }
+}
+
+impl std::fmt::Display for IdxSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}b idx", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_width_arithmetic() {
+        for bits in [64u32, 128, 256] {
+            let bus = BusConfig::new(bits);
+            assert_eq!(bus.data_bytes() * 8, bits as usize);
+            assert_eq!(bus.elems_per_beat(ElemSize::B4), bits as usize / 32);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn odd_bus_width_rejected() {
+        let _ = BusConfig::new(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "wider than bus")]
+    fn oversized_element_rejected() {
+        BusConfig::new(64).elems_per_beat(ElemSize::B16);
+    }
+
+    #[test]
+    fn elem_size_roundtrips() {
+        for e in ElemSize::ALL {
+            assert_eq!(ElemSize::from_bytes(e.bytes()), Some(e));
+            assert_eq!(ElemSize::from_log2(e.log2_bytes()), Some(e));
+        }
+        assert_eq!(ElemSize::from_bytes(3), None);
+    }
+
+    #[test]
+    fn idx_read_write_roundtrip() {
+        let mut buf = [0u8; 8];
+        for idx in IdxSize::ALL {
+            let v = idx.max_index().min(0x1234_5678_9abc_def0) & idx.max_index();
+            idx.write_le(v, &mut buf);
+            assert_eq!(idx.read_le(&buf), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn idx_overflow_rejected() {
+        let mut buf = [0u8; 8];
+        IdxSize::B1.write_le(256, &mut buf);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(BusConfig::new(128).to_string(), "128b bus");
+        assert_eq!(ElemSize::B4.to_string(), "32b");
+        assert_eq!(IdxSize::B2.to_string(), "16b idx");
+    }
+}

@@ -1,0 +1,257 @@
+//! Reference semantics of packed bursts.
+//!
+//! Given a request (and, for indirect bursts, the index values), these
+//! functions compute exactly which memory bytes each packed beat is
+//! assembled from. The converter hardware models in `pack-ctrl` are tested
+//! against this expansion, and the vector processor uses it to know what
+//! data to expect.
+
+use crate::beat::ArBeat;
+use crate::config::{BusConfig, ElemSize};
+use crate::pack::PackMode;
+use crate::Addr;
+
+/// One element's placement inside a packed beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ElemRef {
+    /// Byte address of the element in memory.
+    pub mem_addr: Addr,
+    /// Byte offset of the element inside the beat.
+    pub beat_offset: usize,
+    /// Element size in bytes.
+    pub bytes: usize,
+}
+
+/// The memory sources of one packed data beat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BeatSource {
+    /// Elements packed into this beat, in bus order (lowest lanes first).
+    pub elems: Vec<ElemRef>,
+}
+
+/// A word-aligned fragment of an element, for bank-level access planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WordRef {
+    /// Word-aligned byte address of the memory word.
+    pub word_addr: Addr,
+    /// First byte of the fragment within the word.
+    pub offset_in_word: usize,
+    /// Fragment length in bytes.
+    pub bytes: usize,
+    /// Where the fragment lands within the element.
+    pub offset_in_elem: usize,
+}
+
+/// Computes the address of every element a packed burst touches.
+///
+/// For strided bursts the addresses follow
+/// `addr + k × stride × elem_bytes`; for indirect bursts they follow
+/// `elem_base + index[k] << log2(elem_bytes)` using the provided `indices`.
+///
+/// # Panics
+///
+/// Panics if called on a plain AXI4 burst, or if an indirect burst is given
+/// fewer indices than elements, or if a strided address underflows below 0.
+pub fn element_addresses(ar: &ArBeat, indices: Option<&[u64]>, bus: &BusConfig) -> Vec<Addr> {
+    let mode = ar
+        .pack_mode()
+        .expect("element_addresses requires a packed burst");
+    let n = ar.valid_elems(bus) as usize;
+    let eb = ar.size.bytes() as i64;
+    match mode {
+        PackMode::Strided { stride } => (0..n as i64)
+            .map(|k| {
+                let a = ar.addr as i64 + k * stride as i64 * eb;
+                assert!(a >= 0, "strided burst address underflow");
+                a as Addr
+            })
+            .collect(),
+        PackMode::Indirect { elem_base, .. } => {
+            let idx = indices.expect("indirect burst expansion requires index values");
+            assert!(
+                idx.len() >= n,
+                "indirect burst needs {n} indices, got {}",
+                idx.len()
+            );
+            idx[..n]
+                .iter()
+                .map(|&i| elem_base + (i << ar.size.log2_bytes()))
+                .collect()
+        }
+    }
+}
+
+/// Lays element addresses out into bus-aligned packed beats.
+///
+/// AXI-Pack aligns the stream with the *bus*, not the address: element `k`
+/// of the stream always lands at byte `k × elem_bytes mod bus_bytes` of beat
+/// `k / elems_per_beat` — the property that lets the vector processor feed
+/// lanes without realignment.
+pub fn beat_layout(elem_addrs: &[Addr], elem: ElemSize, bus: &BusConfig) -> Vec<BeatSource> {
+    let epb = bus.elems_per_beat(elem);
+    elem_addrs
+        .chunks(epb)
+        .map(|chunk| BeatSource {
+            elems: chunk
+                .iter()
+                .enumerate()
+                .map(|(j, &mem_addr)| ElemRef {
+                    mem_addr,
+                    beat_offset: j * elem.bytes(),
+                    bytes: elem.bytes(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Splits a byte range into word-aligned fragments.
+///
+/// The banked controller accesses memory in words of the bank width; an
+/// element that is wider than a word, or misaligned, decomposes into several
+/// word accesses. Word width must be a power of two.
+///
+/// # Panics
+///
+/// Panics if `word_bytes` is not a power of two or `bytes` is zero.
+pub fn split_words(mem_addr: Addr, bytes: usize, word_bytes: usize) -> Vec<WordRef> {
+    assert!(
+        word_bytes.is_power_of_two(),
+        "word width must be a power of two"
+    );
+    assert!(bytes > 0, "cannot split an empty range");
+    let mask = (word_bytes - 1) as Addr;
+    let mut out = Vec::new();
+    let mut addr = mem_addr;
+    let mut remaining = bytes;
+    let mut offset_in_elem = 0;
+    while remaining > 0 {
+        let word_addr = addr & !mask;
+        let offset_in_word = (addr & mask) as usize;
+        let take = remaining.min(word_bytes - offset_in_word);
+        out.push(WordRef {
+            word_addr,
+            offset_in_word,
+            bytes: take,
+            offset_in_elem,
+        });
+        addr += take as Addr;
+        remaining -= take;
+        offset_in_elem += take;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IdxSize;
+
+    fn bus() -> BusConfig {
+        BusConfig::new(256)
+    }
+
+    #[test]
+    fn strided_addresses_match_formula() {
+        let ar = ArBeat::packed_strided(0, 0x100, 8, ElemSize::B4, 5, &bus());
+        let addrs = element_addresses(&ar, None, &bus());
+        assert_eq!(addrs.len(), 8);
+        for (k, a) in addrs.iter().enumerate() {
+            assert_eq!(*a, 0x100 + (k as u64) * 5 * 4);
+        }
+    }
+
+    #[test]
+    fn negative_stride_walks_backwards() {
+        let ar = ArBeat::packed_strided(0, 0x1000, 8, ElemSize::B4, -2, &bus());
+        let addrs = element_addresses(&ar, None, &bus());
+        assert_eq!(addrs[1], 0x1000 - 8);
+        assert_eq!(addrs[7], 0x1000 - 7 * 8);
+    }
+
+    #[test]
+    fn zero_stride_replicates_one_address() {
+        let ar = ArBeat::packed_strided(0, 0x40, 8, ElemSize::B4, 0, &bus());
+        let addrs = element_addresses(&ar, None, &bus());
+        assert!(addrs.iter().all(|&a| a == 0x40));
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn negative_stride_underflow_panics() {
+        let ar = ArBeat::packed_strided(0, 0x4, 8, ElemSize::B4, -100, &bus());
+        let _ = element_addresses(&ar, None, &bus());
+    }
+
+    #[test]
+    fn indirect_addresses_shift_and_add() {
+        let ar =
+            ArBeat::packed_indirect(0, 0x0, 8, ElemSize::B4, IdxSize::B4, 0x1_0000, &bus());
+        let idx = [0u64, 9, 1, 5, 1, 8, 2, 1];
+        let addrs = element_addresses(&ar, Some(&idx), &bus());
+        for (k, a) in addrs.iter().enumerate() {
+            assert_eq!(*a, 0x1_0000 + idx[k] * 4);
+        }
+    }
+
+    #[test]
+    fn beat_layout_is_bus_aligned() {
+        let addrs: Vec<Addr> = (0..12u64).map(|k| 0x100 + k * 20).collect();
+        let beats = beat_layout(&addrs, ElemSize::B4, &bus());
+        assert_eq!(beats.len(), 2);
+        assert_eq!(beats[0].elems.len(), 8);
+        assert_eq!(beats[1].elems.len(), 4); // tail beat partially filled
+        for (j, e) in beats[0].elems.iter().enumerate() {
+            assert_eq!(e.beat_offset, j * 4);
+        }
+        assert_eq!(beats[1].elems[0].mem_addr, 0x100 + 8 * 20);
+    }
+
+    #[test]
+    fn wide_elements_pack_fewer_per_beat() {
+        let addrs: Vec<Addr> = (0..4u64).map(|k| k * 64).collect();
+        let beats = beat_layout(&addrs, ElemSize::B16, &bus());
+        assert_eq!(beats.len(), 2); // 2 × 16-byte elems per 32-byte beat
+        assert_eq!(beats[0].elems[1].beat_offset, 16);
+    }
+
+    #[test]
+    fn split_words_aligned_element() {
+        let words = split_words(0x108, 4, 4);
+        assert_eq!(words.len(), 1);
+        assert_eq!(words[0].word_addr, 0x108);
+        assert_eq!(words[0].offset_in_word, 0);
+        assert_eq!(words[0].bytes, 4);
+    }
+
+    #[test]
+    fn split_words_wide_element_spans_words() {
+        let words = split_words(0x100, 16, 4);
+        assert_eq!(words.len(), 4);
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(w.word_addr, 0x100 + 4 * i as u64);
+            assert_eq!(w.offset_in_elem, 4 * i);
+            assert_eq!(w.bytes, 4);
+        }
+    }
+
+    #[test]
+    fn split_words_misaligned_element() {
+        let words = split_words(0x102, 4, 4);
+        assert_eq!(words.len(), 2);
+        assert_eq!(words[0].word_addr, 0x100);
+        assert_eq!(words[0].offset_in_word, 2);
+        assert_eq!(words[0].bytes, 2);
+        assert_eq!(words[1].word_addr, 0x104);
+        assert_eq!(words[1].bytes, 2);
+        assert_eq!(words[1].offset_in_elem, 2);
+    }
+
+    #[test]
+    fn split_words_total_bytes_preserved() {
+        for (addr, len) in [(0x0u64, 1usize), (0x3, 9), (0x7, 32), (0x10, 5)] {
+            let total: usize = split_words(addr, len, 8).iter().map(|w| w.bytes).sum();
+            assert_eq!(total, len);
+        }
+    }
+}

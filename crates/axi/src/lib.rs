@@ -1,0 +1,52 @@
+//! `axi-proto` — a data-carrying model of AXI4 plus the **AXI-Pack**
+//! extension from *AXI-Pack: Near-Memory Bus Packing for Bandwidth-Efficient
+//! Irregular Workloads* (DATE 2023).
+//!
+//! AXI4 defines five independent channels — AR and AW carry read and write
+//! requests, R and W carry data, B carries write responses. AXI-Pack extends
+//! the AR/AW *user* field with a `pack` bit, an `indir` bit, and a shared
+//! payload holding either an element stride (strided bursts) or an index
+//! size plus element base address (indirect bursts). While a packed burst is
+//! active, scattered data elements are *tightly packed* onto the R/W data
+//! buses, and the burst start is bus-aligned rather than address-aligned.
+//!
+//! This crate provides:
+//!
+//! * the channel payload types ([`ArBeat`], [`RBeat`], [`WBeat`], [`BBeat`]),
+//!   carrying real data bytes;
+//! * the typed user-field extension [`PackMode`] with a bit-exact
+//!   [`PackMode::encode`]/[`PackMode::decode`] pair, so the extension is a
+//!   genuine user-signal encoding and not just an enum;
+//! * burst *semantics*: [`expand::element_addresses`] and
+//!   [`expand::beat_layout`] compute, for any request, exactly which memory
+//!   words each packed beat is assembled from — the reference model every
+//!   converter and every test is checked against;
+//! * a [`checker::Monitor`] that validates handshake and burst invariants on
+//!   a live channel.
+//!
+//! ```
+//! use axi_proto::{ArBeat, BusConfig, ElemSize, PackMode};
+//!
+//! let bus = BusConfig::new(256);
+//! // A strided read: 64 FP32 elements, stride 5 elements apart.
+//! let ar = ArBeat::packed_strided(0, 0x1000, 64, ElemSize::B4, 5, &bus);
+//! assert_eq!(ar.beats(), 8); // 8 elements per 256-bit beat
+//! ```
+
+pub mod beat;
+pub mod channels;
+pub mod checker;
+pub mod config;
+pub mod expand;
+pub mod mux;
+pub mod pack;
+
+pub use beat::{ArBeat, AxiId, BBeat, Burst, RBeat, Resp, WBeat};
+pub use channels::AxiChannels;
+pub use config::{BusConfig, ElemSize, IdxSize};
+pub use expand::{beat_layout, element_addresses, split_words, BeatSource, WordRef};
+pub use mux::AxiMux;
+pub use pack::PackMode;
+
+/// A byte address in the simulated physical address space.
+pub type Addr = u64;

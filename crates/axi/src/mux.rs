@@ -1,0 +1,291 @@
+//! Multi-manager AXI multiplexer.
+//!
+//! The paper notes that AXI-Pack "in principle supports non-core requestors
+//! and systems with multiple requestors and endpoints" — packed bursts are
+//! ordinary AXI4 transactions, so any ID-remapping interconnect carries
+//! them untouched. [`AxiMux`] demonstrates that: it funnels up to four
+//! manager ports into one subordinate port by prefixing transaction IDs
+//! with the manager index (the standard AXI interconnect scheme), routes
+//! W beats in AW-acceptance order, and demultiplexes R/B responses by ID
+//! prefix. Packed bursts need no special handling whatsoever.
+
+use simkit::RoundRobin;
+use std::collections::VecDeque;
+
+use crate::beat::AxiId;
+use crate::channels::AxiChannels;
+
+/// Maximum managers one mux supports (2 ID bits).
+pub const MAX_MANAGERS: usize = 4;
+/// Bits of the ID space reserved for the manager index.
+const PORT_SHIFT: u32 = 6;
+/// Mask of the manager-local ID bits.
+const LOCAL_MASK: u8 = (1 << PORT_SHIFT) - 1;
+
+/// An N-to-1 AXI(-Pack) multiplexer.
+///
+/// Per cycle it forwards at most one AR and one AW (round-robin across
+/// managers), one W beat (strictly in AW-acceptance order, as AXI4
+/// requires), and routes back one R and one B beat by ID prefix.
+///
+/// # Examples
+///
+/// ```
+/// use axi_proto::{AxiChannels, AxiMux};
+///
+/// let mut mux = AxiMux::new(2);
+/// let mut managers = vec![AxiChannels::new(), AxiChannels::new()];
+/// let mut downstream = AxiChannels::new();
+/// mux.tick(&mut managers, &mut downstream);
+/// ```
+#[derive(Debug)]
+pub struct AxiMux {
+    n: usize,
+    ar_arb: RoundRobin,
+    aw_arb: RoundRobin,
+    /// W routing: (manager, beats remaining) per accepted AW, in order.
+    w_route: VecDeque<(usize, u32)>,
+}
+
+impl AxiMux {
+    /// Creates a mux over `n` manager ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= 4`.
+    pub fn new(n: usize) -> Self {
+        assert!(
+            (1..=MAX_MANAGERS).contains(&n),
+            "mux supports 1..=4 managers, got {n}"
+        );
+        AxiMux {
+            n,
+            ar_arb: RoundRobin::new(n),
+            aw_arb: RoundRobin::new(n),
+            w_route: VecDeque::new(),
+        }
+    }
+
+    /// Number of manager ports.
+    pub fn managers(&self) -> usize {
+        self.n
+    }
+
+    /// Prefixes a manager-local ID with the manager index.
+    fn upstream_id(port: usize, id: AxiId) -> AxiId {
+        assert!(
+            id.0 & !LOCAL_MASK == 0,
+            "manager IDs must fit {} bits, got {}",
+            PORT_SHIFT,
+            id.0
+        );
+        AxiId((port as u8) << PORT_SHIFT | id.0)
+    }
+
+    /// Splits a downstream ID back into (manager, local ID).
+    fn downstream_id(id: AxiId) -> (usize, AxiId) {
+        ((id.0 >> PORT_SHIFT) as usize, AxiId(id.0 & LOCAL_MASK))
+    }
+
+    /// One cycle of multiplexer work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `managers.len()` differs from the configured port count,
+    /// or if a response carries a manager index out of range.
+    pub fn tick(&mut self, managers: &mut [AxiChannels], down: &mut AxiChannels) {
+        assert_eq!(managers.len(), self.n, "manager port count mismatch");
+        // AR: round-robin one request.
+        if down.ar.can_push() {
+            let wants: Vec<bool> = managers.iter().map(|m| m.ar.can_pop()).collect();
+            if let Some(p) = self.ar_arb.grant(&wants) {
+                let mut ar = managers[p].ar.pop().expect("granted manager has AR");
+                ar.id = Self::upstream_id(p, ar.id);
+                down.ar.push(ar);
+            }
+        }
+        // AW: round-robin one request; record the W route.
+        if down.aw.can_push() {
+            let wants: Vec<bool> = managers.iter().map(|m| m.aw.can_pop()).collect();
+            if let Some(p) = self.aw_arb.grant(&wants) {
+                let mut aw = managers[p].aw.pop().expect("granted manager has AW");
+                aw.id = Self::upstream_id(p, aw.id);
+                self.w_route.push_back((p, aw.beats));
+                down.aw.push(aw);
+            }
+        }
+        // W: strictly in AW order.
+        if down.w.can_push() {
+            if let Some((p, beats_left)) = self.w_route.front_mut() {
+                if let Some(w) = managers[*p].w.pop() {
+                    down.w.push(w);
+                    *beats_left -= 1;
+                    if *beats_left == 0 {
+                        self.w_route.pop_front();
+                    }
+                }
+            }
+        }
+        // R: route by ID prefix (peek first so back-pressure propagates).
+        if let Some(r) = down.r.peek() {
+            let (p, local) = Self::downstream_id(r.id);
+            assert!(p < self.n, "R beat for unknown manager {p}");
+            if managers[p].r.can_push() {
+                let mut r = down.r.pop().expect("peeked");
+                r.id = local;
+                managers[p].r.push(r);
+            }
+        }
+        // B: route by ID prefix.
+        if let Some(b) = down.b.peek() {
+            let (p, local) = Self::downstream_id(b.id);
+            assert!(p < self.n, "B beat for unknown manager {p}");
+            if managers[p].b.can_push() {
+                let mut b = down.b.pop().expect("peeked");
+                b.id = local;
+                managers[p].b.push(b);
+            }
+        }
+    }
+
+    /// Returns `true` when no write burst is mid-route.
+    pub fn quiescent(&self) -> bool {
+        self.w_route.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::beat::{ArBeat, BBeat, RBeat, Resp, WBeat};
+    use crate::config::{BusConfig, ElemSize};
+
+    #[test]
+    fn id_mapping_roundtrips() {
+        for p in 0..4 {
+            for id in [0u8, 1, 33, 63] {
+                let up = AxiMux::upstream_id(p, AxiId(id));
+                assert_eq!(AxiMux::downstream_id(up), (p, AxiId(id)));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must fit")]
+    fn oversized_manager_id_rejected() {
+        let _ = AxiMux::upstream_id(0, AxiId(64));
+    }
+
+    #[test]
+    fn ar_requests_interleave_fairly() {
+        let bus = BusConfig::new(256);
+        let mut mux = AxiMux::new(2);
+        let mut mgrs = vec![AxiChannels::new(), AxiChannels::new()];
+        let mut down = AxiChannels::new();
+        let mut order = Vec::new();
+        let mut sent = [0u64; 2];
+        for _ in 0..40 {
+            for (p, m) in mgrs.iter_mut().enumerate() {
+                if m.ar.can_push() && sent[p] < 8 {
+                    m.ar.push(ArBeat::incr(p as u8, sent[p] * 0x40, 1, &bus));
+                    sent[p] += 1;
+                }
+            }
+            if let Some(ar) = down.ar.pop() {
+                order.push(AxiMux::downstream_id(ar.id).0);
+            }
+            mux.tick(&mut mgrs, &mut down);
+            for m in mgrs.iter_mut() {
+                m.end_cycle();
+            }
+            down.end_cycle();
+        }
+        assert_eq!(order.len(), 16);
+        assert_eq!(order.iter().filter(|p| **p == 0).count(), 8);
+        // Round-robin: managers alternate when both are ready.
+        let alternations = order.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(alternations >= 12, "poor interleave: {order:?}");
+    }
+
+    #[test]
+    fn w_beats_follow_aw_order() {
+        let bus = BusConfig::new(256);
+        let mut mux = AxiMux::new(2);
+        let mut mgrs = vec![AxiChannels::new(), AxiChannels::new()];
+        let mut down = AxiChannels::new();
+        // Manager 0 posts a 2-beat write, manager 1 a 1-beat write.
+        mgrs[0].aw.push(ArBeat::incr(1, 0x0, 2, &bus));
+        mgrs[1].aw.push(ArBeat::incr(2, 0x100, 1, &bus));
+        mgrs[0].w.push(WBeat::full(vec![0xAA; 32], false));
+        mgrs[1].w.push(WBeat::full(vec![0xBB; 32], true));
+        for m in mgrs.iter_mut() {
+            m.end_cycle();
+        }
+        let mut w_data = Vec::new();
+        for cycle in 0..20 {
+            if cycle == 2 {
+                mgrs[0].w.push(WBeat::full(vec![0xAA; 32], true));
+            }
+            if let Some(w) = down.w.pop() {
+                w_data.push(w.data[0]);
+            }
+            down.aw.pop();
+            mux.tick(&mut mgrs, &mut down);
+            for m in mgrs.iter_mut() {
+                m.end_cycle();
+            }
+            down.end_cycle();
+        }
+        // Whichever AW won arbitration first sends ALL its beats first.
+        assert_eq!(w_data.len(), 3);
+        if w_data[0] == 0xAA {
+            assert_eq!(w_data, vec![0xAA, 0xAA, 0xBB]);
+        } else {
+            assert_eq!(w_data, vec![0xBB, 0xAA, 0xAA]);
+        }
+        assert!(mux.quiescent());
+    }
+
+    #[test]
+    fn responses_route_back_by_prefix() {
+        let mut mux = AxiMux::new(3);
+        let mut mgrs = vec![AxiChannels::new(), AxiChannels::new(), AxiChannels::new()];
+        let mut down = AxiChannels::new();
+        down.r.push(RBeat {
+            id: AxiMux::upstream_id(2, AxiId(5)),
+            data: vec![0u8; 32],
+            payload_bytes: 32,
+            last: true,
+            resp: Resp::Okay,
+        });
+        down.b.push(BBeat {
+            id: AxiMux::upstream_id(1, AxiId(9)),
+            resp: Resp::Okay,
+        });
+        down.end_cycle();
+        mux.tick(&mut mgrs, &mut down);
+        for m in mgrs.iter_mut() {
+            m.end_cycle();
+        }
+        assert_eq!(mgrs[2].r.pop().expect("routed").id, AxiId(5));
+        assert_eq!(mgrs[1].b.pop().expect("routed").id, AxiId(9));
+        assert!(!mgrs[0].r.can_pop());
+    }
+
+    #[test]
+    fn packed_bursts_pass_through_untouched_except_id() {
+        let bus = BusConfig::new(256);
+        let mut mux = AxiMux::new(2);
+        let mut mgrs = vec![AxiChannels::new(), AxiChannels::new()];
+        let mut down = AxiChannels::new();
+        let ar = ArBeat::packed_strided(3, 0x40, 16, ElemSize::B4, 7, &bus);
+        let user = ar.user;
+        mgrs[1].ar.push(ar);
+        mgrs[1].end_cycle();
+        mux.tick(&mut mgrs, &mut down);
+        down.end_cycle();
+        let got = down.ar.pop().expect("forwarded");
+        assert_eq!(got.user, user, "pack semantics must survive the mux");
+        assert_eq!(AxiMux::downstream_id(got.id), (1, AxiId(3)));
+    }
+}

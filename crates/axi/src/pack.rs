@@ -1,0 +1,192 @@
+//! The AXI-Pack AR/AW user-field extension.
+//!
+//! AXI4 provisions a parametric-width `user` field on every channel;
+//! AXI-Pack claims bits of the AR/AW user field so that *unmodified*
+//! interconnect IPs (anything that routes bursts without reshaping them)
+//! keep working. The layout modeled here, least-significant bit first:
+//!
+//! | bits     | strided burst            | indirect burst                  |
+//! |----------|--------------------------|---------------------------------|
+//! | 0        | `pack` = 1               | `pack` = 1                      |
+//! | 1        | `indir` = 0              | `indir` = 1                     |
+//! | 2..=3    | —                        | index size (log2 bytes)         |
+//! | 4..=35   | element stride (i32, in elements) | —                      |
+//! | 4..=51   | —                        | element base address (48 bit)   |
+//!
+//! A user field of all zeros means "plain AXI4 burst", which is what any
+//! non-AXI-Pack requestor naturally drives — full backward compatibility.
+
+use crate::config::IdxSize;
+use crate::Addr;
+
+/// Number of user-field bits the encoding occupies.
+pub const USER_BITS: u32 = 52;
+
+/// Mask of the address bits an indirect burst can carry.
+const BASE_MASK: u64 = (1u64 << 48) - 1;
+
+/// Decoded AXI-Pack request semantics carried in the AR/AW user field.
+///
+/// # Examples
+///
+/// ```
+/// use axi_proto::PackMode;
+///
+/// let m = PackMode::Strided { stride: -3 };
+/// assert_eq!(PackMode::decode(m.encode()), Some(m));
+/// assert_eq!(PackMode::decode(0), None); // plain AXI4
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PackMode {
+    /// A bus-packed strided burst; `stride` is in *elements* (may be zero or
+    /// negative — a zero stride replicates one element, matching RVV's
+    /// semantics for `vlse` with stride 0).
+    Strided {
+        /// Distance between consecutive elements, in elements.
+        stride: i32,
+    },
+    /// A bus-packed indirect burst. The AR/AW *address* field points at the
+    /// index array; the user field carries the element base address and the
+    /// index size. Element *k* lives at
+    /// `elem_base + index[k] << elem_size.log2_bytes()`.
+    Indirect {
+        /// Size of each index in the index array.
+        idx_size: IdxSize,
+        /// Base address the (shifted) indices are added to.
+        elem_base: Addr,
+    },
+}
+
+impl PackMode {
+    /// Encodes the mode into raw user-field bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an indirect `elem_base` does not fit in 48 bits.
+    pub fn encode(&self) -> u64 {
+        match *self {
+            PackMode::Strided { stride } => {
+                let s = (stride as u32) as u64; // two's complement, 32 bits
+                0b01 | (s << 4)
+            }
+            PackMode::Indirect {
+                idx_size,
+                elem_base,
+            } => {
+                assert!(
+                    elem_base <= BASE_MASK,
+                    "indirect element base 0x{elem_base:x} exceeds 48 bits"
+                );
+                0b11 | ((idx_size.log2_bytes() as u64) << 2) | (elem_base << 4)
+            }
+        }
+    }
+
+    /// Decodes raw user-field bits.
+    ///
+    /// Returns `None` when the `pack` bit is clear — i.e. a plain AXI4
+    /// burst.
+    pub fn decode(user: u64) -> Option<PackMode> {
+        if user & 1 == 0 {
+            return None;
+        }
+        if user & 0b10 == 0 {
+            let stride = ((user >> 4) as u32) as i32;
+            Some(PackMode::Strided { stride })
+        } else {
+            let idx_size = IdxSize::ALL
+                .into_iter()
+                .find(|i| i.log2_bytes() as u64 == (user >> 2) & 0b11)
+                .expect("2-bit field always maps to a valid IdxSize");
+            let elem_base = (user >> 4) & BASE_MASK;
+            Some(PackMode::Indirect {
+                idx_size,
+                elem_base,
+            })
+        }
+    }
+
+    /// Returns `true` for an indirect burst.
+    pub fn is_indirect(&self) -> bool {
+        matches!(self, PackMode::Indirect { .. })
+    }
+
+    /// Returns `true` for a strided burst.
+    pub fn is_strided(&self) -> bool {
+        matches!(self, PackMode::Strided { .. })
+    }
+}
+
+impl std::fmt::Display for PackMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackMode::Strided { stride } => write!(f, "packed strided (stride {stride})"),
+            PackMode::Indirect {
+                idx_size,
+                elem_base,
+            } => write!(f, "packed indirect ({idx_size}, base 0x{elem_base:x})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_axi4_decodes_to_none() {
+        assert_eq!(PackMode::decode(0), None);
+        // indir bit without pack bit is still plain AXI4.
+        assert_eq!(PackMode::decode(0b10), None);
+    }
+
+    #[test]
+    fn strided_roundtrip_including_negative_and_zero() {
+        for stride in [-1_000_000, -5, -1, 0, 1, 5, 63, 1_000_000] {
+            let m = PackMode::Strided { stride };
+            assert_eq!(PackMode::decode(m.encode()), Some(m), "stride {stride}");
+        }
+    }
+
+    #[test]
+    fn indirect_roundtrip_all_index_sizes() {
+        for idx_size in IdxSize::ALL {
+            let m = PackMode::Indirect {
+                idx_size,
+                elem_base: 0xdead_beef_00,
+            };
+            assert_eq!(PackMode::decode(m.encode()), Some(m));
+        }
+    }
+
+    #[test]
+    fn encode_sets_discriminator_bits() {
+        assert_eq!(PackMode::Strided { stride: 0 }.encode() & 0b11, 0b01);
+        let ind = PackMode::Indirect {
+            idx_size: IdxSize::B4,
+            elem_base: 0,
+        };
+        assert_eq!(ind.encode() & 0b11, 0b11);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 48 bits")]
+    fn oversized_base_rejected() {
+        PackMode::Indirect {
+            idx_size: IdxSize::B4,
+            elem_base: 1 << 48,
+        }
+        .encode();
+    }
+
+    #[test]
+    fn encoding_fits_declared_user_width() {
+        let worst = PackMode::Indirect {
+            idx_size: IdxSize::B8,
+            elem_base: BASE_MASK,
+        };
+        assert!(worst.encode() < (1u64 << USER_BITS));
+        let worst_stride = PackMode::Strided { stride: -1 };
+        assert!(worst_stride.encode() < (1u64 << USER_BITS));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests of the protocol layer: burst expansion, packing layout,
+//! and word splitting uphold their invariants for arbitrary parameters.
+
+use axi_proto::{
+    beat_layout, element_addresses, split_words, ArBeat, BusConfig, ElemSize, IdxSize,
+};
+use proptest::prelude::*;
+
+fn buses() -> impl Strategy<Value = BusConfig> {
+    prop_oneof![
+        Just(BusConfig::new(64)),
+        Just(BusConfig::new(128)),
+        Just(BusConfig::new(256)),
+    ]
+}
+
+fn elems() -> impl Strategy<Value = ElemSize> {
+    prop_oneof![
+        Just(ElemSize::B4),
+        Just(ElemSize::B8),
+        Just(ElemSize::B16),
+    ]
+}
+
+proptest! {
+    /// Strided expansion produces exactly the valid element count, with
+    /// addresses in arithmetic progression.
+    #[test]
+    fn strided_expansion_is_arithmetic(
+        bus in buses(),
+        elem in elems(),
+        n_elems in 1u32..200,
+        stride in 0i32..64,
+        base_beats in 0u64..64,
+    ) {
+        prop_assume!(elem.bytes() <= bus.data_bytes());
+        prop_assume!(n_elems.div_ceil(bus.elems_per_beat(elem) as u32) <= 256);
+        let base = base_beats * bus.data_bytes() as u64;
+        let ar = ArBeat::packed_strided(0, base, n_elems, elem, stride, &bus);
+        let addrs = element_addresses(&ar, None, &bus);
+        prop_assert_eq!(addrs.len() as u32, n_elems);
+        for (k, a) in addrs.iter().enumerate() {
+            prop_assert_eq!(
+                *a,
+                base + k as u64 * stride as u64 * elem.bytes() as u64
+            );
+        }
+    }
+
+    /// Beat layout is bus-aligned: element k sits at byte
+    /// (k mod elems_per_beat) × elem_bytes of beat k / elems_per_beat, and
+    /// every element appears exactly once.
+    #[test]
+    fn beat_layout_is_bus_aligned_and_complete(
+        bus in buses(),
+        elem in elems(),
+        n in 1usize..100,
+    ) {
+        prop_assume!(elem.bytes() <= bus.data_bytes());
+        let addrs: Vec<u64> = (0..n as u64).map(|k| 0x1000 + k * 52).collect();
+        let beats = beat_layout(&addrs, elem, &bus);
+        let epb = bus.elems_per_beat(elem);
+        prop_assert_eq!(beats.len(), n.div_ceil(epb));
+        let mut seen = 0usize;
+        for (b, beat) in beats.iter().enumerate() {
+            for (j, e) in beat.elems.iter().enumerate() {
+                prop_assert_eq!(e.beat_offset, j * elem.bytes());
+                prop_assert_eq!(e.mem_addr, addrs[b * epb + j]);
+                seen += 1;
+            }
+        }
+        prop_assert_eq!(seen, n);
+    }
+
+    /// Word splitting partitions any byte range exactly: fragments are
+    /// word-aligned chunks, contiguous in both memory and element space.
+    #[test]
+    fn split_words_partitions_exactly(
+        addr in 0u64..10_000,
+        len in 1usize..128,
+        word in prop_oneof![Just(4usize), Just(8), Just(16)],
+    ) {
+        let frags = split_words(addr, len, word);
+        let total: usize = frags.iter().map(|f| f.bytes).sum();
+        prop_assert_eq!(total, len);
+        let mut mem_cursor = addr;
+        let mut elem_cursor = 0usize;
+        for f in &frags {
+            prop_assert_eq!(f.word_addr % word as u64, 0);
+            prop_assert_eq!(f.word_addr + f.offset_in_word as u64, mem_cursor);
+            prop_assert_eq!(f.offset_in_elem, elem_cursor);
+            prop_assert!(f.offset_in_word + f.bytes <= word);
+            mem_cursor += f.bytes as u64;
+            elem_cursor += f.bytes;
+        }
+    }
+
+    /// Indirect expansion honors the shift-and-add rule for any index set.
+    #[test]
+    fn indirect_expansion_shifts_and_adds(
+        bus in buses(),
+        elem in elems(),
+        indices in proptest::collection::vec(0u64..100_000, 1..64),
+        base_words in 0u64..1000,
+    ) {
+        prop_assume!(elem.bytes() <= bus.data_bytes());
+        let n = indices.len() as u32;
+        prop_assume!(n.div_ceil(bus.elems_per_beat(elem) as u32) <= 256);
+        let base = base_words * 4;
+        let ar = ArBeat::packed_indirect(0, 0x40, n, elem, IdxSize::B4, base, &bus);
+        let addrs = element_addresses(&ar, Some(&indices), &bus);
+        for (k, a) in addrs.iter().enumerate() {
+            prop_assert_eq!(*a, base + (indices[k] << elem.log2_bytes()));
+        }
+    }
+
+    /// Valid-element accounting: beats × epb ≥ valid > (beats−1) × epb,
+    /// and per-beat valid counts sum to the total.
+    #[test]
+    fn tail_accounting_is_consistent(
+        bus in buses(),
+        elem in elems(),
+        n_elems in 1u32..400,
+    ) {
+        prop_assume!(elem.bytes() <= bus.data_bytes());
+        let epb = bus.elems_per_beat(elem) as u32;
+        prop_assume!(n_elems.div_ceil(epb) <= 256);
+        let ar = ArBeat::packed_strided(0, 0, n_elems, elem, 1, &bus);
+        prop_assert_eq!(ar.valid_elems(&bus), n_elems);
+        let per_beat: u32 = (0..ar.beats())
+            .map(|b| ar.beat_valid_elems(b, &bus) as u32)
+            .sum();
+        prop_assert_eq!(per_beat, n_elems);
+        prop_assert!(ar.elems(&bus) >= n_elems);
+        prop_assert!(ar.elems(&bus) - n_elems < epb);
+    }
+}

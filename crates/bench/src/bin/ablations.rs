@@ -1,0 +1,80 @@
+//! Ablations of the controller design choices called out in DESIGN.md:
+//!
+//! 1. decoupling-queue depth (the paper synthesizes 4, measures with 32);
+//! 2. index/element stage arbitration policy (the paper's round-robin
+//!    versus strict priorities);
+//! 3. prime versus power-of-two bank counts at matched count.
+
+use axi_pack::requestor::{indirect_read_util, strided_read_util_avg, SweepConfig};
+use axi_pack_bench::table::{markdown, pct};
+use axi_proto::{ElemSize, IdxSize};
+use pack_ctrl::StagePolicy;
+
+fn main() {
+    let bursts = if std::env::args().any(|a| a == "--smoke") { 1 } else { 2 };
+
+    // 1. Queue depth: indirect reads on 17 banks.
+    println!("Ablation 1 — decoupling-queue depth (indirect 32/32-bit, 17 banks)\n");
+    let rows: Vec<Vec<String>> = [1usize, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&depth| {
+            let cfg = SweepConfig {
+                queue_depth: depth,
+                bursts,
+                ..SweepConfig::default()
+            };
+            let u = indirect_read_util(&cfg, ElemSize::B4, IdxSize::B4, 1);
+            vec![depth.to_string(), pct(u)]
+        })
+        .collect();
+    println!("{}", markdown(&["queue depth", "R util"], &rows));
+
+    // 2. Stage arbitration policy.
+    println!("\nAblation 2 — index/element stage arbitration (indirect, 17 banks)\n");
+    let rows: Vec<Vec<String>> = [
+        StagePolicy::RoundRobin,
+        StagePolicy::IndexPriority,
+        StagePolicy::ElementPriority,
+    ]
+    .iter()
+    .map(|&policy| {
+        let cfg = SweepConfig {
+            stage_policy: policy,
+            bursts,
+            ..SweepConfig::default()
+        };
+        let u32b = indirect_read_util(&cfg, ElemSize::B4, IdxSize::B4, 1);
+        let u256b = indirect_read_util(&cfg, ElemSize::B32, IdxSize::B1, 1);
+        vec![policy.to_string(), pct(u32b), pct(u256b)]
+    })
+    .collect();
+    println!(
+        "{}",
+        markdown(&["policy", "32b elem / 32b idx", "256b elem / 8b idx"], &rows)
+    );
+
+    // 3. Prime vs power-of-two banks at matched counts.
+    println!("\nAblation 3 — strided utilization, prime vs power-of-two banks\n");
+    let rows: Vec<Vec<String>> = [(16usize, 17usize), (31, 32)]
+        .iter()
+        .map(|&(a, b)| {
+            let util = |banks| {
+                let cfg = SweepConfig {
+                    banks,
+                    bursts: 1,
+                    ..SweepConfig::default()
+                };
+                strided_read_util_avg(&cfg, ElemSize::B4)
+            };
+            vec![
+                format!("{a} vs {b}"),
+                pct(util(a)),
+                pct(util(b)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown(&["pair", "first (pow2/prime)", "second"], &rows)
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates paper Fig. 3a: speedups over BASE and R-bus utilizations
+//! for all six workloads on the 256-bit systems.
+
+use axi_pack_bench::fig3::fig3a;
+use axi_pack_bench::table::{f, markdown, pct};
+use axi_pack_bench::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let runs = fig3a(scale);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.base.cycles.to_string(),
+                r.pack.cycles.to_string(),
+                r.ideal.cycles.to_string(),
+                f(r.pack_speedup(), 2),
+                f(r.ideal_speedup(), 2),
+                pct(r.pack.r_util),
+                pct(r.pack.r_util_no_idx),
+                pct(r.base.r_util),
+            ]
+        })
+        .collect();
+    println!("Fig. 3a — speedups and R-bus utilizations ({scale:?} scale)\n");
+    println!(
+        "{}",
+        markdown(
+            &[
+                "kernel",
+                "base cyc",
+                "pack cyc",
+                "ideal cyc",
+                "pack speedup",
+                "ideal speedup",
+                "pack R util",
+                "pack R util (no idx)",
+                "base R util",
+            ],
+            &rows
+        )
+    );
+    let avg: f64 = runs.iter().map(|r| r.pack_vs_ideal()).sum::<f64>() / runs.len() as f64;
+    println!("\npack achieves {:.1}% of ideal performance on average", 100.0 * avg);
+}

@@ -1,0 +1,29 @@
+//! Regenerates paper Fig. 3b: gemv row- versus column-wise dataflows.
+
+use axi_pack_bench::fig3::fig3b;
+use axi_pack_bench::table::{markdown, pct};
+use axi_pack_bench::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let rows: Vec<Vec<String>> = fig3b(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.to_string(),
+                r.dataflow.to_string(),
+                r.report.cycles.to_string(),
+                pct(r.report.r_util),
+            ]
+        })
+        .collect();
+    println!("Fig. 3b — gemv dataflows compared ({scale:?} scale)\n");
+    println!(
+        "{}",
+        markdown(&["system", "dataflow", "cycles", "R util"], &rows)
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates paper Fig. 3d: ismt PACK speedup scaling with matrix
+//! dimension and bus width.
+
+use axi_pack_bench::fig3::{fig3d, BUS_WIDTHS};
+use axi_pack_bench::table::{f, markdown};
+use axi_pack_bench::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let points = fig3d(scale);
+    let dims: Vec<usize> = {
+        let mut d: Vec<usize> = points.iter().map(|p| p.x).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    let rows: Vec<Vec<String>> = dims
+        .iter()
+        .map(|&dim| {
+            let mut row = vec![dim.to_string()];
+            for &bus in &BUS_WIDTHS {
+                let p = points
+                    .iter()
+                    .find(|p| p.x == dim && p.bus_bits == bus)
+                    .expect("point exists");
+                row.push(f(p.speedup, 2));
+            }
+            row
+        })
+        .collect();
+    println!("Fig. 3d — ismt PACK speedup over BASE ({scale:?} scale)\n");
+    println!(
+        "{}",
+        markdown(&["matrix dim", "64b bus", "128b bus", "256b bus"], &rows)
+    );
+}

@@ -1,0 +1,40 @@
+//! Regenerates paper Fig. 3e: spmv PACK speedup scaling with nonzeros per
+//! row and bus width.
+
+use axi_pack_bench::fig3::{fig3e, BUS_WIDTHS};
+use axi_pack_bench::table::{f, markdown};
+use axi_pack_bench::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let points = fig3e(scale);
+    let nnzs: Vec<usize> = {
+        let mut d: Vec<usize> = points.iter().map(|p| p.x).collect();
+        d.sort_unstable();
+        d.dedup();
+        d
+    };
+    let rows: Vec<Vec<String>> = nnzs
+        .iter()
+        .map(|&nnz| {
+            let mut row = vec![nnz.to_string()];
+            for &bus in &BUS_WIDTHS {
+                let p = points
+                    .iter()
+                    .find(|p| p.x == nnz && p.bus_bits == bus)
+                    .expect("point exists");
+                row.push(f(p.speedup, 2));
+            }
+            row
+        })
+        .collect();
+    println!("Fig. 3e — spmv PACK speedup over BASE ({scale:?} scale)\n");
+    println!(
+        "{}",
+        markdown(&["nnz/row", "64b bus", "128b bus", "256b bus"], &rows)
+    );
+}

@@ -1,0 +1,37 @@
+//! Regenerates paper Fig. 4a: adapter area versus clock constraint.
+
+use axi_pack_bench::fig4::fig4a;
+use axi_pack_bench::table::{f, markdown};
+
+fn main() {
+    let (points, minima) = fig4a();
+    let periods: Vec<f64> = {
+        let mut p: Vec<f64> = points.iter().map(|p| p.period_ps).collect();
+        p.sort_by(f64::total_cmp);
+        p.dedup();
+        p
+    };
+    let rows: Vec<Vec<String>> = periods
+        .iter()
+        .map(|&period| {
+            let mut row = vec![format!("{period:.0} ps")];
+            for bus in [64u32, 128, 256] {
+                let a = points
+                    .iter()
+                    .find(|p| p.bus_bits == bus && p.period_ps == period)
+                    .and_then(|p| p.area_kge);
+                row.push(a.map_or("infeasible".into(), |v| f(v, 1)));
+            }
+            row
+        })
+        .collect();
+    println!("Fig. 4a — adapter area (kGE) vs clock constraint\n");
+    println!(
+        "{}",
+        markdown(&["clock period", "64b bus", "128b bus", "256b bus"], &rows)
+    );
+    println!("\nminimum achievable periods (paper: 787/800/839 ps):");
+    for (bus, ps) in minima {
+        println!("  {bus:>3}b bus: {ps:.0} ps");
+    }
+}

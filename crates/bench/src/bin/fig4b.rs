@@ -1,0 +1,15 @@
+//! Regenerates paper Fig. 4b: adapter area breakdown at 256 bit.
+
+use axi_pack_bench::fig4::fig4b;
+use axi_pack_bench::table::{f, markdown, pct};
+
+fn main() {
+    let rows: Vec<Vec<String>> = fig4b()
+        .iter()
+        .map(|(name, kge, share)| vec![(*name).into(), f(*kge, 1), pct(*share)])
+        .collect();
+    let total: f64 = fig4b().iter().map(|(_, kge, _)| kge).sum();
+    println!("Fig. 4b — 256-bit adapter area breakdown (paper total: 257 kGE)\n");
+    println!("{}", markdown(&["component", "kGE", "share"], &rows));
+    println!("\ntotal: {total:.1} kGE");
+}

@@ -1,0 +1,33 @@
+//! Regenerates paper Fig. 4c: benchmark powers and energy-efficiency
+//! improvements of PACK over BASE.
+
+use axi_pack_bench::fig4::fig4c;
+use axi_pack_bench::table::{f, markdown};
+use axi_pack_bench::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--smoke") {
+        Scale::Smoke
+    } else {
+        Scale::Paper
+    };
+    let rows: Vec<Vec<String>> = fig4c(scale)
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                f(r.base_mw, 0),
+                f(r.pack_mw, 0),
+                f(r.improvement, 2),
+            ]
+        })
+        .collect();
+    println!("Fig. 4c — powers and energy-efficiency improvement ({scale:?} scale)\n");
+    println!(
+        "{}",
+        markdown(
+            &["kernel", "base power (mW)", "pack power (mW)", "energy eff. impr."],
+            &rows
+        )
+    );
+}

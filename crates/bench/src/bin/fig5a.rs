@@ -1,0 +1,34 @@
+//! Regenerates paper Fig. 5a: indirect-read utilization versus
+//! element/index sizes and bank count.
+
+use axi_pack_bench::fig5::{fig5a, BANK_COUNTS};
+use axi_pack_bench::table::{markdown, pct};
+
+fn main() {
+    let bursts = if std::env::args().any(|a| a == "--smoke") { 1 } else { 3 };
+    let points = fig5a(bursts);
+    let mut header: Vec<String> = vec!["elem/idx (bits)".into()];
+    header.extend(BANK_COUNTS.iter().map(|b| format!("{b}-bank")));
+    header.push("ideal".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut rows = Vec::new();
+    let mut pairs: Vec<(axi_proto::ElemSize, axi_proto::IdxSize)> = Vec::new();
+    for p in &points {
+        if !pairs.contains(&(p.elem, p.idx)) {
+            pairs.push((p.elem, p.idx));
+        }
+    }
+    for (elem, idx) in pairs {
+        let mut row = vec![format!("{}/{}", elem.bits(), idx.bits())];
+        for banks in BANK_COUNTS.iter().map(|b| Some(*b)).chain([None]) {
+            let p = points
+                .iter()
+                .find(|p| p.elem == elem && p.idx == idx && p.banks == banks)
+                .expect("point exists");
+            row.push(pct(p.util));
+        }
+        rows.push(row);
+    }
+    println!("Fig. 5a — indirect read R utilization\n");
+    println!("{}", markdown(&header_refs, &rows));
+}

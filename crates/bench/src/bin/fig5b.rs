@@ -1,0 +1,35 @@
+//! Regenerates paper Fig. 5b: strided-read utilization (averaged over
+//! strides 0–63) versus element size and bank count.
+
+use axi_pack_bench::fig5::{fig5b, BANK_COUNTS};
+use axi_pack_bench::table::{markdown, pct};
+
+fn main() {
+    let bursts = if std::env::args().any(|a| a == "--smoke") { 1 } else { 2 };
+    let points = fig5b(bursts);
+    let mut header: Vec<String> = vec!["element (bits)".into()];
+    header.extend(BANK_COUNTS.iter().map(|b| format!("{b}-bank")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut elems: Vec<axi_proto::ElemSize> = Vec::new();
+    for p in &points {
+        if !elems.contains(&p.elem) {
+            elems.push(p.elem);
+        }
+    }
+    let rows: Vec<Vec<String>> = elems
+        .iter()
+        .map(|&elem| {
+            let mut row = vec![elem.bits().to_string()];
+            for &banks in &BANK_COUNTS {
+                let p = points
+                    .iter()
+                    .find(|p| p.elem == elem && p.banks == banks)
+                    .expect("point exists");
+                row.push(pct(p.util));
+            }
+            row
+        })
+        .collect();
+    println!("Fig. 5b — strided read R utilization, strides 0..63 averaged\n");
+    println!("{}", markdown(&header_refs, &rows));
+}

@@ -1,0 +1,27 @@
+//! Regenerates paper Fig. 5c: bank crossbar area versus bank count.
+
+use axi_pack_bench::fig5::fig5c;
+use axi_pack_bench::table::{f, markdown};
+
+fn main() {
+    let rows: Vec<Vec<String>> = fig5c()
+        .iter()
+        .map(|(banks, a)| {
+            vec![
+                banks.to_string(),
+                f(a.crossbar_kge, 1),
+                f(a.modulo_kge, 1),
+                f(a.divider_kge, 1),
+                f(a.total_kge(), 1),
+            ]
+        })
+        .collect();
+    println!("Fig. 5c — bank crossbar area (kGE)\n");
+    println!(
+        "{}",
+        markdown(
+            &["banks", "crossbar", "modulo", "divider", "total"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,150 @@
+//! Command-line kernel runner: pick a benchmark, a system, and the
+//! architectural parameters, and get a full run report — including
+//! matrices loaded from Matrix Market files.
+//!
+//! ```sh
+//! cargo run --release -p axi-pack-bench --bin run_kernel -- \
+//!     --kernel spmv --system pack --banks 17 --size 64 --nnz 32
+//! cargo run --release -p axi-pack-bench --bin run_kernel -- \
+//!     --kernel spmv --system base --mtx path/to/heart1.mtx
+//! ```
+
+use axi_pack::{run_kernel, SystemConfig};
+use vproc::SystemKind;
+use workloads::{gemv, ismt, mtx, prank, scatter, spmv, sssp, trmv, CsrMatrix, Dataflow};
+
+#[derive(Debug)]
+struct Args {
+    kernel: String,
+    system: SystemKind,
+    bus_bits: u32,
+    banks: usize,
+    queue_depth: usize,
+    size: usize,
+    nnz: f64,
+    seed: u64,
+    mtx_path: Option<String>,
+    dataflow: Dataflow,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            kernel: "spmv".into(),
+            system: SystemKind::Pack,
+            bus_bits: 256,
+            banks: 17,
+            queue_depth: 4,
+            size: 64,
+            nnz: 32.0,
+            seed: 42,
+            mtx_path: None,
+            dataflow: Dataflow::ColWise,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: run_kernel [--kernel ismt|gemv|trmv|spmv|prank|sssp|scatter]\n\
+         \x20                 [--system base|pack|ideal] [--bus 64|128|256]\n\
+         \x20                 [--banks N] [--queue-depth N] [--size N] [--nnz F]\n\
+         \x20                 [--seed N] [--mtx FILE] [--dataflow row|col]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--kernel" => args.kernel = val(),
+            "--system" => {
+                args.system = match val().as_str() {
+                    "base" => SystemKind::Base,
+                    "pack" => SystemKind::Pack,
+                    "ideal" => SystemKind::Ideal,
+                    _ => usage(),
+                }
+            }
+            "--bus" => args.bus_bits = val().parse().unwrap_or_else(|_| usage()),
+            "--banks" => args.banks = val().parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => args.queue_depth = val().parse().unwrap_or_else(|_| usage()),
+            "--size" => args.size = val().parse().unwrap_or_else(|_| usage()),
+            "--nnz" => args.nnz = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--mtx" => args.mtx_path = Some(val()),
+            "--dataflow" => {
+                args.dataflow = match val().as_str() {
+                    "row" => Dataflow::RowWise,
+                    "col" => Dataflow::ColWise,
+                    _ => usage(),
+                }
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn sparse_operand(a: &Args) -> CsrMatrix {
+    match &a.mtx_path {
+        Some(path) => {
+            let m = mtx::read_mtx_file(path).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(1);
+            });
+            println!(
+                "loaded {}: {}x{} with {} nonzeros ({:.1}/row)",
+                path,
+                m.rows(),
+                m.cols(),
+                m.nnz(),
+                m.avg_nnz_per_row()
+            );
+            m
+        }
+        None => CsrMatrix::random(a.size, (2 * a.size).max(a.nnz as usize * 3), a.nnz, a.seed),
+    }
+}
+
+fn main() {
+    let a = parse_args();
+    let mut cfg = SystemConfig::with_bus(a.system, a.bus_bits);
+    cfg.banks = a.banks;
+    cfg.queue_depth = a.queue_depth;
+    let p = cfg.kernel_params();
+    let kernel = match a.kernel.as_str() {
+        "ismt" => ismt::build(a.size, a.seed, &p),
+        "gemv" => gemv::build(a.size, a.seed, a.dataflow, &p),
+        "trmv" => trmv::build(a.size, a.seed, a.dataflow, &p),
+        "spmv" => spmv::build(&sparse_operand(&a), a.seed, &p),
+        "prank" => prank::build(&sparse_operand(&a), 2, &p),
+        "sssp" => sssp::build(&sparse_operand(&a), 0, 3, &p),
+        "scatter" => scatter::build(a.size, 2.0, a.seed, &p),
+        other => {
+            eprintln!("unknown kernel {other}");
+            usage();
+        }
+    };
+    match run_kernel(&cfg, &kernel) {
+        Ok(report) => {
+            println!("{report}");
+            println!(
+                "  bank conflicts: {}, useful bytes: {}, energy: {:.2} uJ",
+                report.bank_conflicts, kernel.useful_bytes, report.energy_uj
+            );
+            println!("  functional result verified against the scalar reference");
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

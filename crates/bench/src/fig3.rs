@@ -1,0 +1,269 @@
+//! Performance figures: speedups, utilizations, dataflows and scaling
+//! (paper Fig. 3a–3e).
+
+use axi_pack::{run_kernel, RunReport, SystemConfig};
+use vproc::SystemKind;
+use workloads::{gemv, ismt, prank, spmv, sssp, trmv, CsrMatrix, Dataflow, Kernel};
+
+use crate::{Scale, SEED};
+
+/// One kernel measured on all three systems.
+#[derive(Debug, Clone)]
+pub struct KernelRuns {
+    /// Kernel name.
+    pub name: String,
+    /// BASE run.
+    pub base: RunReport,
+    /// PACK run.
+    pub pack: RunReport,
+    /// IDEAL run.
+    pub ideal: RunReport,
+}
+
+impl KernelRuns {
+    /// PACK speedup over BASE.
+    pub fn pack_speedup(&self) -> f64 {
+        self.pack.speedup_over(&self.base)
+    }
+
+    /// IDEAL speedup over BASE.
+    pub fn ideal_speedup(&self) -> f64 {
+        self.ideal.speedup_over(&self.base)
+    }
+
+    /// How close PACK gets to IDEAL (1.0 = parity).
+    pub fn pack_vs_ideal(&self) -> f64 {
+        self.ideal.cycles as f64 / self.pack.cycles as f64
+    }
+}
+
+fn run(kind: SystemKind, bus_bits: u32, build: impl Fn(&workloads::KernelParams) -> Kernel) -> RunReport {
+    let cfg = SystemConfig::with_bus(kind, bus_bits);
+    let kernel = build(&cfg.kernel_params());
+    run_kernel(&cfg, &kernel).expect("figure kernel must verify")
+}
+
+/// The spmv operand: wide enough that the requested nonzeros-per-row fit.
+fn spmv_matrix(rows: usize, nnz_per_row: f64, seed: u64) -> CsrMatrix {
+    let cols = (rows.max((nnz_per_row * 2.5) as usize)).next_power_of_two();
+    CsrMatrix::random(rows, cols, nnz_per_row, seed)
+}
+
+/// Builds each of the six benchmark kernels for a given system kind, with
+/// the paper's per-system dataflow choices (gemv/trmv run row-wise on
+/// BASE, column-wise on PACK and IDEAL).
+fn kernel_for(
+    name: &str,
+    kind: SystemKind,
+    scale: Scale,
+    p: &workloads::KernelParams,
+) -> Kernel {
+    let n = scale.dense_dim();
+    let dataflow = match kind {
+        SystemKind::Base => Dataflow::RowWise,
+        _ => Dataflow::ColWise,
+    };
+    match name {
+        "ismt" => ismt::build(n, SEED, p),
+        "gemv" => gemv::build(n, SEED, dataflow, p),
+        "trmv" => trmv::build(n, SEED, dataflow, p),
+        "spmv" => spmv::build(
+            &spmv_matrix(scale.sparse_rows(), scale.spmv_nnz_per_row(), SEED),
+            SEED,
+            p,
+        ),
+        "prank" => prank::build(
+            &CsrMatrix::random(scale.graph_nodes(), scale.graph_nodes(), scale.graph_degree(), SEED),
+            2,
+            p,
+        ),
+        "sssp" => sssp::build(
+            &CsrMatrix::random_graph(scale.graph_nodes(), scale.graph_degree(), SEED),
+            0,
+            3,
+            p,
+        ),
+        other => panic!("unknown kernel {other}"),
+    }
+}
+
+/// The six benchmark names in the paper's order.
+pub const KERNELS: [&str; 6] = ["ismt", "gemv", "trmv", "spmv", "prank", "sssp"];
+
+/// Fig. 3a: speedups over BASE and R-bus utilizations for all six
+/// workloads on the 256-bit systems.
+pub fn fig3a(scale: Scale) -> Vec<KernelRuns> {
+    KERNELS
+        .iter()
+        .map(|name| KernelRuns {
+            name: (*name).into(),
+            base: run(SystemKind::Base, 256, |p| {
+                kernel_for(name, SystemKind::Base, scale, p)
+            }),
+            pack: run(SystemKind::Pack, 256, |p| {
+                kernel_for(name, SystemKind::Pack, scale, p)
+            }),
+            ideal: run(SystemKind::Ideal, 256, |p| {
+                kernel_for(name, SystemKind::Ideal, scale, p)
+            }),
+        })
+        .collect()
+}
+
+/// One dataflow × system measurement of Fig. 3b/3c.
+#[derive(Debug, Clone)]
+pub struct DataflowRow {
+    /// System the kernel ran on.
+    pub kind: SystemKind,
+    /// Row- or column-wise dataflow.
+    pub dataflow: Dataflow,
+    /// The run.
+    pub report: RunReport,
+}
+
+fn dataflow_figure(
+    scale: Scale,
+    build: impl Fn(usize, Dataflow, &workloads::KernelParams) -> Kernel,
+) -> Vec<DataflowRow> {
+    let mut rows = Vec::new();
+    for kind in [SystemKind::Base, SystemKind::Pack, SystemKind::Ideal] {
+        for dataflow in [Dataflow::RowWise, Dataflow::ColWise] {
+            let report = run(kind, 256, |p| build(scale.dense_dim(), dataflow, p));
+            rows.push(DataflowRow {
+                kind,
+                dataflow,
+                report,
+            });
+        }
+    }
+    rows
+}
+
+/// Fig. 3b: gemv row- versus column-wise dataflow on all three systems.
+pub fn fig3b(scale: Scale) -> Vec<DataflowRow> {
+    dataflow_figure(scale, |n, d, p| gemv::build(n, SEED, d, p))
+}
+
+/// Fig. 3c: trmv row- versus column-wise dataflow on all three systems.
+pub fn fig3c(scale: Scale) -> Vec<DataflowRow> {
+    dataflow_figure(scale, |n, d, p| trmv::build(n, SEED, d, p))
+}
+
+/// One point of a speedup-scaling sweep (Fig. 3d/3e).
+#[derive(Debug, Clone)]
+pub struct ScalingPoint {
+    /// The swept input parameter (matrix dimension / nonzeros per row).
+    pub x: usize,
+    /// Bus width in bits.
+    pub bus_bits: u32,
+    /// PACK speedup over BASE.
+    pub speedup: f64,
+}
+
+/// Bus widths of the scaling sweeps.
+pub const BUS_WIDTHS: [u32; 3] = [64, 128, 256];
+
+/// Fig. 3d: ismt PACK speedup versus matrix dimension and bus width.
+pub fn fig3d(scale: Scale) -> Vec<ScalingPoint> {
+    let dims: &[usize] = match scale {
+        Scale::Smoke => &[8, 16, 32, 48],
+        Scale::Paper => &[8, 16, 32, 64, 128, 192, 256],
+    };
+    let mut out = Vec::new();
+    for &bus in &BUS_WIDTHS {
+        for &dim in dims {
+            let base = run(SystemKind::Base, bus, |p| ismt::build(dim, SEED, p));
+            let pack = run(SystemKind::Pack, bus, |p| ismt::build(dim, SEED, p));
+            out.push(ScalingPoint {
+                x: dim,
+                bus_bits: bus,
+                speedup: pack.speedup_over(&base),
+            });
+        }
+    }
+    out
+}
+
+/// Fig. 3e: spmv PACK speedup versus average nonzeros per row and bus
+/// width.
+pub fn fig3e(scale: Scale) -> Vec<ScalingPoint> {
+    let nnzs: &[usize] = match scale {
+        Scale::Smoke => &[2, 8, 24],
+        Scale::Paper => &[2, 6, 15, 30, 60, 120, 240, 390],
+    };
+    let rows = match scale {
+        Scale::Smoke => 32,
+        Scale::Paper => 64,
+    };
+    let mut out = Vec::new();
+    for &bus in &BUS_WIDTHS {
+        for &nnz in nnzs {
+            let m = spmv_matrix(rows, nnz as f64, SEED);
+            let base = run(SystemKind::Base, bus, |p| spmv::build(&m, SEED, p));
+            let pack = run(SystemKind::Pack, bus, |p| spmv::build(&m, SEED, p));
+            out.push(ScalingPoint {
+                x: nnz,
+                bus_bits: bus,
+                speedup: pack.speedup_over(&base),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3a_smoke_has_expected_shape() {
+        let runs = fig3a(Scale::Smoke);
+        assert_eq!(runs.len(), 6);
+        for r in &runs {
+            assert!(
+                r.pack_speedup() > 1.0,
+                "{}: pack must beat base ({:.2}x)",
+                r.name,
+                r.pack_speedup()
+            );
+            // IDEAL bounds PACK from below on strided kernels; on indexed
+            // kernels PACK may edge it out because IDEAL still spends port
+            // time fetching indices into the core (paper §III-B).
+            let strided = matches!(r.name.as_str(), "ismt" | "gemv" | "trmv");
+            if strided {
+                assert!(
+                    r.pack.cycles >= r.ideal.cycles,
+                    "{}: ideal is the lower bound",
+                    r.name
+                );
+            } else {
+                assert!(
+                    r.pack.cycles as f64 >= 0.8 * r.ideal.cycles as f64,
+                    "{}: pack implausibly far ahead of ideal",
+                    r.name
+                );
+            }
+        }
+        // Strided kernels speed up more than indirect ones.
+        let ismt = &runs[0];
+        let spmv = &runs[3];
+        assert!(ismt.pack_speedup() > spmv.pack_speedup());
+    }
+
+    #[test]
+    fn fig3d_smoke_speedup_grows_with_bus_width() {
+        let points = fig3d(Scale::Smoke);
+        let at = |bus: u32, dim: usize| {
+            points
+                .iter()
+                .find(|p| p.bus_bits == bus && p.x == dim)
+                .expect("point exists")
+                .speedup
+        };
+        let largest = 48;
+        assert!(at(256, largest) > at(128, largest));
+        assert!(at(128, largest) > at(64, largest));
+        // Never a slowdown, even for tiny matrices.
+        assert!(points.iter().all(|p| p.speedup >= 0.95));
+    }
+}

@@ -1,0 +1,140 @@
+//! Area, timing and energy figures (paper Fig. 4a–4c).
+
+use hwmodel::area::AdapterParams;
+use hwmodel::timing;
+
+use crate::fig3::{fig3a, KernelRuns};
+use crate::Scale;
+
+/// One point of the area-versus-clock curve (Fig. 4a).
+#[derive(Debug, Clone, Copy)]
+pub struct AreaTimingPoint {
+    /// Bus width in bits.
+    pub bus_bits: u32,
+    /// Clock period constraint in ps.
+    pub period_ps: f64,
+    /// Adapter area in kGE, `None` if infeasible.
+    pub area_kge: Option<f64>,
+}
+
+/// Fig. 4a: adapter area versus clock constraint for 64/128/256-bit buses,
+/// plus each width's minimum achievable period.
+pub fn fig4a() -> (Vec<AreaTimingPoint>, Vec<(u32, f64)>) {
+    let periods = [850.0, 1000.0, 1250.0, 1500.0, 2000.0, 2500.0, 3000.0];
+    let mut points = Vec::new();
+    let mut minima = Vec::new();
+    for bus_bits in [64u32, 128, 256] {
+        let params = AdapterParams {
+            bus_bits,
+            ..AdapterParams::paper_default()
+        };
+        minima.push((bus_bits, timing::min_period_ps(bus_bits)));
+        for &period_ps in &periods {
+            points.push(AreaTimingPoint {
+                bus_bits,
+                period_ps,
+                area_kge: timing::area_at_period_kge(&params, period_ps),
+            });
+        }
+    }
+    (points, minima)
+}
+
+/// Fig. 4b: the 256-bit adapter's area breakdown, `(component, kGE,
+/// share)` rows.
+pub fn fig4b() -> Vec<(&'static str, f64, f64)> {
+    let params = AdapterParams::paper_default();
+    let total = params.total_kge();
+    params
+        .breakdown()
+        .into_iter()
+        .map(|(name, kge)| (name, kge, kge / total))
+        .collect()
+}
+
+/// One benchmark's power/energy comparison (Fig. 4c).
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// Kernel name.
+    pub name: String,
+    /// BASE average power, mW.
+    pub base_mw: f64,
+    /// PACK average power, mW.
+    pub pack_mw: f64,
+    /// Energy-efficiency improvement of PACK over BASE.
+    pub improvement: f64,
+}
+
+/// Fig. 4c: benchmark powers and energy-efficiency improvements, derived
+/// from the same runs as Fig. 3a.
+pub fn fig4c(scale: Scale) -> Vec<EnergyRow> {
+    fig3a(scale).iter().map(energy_row).collect()
+}
+
+/// Converts one kernel's runs into an energy comparison row.
+pub fn energy_row(runs: &KernelRuns) -> EnergyRow {
+    EnergyRow {
+        name: runs.name.clone(),
+        base_mw: runs.base.power_mw,
+        pack_mw: runs.pack.power_mw,
+        improvement: runs.pack.efficiency_over(&runs.base),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig4a_curves_are_monotone_per_width() {
+        let (points, minima) = fig4a();
+        for bus in [64u32, 128, 256] {
+            let series: Vec<f64> = points
+                .iter()
+                .filter(|p| p.bus_bits == bus)
+                .filter_map(|p| p.area_kge)
+                .collect();
+            assert!(series.len() >= 6, "{bus}-bit series too short");
+            for w in series.windows(2) {
+                assert!(w[1] < w[0], "{bus}-bit area must fall as clock relaxes");
+            }
+        }
+        assert_eq!(minima.len(), 3);
+        assert!(minima[0].1 < minima[2].1, "wider bus, longer critical path");
+    }
+
+    #[test]
+    fn fig4b_shares_sum_to_one() {
+        let rows = fig4b();
+        let total: f64 = rows.iter().map(|(_, _, share)| share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Indirect converters dominate, as in the paper (29% + 28%).
+        let indir: f64 = rows
+            .iter()
+            .filter(|(n, _, _)| n.starts_with("indir"))
+            .map(|(_, _, s)| s)
+            .sum();
+        assert!((0.4..0.7).contains(&indir), "indirect share {indir:.2}");
+    }
+
+    #[test]
+    fn fig4c_smoke_improves_efficiency_everywhere() {
+        for row in fig4c(Scale::Smoke) {
+            // At smoke scale the graph kernels barely speed up, so the
+            // efficiency gain can sit at ~1.0; it must never regress
+            // materially. Paper-scale gains are checked in the
+            // performance-shape integration tests.
+            assert!(
+                row.improvement > 0.9,
+                "{}: efficiency must not regress ({:.2})",
+                row.name,
+                row.improvement
+            );
+            assert!(
+                row.pack_mw < 2.0 * row.base_mw,
+                "{}: pack power out of band",
+                row.name
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Parameter-sensitivity figures (paper Fig. 5a–5c).
+
+use axi_pack::requestor::{indirect_read_util, strided_read_util_avg, SweepConfig};
+use axi_proto::{ElemSize, IdxSize};
+use hwmodel::xbar::{crossbar_area, XbarArea};
+
+use crate::SEED;
+
+/// Bank counts the paper sweeps: powers of two and primes, 8–32.
+pub const BANK_COUNTS: [usize; 6] = [8, 11, 16, 17, 31, 32];
+
+/// The element/index size pairs of Fig. 5a, ordered by rising
+/// element:index ratio as in the paper's x-axis.
+pub const SIZE_PAIRS: [(ElemSize, IdxSize); 12] = [
+    (ElemSize::B4, IdxSize::B4),   // 32/32
+    (ElemSize::B4, IdxSize::B2),   // 32/16
+    (ElemSize::B8, IdxSize::B4),   // 64/32
+    (ElemSize::B4, IdxSize::B1),   // 32/8
+    (ElemSize::B8, IdxSize::B2),   // 64/16
+    (ElemSize::B16, IdxSize::B4),  // 128/32
+    (ElemSize::B8, IdxSize::B1),   // 64/8
+    (ElemSize::B16, IdxSize::B2),  // 128/16
+    (ElemSize::B32, IdxSize::B4),  // 256/32
+    (ElemSize::B16, IdxSize::B1),  // 128/8
+    (ElemSize::B32, IdxSize::B2),  // 256/16
+    (ElemSize::B32, IdxSize::B1),  // 256/8
+];
+
+/// One measured point of Fig. 5a.
+#[derive(Debug, Clone, Copy)]
+pub struct IndirectUtilPoint {
+    /// Element size.
+    pub elem: ElemSize,
+    /// Index size.
+    pub idx: IdxSize,
+    /// Bank count; `None` is the conflict-free "ideal" series.
+    pub banks: Option<usize>,
+    /// Measured R utilization.
+    pub util: f64,
+}
+
+fn sweep(banks: Option<usize>, bursts: usize) -> SweepConfig {
+    SweepConfig {
+        banks: banks.unwrap_or(17),
+        conflict_free: banks.is_none(),
+        bursts,
+        ..SweepConfig::default()
+    }
+}
+
+/// Fig. 5a: indirect-read utilization for all size pairs × bank counts
+/// (plus the conflict-free ideal).
+pub fn fig5a(bursts: usize) -> Vec<IndirectUtilPoint> {
+    let mut out = Vec::new();
+    for &(elem, idx) in &SIZE_PAIRS {
+        for banks in BANK_COUNTS.iter().map(|b| Some(*b)).chain([None]) {
+            let util = indirect_read_util(&sweep(banks, bursts), elem, idx, SEED);
+            out.push(IndirectUtilPoint {
+                elem,
+                idx,
+                banks,
+                util,
+            });
+        }
+    }
+    out
+}
+
+/// One measured point of Fig. 5b.
+#[derive(Debug, Clone, Copy)]
+pub struct StridedUtilPoint {
+    /// Element size.
+    pub elem: ElemSize,
+    /// Bank count.
+    pub banks: usize,
+    /// R utilization averaged over strides 0–63.
+    pub util: f64,
+}
+
+/// Fig. 5b: strided-read utilization, averaged across strides 0–63, for
+/// element sizes 32–256 bit × bank counts.
+pub fn fig5b(bursts: usize) -> Vec<StridedUtilPoint> {
+    let elems = [ElemSize::B4, ElemSize::B8, ElemSize::B16, ElemSize::B32];
+    let mut out = Vec::new();
+    for &elem in &elems {
+        for &banks in &BANK_COUNTS {
+            let util = strided_read_util_avg(&sweep(Some(banks), bursts), elem);
+            out.push(StridedUtilPoint { elem, banks, util });
+        }
+    }
+    out
+}
+
+/// Fig. 5c: bank-crossbar area breakdown per bank count.
+pub fn fig5c() -> Vec<(usize, XbarArea)> {
+    BANK_COUNTS
+        .iter()
+        .map(|&m| (m, crossbar_area(8, m, 32)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5a_util_rises_with_bank_count_and_ratio() {
+        // One size pair, quick bursts: banks must help monotonically-ish.
+        let cfg8 = sweep(Some(8), 1);
+        let cfg32 = sweep(Some(32), 1);
+        let u8b = indirect_read_util(&cfg8, ElemSize::B4, IdxSize::B4, SEED);
+        let u32b = indirect_read_util(&cfg32, ElemSize::B4, IdxSize::B4, SEED);
+        assert!(u32b > u8b, "banks must help: {u8b:.2} vs {u32b:.2}");
+        // Ratio 8 (256/32-bit) beats ratio 1 (32/32-bit) on ideal memory.
+        let ideal = sweep(None, 1);
+        let r1 = indirect_read_util(&ideal, ElemSize::B4, IdxSize::B4, SEED);
+        let r8 = indirect_read_util(&ideal, ElemSize::B32, IdxSize::B4, SEED);
+        assert!(r8 > r1 + 0.2, "ratio must lift the bound: {r1:.2} vs {r8:.2}");
+    }
+
+    #[test]
+    fn fig5c_matches_paper_structure() {
+        let rows = fig5c();
+        assert_eq!(rows.len(), BANK_COUNTS.len());
+        for (m, area) in &rows {
+            let has_div = area.divider_kge > 0.0;
+            assert_eq!(has_div, !m.is_power_of_two(), "{m} banks");
+        }
+    }
+}

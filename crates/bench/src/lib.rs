@@ -1,0 +1,73 @@
+//! `axi-pack-bench` — the figure-regeneration harness.
+//!
+//! One library function per figure of the paper's evaluation (Fig. 3a–3e,
+//! 4a–4c, 5a–5c), each returning structured rows; the `src/bin` binaries
+//! print them as tables, and `bin/all_figures` regenerates the complete
+//! set into `EXPERIMENTS.md`. Criterion benches in `benches/` time the
+//! simulator itself on scaled-down versions of the same scenarios.
+//!
+//! Absolute cycle counts come from this reproduction's simulator, not the
+//! authors' RTL, so the comparison targets are the *shapes*: who wins, by
+//! roughly what factor, and where the crossovers sit (see EXPERIMENTS.md).
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod table;
+
+/// Problem-size preset for figure runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Small inputs for smoke tests and Criterion (seconds).
+    Smoke,
+    /// Paper-like inputs (matrix dimension 256, ≈390 nonzeros/row).
+    Paper,
+}
+
+impl Scale {
+    /// Dense matrix dimension for ismt/gemv/trmv.
+    pub fn dense_dim(&self) -> usize {
+        match self {
+            Scale::Smoke => 48,
+            Scale::Paper => 256,
+        }
+    }
+
+    /// Rows of the sparse operands.
+    pub fn sparse_rows(&self) -> usize {
+        match self {
+            Scale::Smoke => 48,
+            Scale::Paper => 128,
+        }
+    }
+
+    /// Average nonzeros per row of the spmv operand (paper: heart1 ≈ 390).
+    pub fn spmv_nnz_per_row(&self) -> f64 {
+        match self {
+            Scale::Smoke => 24.0,
+            Scale::Paper => 390.0,
+        }
+    }
+
+    /// Nodes of the graph workloads. The paper runs all three indirect
+    /// benchmarks on SuiteSparse's `heart1` (3557 nodes, ~390 nonzeros per
+    /// row); this reproduction keeps the controlling nnz-per-row and trims
+    /// the node count to bound simulation time.
+    pub fn graph_nodes(&self) -> usize {
+        match self {
+            Scale::Smoke => 48,
+            Scale::Paper => 512,
+        }
+    }
+
+    /// Average degree of the graph workloads (heart1: ≈ 390).
+    pub fn graph_degree(&self) -> f64 {
+        match self {
+            Scale::Smoke => 6.0,
+            Scale::Paper => 390.0,
+        }
+    }
+}
+
+/// Deterministic seed shared by all figure data sets.
+pub const SEED: u64 = 0xDA7E_2023;

@@ -1,0 +1,32 @@
+//! `axi-pack` — end-to-end simulation of the paper's three evaluation
+//! systems.
+//!
+//! This is the crate a user of the reproduction drives. It assembles
+//!
+//! * a [`vproc::Engine`] (CVA6 + Ara model) configured as BASE, PACK or
+//!   IDEAL,
+//! * for BASE/PACK: an AXI(-Pack) bus ([`axi_proto::AxiChannels`]) and the
+//!   banked memory controller ([`pack_ctrl::Adapter`]) over a 17-bank SRAM,
+//! * for IDEAL: a per-lane-port idealized memory,
+//!
+//! runs a [`workloads::Kernel`] to completion, verifies the functional
+//! result against the kernel's scalar reference, and reports cycles, bus
+//! utilization and energy.
+//!
+//! ```
+//! use axi_pack::{SystemConfig, run_kernel};
+//! use vproc::SystemKind;
+//! use workloads::{ismt, KernelParams};
+//!
+//! let cfg = SystemConfig::paper(SystemKind::Pack);
+//! let kernel = ismt::build(16, 7, &cfg.kernel_params());
+//! let report = run_kernel(&cfg, &kernel).expect("kernel verifies");
+//! assert!(report.cycles > 0);
+//! ```
+
+pub mod report;
+pub mod requestor;
+pub mod system;
+
+pub use report::RunReport;
+pub use system::{run_kernel, SystemConfig};

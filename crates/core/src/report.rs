@@ -1,0 +1,129 @@
+//! Run reports: the measurements every figure is built from.
+
+use hwmodel::energy::Activity;
+use vproc::SystemKind;
+
+/// The outcome of one kernel run on one system.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Kernel name (e.g. `"spmv"`).
+    pub kernel: String,
+    /// System kind the kernel ran on.
+    pub kind: SystemKind,
+    /// Bus width in bits.
+    pub bus_bits: u32,
+    /// Total cycles to completion (the paper's performance metric).
+    pub cycles: u64,
+    /// R-bus utilization: payload bytes over theoretical bytes
+    /// (the paper's headline bus metric, including index traffic).
+    pub r_util: f64,
+    /// R-bus utilization with index-fetch beats counted as idle
+    /// (Fig. 3a's "no indices" series).
+    pub r_util_no_idx: f64,
+    /// Fraction of cycles the R channel carried *any* beat.
+    pub r_busy: f64,
+    /// R beats whose payload differed from the issue-time snapshot
+    /// (nonzero only for kernels with overlapping load/store streams).
+    pub data_mismatches: u64,
+    /// Bank-conflict serialization events in the memory.
+    pub bank_conflicts: u64,
+    /// Raw activity counts, for energy modeling.
+    pub activity: Activity,
+    /// Average power under the default [`hwmodel::energy::EnergyModel`],
+    /// in mW.
+    pub power_mw: f64,
+    /// Total energy in µJ.
+    pub energy_uj: f64,
+}
+
+impl RunReport {
+    /// Speedup of this run relative to a baseline run of the same kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when comparing runs of different kernels.
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        assert_eq!(
+            self.kernel, baseline.kernel,
+            "speedups compare the same kernel"
+        );
+        baseline.cycles as f64 / self.cycles as f64
+    }
+
+    /// Energy-efficiency improvement relative to a baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when comparing runs of different kernels.
+    pub fn efficiency_over(&self, baseline: &RunReport) -> f64 {
+        assert_eq!(
+            self.kernel, baseline.kernel,
+            "efficiency compares the same kernel"
+        );
+        baseline.energy_uj / self.energy_uj
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:>12} on {:>5} ({:>3}b): {:>9} cycles, R util {:>5.1}% ({:>5.1}% w/o idx), {:>5.0} mW",
+            self.kernel,
+            self.kind.to_string(),
+            self.bus_bits,
+            self.cycles,
+            100.0 * self.r_util,
+            100.0 * self.r_util_no_idx,
+            self.power_mw
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(kernel: &str, cycles: u64, energy: f64) -> RunReport {
+        RunReport {
+            kernel: kernel.into(),
+            kind: SystemKind::Pack,
+            bus_bits: 256,
+            cycles,
+            r_util: 0.5,
+            r_util_no_idx: 0.5,
+            r_busy: 0.5,
+            data_mismatches: 0,
+            bank_conflicts: 0,
+            activity: Activity {
+                cycles,
+                ..Activity::default()
+            },
+            power_mw: 200.0,
+            energy_uj: energy,
+        }
+    }
+
+    #[test]
+    fn speedup_and_efficiency_ratios() {
+        let base = report("k", 1000, 10.0);
+        let pack = report("k", 250, 4.0);
+        assert_eq!(pack.speedup_over(&base), 4.0);
+        assert_eq!(pack.efficiency_over(&base), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "same kernel")]
+    fn cross_kernel_speedup_rejected() {
+        let a = report("a", 10, 1.0);
+        let b = report("b", 10, 1.0);
+        let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = report("spmv", 1234, 1.0).to_string();
+        assert!(s.contains("spmv"));
+        assert!(s.contains("1234"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Per-port lane machinery shared by all converters.
+//!
+//! Every converter moves data through *n* word lanes. Each lane owns
+//!
+//! * an **address queue** — word requests planned but not yet issued
+//!   (filled when a burst is accepted, drained as the memory port grants);
+//! * a **decoupling queue** — word responses waiting to be packed;
+//! * a **request regulator** ([`simkit::Credit`]) bounding in-flight words
+//!   per lane to the decoupling-queue depth, so responses can never
+//!   overflow.
+
+use std::collections::VecDeque;
+
+use axi_proto::Addr;
+use banked_mem::{WordOp, WordReq, WordResp};
+use simkit::Credit;
+
+/// Identifies which converter (and internal stage) a word request belongs
+/// to, so the adapter can route responses back. Encoded into the low bits of
+/// [`banked_mem::WordReq::tag`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvId {
+    /// Base AXI4 converter.
+    Base,
+    /// Strided read converter.
+    StridedR,
+    /// Strided write converter.
+    StridedW,
+    /// Indirect read converter, index stage.
+    IndirRIdx,
+    /// Indirect read converter, element stage.
+    IndirRElem,
+    /// Indirect write converter, index stage.
+    IndirWIdx,
+    /// Indirect write converter, element stage.
+    IndirWElem,
+}
+
+impl ConvId {
+    /// Encodes into a request tag.
+    pub fn tag(self) -> u64 {
+        match self {
+            ConvId::Base => 0,
+            ConvId::StridedR => 1,
+            ConvId::StridedW => 2,
+            ConvId::IndirRIdx => 3,
+            ConvId::IndirRElem => 4,
+            ConvId::IndirWIdx => 5,
+            ConvId::IndirWElem => 6,
+        }
+    }
+
+    /// Decodes from a response tag.
+    pub fn from_tag(tag: u64) -> ConvId {
+        match tag & 0x7 {
+            0 => ConvId::Base,
+            1 => ConvId::StridedR,
+            2 => ConvId::StridedW,
+            3 => ConvId::IndirRIdx,
+            4 => ConvId::IndirRElem,
+            5 => ConvId::IndirWIdx,
+            6 => ConvId::IndirWElem,
+            _ => unreachable!("3-bit converter tag"),
+        }
+    }
+}
+
+/// One planned word access waiting in a lane's address queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneJob {
+    /// Read one word.
+    Read {
+        /// Word-aligned address.
+        addr: Addr,
+    },
+    /// Write one word under a byte strobe.
+    Write {
+        /// Word-aligned address.
+        addr: Addr,
+        /// Word data.
+        data: Vec<u8>,
+        /// Byte-enable mask; all-zero jobs are completed without a memory
+        /// access.
+        strb: u32,
+    },
+    /// Placeholder for a write lane whose data has not arrived yet (the
+    /// address is planned at AW time, the data at W time).
+    AwaitData {
+        /// Word-aligned address.
+        addr: Addr,
+    },
+}
+
+/// The per-port lane state of one converter (or converter stage).
+#[derive(Debug)]
+pub struct LaneSet {
+    /// Planned word accesses, per lane, in issue order.
+    jobs: Vec<VecDeque<LaneJob>>,
+    /// Word responses waiting to be packed, per lane, in order.
+    resp: Vec<VecDeque<WordResp>>,
+    /// Request regulators, per lane.
+    credits: Vec<Credit>,
+    /// Tag all requests carry.
+    id: ConvId,
+    word_bytes: usize,
+}
+
+impl LaneSet {
+    /// Creates `ports` lanes with decoupling queues of `depth` words.
+    pub fn new(ports: usize, depth: usize, id: ConvId, word_bytes: usize) -> Self {
+        LaneSet {
+            jobs: (0..ports).map(|_| VecDeque::new()).collect(),
+            resp: (0..ports).map(|_| VecDeque::new()).collect(),
+            credits: (0..ports).map(|_| Credit::new(depth)).collect(),
+            id,
+            word_bytes,
+        }
+    }
+
+    /// Number of lanes.
+    pub fn ports(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Queues a job on `lane`.
+    pub fn push_job(&mut self, lane: usize, job: LaneJob) {
+        self.jobs[lane].push_back(job);
+    }
+
+    /// Returns `true` if `lane` has an issuable job and a free credit.
+    ///
+    /// Jobs still awaiting write data are not issuable, and neither are
+    /// zero-strobe writes (drain those with [`LaneSet::take_local_ack`]).
+    pub fn wants(&self, lane: usize) -> bool {
+        match self.jobs[lane].front() {
+            None | Some(LaneJob::AwaitData { .. }) | Some(LaneJob::Write { strb: 0, .. }) => false,
+            Some(_) => self.credits[lane].has_credit(),
+        }
+    }
+
+    /// Pops one zero-strobe write job from the front of `lane`, if present.
+    ///
+    /// Zero-strobe writes (fully masked tail words) complete locally without
+    /// a memory access; converters drain them before issuing and record the
+    /// ack themselves. Returns `true` if a job was consumed.
+    pub fn take_local_ack(&mut self, lane: usize) -> bool {
+        if let Some(LaneJob::Write { strb: 0, .. }) = self.jobs[lane].front() {
+            self.jobs[lane].pop_front();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the next issuable job on `lane` as a memory request, consuming
+    /// a credit. Returns `None` if nothing is issuable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the front job is a zero-strobe write — converters must
+    /// drain those via [`LaneSet::take_local_ack`] first.
+    pub fn pop_request(&mut self, lane: usize) -> Option<WordReq> {
+        if !self.wants(lane) {
+            return None;
+        }
+        assert!(
+            !matches!(self.jobs[lane].front(), Some(LaneJob::Write { strb: 0, .. })),
+            "zero-strobe writes must be drained with take_local_ack"
+        );
+        assert!(self.credits[lane].take(), "wants() guaranteed a credit");
+        let job = self.jobs[lane].pop_front().expect("wants() checked front");
+        let (addr, op) = match job {
+            LaneJob::Read { addr } => (addr, WordOp::Read),
+            LaneJob::Write { addr, data, strb } => (addr, WordOp::Write { data, strb }),
+            LaneJob::AwaitData { .. } => unreachable!("wants() excludes AwaitData"),
+        };
+        Some(WordReq {
+            port: lane,
+            word_addr: addr,
+            op,
+            tag: self.id.tag(),
+        })
+    }
+
+    /// Delivers a word response into the lane's decoupling queue.
+    pub fn deliver(&mut self, resp: WordResp) {
+        self.resp[resp.port].push_back(resp);
+    }
+
+    /// Returns `true` if every lane in `lanes` has a response available.
+    pub fn all_have_resp(&self, lanes: std::ops::Range<usize>) -> bool {
+        lanes.clone().all(|l| !self.resp[l].is_empty())
+    }
+
+    /// Returns `true` if `lane` has a response available.
+    pub fn has_resp(&self, lane: usize) -> bool {
+        !self.resp[lane].is_empty()
+    }
+
+    /// Pops the oldest response on `lane`, returning its credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane has no response.
+    pub fn pop_resp(&mut self, lane: usize) -> WordResp {
+        let r = self.resp[lane]
+            .pop_front()
+            .expect("pop_resp on empty lane");
+        self.credits[lane].put();
+        r
+    }
+
+    /// Fills the oldest `AwaitData` job on `lane` with write data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lane's oldest unfilled job is not `AwaitData` — write
+    /// data must arrive in beat order (AXI W channel property).
+    pub fn fill_data(&mut self, lane: usize, data: Vec<u8>, strb: u32) {
+        assert_eq!(data.len(), self.word_bytes, "word-sized write data");
+        let job = self.jobs[lane]
+            .iter_mut()
+            .find(|j| matches!(j, LaneJob::AwaitData { .. }))
+            .expect("fill_data without a pending AwaitData job");
+        let LaneJob::AwaitData { addr } = *job else {
+            unreachable!()
+        };
+        *job = LaneJob::Write { addr, data, strb };
+    }
+
+    /// Returns `true` when no jobs, responses, or in-flight words remain.
+    pub fn idle(&self) -> bool {
+        self.jobs.iter().all(VecDeque::is_empty)
+            && self.resp.iter().all(VecDeque::is_empty)
+            && self.credits.iter().all(|c| c.in_flight() == 0)
+    }
+
+    /// Total planned jobs across lanes (for back-pressure decisions).
+    pub fn queued_jobs(&self) -> usize {
+        self.jobs.iter().map(VecDeque::len).sum()
+    }
+
+    /// Memory word width in bytes.
+    pub fn word_bytes(&self) -> usize {
+        self.word_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(port: usize, tag: u64) -> WordResp {
+        WordResp {
+            port,
+            word_addr: 0,
+            data: vec![0u8; 4],
+            is_write: false,
+            tag,
+        }
+    }
+
+    #[test]
+    fn conv_id_tag_roundtrip() {
+        for id in [
+            ConvId::Base,
+            ConvId::StridedR,
+            ConvId::StridedW,
+            ConvId::IndirRIdx,
+            ConvId::IndirRElem,
+            ConvId::IndirWIdx,
+            ConvId::IndirWElem,
+        ] {
+            assert_eq!(ConvId::from_tag(id.tag()), id);
+        }
+    }
+
+    #[test]
+    fn regulator_bounds_in_flight_words() {
+        let mut lanes = LaneSet::new(2, 2, ConvId::StridedR, 4);
+        lanes.push_job(0, LaneJob::Read { addr: 0 });
+        lanes.push_job(0, LaneJob::Read { addr: 4 });
+        lanes.push_job(0, LaneJob::Read { addr: 8 });
+        assert!(lanes.pop_request(0).is_some());
+        assert!(lanes.pop_request(0).is_some());
+        // Third request blocked: both credits in flight.
+        assert!(!lanes.wants(0));
+        assert_eq!(lanes.pop_request(0), None);
+        // A response returns a credit.
+        lanes.deliver(resp(0, ConvId::StridedR.tag()));
+        lanes.pop_resp(0);
+        assert!(lanes.wants(0));
+    }
+
+    #[test]
+    fn zero_strobe_write_completes_locally() {
+        let mut lanes = LaneSet::new(1, 1, ConvId::StridedW, 4);
+        lanes.push_job(
+            0,
+            LaneJob::Write {
+                addr: 0,
+                data: vec![0; 4],
+                strb: 0,
+            },
+        );
+        assert!(!lanes.wants(0));
+        assert!(lanes.take_local_ack(0));
+        assert!(!lanes.take_local_ack(0));
+        assert!(lanes.idle());
+    }
+
+    #[test]
+    fn await_data_blocks_until_filled() {
+        let mut lanes = LaneSet::new(1, 4, ConvId::StridedW, 4);
+        lanes.push_job(0, LaneJob::AwaitData { addr: 0x10 });
+        assert!(!lanes.wants(0));
+        lanes.fill_data(0, vec![1, 2, 3, 4], 0xf);
+        assert!(lanes.wants(0));
+        let req = lanes.pop_request(0).expect("issuable");
+        assert_eq!(req.word_addr, 0x10);
+        assert!(matches!(req.op, WordOp::Write { .. }));
+    }
+
+    #[test]
+    fn idle_accounts_for_in_flight_credits() {
+        let mut lanes = LaneSet::new(1, 4, ConvId::Base, 4);
+        lanes.push_job(0, LaneJob::Read { addr: 0 });
+        let _ = lanes.pop_request(0);
+        assert!(!lanes.idle()); // word still in flight
+        lanes.deliver(resp(0, 0));
+        assert!(!lanes.idle()); // response not yet drained
+        lanes.pop_resp(0);
+        assert!(lanes.idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "fill_data without a pending AwaitData")]
+    fn fill_without_await_panics() {
+        let mut lanes = LaneSet::new(1, 4, ConvId::StridedW, 4);
+        lanes.fill_data(0, vec![0; 4], 0);
+    }
+}

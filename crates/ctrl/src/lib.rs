@@ -1,0 +1,124 @@
+//! `pack-ctrl` — the paper's banked memory controller for AXI-Pack.
+//!
+//! The controller (paper Fig. 2b) sits between an AXI(-Pack) bus and a
+//! banked SRAM. An *adapter* demultiplexes incoming bursts onto five
+//! converters that may run concurrently:
+//!
+//! * a **base AXI4 converter** for regular bursts (full backward
+//!   compatibility — a plain AXI4 requestor never notices the extension);
+//! * **strided read / write converters** (Fig. 2c): a request generator
+//!   issues up to *n* parallel word requests per beat, per-lane *request
+//!   regulators* bound in-flight words to the decoupling-queue depth, and a
+//!   *beat packer* assembles returning words into full-width R beats;
+//! * **indirect read / write converters** (Fig. 2d): an *index stage*
+//!   fetches whole bus lines of indices from memory, an *offsets
+//!   extraction* unit parses them, and an *element stage* shifts-and-adds
+//!   them onto the element base address to gather/scatter the data. The two
+//!   stages share the *n* word ports through round-robin arbitration, which
+//!   is what produces the paper's `r/(r+1)` utilization bound for an
+//!   element:index size ratio of `r`.
+//!
+//! All converters move *real bytes*: the packers gather actual element data
+//! from the [`banked_mem::BankedMemory`], so every test can compare bus
+//! payloads against a software gather.
+//!
+//! ```
+//! use axi_proto::BusConfig;
+//! use banked_mem::{BankConfig, Storage};
+//! use pack_ctrl::{Adapter, CtrlConfig};
+//!
+//! let cfg = CtrlConfig::new(BusConfig::new(256), BankConfig::default(), 4);
+//! let adapter = Adapter::new(cfg, Storage::new(1 << 16));
+//! assert_eq!(adapter.config().ports(), 8); // 256-bit bus over 32-bit words
+//! ```
+
+pub mod adapter;
+pub mod base;
+pub mod indirect;
+pub mod lane;
+pub mod strided;
+
+pub use adapter::Adapter;
+pub use axi_proto::AxiChannels;
+pub use lane::{ConvId, LaneSet};
+
+
+use axi_proto::BusConfig;
+use banked_mem::BankConfig;
+
+/// How the indirect converters' index and element stages share the word
+/// request ports (an ablation axis; the paper uses round-robin).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StagePolicy {
+    /// Fair round-robin between the stages — the paper's design.
+    #[default]
+    RoundRobin,
+    /// Index fetches always win; keeps the index pipeline full but can
+    /// starve element gathers.
+    IndexPriority,
+    /// Element gathers always win; indices are fetched only in gaps,
+    /// risking an empty index pipeline.
+    ElementPriority,
+}
+
+impl std::fmt::Display for StagePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StagePolicy::RoundRobin => write!(f, "round-robin"),
+            StagePolicy::IndexPriority => write!(f, "index-priority"),
+            StagePolicy::ElementPriority => write!(f, "element-priority"),
+        }
+    }
+}
+
+/// Configuration shared by the adapter and all converters.
+#[derive(Debug, Clone, Copy)]
+pub struct CtrlConfig {
+    /// The AXI(-Pack) bus this controller serves.
+    pub bus: BusConfig,
+    /// The banked memory behind the controller. `bank.ports` is forced to
+    /// `bus bytes / word bytes` — the *n* of the paper's n×m crossbar.
+    pub bank: BankConfig,
+    /// Depth of each per-lane decoupling queue (paper default 4; the
+    /// sensitivity study uses 32).
+    pub queue_depth: usize,
+    /// Port sharing between the indirect converters' stages.
+    pub stage_policy: StagePolicy,
+}
+
+impl CtrlConfig {
+    /// Creates a configuration, deriving the port count from the widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bus is narrower than a memory word or `queue_depth`
+    /// is zero.
+    pub fn new(bus: BusConfig, mut bank: BankConfig, queue_depth: usize) -> Self {
+        assert!(
+            bus.data_bytes() >= bank.word_bytes,
+            "bus ({} B) must be at least one memory word ({} B) wide",
+            bus.data_bytes(),
+            bank.word_bytes
+        );
+        assert!(queue_depth > 0, "decoupling queues need depth >= 1");
+        bank.ports = bus.data_bytes() / bank.word_bytes;
+        CtrlConfig {
+            bus,
+            bank,
+            queue_depth,
+            stage_policy: StagePolicy::default(),
+        }
+    }
+
+    /// Number of parallel word ports, n = bus bytes / word bytes.
+    #[inline]
+    pub fn ports(&self) -> usize {
+        self.bank.ports
+    }
+
+    /// Memory word width in bytes.
+    #[inline]
+    pub fn word_bytes(&self) -> usize {
+        self.bank.word_bytes
+    }
+}

@@ -1,0 +1,129 @@
+//! Bank crossbar area model (Fig. 5c).
+//!
+//! The n×m crossbar routes n word ports to m banks. Power-of-two bank
+//! counts slice address bits for free; prime counts need a modulo unit per
+//! port (bank select) and a divider (row index), whose *relative* overhead
+//! shrinks as the crossbar itself grows with the bank count — the paper's
+//! argument for choosing 17 banks.
+
+use crate::area::{prim, ADDR_BITS};
+
+/// Area breakdown of one bank crossbar, in kGE.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XbarArea {
+    /// Request/response routing muxes and arbitration.
+    pub crossbar_kge: f64,
+    /// Modulo-by-m units (zero for power-of-two m).
+    pub modulo_kge: f64,
+    /// Divide-by-m units for the row index (zero for power-of-two m).
+    pub divider_kge: f64,
+}
+
+impl XbarArea {
+    /// Total area in kGE.
+    pub fn total_kge(&self) -> f64 {
+        self.crossbar_kge + self.modulo_kge + self.divider_kge
+    }
+}
+
+/// Returns `true` if `m` is a power of two (free bank addressing).
+fn pow2(m: usize) -> bool {
+    m.is_power_of_two()
+}
+
+/// Models the n-port, m-bank crossbar for `word_bits`-wide words.
+///
+/// # Panics
+///
+/// Panics on zero ports or banks.
+pub fn crossbar_area(ports: usize, banks: usize, word_bits: u32) -> XbarArea {
+    assert!(ports > 0 && banks > 0, "degenerate crossbar");
+    let n = ports as f64;
+    let m = banks as f64;
+    let w = word_bits as f64;
+    // Request path: each bank muxes among n ports (address + data + tag);
+    // response path: each port muxes among m banks (data).
+    let req = m * (ADDR_BITS + w + 8.0) * prim::MUX2 * n.log2().ceil().max(1.0) * 0.55;
+    let resp = n * w * prim::MUX2 * m.log2().ceil().max(1.0) * 0.55;
+    let arb = m * (n * 35.0);
+    let crossbar_kge = (req + resp + arb) / 1000.0;
+    let (modulo_kge, divider_kge) = if pow2(banks) {
+        (0.0, 0.0)
+    } else {
+        // One modulo-by-constant per port (bank select) and one truncating
+        // divider per port (row index); constant-divisor units cost a few
+        // adder stages each.
+        let stages = (m.log2().ceil()).max(3.0);
+        let modulo = n * ADDR_BITS * prim::ADDER * stages * 0.14;
+        let divider = n * ADDR_BITS * prim::ADDER * stages * 0.20;
+        (modulo / 1000.0, divider / 1000.0)
+    };
+    XbarArea {
+        crossbar_kge,
+        modulo_kge,
+        divider_kge,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_of_two_banks_pay_no_divider() {
+        for m in [8usize, 16, 32] {
+            let a = crossbar_area(8, m, 32);
+            assert_eq!(a.modulo_kge, 0.0);
+            assert_eq!(a.divider_kge, 0.0);
+            assert!(a.crossbar_kge > 0.0);
+        }
+    }
+
+    #[test]
+    fn prime_banks_pay_modulo_and_divider() {
+        for m in [11usize, 17, 31] {
+            let a = crossbar_area(8, m, 32);
+            assert!(a.modulo_kge > 0.0 && a.divider_kge > 0.0);
+        }
+    }
+
+    #[test]
+    fn crossbar_grows_with_bank_count() {
+        let a8 = crossbar_area(8, 8, 32);
+        let a32 = crossbar_area(8, 32, 32);
+        assert!(a32.crossbar_kge > 2.0 * a8.crossbar_kge);
+    }
+
+    #[test]
+    fn prime_overhead_shrinks_relatively_with_bank_count() {
+        let a11 = crossbar_area(8, 11, 32);
+        let a31 = crossbar_area(8, 31, 32);
+        let rel11 = (a11.modulo_kge + a11.divider_kge) / a11.total_kge();
+        let rel31 = (a31.modulo_kge + a31.divider_kge) / a31.total_kge();
+        assert!(
+            rel31 < rel11,
+            "relative prime overhead must shrink: {rel11:.2} -> {rel31:.2}"
+        );
+    }
+
+    #[test]
+    fn magnitudes_are_in_the_papers_range() {
+        // Fig. 5c: totals roughly 10–45 kGE across 8–32 banks.
+        for m in [8usize, 11, 16, 17, 31, 32] {
+            let t = crossbar_area(8, m, 32).total_kge();
+            assert!(
+                (5.0..60.0).contains(&t),
+                "{m}-bank crossbar {t:.1} kGE out of plausible range"
+            );
+        }
+    }
+
+    #[test]
+    fn seventeen_banks_is_a_reasonable_tradeoff_point() {
+        // The paper picks 17: cheaper than 31/32, overhead already modest.
+        let a17 = crossbar_area(8, 17, 32).total_kge();
+        let a31 = crossbar_area(8, 31, 32).total_kge();
+        let a32 = crossbar_area(8, 32, 32).total_kge();
+        assert!(a17 < a31 && a17 < a32);
+    }
+}

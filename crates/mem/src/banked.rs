@@ -1,0 +1,518 @@
+//! Conflict-accurate banked memory endpoint.
+
+use axi_proto::Addr;
+use simkit::{Pipeline, RoundRobin};
+
+use crate::map::BankMap;
+use crate::storage::Storage;
+
+/// Configuration of a [`BankedMemory`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankConfig {
+    /// Number of interleaved banks (the paper sweeps 8–32, default 17).
+    pub banks: usize,
+    /// Bank word width in bytes (the paper uses 32-bit banks).
+    pub word_bytes: usize,
+    /// Bank access latency in cycles.
+    pub latency: usize,
+    /// Number of word-access ports (n = bus bytes / word bytes).
+    pub ports: usize,
+    /// If `true`, model an ideal conflict-free memory: every port request is
+    /// granted every cycle (the "ideal" series of Fig. 5a).
+    pub conflict_free: bool,
+    /// If `false`, write accesses keep their full timing (bank occupancy,
+    /// acks) but do not modify the backing store. Used by the system
+    /// simulation, where the engine's eager-functional execution is the
+    /// single source of truth for memory contents — otherwise a delayed
+    /// timed write could land *after* a younger instruction's eager write
+    /// to the same address and corrupt it.
+    pub commit_writes: bool,
+}
+
+impl Default for BankConfig {
+    /// The paper's evaluation system: 17 banks × 32 bit, 8 ports.
+    fn default() -> Self {
+        BankConfig {
+            banks: 17,
+            word_bytes: 4,
+            latency: 1,
+            ports: 8,
+            conflict_free: false,
+            commit_writes: true,
+        }
+    }
+}
+
+/// Operation of one word access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordOp {
+    /// Read one word.
+    Read,
+    /// Write `data` under byte-enable `strb` (bit *i* enables byte *i*).
+    Write {
+        /// Word data, `word_bytes` long.
+        data: Vec<u8>,
+        /// Byte-enable mask.
+        strb: u32,
+    },
+}
+
+/// One word access presented at a port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordReq {
+    /// Issuing port (0..ports).
+    pub port: usize,
+    /// Word-aligned byte address.
+    pub word_addr: Addr,
+    /// Read or write.
+    pub op: WordOp,
+    /// Opaque requestor tag, returned with the response.
+    pub tag: u64,
+}
+
+/// A completed word access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WordResp {
+    /// Port the request was issued on.
+    pub port: usize,
+    /// Word-aligned byte address.
+    pub word_addr: Addr,
+    /// Word data for reads; the written data echoed back for writes.
+    pub data: Vec<u8>,
+    /// `true` for writes (an ack), `false` for reads.
+    pub is_write: bool,
+    /// The requestor tag.
+    pub tag: u64,
+}
+
+/// A banked, word-interleaved memory with exact conflict modeling.
+///
+/// Each cycle:
+///
+/// 1. the requestor fills free port registers via [`BankedMemory::try_issue`];
+/// 2. [`BankedMemory::end_cycle`] arbitrates — every bank grants at most one
+///    contending port (round-robin), granted requests enter the bank's
+///    access pipeline, and requests completing this cycle perform their
+///    [`Storage`] access and are returned as [`WordResp`]s.
+///
+/// Ports hold one pending request each; a port blocked by a bank conflict
+/// back-pressures its requestor, which is exactly how throughput is lost in
+/// the paper's Fig. 5a/5b sweeps.
+///
+/// Because all banks share one latency and a port only frees after its
+/// grant, responses return to each port in issue order.
+#[derive(Debug)]
+pub struct BankedMemory {
+    cfg: BankConfig,
+    map: BankMap,
+    storage: Storage,
+    /// One pending-request register per port.
+    pending: Vec<Option<WordReq>>,
+    /// Per-bank access pipelines.
+    banks: Vec<Pipeline<WordReq>>,
+    /// Per-bank arbiter across ports.
+    arbs: Vec<RoundRobin>,
+    /// Conflict-free mode: requests accepted this cycle.
+    ideal_overflow: Vec<WordReq>,
+    /// Conflict-free mode: accepted request groups awaiting their latency.
+    ideal_delay: std::collections::VecDeque<Vec<WordReq>>,
+    /// Statistics.
+    total_accesses: u64,
+    conflict_stall_events: u64,
+    cycles: u64,
+}
+
+impl BankedMemory {
+    /// Creates a banked memory over the given backing store.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero port count or invalid [`BankMap`] parameters.
+    pub fn new(cfg: BankConfig, storage: Storage) -> Self {
+        assert!(cfg.ports > 0, "need at least one port");
+        let map = BankMap::new(cfg.banks, cfg.word_bytes);
+        BankedMemory {
+            map,
+            storage,
+            pending: (0..cfg.ports).map(|_| None).collect(),
+            banks: (0..cfg.banks)
+                .map(|_| Pipeline::new(cfg.latency.max(1)))
+                .collect(),
+            arbs: (0..cfg.banks).map(|_| RoundRobin::new(cfg.ports)).collect(),
+            ideal_overflow: Vec::new(),
+            ideal_delay: std::collections::VecDeque::new(),
+            cfg,
+            total_accesses: 0,
+            conflict_stall_events: 0,
+            cycles: 0,
+        }
+    }
+
+    /// Returns `true` if `port` can accept a request this cycle.
+    #[inline]
+    pub fn port_free(&self, port: usize) -> bool {
+        self.pending[port].is_none()
+    }
+
+    /// Presents a request at its port; returns `false` (and drops nothing —
+    /// the caller retries) if the port still holds an ungranted request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port index is out of range or the address is not
+    /// word-aligned.
+    pub fn try_issue(&mut self, req: WordReq) -> bool {
+        assert!(req.port < self.cfg.ports, "port {} out of range", req.port);
+        assert_eq!(
+            req.word_addr % self.cfg.word_bytes as Addr,
+            0,
+            "word address 0x{:x} not aligned to {} B",
+            req.word_addr,
+            self.cfg.word_bytes
+        );
+        let port = req.port;
+        if self.pending[port].is_some() {
+            return false;
+        }
+        self.pending[port] = Some(req);
+        true
+    }
+
+    /// Arbitrates, advances bank pipelines, and performs completing
+    /// accesses. Returns the responses emerging this cycle (any number of
+    /// ports may complete in the same cycle).
+    pub fn end_cycle(&mut self) -> Vec<WordResp> {
+        self.cycles += 1;
+        // Grant phase: each bank picks at most one pending port.
+        if self.cfg.conflict_free {
+            // Ideal memory: every port's request is accepted every cycle and
+            // served after the configured latency, regardless of banks.
+            for slot in self.pending.iter_mut() {
+                if let Some(req) = slot.take() {
+                    self.ideal_overflow.push(req);
+                }
+            }
+        } else {
+            let mut wants: Vec<Vec<bool>> = vec![vec![false; self.cfg.ports]; self.cfg.banks];
+            for (p, slot) in self.pending.iter().enumerate() {
+                if let Some(req) = slot {
+                    wants[self.map.bank_of(req.word_addr)][p] = true;
+                }
+            }
+            for (b, want) in wants.iter().enumerate() {
+                let contenders = want.iter().filter(|w| **w).count();
+                if contenders > 1 {
+                    self.conflict_stall_events += (contenders - 1) as u64;
+                }
+                if !self.banks[b].can_insert() {
+                    continue;
+                }
+                if let Some(p) = self.arbs[b].grant(want) {
+                    let req = self.pending[p].take().expect("granted port has request");
+                    self.banks[b].insert(req);
+                }
+            }
+        }
+        // Access phase: requests leaving pipelines touch storage.
+        let mut responses = Vec::new();
+        let commit = self.cfg.commit_writes;
+        for bank in self.banks.iter_mut() {
+            if let Some(req) = bank.end_cycle() {
+                responses.push(Self::access(&mut self.storage, self.cfg.word_bytes, req, commit));
+                self.total_accesses += 1;
+            }
+        }
+        // Ideal path: serve everything accepted `latency` cycles ago.
+        if self.cfg.conflict_free {
+            self.ideal_delay.push_back(std::mem::take(&mut self.ideal_overflow));
+            if self.ideal_delay.len() >= self.cfg.latency.max(1) {
+                for req in self.ideal_delay.pop_front().expect("nonempty") {
+                    responses.push(Self::access(&mut self.storage, self.cfg.word_bytes, req, commit));
+                    self.total_accesses += 1;
+                }
+            }
+        }
+        responses
+    }
+
+    fn access(storage: &mut Storage, word_bytes: usize, req: WordReq, commit: bool) -> WordResp {
+        match req.op {
+            WordOp::Read => {
+                let mut data = vec![0u8; word_bytes];
+                storage.read(req.word_addr, &mut data);
+                WordResp {
+                    port: req.port,
+                    word_addr: req.word_addr,
+                    data,
+                    is_write: false,
+                    tag: req.tag,
+                }
+            }
+            WordOp::Write { data, strb } => {
+                if commit {
+                    storage.write_masked(req.word_addr, &data, strb as u128);
+                }
+                WordResp {
+                    port: req.port,
+                    word_addr: req.word_addr,
+                    data,
+                    is_write: true,
+                    tag: req.tag,
+                }
+            }
+        }
+    }
+
+    /// The backing store (for functional checks after a run).
+    pub fn storage(&self) -> &Storage {
+        &self.storage
+    }
+
+    /// Mutable access to the backing store (for workload setup).
+    pub fn storage_mut(&mut self) -> &mut Storage {
+        &mut self.storage
+    }
+
+    /// Consumes the memory, returning the backing store.
+    pub fn into_storage(self) -> Storage {
+        self.storage
+    }
+
+    /// Configuration this memory was built with.
+    pub fn config(&self) -> &BankConfig {
+        &self.cfg
+    }
+
+    /// Total word accesses performed.
+    pub fn total_accesses(&self) -> u64 {
+        self.total_accesses
+    }
+
+    /// Cumulative count of (contenders − 1) over all banks and cycles — a
+    /// measure of serialization lost to bank conflicts.
+    pub fn conflict_stall_events(&self) -> u64 {
+        self.conflict_stall_events
+    }
+
+    /// Returns `true` when no request is pending or in flight.
+    pub fn quiescent(&self) -> bool {
+        self.pending.iter().all(Option::is_none)
+            && self.banks.iter().all(Pipeline::is_empty)
+            && self.ideal_overflow.is_empty()
+            && self.ideal_delay.iter().all(Vec::is_empty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mem(banks: usize) -> BankedMemory {
+        let mut storage = Storage::new(1 << 16);
+        for w in 0..(1 << 14) {
+            storage.write_u32(w * 4, w as u32);
+        }
+        BankedMemory::new(
+            BankConfig {
+                banks,
+                word_bytes: 4,
+                latency: 1,
+                ports: 4,
+                conflict_free: false,
+                commit_writes: true,
+            },
+            storage,
+        )
+    }
+
+    fn run_until_quiescent(m: &mut BankedMemory, max: usize) -> Vec<WordResp> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            out.extend(m.end_cycle());
+            if m.quiescent() {
+                return out;
+            }
+        }
+        panic!("memory did not quiesce in {max} cycles");
+    }
+
+    #[test]
+    fn single_read_returns_stored_word() {
+        let mut m = mem(8);
+        assert!(m.try_issue(WordReq {
+            port: 0,
+            word_addr: 0x10,
+            op: WordOp::Read,
+            tag: 42
+        }));
+        let resps = run_until_quiescent(&mut m, 10);
+        assert_eq!(resps.len(), 1);
+        assert_eq!(resps[0].tag, 42);
+        assert_eq!(resps[0].data, 4u32.to_le_bytes());
+    }
+
+    #[test]
+    fn conflict_free_requests_complete_in_parallel() {
+        let mut m = mem(8);
+        // Four ports, four distinct banks: all served in one grant round.
+        for p in 0..4 {
+            assert!(m.try_issue(WordReq {
+                port: p,
+                word_addr: (p as u64) * 4,
+                op: WordOp::Read,
+                tag: p as u64
+            }));
+        }
+        let mut cycles = 0;
+        let mut resps = Vec::new();
+        while !m.quiescent() {
+            resps.extend(m.end_cycle());
+            cycles += 1;
+        }
+        assert_eq!(resps.len(), 4);
+        assert!(cycles <= 2, "no conflicts should mean full parallelism");
+        assert_eq!(m.conflict_stall_events(), 0);
+    }
+
+    #[test]
+    fn same_bank_requests_serialize() {
+        let mut m = mem(8);
+        // All four ports hit bank 0 (addresses 0, 32·4, 64·4... stride 8 words on 8 banks).
+        for p in 0..4 {
+            assert!(m.try_issue(WordReq {
+                port: p,
+                word_addr: (p as u64) * 8 * 4,
+                op: WordOp::Read,
+                tag: p as u64
+            }));
+        }
+        let mut cycles = 0;
+        while !m.quiescent() {
+            m.end_cycle();
+            cycles += 1;
+        }
+        assert!(cycles >= 4, "conflicting accesses must serialize, took {cycles}");
+        assert!(m.conflict_stall_events() > 0);
+    }
+
+    #[test]
+    fn port_blocks_until_granted() {
+        let mut m = mem(8);
+        assert!(m.try_issue(WordReq {
+            port: 0,
+            word_addr: 0,
+            op: WordOp::Read,
+            tag: 0
+        }));
+        // Same port again before any end_cycle: rejected.
+        assert!(!m.try_issue(WordReq {
+            port: 0,
+            word_addr: 4,
+            op: WordOp::Read,
+            tag: 1
+        }));
+        m.end_cycle();
+        assert!(m.port_free(0));
+    }
+
+    #[test]
+    fn write_then_read_returns_new_data() {
+        let mut m = mem(8);
+        assert!(m.try_issue(WordReq {
+            port: 0,
+            word_addr: 0x20,
+            op: WordOp::Write {
+                data: 0xcafe_f00du32.to_le_bytes().to_vec(),
+                strb: 0xf
+            },
+            tag: 0
+        }));
+        run_until_quiescent(&mut m, 10);
+        assert_eq!(m.storage().read_u32(0x20), 0xcafe_f00d);
+    }
+
+    #[test]
+    fn masked_write_touches_enabled_bytes_only() {
+        let mut m = mem(8);
+        m.storage_mut().write_u32(0x40, 0xaaaa_aaaa);
+        assert!(m.try_issue(WordReq {
+            port: 0,
+            word_addr: 0x40,
+            op: WordOp::Write {
+                data: vec![0x55; 4],
+                strb: 0b0011
+            },
+            tag: 0
+        }));
+        run_until_quiescent(&mut m, 10);
+        assert_eq!(m.storage().read_u32(0x40), 0xaaaa_5555);
+    }
+
+    #[test]
+    fn responses_per_port_stay_in_issue_order() {
+        let mut m = mem(8);
+        let mut got = Vec::new();
+        let mut next_tag = 0u64;
+        for _ in 0..50 {
+            if m.port_free(0) && next_tag < 20 {
+                // Alternate banks to exercise arbitration.
+                let addr = (next_tag % 8) * 4 + (next_tag / 8) * 8 * 4;
+                assert!(m.try_issue(WordReq {
+                    port: 0,
+                    word_addr: addr,
+                    op: WordOp::Read,
+                    tag: next_tag
+                }));
+                next_tag += 1;
+            }
+            for r in m.end_cycle() {
+                got.push(r.tag);
+            }
+        }
+        assert_eq!(got.len(), 20);
+        for (i, t) in got.iter().enumerate() {
+            assert_eq!(*t, i as u64, "port responses out of order");
+        }
+    }
+
+    #[test]
+    fn conflict_free_mode_never_stalls() {
+        let mut storage = Storage::new(1 << 12);
+        storage.write_u32(0, 7);
+        let mut m = BankedMemory::new(
+            BankConfig {
+                banks: 8,
+                word_bytes: 4,
+                latency: 1,
+                ports: 4,
+                conflict_free: true,
+                commit_writes: true,
+            },
+            storage,
+        );
+        // All ports hammer the same bank — ideal memory doesn't care.
+        for p in 0..4 {
+            assert!(m.try_issue(WordReq {
+                port: p,
+                word_addr: 0,
+                op: WordOp::Read,
+                tag: p as u64
+            }));
+        }
+        let resps = run_until_quiescent(&mut m, 5);
+        assert_eq!(resps.len(), 4);
+        assert!(resps.iter().all(|r| r.data == 7u32.to_le_bytes()));
+    }
+
+    #[test]
+    #[should_panic(expected = "not aligned")]
+    fn misaligned_word_address_panics() {
+        let mut m = mem(8);
+        m.try_issue(WordReq {
+            port: 0,
+            word_addr: 0x3,
+            op: WordOp::Read,
+            tag: 0,
+        });
+    }
+}

@@ -1,0 +1,32 @@
+//! `banked-mem` — the memory substrate of the AXI-Pack evaluation systems.
+//!
+//! The paper's endpoints are banked on-chip SRAMs: *m* single-port banks of
+//! width *W* (32 bit), word-interleaved, behind an *n × m* crossbar that
+//! maps the controller's *n* word-access ports onto banks. Bank conflicts —
+//! several ports addressing the same bank in one cycle — are the first-order
+//! performance effect in the paper's sensitivity study (Fig. 5a/5b), so this
+//! model computes them exactly: one grant per bank per cycle, round-robin
+//! among contending ports, fixed access latency.
+//!
+//! * [`Storage`] — flat byte-addressed backing store holding real data.
+//! * [`BankMap`] — word-interleaved address-to-bank mapping, supporting both
+//!   power-of-two and prime bank counts (the paper evaluates 8–32 banks and
+//!   picks 17).
+//! * [`BankedMemory`] — the conflict-accurate banked endpoint.
+//!
+//! ```
+//! use banked_mem::{BankConfig, BankedMemory, Storage, WordOp, WordReq};
+//!
+//! let storage = Storage::new(0x1000);
+//! let mut mem = BankedMemory::new(BankConfig::default(), storage);
+//! assert!(mem.try_issue(WordReq { port: 0, word_addr: 0x10, op: WordOp::Read, tag: 0 }));
+//! let _responses = mem.end_cycle();
+//! ```
+
+pub mod banked;
+pub mod map;
+pub mod storage;
+
+pub use banked::{BankConfig, BankedMemory, WordOp, WordReq, WordResp};
+pub use map::{is_prime, BankMap};
+pub use storage::Storage;

@@ -1,0 +1,251 @@
+//! Flat byte-addressed backing store.
+
+use axi_proto::Addr;
+
+/// A flat, byte-addressed memory image holding real data.
+///
+/// All simulated systems (BASE, PACK, IDEAL) operate on a `Storage`, so a
+/// workload's functional result can be read back and compared against a
+/// scalar reference regardless of which bus carried it.
+///
+/// # Examples
+///
+/// ```
+/// use banked_mem::Storage;
+///
+/// let mut s = Storage::new(64);
+/// s.write(16, &[1, 2, 3, 4]);
+/// let mut buf = [0u8; 4];
+/// s.read(16, &mut buf);
+/// assert_eq!(buf, [1, 2, 3, 4]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Storage {
+    bytes: Vec<u8>,
+}
+
+impl Storage {
+    /// Creates a zero-initialized store of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Storage {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` for a zero-sized store.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Reads `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range `[addr, addr + buf.len())` is out of bounds —
+    /// an out-of-range access is always a workload-construction bug in this
+    /// workspace, never a recoverable condition.
+    #[inline]
+    pub fn read(&self, addr: Addr, buf: &mut [u8]) {
+        let a = addr as usize;
+        buf.copy_from_slice(&self.bytes[a..a + buf.len()]);
+    }
+
+    /// Writes all of `buf` starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    #[inline]
+    pub fn write(&mut self, addr: Addr, buf: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + buf.len()].copy_from_slice(buf);
+    }
+
+    /// Writes `buf` under a byte-enable mask (bit *i* of `strb` enables
+    /// `buf[i]`); disabled lanes keep their previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or `buf` exceeds 128 bytes.
+    pub fn write_masked(&mut self, addr: Addr, buf: &[u8], strb: u128) {
+        assert!(buf.len() <= 128, "strobe mask covers at most 128 bytes");
+        let a = addr as usize;
+        for (i, b) in buf.iter().enumerate() {
+            if strb >> i & 1 == 1 {
+                self.bytes[a + i] = *b;
+            }
+        }
+    }
+
+    /// Reads a little-endian `u32` — convenience for 32-bit words/indices.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&mut self, addr: Addr, v: u32) {
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Reads a little-endian `f32`.
+    pub fn read_f32(&self, addr: Addr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes a little-endian `f32`.
+    pub fn write_f32(&mut self, addr: Addr, v: f32) {
+        self.write_u32(addr, v.to_bits());
+    }
+
+    /// Writes a slice of `f32` values contiguously.
+    pub fn write_f32_slice(&mut self, addr: Addr, vs: &[f32]) {
+        for (i, v) in vs.iter().enumerate() {
+            self.write_f32(addr + 4 * i as Addr, *v);
+        }
+    }
+
+    /// Reads `n` contiguous `f32` values.
+    pub fn read_f32_slice(&self, addr: Addr, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(addr + 4 * i as Addr)).collect()
+    }
+
+    /// Writes a slice of `u32` values contiguously.
+    pub fn write_u32_slice(&mut self, addr: Addr, vs: &[u32]) {
+        for (i, v) in vs.iter().enumerate() {
+            self.write_u32(addr + 4 * i as Addr, *v);
+        }
+    }
+
+    /// Reads `n` contiguous `u32` values.
+    pub fn read_u32_slice(&self, addr: Addr, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(addr + 4 * i as Addr)).collect()
+    }
+
+    /// Borrows the raw bytes (for whole-image comparisons in tests).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// A bump allocator carving arrays out of a [`Storage`] address space.
+///
+/// Workload setup uses this to place matrices, vectors and index arrays at
+/// aligned, non-overlapping addresses.
+///
+/// # Examples
+///
+/// ```
+/// use banked_mem::storage::Allocator;
+///
+/// let mut alloc = Allocator::new(0, 1 << 20);
+/// let a = alloc.alloc(100 * 4, 64);
+/// let b = alloc.alloc(100 * 4, 64);
+/// assert!(b >= a + 400);
+/// assert_eq!(a % 64, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Allocator {
+    next: Addr,
+    limit: Addr,
+}
+
+impl Allocator {
+    /// Creates an allocator over `[base, base + size)`.
+    pub fn new(base: Addr, size: usize) -> Self {
+        Allocator {
+            next: base,
+            limit: base + size as Addr,
+        }
+    }
+
+    /// Allocates `bytes` bytes aligned to `align`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is exhausted or `align` is not a power of two.
+    pub fn alloc(&mut self, bytes: usize, align: usize) -> Addr {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let a = (self.next + (align as Addr - 1)) & !(align as Addr - 1);
+        let end = a + bytes as Addr;
+        assert!(
+            end <= self.limit,
+            "storage region exhausted: need {end:#x}, limit {:#x}",
+            self.limit
+        );
+        self.next = end;
+        a
+    }
+
+    /// Bytes still available (ignoring alignment padding).
+    pub fn remaining(&self) -> usize {
+        (self.limit - self.next) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = Storage::new(128);
+        s.write(3, &[9, 8, 7]);
+        let mut b = [0u8; 3];
+        s.read(3, &mut b);
+        assert_eq!(b, [9, 8, 7]);
+    }
+
+    #[test]
+    fn masked_write_preserves_disabled_lanes() {
+        let mut s = Storage::new(16);
+        s.write(0, &[0xAA; 8]);
+        s.write_masked(0, &[0x55; 8], 0b0000_1111);
+        assert_eq!(&s.as_bytes()[..8], &[0x55, 0x55, 0x55, 0x55, 0xAA, 0xAA, 0xAA, 0xAA]);
+    }
+
+    #[test]
+    fn typed_accessors_roundtrip() {
+        let mut s = Storage::new(64);
+        s.write_f32(8, 3.25);
+        assert_eq!(s.read_f32(8), 3.25);
+        s.write_u32(12, 0xdead_beef);
+        assert_eq!(s.read_u32(12), 0xdead_beef);
+        s.write_f32_slice(16, &[1.0, 2.0, 3.0]);
+        assert_eq!(s.read_f32_slice(16, 3), vec![1.0, 2.0, 3.0]);
+        s.write_u32_slice(32, &[5, 6]);
+        assert_eq!(s.read_u32_slice(32, 2), vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_read_panics() {
+        let s = Storage::new(4);
+        let mut b = [0u8; 8];
+        s.read(0, &mut b);
+    }
+
+    #[test]
+    fn allocator_respects_alignment_and_limit() {
+        let mut a = Allocator::new(0x100, 0x100);
+        let x = a.alloc(10, 1);
+        let y = a.alloc(4, 32);
+        assert_eq!(x, 0x100);
+        assert_eq!(y % 32, 0);
+        assert!(y >= x + 10);
+        assert!(a.remaining() < 0x100);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted")]
+    fn allocator_exhaustion_panics() {
+        let mut a = Allocator::new(0, 16);
+        a.alloc(32, 1);
+    }
+}

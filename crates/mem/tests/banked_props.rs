@@ -1,0 +1,122 @@
+//! Property tests: the banked memory is functionally a plain memory under
+//! any request schedule, and its address mapping is a bijection.
+
+use banked_mem::{BankConfig, BankMap, BankedMemory, Storage, WordOp, WordReq};
+use proptest::prelude::*;
+
+proptest! {
+    /// (bank, row) uniquely identifies every word for any bank count.
+    #[test]
+    fn bank_mapping_is_bijective(banks in 1usize..40, words in 1u64..500) {
+        let map = BankMap::new(banks, 4);
+        let mut seen = std::collections::HashSet::new();
+        for w in 0..words {
+            prop_assert!(seen.insert((map.bank_of(w * 4), map.row_of(w * 4))));
+        }
+    }
+
+    /// Any schedule of reads over a patterned memory returns exactly the
+    /// stored words, regardless of bank count, latency, or conflicts.
+    #[test]
+    fn reads_always_return_stored_data(
+        banks in prop_oneof![Just(8usize), Just(11), Just(16), Just(17), Just(31), Just(32)],
+        latency in 1usize..4,
+        addrs in proptest::collection::vec(0u64..1024, 1..64),
+    ) {
+        let mut storage = Storage::new(1 << 14);
+        for w in 0..(1 << 12) {
+            storage.write_u32(w * 4, (w as u32).wrapping_mul(2654435761));
+        }
+        let cfg = BankConfig {
+            banks,
+            word_bytes: 4,
+            latency,
+            ports: 4,
+            conflict_free: false,
+            commit_writes: true,
+        };
+        let mut mem = BankedMemory::new(cfg, storage);
+        let mut pending: Vec<(u64, u64)> = addrs
+            .iter()
+            .enumerate()
+            .map(|(tag, w)| (tag as u64, w * 4))
+            .collect();
+        pending.reverse();
+        let mut got = std::collections::HashMap::new();
+        let mut guard = 0;
+        while got.len() < addrs.len() {
+            for port in 0..4 {
+                if mem.port_free(port) {
+                    if let Some((tag, addr)) = pending.pop() {
+                        let req = WordReq {
+                            port,
+                            word_addr: addr,
+                            op: WordOp::Read,
+                            tag,
+                        };
+                        prop_assert!(mem.try_issue(req));
+                    }
+                }
+            }
+            for resp in mem.end_cycle() {
+                got.insert(resp.tag, u32::from_le_bytes(resp.data.try_into().expect("4")));
+            }
+            guard += 1;
+            prop_assert!(guard < 10_000, "memory hung");
+        }
+        for (tag, w) in addrs.iter().enumerate() {
+            prop_assert_eq!(got[&(tag as u64)], (*w as u32).wrapping_mul(2654435761));
+        }
+    }
+
+    /// Writes then reads round-trip through the banks under conflicts.
+    #[test]
+    fn write_read_roundtrip(
+        banks in prop_oneof![Just(8usize), Just(17)],
+        writes in proptest::collection::vec((0u64..256, proptest::num::u32::ANY), 1..32),
+    ) {
+        let cfg = BankConfig {
+            banks,
+            word_bytes: 4,
+            latency: 1,
+            ports: 4,
+            conflict_free: false,
+            commit_writes: true,
+        };
+        let mut mem = BankedMemory::new(cfg, Storage::new(1 << 12));
+        // Issue all writes (later writes to the same word win by issue
+        // order only if they land on the same port in order; to keep the
+        // property crisp, dedup addresses keeping the last value).
+        let mut dedup = std::collections::HashMap::new();
+        for (w, v) in &writes {
+            dedup.insert(*w * 4, *v);
+        }
+        let mut pending: Vec<(u64, u32)> = dedup.iter().map(|(a, v)| (*a, *v)).collect();
+        pending.sort_unstable();
+        let total = pending.len();
+        pending.reverse();
+        let mut acks = 0;
+        let mut guard = 0;
+        while acks < total {
+            for port in 0..4 {
+                if mem.port_free(port) {
+                    if let Some((addr, v)) = pending.pop() {
+                        let req = WordReq {
+                            port,
+                            word_addr: addr,
+                            op: WordOp::Write { data: v.to_le_bytes().to_vec(), strb: 0xf },
+                            tag: 0,
+                        };
+                        prop_assert!(mem.try_issue(req));
+                    }
+                }
+            }
+            acks += mem.end_cycle().len();
+            guard += 1;
+            prop_assert!(guard < 10_000, "memory hung");
+        }
+        for (addr, v) in dedup {
+            prop_assert_eq!(mem.storage().read_u32(addr), v);
+        }
+    }
+}

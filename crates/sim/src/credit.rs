@@ -1,0 +1,120 @@
+//! Credit counters for request regulation.
+
+/// A credit counter bounding the number of in-flight operations.
+///
+/// This is the building block of the paper's *request regulator*: the
+/// strided and indirect converters must not issue more word requests per
+/// lane than the decoupling queue behind that lane can hold, or responses
+/// would overflow. A [`Credit`] starts at the queue depth, is consumed when
+/// a request is issued and returned when the response is drained.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::Credit;
+///
+/// let mut c = Credit::new(2);
+/// assert!(c.take());
+/// assert!(c.take());
+/// assert!(!c.take()); // regulator blocks the third request
+/// c.put();
+/// assert!(c.take());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Credit {
+    available: usize,
+    max: usize,
+}
+
+impl Credit {
+    /// Creates a counter with `max` credits, all initially available.
+    pub fn new(max: usize) -> Self {
+        Credit {
+            available: max,
+            max,
+        }
+    }
+
+    /// Attempts to consume one credit; returns `false` if none are left.
+    #[inline]
+    pub fn take(&mut self) -> bool {
+        if self.available > 0 {
+            self.available -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns one credit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more credits are returned than were ever taken — that
+    /// always indicates a modeling bug (a response without a request).
+    #[inline]
+    pub fn put(&mut self) {
+        assert!(
+            self.available < self.max,
+            "credit overflow: response without matching request"
+        );
+        self.available += 1;
+    }
+
+    /// Credits currently available.
+    #[inline]
+    pub fn available(&self) -> usize {
+        self.available
+    }
+
+    /// Credits currently consumed (in-flight operations).
+    #[inline]
+    pub fn in_flight(&self) -> usize {
+        self.max - self.available
+    }
+
+    /// Maximum number of credits.
+    #[inline]
+    pub fn max(&self) -> usize {
+        self.max
+    }
+
+    /// Returns `true` if at least one credit is available.
+    #[inline]
+    pub fn has_credit(&self) -> bool {
+        self.available > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_in_flight_requests() {
+        let mut c = Credit::new(4);
+        let mut issued = 0;
+        while c.take() {
+            issued += 1;
+        }
+        assert_eq!(issued, 4);
+        assert_eq!(c.in_flight(), 4);
+        c.put();
+        assert_eq!(c.in_flight(), 3);
+        assert!(c.has_credit());
+    }
+
+    #[test]
+    #[should_panic(expected = "credit overflow")]
+    fn overflow_panics() {
+        let mut c = Credit::new(1);
+        c.put();
+    }
+
+    #[test]
+    fn zero_capacity_never_grants() {
+        let mut c = Credit::new(0);
+        assert!(!c.take());
+        assert!(!c.has_credit());
+    }
+}

@@ -1,0 +1,118 @@
+//! Vector processor configuration and system kind.
+
+/// Which of the paper's three evaluation systems the processor models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Unmodified Ara over a standard AXI4 bus: strided/indexed accesses
+    /// degrade to one narrow transaction per element.
+    Base,
+    /// AXI-Pack-extended Ara: strided/indexed accesses become packed
+    /// bursts; indexed accesses use the in-memory `vlimxei`/`vsimxei`
+    /// forms, keeping index traffic off the bus.
+    Pack,
+    /// Ara connected to an idealized memory with one port per lane, perfect
+    /// packing and fixed latency. Indices are still fetched into the core.
+    Ideal,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemKind::Base => write!(f, "base"),
+            SystemKind::Pack => write!(f, "pack"),
+            SystemKind::Ideal => write!(f, "ideal"),
+        }
+    }
+}
+
+/// Microarchitectural parameters of the vector processor model.
+///
+/// Defaults follow the paper's evaluation system: 8 lanes, a 4096-bit
+/// vector length (Ara's 16 KiB register file), and reduction/latency
+/// parameters representative of Ara's published microarchitecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VprocConfig {
+    /// Number of vector lanes (64-bit datapaths; the paper couples bus
+    /// width to lanes: 256-bit bus = 8 lanes).
+    pub lanes: usize,
+    /// Vector register length in bytes (Ara: 512 B per register at 8
+    /// lanes).
+    pub vlen_bytes: usize,
+    /// Extra completion latency of a reduction after its inputs are
+    /// consumed (inter-lane tree + scalar move).
+    pub reduction_tail: u32,
+    /// In-flight instruction window of the sequencer.
+    pub window: usize,
+    /// Fixed memory latency of the IDEAL back-end, in cycles.
+    pub ideal_latency: u32,
+    /// Maximum outstanding load instructions draining data concurrently.
+    pub max_outstanding_loads: usize,
+}
+
+impl VprocConfig {
+    /// The paper's configuration for a given bus width: 2, 4 or 8 lanes for
+    /// 64-, 128- or 256-bit buses, with VLEN scaled accordingly.
+    ///
+    /// # Panics
+    ///
+    /// Panics for bus widths other than 64, 128 or 256 bits.
+    pub fn for_bus_bits(bits: u32) -> Self {
+        let lanes = match bits {
+            64 => 2,
+            128 => 4,
+            256 => 8,
+            _ => panic!("paper systems pair 64/128/256-bit buses with 2/4/8 lanes"),
+        };
+        VprocConfig {
+            lanes,
+            vlen_bytes: 64 * lanes,
+            ..VprocConfig::default()
+        }
+    }
+
+    /// Maximum vector length in 32-bit elements.
+    #[inline]
+    pub fn max_vl(&self) -> usize {
+        self.vlen_bytes / 4
+    }
+}
+
+impl Default for VprocConfig {
+    fn default() -> Self {
+        VprocConfig {
+            lanes: 8,
+            vlen_bytes: 512,
+            reduction_tail: 18,
+            window: 16,
+            ideal_latency: 2,
+            max_outstanding_loads: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bus_width_pairs_with_lanes() {
+        assert_eq!(VprocConfig::for_bus_bits(64).lanes, 2);
+        assert_eq!(VprocConfig::for_bus_bits(128).lanes, 4);
+        assert_eq!(VprocConfig::for_bus_bits(256).lanes, 8);
+        assert_eq!(VprocConfig::for_bus_bits(256).max_vl(), 128);
+        assert_eq!(VprocConfig::for_bus_bits(64).max_vl(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair 64/128/256")]
+    fn unsupported_bus_width_panics() {
+        let _ = VprocConfig::for_bus_bits(512);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(SystemKind::Base.to_string(), "base");
+        assert_eq!(SystemKind::Pack.to_string(), "pack");
+        assert_eq!(SystemKind::Ideal.to_string(), "ideal");
+    }
+}

@@ -1,0 +1,533 @@
+//! The modeled RVV instruction subset, including the paper's new
+//! in-memory indexed accesses `vlimxei`/`vsimxei`.
+//!
+//! All element types are 32-bit (FP32 data, 32-bit indices), matching the
+//! paper's workloads. Strides and indices are in *elements*, as in the
+//! AXI-Pack encoding; this deviates from RVV's byte-offset indexed loads,
+//! which is exactly the simplification the paper's `vlimxei` form makes to
+//! let CSR column indices be used directly.
+
+use axi_proto::Addr;
+
+/// A vector register number (0..32).
+pub type VReg = u8;
+
+/// One instruction of the modeled subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VInsn {
+    /// Sets the active vector length (elements); models `vsetvli`.
+    SetVl {
+        /// New vector length in elements.
+        vl: usize,
+    },
+    /// CVA6 scalar work between vector instructions (loop bookkeeping,
+    /// address generation). Blocks the vector frontend for `cycles`.
+    Scalar {
+        /// Stall cycles.
+        cycles: u32,
+    },
+    /// Unit-stride 32-bit load: `vd[k] = mem[base + 4k]`.
+    Vle {
+        /// Destination register.
+        vd: VReg,
+        /// Byte base address (bus-aligned).
+        base: Addr,
+        /// Marks index-array loads, so bus statistics can report
+        /// utilization with and without index traffic (paper Fig. 3a).
+        is_index: bool,
+    },
+    /// Strided 32-bit load: `vd[k] = mem[base + 4k·stride]`.
+    Vlse {
+        /// Destination register.
+        vd: VReg,
+        /// Byte base address (word-aligned).
+        base: Addr,
+        /// Stride in elements (may be zero or negative).
+        stride: i32,
+    },
+    /// Register-indexed gather: `vd[k] = mem[base + 4·vidx[k]]`; indices
+    /// come from a vector register (they were fetched into the core).
+    Vluxei {
+        /// Destination register.
+        vd: VReg,
+        /// Index register (32-bit element indices).
+        vidx: VReg,
+        /// Byte base address of the element array.
+        base: Addr,
+    },
+    /// The paper's new in-memory indexed load: `vd[k] = mem[base +
+    /// 4·mem_idx[k]]` with the index array residing in memory at
+    /// `idx_addr`. On the PACK system this maps to one AXI-Pack indirect
+    /// burst; BASE and IDEAL have no such instruction.
+    Vlimxei {
+        /// Destination register.
+        vd: VReg,
+        /// Byte address of the index array.
+        idx_addr: Addr,
+        /// Byte base address of the element array.
+        base: Addr,
+    },
+    /// Unit-stride 32-bit store.
+    Vse {
+        /// Source register.
+        vs: VReg,
+        /// Byte base address (bus-aligned).
+        base: Addr,
+    },
+    /// Strided 32-bit store.
+    Vsse {
+        /// Source register.
+        vs: VReg,
+        /// Byte base address (word-aligned).
+        base: Addr,
+        /// Stride in elements.
+        stride: i32,
+    },
+    /// Register-indexed scatter.
+    Vsuxei {
+        /// Source register.
+        vs: VReg,
+        /// Index register.
+        vidx: VReg,
+        /// Byte base address of the element array.
+        base: Addr,
+    },
+    /// The paper's new in-memory indexed store (PACK only).
+    Vsimxei {
+        /// Source register.
+        vs: VReg,
+        /// Byte address of the index array.
+        idx_addr: Addr,
+        /// Byte base address of the element array.
+        base: Addr,
+    },
+    /// `vd[k] = vs1[k] + vs2[k]`.
+    Vfadd {
+        /// Destination register.
+        vd: VReg,
+        /// First source.
+        vs1: VReg,
+        /// Second source.
+        vs2: VReg,
+    },
+    /// `vd[k] = vs1[k] · vs2[k]`.
+    Vfmul {
+        /// Destination register.
+        vd: VReg,
+        /// First source.
+        vs1: VReg,
+        /// Second source.
+        vs2: VReg,
+    },
+    /// Fused multiply-accumulate: `vd[k] += vs1[k] · vs2[k]`.
+    Vfmacc {
+        /// Accumulator (read and written).
+        vd: VReg,
+        /// First source.
+        vs1: VReg,
+        /// Second source.
+        vs2: VReg,
+    },
+    /// Scalar multiply-accumulate: `vd[k] += rs · vs[k]` (`vfmacc.vf`).
+    VfmaccVf {
+        /// Accumulator (read and written).
+        vd: VReg,
+        /// Scalar multiplier.
+        rs: f32,
+        /// Vector source.
+        vs: VReg,
+    },
+    /// Scalar multiply: `vd[k] = rs · vs[k]`.
+    VfmulVf {
+        /// Destination register.
+        vd: VReg,
+        /// Scalar multiplier.
+        rs: f32,
+        /// Vector source.
+        vs: VReg,
+    },
+    /// Scalar add: `vd[k] = rs + vs[k]`.
+    VfaddVf {
+        /// Destination register.
+        vd: VReg,
+        /// Scalar addend.
+        rs: f32,
+        /// Vector source.
+        vs: VReg,
+    },
+    /// Element-wise minimum: `vd[k] = min(vs1[k], vs2[k])`.
+    Vfmin {
+        /// Destination register.
+        vd: VReg,
+        /// First source.
+        vs1: VReg,
+        /// Second source.
+        vs2: VReg,
+    },
+    /// Splat: `vd[k] = imm`.
+    VmvVf {
+        /// Destination register.
+        vd: VReg,
+        /// Immediate value.
+        imm: f32,
+    },
+    /// Sum reduction: `vd[0] = Σ vs[k]`. Slow: consumes the source, then
+    /// pays the inter-lane reduction tail.
+    Vfredsum {
+        /// Destination register (element 0).
+        vd: VReg,
+        /// Source register.
+        vs: VReg,
+    },
+    /// Minimum reduction: `vd[0] = min vs[k]`.
+    Vfredmin {
+        /// Destination register (element 0).
+        vd: VReg,
+        /// Source register.
+        vs: VReg,
+    },
+    /// CVA6 stores `vs[0]` to memory (the scalar write-back after a
+    /// reduction). Functional effect only; time it with a
+    /// [`VInsn::Scalar`] marker.
+    ScalarStoreF32 {
+        /// Source register (element 0).
+        vs: VReg,
+        /// Destination byte address.
+        addr: Addr,
+    },
+}
+
+impl VInsn {
+    /// Returns `true` for memory instructions handled by the VLSU.
+    pub fn is_mem(&self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for VLSU loads.
+    pub fn is_load(&self) -> bool {
+        matches!(
+            self,
+            VInsn::Vle { .. } | VInsn::Vlse { .. } | VInsn::Vluxei { .. } | VInsn::Vlimxei { .. }
+        )
+    }
+
+    /// Returns `true` for VLSU stores.
+    pub fn is_store(&self) -> bool {
+        matches!(
+            self,
+            VInsn::Vse { .. } | VInsn::Vsse { .. } | VInsn::Vsuxei { .. } | VInsn::Vsimxei { .. }
+        )
+    }
+
+    /// The vector register this instruction writes, if any.
+    pub fn dest(&self) -> Option<VReg> {
+        match *self {
+            VInsn::Vle { vd, .. }
+            | VInsn::Vlse { vd, .. }
+            | VInsn::Vluxei { vd, .. }
+            | VInsn::Vlimxei { vd, .. }
+            | VInsn::Vfadd { vd, .. }
+            | VInsn::Vfmul { vd, .. }
+            | VInsn::Vfmacc { vd, .. }
+            | VInsn::VfmaccVf { vd, .. }
+            | VInsn::VfmulVf { vd, .. }
+            | VInsn::VfaddVf { vd, .. }
+            | VInsn::Vfmin { vd, .. }
+            | VInsn::VmvVf { vd, .. }
+            | VInsn::Vfredsum { vd, .. }
+            | VInsn::Vfredmin { vd, .. } => Some(vd),
+            _ => None,
+        }
+    }
+
+    /// The vector registers this instruction reads.
+    pub fn sources(&self) -> Vec<VReg> {
+        match *self {
+            VInsn::Vluxei { vidx, .. } => vec![vidx],
+            VInsn::Vse { vs, .. } | VInsn::Vsse { vs, .. } | VInsn::Vsimxei { vs, .. } => {
+                vec![vs]
+            }
+            VInsn::Vsuxei { vs, vidx, .. } => vec![vs, vidx],
+            VInsn::Vfadd { vs1, vs2, .. } | VInsn::Vfmul { vs1, vs2, .. } | VInsn::Vfmin { vs1, vs2, .. } => {
+                vec![vs1, vs2]
+            }
+            VInsn::Vfmacc { vd, vs1, vs2 } => vec![vd, vs1, vs2],
+            VInsn::VfmaccVf { vd, vs, .. } => vec![vd, vs],
+            VInsn::VfmulVf { vs, .. } | VInsn::VfaddVf { vs, .. } => vec![vs],
+            VInsn::Vfredsum { vs, .. } | VInsn::Vfredmin { vs, .. } => vec![vs],
+            VInsn::ScalarStoreF32 { vs, .. } => vec![vs],
+            _ => vec![],
+        }
+    }
+}
+
+/// A straight-line vector program.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    insns: Vec<VInsn>,
+}
+
+impl Program {
+    /// Instructions in program order.
+    pub fn insns(&self) -> &[VInsn] {
+        &self.insns
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns `true` for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+}
+
+impl FromIterator<VInsn> for Program {
+    fn from_iter<I: IntoIterator<Item = VInsn>>(iter: I) -> Self {
+        Program {
+            insns: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoIterator for Program {
+    type Item = VInsn;
+    type IntoIter = std::vec::IntoIter<VInsn>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.insns.into_iter()
+    }
+}
+
+/// Fluent builder for [`Program`]s, used by the workload kernels.
+///
+/// # Examples
+///
+/// ```
+/// use vproc::ProgramBuilder;
+///
+/// let prog = ProgramBuilder::new()
+///     .set_vl(64)
+///     .vle(1, 0x1000)
+///     .vfmacc_vf(2, 3.0, 1)
+///     .build();
+/// assert_eq!(prog.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    insns: Vec<VInsn>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        ProgramBuilder::default()
+    }
+
+    /// Appends `vsetvli`.
+    pub fn set_vl(mut self, vl: usize) -> Self {
+        self.insns.push(VInsn::SetVl { vl });
+        self
+    }
+
+    /// Appends scalar overhead cycles.
+    pub fn scalar(mut self, cycles: u32) -> Self {
+        self.insns.push(VInsn::Scalar { cycles });
+        self
+    }
+
+    /// Appends a unit-stride load.
+    pub fn vle(mut self, vd: VReg, base: Addr) -> Self {
+        self.insns.push(VInsn::Vle {
+            vd,
+            base,
+            is_index: false,
+        });
+        self
+    }
+
+    /// Appends a unit-stride load of an *index array* (tracked separately
+    /// in bus statistics).
+    pub fn vle_index(mut self, vd: VReg, base: Addr) -> Self {
+        self.insns.push(VInsn::Vle {
+            vd,
+            base,
+            is_index: true,
+        });
+        self
+    }
+
+    /// Appends a strided load.
+    pub fn vlse(mut self, vd: VReg, base: Addr, stride: i32) -> Self {
+        self.insns.push(VInsn::Vlse { vd, base, stride });
+        self
+    }
+
+    /// Appends a register-indexed gather.
+    pub fn vluxei(mut self, vd: VReg, vidx: VReg, base: Addr) -> Self {
+        self.insns.push(VInsn::Vluxei { vd, vidx, base });
+        self
+    }
+
+    /// Appends an in-memory indexed load (PACK).
+    pub fn vlimxei(mut self, vd: VReg, idx_addr: Addr, base: Addr) -> Self {
+        self.insns.push(VInsn::Vlimxei { vd, idx_addr, base });
+        self
+    }
+
+    /// Appends a unit-stride store.
+    pub fn vse(mut self, vs: VReg, base: Addr) -> Self {
+        self.insns.push(VInsn::Vse { vs, base });
+        self
+    }
+
+    /// Appends a strided store.
+    pub fn vsse(mut self, vs: VReg, base: Addr, stride: i32) -> Self {
+        self.insns.push(VInsn::Vsse { vs, base, stride });
+        self
+    }
+
+    /// Appends a register-indexed scatter.
+    pub fn vsuxei(mut self, vs: VReg, vidx: VReg, base: Addr) -> Self {
+        self.insns.push(VInsn::Vsuxei { vs, vidx, base });
+        self
+    }
+
+    /// Appends an in-memory indexed store (PACK).
+    pub fn vsimxei(mut self, vs: VReg, idx_addr: Addr, base: Addr) -> Self {
+        self.insns.push(VInsn::Vsimxei { vs, idx_addr, base });
+        self
+    }
+
+    /// Appends `vd = vs1 + vs2`.
+    pub fn vfadd(mut self, vd: VReg, vs1: VReg, vs2: VReg) -> Self {
+        self.insns.push(VInsn::Vfadd { vd, vs1, vs2 });
+        self
+    }
+
+    /// Appends `vd = vs1 · vs2`.
+    pub fn vfmul(mut self, vd: VReg, vs1: VReg, vs2: VReg) -> Self {
+        self.insns.push(VInsn::Vfmul { vd, vs1, vs2 });
+        self
+    }
+
+    /// Appends `vd += vs1 · vs2`.
+    pub fn vfmacc(mut self, vd: VReg, vs1: VReg, vs2: VReg) -> Self {
+        self.insns.push(VInsn::Vfmacc { vd, vs1, vs2 });
+        self
+    }
+
+    /// Appends `vd += rs · vs`.
+    pub fn vfmacc_vf(mut self, vd: VReg, rs: f32, vs: VReg) -> Self {
+        self.insns.push(VInsn::VfmaccVf { vd, rs, vs });
+        self
+    }
+
+    /// Appends `vd = rs · vs`.
+    pub fn vfmul_vf(mut self, vd: VReg, rs: f32, vs: VReg) -> Self {
+        self.insns.push(VInsn::VfmulVf { vd, rs, vs });
+        self
+    }
+
+    /// Appends `vd = rs + vs`.
+    pub fn vfadd_vf(mut self, vd: VReg, rs: f32, vs: VReg) -> Self {
+        self.insns.push(VInsn::VfaddVf { vd, rs, vs });
+        self
+    }
+
+    /// Appends `vd = min(vs1, vs2)`.
+    pub fn vfmin(mut self, vd: VReg, vs1: VReg, vs2: VReg) -> Self {
+        self.insns.push(VInsn::Vfmin { vd, vs1, vs2 });
+        self
+    }
+
+    /// Appends a splat of `imm`.
+    pub fn vmv_vf(mut self, vd: VReg, imm: f32) -> Self {
+        self.insns.push(VInsn::VmvVf { vd, imm });
+        self
+    }
+
+    /// Appends a sum reduction into `vd[0]`.
+    pub fn vfredsum(mut self, vd: VReg, vs: VReg) -> Self {
+        self.insns.push(VInsn::Vfredsum { vd, vs });
+        self
+    }
+
+    /// Appends a min reduction into `vd[0]`.
+    pub fn vfredmin(mut self, vd: VReg, vs: VReg) -> Self {
+        self.insns.push(VInsn::Vfredmin { vd, vs });
+        self
+    }
+
+    /// Appends a scalar store of `vs[0]`.
+    pub fn scalar_store_f32(mut self, vs: VReg, addr: Addr) -> Self {
+        self.insns.push(VInsn::ScalarStoreF32 { vs, addr });
+        self
+    }
+
+    /// Appends all instructions of another builder.
+    pub fn extend(mut self, other: ProgramBuilder) -> Self {
+        self.insns.extend(other.insns);
+        self
+    }
+
+    /// Finalizes the program.
+    pub fn build(self) -> Program {
+        Program { insns: self.insns }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let ld = VInsn::Vlse {
+            vd: 1,
+            base: 0,
+            stride: 3,
+        };
+        assert!(ld.is_mem() && ld.is_load() && !ld.is_store());
+        assert_eq!(ld.dest(), Some(1));
+        assert!(ld.sources().is_empty());
+
+        let st = VInsn::Vsuxei {
+            vs: 2,
+            vidx: 3,
+            base: 0,
+        };
+        assert!(st.is_store());
+        assert_eq!(st.dest(), None);
+        assert_eq!(st.sources(), vec![2, 3]);
+
+        let macc = VInsn::Vfmacc {
+            vd: 4,
+            vs1: 5,
+            vs2: 6,
+        };
+        assert_eq!(macc.sources(), vec![4, 5, 6]); // accumulator is read
+        assert_eq!(macc.dest(), Some(4));
+    }
+
+    #[test]
+    fn builder_emits_in_order() {
+        let p = ProgramBuilder::new()
+            .set_vl(8)
+            .vle(1, 0x100)
+            .vfredsum(2, 1)
+            .scalar_store_f32(2, 0x200)
+            .build();
+        assert_eq!(p.len(), 4);
+        assert!(matches!(p.insns()[0], VInsn::SetVl { vl: 8 }));
+        assert!(matches!(p.insns()[3], VInsn::ScalarStoreF32 { .. }));
+    }
+
+    #[test]
+    fn program_collects_from_iterator() {
+        let p: Program = vec![VInsn::Scalar { cycles: 2 }].into_iter().collect();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

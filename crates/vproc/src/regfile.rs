@@ -1,0 +1,139 @@
+//! The vector register file.
+
+/// A 32-entry vector register file holding real data.
+///
+/// Registers are raw byte arrays of `vlen_bytes`; typed views read and
+/// write little-endian `f32`/`u32` elements, which is all the paper's FP32
+/// workloads need.
+///
+/// # Examples
+///
+/// ```
+/// use vproc::RegFile;
+///
+/// let mut rf = RegFile::new(512);
+/// rf.write_f32(3, &[1.0, 2.0, 3.0]);
+/// assert_eq!(rf.read_f32(3, 3), vec![1.0, 2.0, 3.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RegFile {
+    regs: Vec<Vec<u8>>,
+    vlen_bytes: usize,
+}
+
+impl RegFile {
+    /// Creates a zeroed register file with registers of `vlen_bytes`.
+    pub fn new(vlen_bytes: usize) -> Self {
+        RegFile {
+            regs: (0..32).map(|_| vec![0u8; vlen_bytes]).collect(),
+            vlen_bytes,
+        }
+    }
+
+    /// Register length in bytes.
+    pub fn vlen_bytes(&self) -> usize {
+        self.vlen_bytes
+    }
+
+    /// Register length in 32-bit elements.
+    pub fn vlen_elems(&self) -> usize {
+        self.vlen_bytes / 4
+    }
+
+    /// Raw bytes of register `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= 32`.
+    pub fn bytes(&self, v: u8) -> &[u8] {
+        &self.regs[v as usize]
+    }
+
+    /// Writes raw bytes into register `v` starting at byte offset 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds the register length.
+    pub fn write_bytes(&mut self, v: u8, bytes: &[u8]) {
+        self.regs[v as usize][..bytes.len()].copy_from_slice(bytes);
+    }
+
+    /// Reads `n` f32 elements from register `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the register length.
+    pub fn read_f32(&self, v: u8, n: usize) -> Vec<f32> {
+        let r = &self.regs[v as usize];
+        (0..n)
+            .map(|k| f32::from_le_bytes(r[4 * k..4 * k + 4].try_into().expect("4 bytes")))
+            .collect()
+    }
+
+    /// Writes f32 elements into register `v` from element 0.
+    pub fn write_f32(&mut self, v: u8, vals: &[f32]) {
+        let r = &mut self.regs[v as usize];
+        for (k, val) in vals.iter().enumerate() {
+            r[4 * k..4 * k + 4].copy_from_slice(&val.to_le_bytes());
+        }
+    }
+
+    /// Reads `n` u32 elements from register `v`.
+    pub fn read_u32(&self, v: u8, n: usize) -> Vec<u32> {
+        let r = &self.regs[v as usize];
+        (0..n)
+            .map(|k| u32::from_le_bytes(r[4 * k..4 * k + 4].try_into().expect("4 bytes")))
+            .collect()
+    }
+
+    /// Writes u32 elements into register `v` from element 0.
+    pub fn write_u32(&mut self, v: u8, vals: &[u32]) {
+        let r = &mut self.regs[v as usize];
+        for (k, val) in vals.iter().enumerate() {
+            r[4 * k..4 * k + 4].copy_from_slice(&val.to_le_bytes());
+        }
+    }
+
+    /// Reads one f32 element.
+    pub fn elem_f32(&self, v: u8, k: usize) -> f32 {
+        let r = &self.regs[v as usize];
+        f32::from_le_bytes(r[4 * k..4 * k + 4].try_into().expect("4 bytes"))
+    }
+
+    /// Writes one f32 element.
+    pub fn set_elem_f32(&mut self, v: u8, k: usize, val: f32) {
+        self.regs[v as usize][4 * k..4 * k + 4].copy_from_slice(&val.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_views_roundtrip() {
+        let mut rf = RegFile::new(64);
+        rf.write_u32(0, &[1, 2, 3, 4]);
+        assert_eq!(rf.read_u32(0, 4), vec![1, 2, 3, 4]);
+        rf.write_f32(1, &[0.5, -2.0]);
+        assert_eq!(rf.read_f32(1, 2), vec![0.5, -2.0]);
+        assert_eq!(rf.elem_f32(1, 1), -2.0);
+        rf.set_elem_f32(1, 0, 9.0);
+        assert_eq!(rf.elem_f32(1, 0), 9.0);
+    }
+
+    #[test]
+    fn registers_are_independent() {
+        let mut rf = RegFile::new(32);
+        rf.write_u32(5, &[7; 8]);
+        assert_eq!(rf.read_u32(6, 8), vec![0; 8]);
+        assert_eq!(rf.vlen_elems(), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overlong_write_panics() {
+        let mut rf = RegFile::new(16);
+        rf.write_u32(0, &[0; 5]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Dense row-major FP32 matrices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense, row-major FP32 matrix.
+///
+/// # Examples
+///
+/// ```
+/// use workloads::DenseMatrix;
+///
+/// let m = DenseMatrix::random(4, 4, 7);
+/// assert_eq!(m.rows(), 4);
+/// assert_eq!(m.at(2, 3), m.as_slice()[2 * 4 + 3]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Creates a zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix with seeded random entries in `[0.5, 1.5)` — a
+    /// well-conditioned range that keeps FP32 accumulation error small.
+    pub fn random(rows: usize, cols: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        DenseMatrix {
+            rows,
+            cols,
+            data: (0..rows * cols).map(|_| rng.gen_range(0.5..1.5)).collect(),
+        }
+    }
+
+    /// Creates a random *upper-triangular* matrix (zeros strictly below the
+    /// diagonal), as used by `trmv`.
+    pub fn random_upper_triangular(n: usize, seed: u64) -> Self {
+        let mut m = DenseMatrix::random(n, n, seed);
+        for i in 0..n {
+            for j in 0..i {
+                m.data[i * n + j] = 0.0;
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets element `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row-major backing slice.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// The transpose, as a new matrix.
+    pub fn transposed(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                t.set(c, r, self.at(r, c));
+            }
+        }
+        t
+    }
+
+    /// Reference matrix-vector product `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch");
+        (0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.at(i, j) * x[j]).sum())
+            .collect()
+    }
+}
+
+/// A seeded random FP32 vector in `[0.5, 1.5)`.
+pub fn random_vector(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.5..1.5)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic() {
+        assert_eq!(DenseMatrix::random(8, 8, 3), DenseMatrix::random(8, 8, 3));
+        assert_ne!(DenseMatrix::random(8, 8, 3), DenseMatrix::random(8, 8, 4));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = DenseMatrix::random(5, 9, 1);
+        assert_eq!(m.transposed().transposed(), m);
+        assert_eq!(m.transposed().at(3, 2), m.at(2, 3));
+    }
+
+    #[test]
+    fn upper_triangular_has_zero_lower() {
+        let m = DenseMatrix::random_upper_triangular(6, 2);
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(m.at(i, j), 0.0);
+            }
+            assert_ne!(m.at(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn matvec_identity() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        for i in 0..3 {
+            m.set(i, i, 1.0);
+        }
+        let y = m.matvec(&[2.0, 4.0, 8.0]);
+        assert_eq!(y, vec![2.0, 4.0, 8.0]);
+    }
+}

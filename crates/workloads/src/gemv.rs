@@ -1,0 +1,116 @@
+//! `gemv` — dense matrix-vector multiply, in both dataflows of Fig. 3b.
+//!
+//! *Row-wise*: long contiguous streams over each row, one slow reduction
+//! per row — identical on BASE and PACK, bottlenecked by reductions.
+//! *Column-wise*: one strided load per column, accumulating a block of
+//! results at once with `vfmacc.vf` — no reductions, but worthless on BASE
+//! where strided loads crawl at one element per transaction.
+
+use vproc::ProgramBuilder;
+
+use crate::dense::{random_vector, DenseMatrix};
+use crate::kernel::{f32_bytes, Check, Dataflow, Kernel, KernelParams, Layout};
+
+/// Builds the gemv kernel `y = A·x` for an `n × n` matrix.
+pub fn build(n: usize, seed: u64, dataflow: Dataflow, p: &KernelParams) -> Kernel {
+    let m = DenseMatrix::random(n, n, seed);
+    let x = random_vector(n, seed ^ 0xabcd);
+    let mut layout = Layout::new();
+    let a = layout.alloc_elems(n * n);
+    let xa = layout.alloc_elems(n);
+    let ya = layout.alloc_elems(n);
+    let program = match dataflow {
+        Dataflow::RowWise => row_wise(n, a, xa, ya, p),
+        Dataflow::ColWise => col_wise(n, a, ya, &x, p),
+    };
+    Kernel {
+        name: "gemv".into(),
+        image: vec![(a, f32_bytes(m.as_slice())), (xa, f32_bytes(&x))],
+        storage_size: layout.storage_size(),
+        program,
+        expected: vec![Check {
+            addr: ya,
+            values: m.matvec(&x),
+            label: "y".into(),
+        }],
+        read_only_streams: true,
+        useful_bytes: 4 * (n * n + 2 * n) as u64,
+    }
+}
+
+fn row_wise(n: usize, a: u64, xa: u64, ya: u64, p: &KernelParams) -> vproc::Program {
+    let mut b = ProgramBuilder::new();
+    let acc_vl = n.min(p.max_vl);
+    for i in 0..n {
+        b = b.scalar(p.row_overhead).set_vl(acc_vl).vmv_vf(4, 0.0);
+        let mut j = 0;
+        while j < n {
+            let len = (n - j).min(p.max_vl);
+            b = b
+                .set_vl(len)
+                .scalar(p.chunk_overhead)
+                .vle(1, a + 4 * (i * n + j) as u64)
+                .vle(2, xa + 4 * j as u64)
+                .vfmacc(4, 1, 2);
+            j += len;
+        }
+        b = b
+            .set_vl(acc_vl)
+            .vfredsum(5, 4)
+            .scalar_store_f32(5, ya + 4 * i as u64);
+    }
+    b.build()
+}
+
+fn col_wise(n: usize, a: u64, ya: u64, x: &[f32], p: &KernelParams) -> vproc::Program {
+    let mut b = ProgramBuilder::new();
+    let mut r = 0;
+    while r < n {
+        let block = (n - r).min(p.max_vl);
+        b = b.scalar(p.row_overhead).set_vl(block).vmv_vf(4, 0.0);
+        for (j, &xj) in x.iter().enumerate() {
+            // The scalar marker charges the x[j] load and pointer bump.
+            b = b
+                .scalar(p.chunk_overhead)
+                .vlse(1, a + 4 * (r * n + j) as u64, n as i32)
+                .vfmacc_vf(4, xj, 1);
+        }
+        b = b.vse(4, ya + 4 * r as u64);
+        r += block;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproc::{SystemKind, VInsn};
+
+    #[test]
+    fn row_wise_uses_contiguous_loads_and_reductions() {
+        let p = KernelParams::new(SystemKind::Base, 32);
+        let k = build(16, 1, Dataflow::RowWise, &p);
+        let insns = k.program.insns();
+        assert!(insns.iter().any(|i| matches!(i, VInsn::Vfredsum { .. })));
+        assert!(!insns.iter().any(|i| matches!(i, VInsn::Vlse { .. })));
+    }
+
+    #[test]
+    fn col_wise_uses_strided_loads_and_no_reductions() {
+        let p = KernelParams::new(SystemKind::Pack, 32);
+        let k = build(16, 1, Dataflow::ColWise, &p);
+        let insns = k.program.insns();
+        assert!(insns.iter().any(|i| matches!(i, VInsn::Vlse { .. })));
+        assert!(!insns.iter().any(|i| matches!(i, VInsn::Vfredsum { .. })));
+        assert!(insns.iter().any(|i| matches!(i, VInsn::Vse { .. })));
+    }
+
+    #[test]
+    fn expected_matches_reference_matvec() {
+        let p = KernelParams::new(SystemKind::Pack, 32);
+        let k = build(8, 7, Dataflow::ColWise, &p);
+        let m = DenseMatrix::random(8, 8, 7);
+        let x = random_vector(8, 7 ^ 0xabcd);
+        assert_eq!(k.expected[0].values, m.matvec(&x));
+    }
+}

@@ -1,0 +1,101 @@
+//! `ismt` — in-situ matrix transpose (strided loads *and* stores).
+//!
+//! Transposes a square matrix in place by swapping the row segment
+//! `A[i][i+1..n]` with the column segment `A[i+1..n][i]` for every `i`.
+//! Row segments are contiguous; column segments are strided by the matrix
+//! dimension. Ara's conservative read-write ordering serializes the load
+//! and store phases, capping R-bus utilization at 50 % (paper §III-B).
+
+use vproc::ProgramBuilder;
+
+use crate::dense::DenseMatrix;
+use crate::kernel::{f32_bytes, Check, Kernel, KernelParams, Layout};
+
+/// Builds the in-situ transpose kernel for an `n × n` matrix.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn build(n: usize, seed: u64, p: &KernelParams) -> Kernel {
+    assert!(n >= 2, "transpose needs at least a 2x2 matrix");
+    let m = DenseMatrix::random(n, n, seed);
+    let mut layout = Layout::new();
+    let a = layout.alloc_elems(n * n);
+    let mut b = ProgramBuilder::new();
+    for i in 0..n - 1 {
+        b = b.scalar(p.row_overhead);
+        let mut j = i + 1;
+        while j < n {
+            let len = (n - j).min(p.max_vl);
+            b = b
+                .set_vl(len)
+                .scalar(p.chunk_overhead)
+                .vle(1, a + 4 * (i * n + j) as u64)
+                .vlse(2, a + 4 * (j * n + i) as u64, n as i32)
+                .vsse(1, a + 4 * (j * n + i) as u64, n as i32)
+                .vse(2, a + 4 * (i * n + j) as u64);
+            j += len;
+        }
+    }
+    let transposed = m.transposed();
+    Kernel {
+        name: "ismt".into(),
+        image: vec![(a, f32_bytes(m.as_slice()))],
+        storage_size: layout.storage_size(),
+        program: b.build(),
+        expected: vec![Check {
+            addr: a,
+            values: transposed.as_slice().to_vec(),
+            label: "A^T".into(),
+        }],
+        // Loads and stores interleave over the same matrix inside the
+        // instruction window, so timed R payloads may post-date eager
+        // stores; functional results stay exact.
+        read_only_streams: false,
+        useful_bytes: 2 * 4 * (n * n - n) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproc::SystemKind;
+
+    #[test]
+    fn program_touches_every_off_diagonal_pair_once() {
+        let p = KernelParams::new(SystemKind::Pack, 16);
+        let k = build(8, 1, &p);
+        // 4 memory insns per chunk; n-1 rows, each one chunk at vl=16.
+        let mems = k
+            .program
+            .insns()
+            .iter()
+            .filter(|i| i.is_mem())
+            .count();
+        assert_eq!(mems, 7 * 4);
+        assert_eq!(k.expected[0].values.len(), 64);
+    }
+
+    #[test]
+    fn expected_is_the_transpose() {
+        let p = KernelParams::new(SystemKind::Pack, 32);
+        let k = build(6, 3, &p);
+        let m = DenseMatrix::random(6, 6, 3);
+        for r in 0..6 {
+            for c in 0..6 {
+                assert_eq!(k.expected[0].values[r * 6 + c], m.at(c, r));
+            }
+        }
+    }
+
+    #[test]
+    fn chunking_respects_max_vl() {
+        let p = KernelParams::new(SystemKind::Base, 4);
+        let k = build(10, 2, &p);
+        for insn in k.program.insns() {
+            if let vproc::VInsn::SetVl { vl } = insn {
+                assert!(*vl <= 4);
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The kernel abstraction: memory image + system-specific program +
+//! scalar-reference expectations.
+
+use axi_proto::Addr;
+use banked_mem::Storage;
+use vproc::{Program, SystemKind};
+
+/// Parameters shared by all kernel builders.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelParams {
+    /// Which system the program targets (changes how strided/indexed
+    /// accesses are expressed).
+    pub kind: SystemKind,
+    /// Maximum vector length in elements (from
+    /// [`vproc::VprocConfig::max_vl`]).
+    pub max_vl: usize,
+    /// CVA6 scalar cycles per outer-loop iteration (row / column / node) —
+    /// the overhead that bottlenecks short streams (paper Fig. 3d/3e).
+    pub row_overhead: u32,
+    /// CVA6 scalar cycles per inner chunk or column step.
+    pub chunk_overhead: u32,
+}
+
+impl KernelParams {
+    /// Defaults calibrated against Ara's published loop overheads.
+    pub fn new(kind: SystemKind, max_vl: usize) -> Self {
+        KernelParams {
+            kind,
+            max_vl,
+            row_overhead: 14,
+            chunk_overhead: 3,
+        }
+    }
+}
+
+/// Which dataflow a dense matrix-vector kernel uses (paper Fig. 3b/3c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Long contiguous row streams, one slow reduction per row.
+    RowWise,
+    /// Strided column streams, no reductions (many results at once).
+    ColWise,
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Dataflow::RowWise => write!(f, "row-wise"),
+            Dataflow::ColWise => write!(f, "col-wise"),
+        }
+    }
+}
+
+/// One expected output region for post-run verification.
+#[derive(Debug, Clone)]
+pub struct Check {
+    /// Start address of the FP32 array.
+    pub addr: Addr,
+    /// Expected values (scalar reference).
+    pub values: Vec<f32>,
+    /// Human-readable label for error messages.
+    pub label: String,
+}
+
+/// A fully-prepared benchmark: image, program, and expectations.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Kernel name for reports (e.g. `"ismt"`).
+    pub name: String,
+    /// Initial memory contents as `(address, bytes)` regions.
+    pub image: Vec<(Addr, Vec<u8>)>,
+    /// Required backing-store size (includes over-fetch slack).
+    pub storage_size: usize,
+    /// The vector program for the chosen system.
+    pub program: Program,
+    /// Expected memory contents after the run.
+    pub expected: Vec<Check>,
+    /// `true` when no timed store can overlap a timed load's region, so
+    /// the engine's R-payload verification must report zero mismatches.
+    pub read_only_streams: bool,
+    /// Useful data bytes the kernel semantically moves (for reports).
+    pub useful_bytes: u64,
+}
+
+impl Kernel {
+    /// Writes the initial image into a backing store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a region exceeds the store.
+    pub fn apply_image(&self, storage: &mut Storage) {
+        for (addr, bytes) in &self.image {
+            storage.write(*addr, bytes);
+        }
+    }
+
+    /// Creates a backing store of the right size with the image applied.
+    pub fn build_storage(&self) -> Storage {
+        let mut s = Storage::new(self.storage_size);
+        self.apply_image(&mut s);
+        s
+    }
+
+    /// Verifies all expected output regions against the store.
+    ///
+    /// Uses a relative tolerance of `1e-3` (vectorized accumulation order
+    /// differs from the scalar reference; both are FP32).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch as a human-readable message.
+    pub fn verify(&self, storage: &Storage) -> Result<(), String> {
+        for check in &self.expected {
+            let got = storage.read_f32_slice(check.addr, check.values.len());
+            for (k, (g, e)) in got.iter().zip(check.values.iter()).enumerate() {
+                if !close(*g, *e) {
+                    return Err(format!(
+                        "{}: {}[{}] = {} expected {}",
+                        self.name, check.label, k, g, e
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// FP32 comparison with relative tolerance (handles infinities exactly).
+fn close(got: f32, expect: f32) -> bool {
+    if got == expect {
+        return true; // covers ±inf and exact values
+    }
+    if !got.is_finite() || !expect.is_finite() {
+        return false; // one infinite/NaN, the other not (or different signs)
+    }
+    let scale = expect.abs().max(got.abs()).max(1.0);
+    (got - expect).abs() <= 1e-3 * scale
+}
+
+/// Converts FP32 values to little-endian bytes for image regions.
+pub(crate) fn f32_bytes(vals: &[f32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Converts u32 values to little-endian bytes for image regions.
+pub(crate) fn u32_bytes(vals: &[u32]) -> Vec<u8> {
+    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// A bump allocator for kernel address layout: 64-byte aligned regions
+/// starting at 4 KiB, with generous tail slack for full-beat over-fetch.
+#[derive(Debug)]
+pub(crate) struct Layout {
+    next: Addr,
+}
+
+/// Over-fetch slack appended behind the last array.
+const TAIL_SLACK: usize = 1 << 16;
+
+impl Layout {
+    pub(crate) fn new() -> Self {
+        Layout { next: 0x1000 }
+    }
+
+    /// Reserves space for `n` 32-bit elements; returns the base address.
+    pub(crate) fn alloc_elems(&mut self, n: usize) -> Addr {
+        let a = (self.next + 63) & !63;
+        self.next = a + 4 * n as Addr;
+        a
+    }
+
+    /// Total storage size including tail slack.
+    pub(crate) fn storage_size(&self) -> usize {
+        self.next as usize + TAIL_SLACK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_handles_infinities_and_tolerance() {
+        assert!(close(f32::INFINITY, f32::INFINITY));
+        assert!(!close(f32::INFINITY, 1.0));
+        assert!(close(100.0, 100.05));
+        assert!(!close(100.0, 101.0));
+        assert!(close(0.0, 0.0));
+    }
+
+    #[test]
+    fn layout_is_aligned_and_disjoint() {
+        let mut l = Layout::new();
+        let a = l.alloc_elems(10);
+        let b = l.alloc_elems(100);
+        assert_eq!(a % 64, 0);
+        assert_eq!(b % 64, 0);
+        assert!(b >= a + 40);
+        assert!(l.storage_size() > b as usize + 400);
+    }
+
+    #[test]
+    fn kernel_roundtrip_through_storage() {
+        let k = Kernel {
+            name: "toy".into(),
+            image: vec![(0x100, f32_bytes(&[1.0, 2.0]))],
+            storage_size: 0x1000,
+            program: Program::default(),
+            expected: vec![Check {
+                addr: 0x100,
+                values: vec![1.0, 2.0],
+                label: "in".into(),
+            }],
+            read_only_streams: true,
+            useful_bytes: 8,
+        };
+        let s = k.build_storage();
+        k.verify(&s).expect("image must verify against itself");
+    }
+}

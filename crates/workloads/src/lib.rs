@@ -1,0 +1,41 @@
+//! `workloads` — the paper's six benchmarks as vector programs plus the
+//! data structures and generators they run on.
+//!
+//! Each kernel builder produces a [`Kernel`]: an initial memory image, a
+//! [`vproc::Program`] specialized for one of the three systems (BASE /
+//! PACK / IDEAL — they differ in how indexed accesses are expressed), and
+//! scalar-reference expectations for post-run verification.
+//!
+//! The benchmarks (paper §III-A):
+//!
+//! | kernel | access pattern | data |
+//! |--------|----------------|------|
+//! | `ismt` | strided loads *and* stores | random square matrix |
+//! | `gemv` | contiguous (row-wise) or strided (column-wise) | random matrix |
+//! | `trmv` | like gemv with triangular, varying-length streams | random upper-triangular |
+//! | `spmv` | indirect gathers through CSR column indices | synthetic CSR |
+//! | `prank`| indirect gathers, iterated | synthetic graph |
+//! | `sssp` | indirect gathers with min-plus semiring | synthetic weighted graph |
+//! | `scatter` | indirect *writes* (extension beyond the paper) | random permutation |
+//!
+//! The paper evaluates on SuiteSparse matrices; this reproduction
+//! substitutes seeded synthetic CSR matrices whose controlling parameter —
+//! average nonzeros per row — matches the paper's sweeps (see DESIGN.md).
+//! When the real inputs are available, [`mtx::read_mtx_file`] loads them
+//! directly from Matrix Market files.
+
+pub mod dense;
+pub mod gemv;
+pub mod ismt;
+pub mod kernel;
+pub mod mtx;
+pub mod prank;
+pub mod scatter;
+pub mod sparse;
+pub mod spmv;
+pub mod sssp;
+pub mod trmv;
+
+pub use dense::DenseMatrix;
+pub use kernel::{Dataflow, Kernel, KernelParams};
+pub use sparse::CsrMatrix;

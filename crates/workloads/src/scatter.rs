@@ -1,0 +1,133 @@
+//! `scatter` — permuted vector scatter, exercising the indirect *write*
+//! path (an extension beyond the paper's read-only plots).
+//!
+//! Computes `y[p[k]] = a · x[k]` for a permutation `p`: a contiguous load,
+//! a scalar multiply, and an indexed scatter. On PACK the scatter is one
+//! `vsimxei` per chunk — an AXI-Pack indirect *write* burst whose index
+//! fetching happens controller-side. BASE loads the permutation into a
+//! register and scatters element by element; IDEAL does the same over its
+//! per-lane ports.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vproc::{ProgramBuilder, SystemKind};
+
+use crate::dense::random_vector;
+use crate::kernel::{f32_bytes, u32_bytes, Check, Kernel, KernelParams, Layout};
+
+/// A seeded random permutation of `0..n`.
+pub fn random_permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Builds the scatter kernel `y[p[k]] = a · x[k]` over `n` elements.
+///
+/// # Panics
+///
+/// Panics if `n` is zero.
+pub fn build(n: usize, scale: f32, seed: u64, p: &KernelParams) -> Kernel {
+    assert!(n > 0, "empty scatter");
+    let x = random_vector(n, seed);
+    let perm = random_permutation(n, seed ^ 0x5ca7);
+    let mut layout = Layout::new();
+    let xa = layout.alloc_elems(n);
+    let pa = layout.alloc_elems(n);
+    let ya = layout.alloc_elems(n);
+
+    let mut b = ProgramBuilder::new();
+    let mut k = 0;
+    while k < n {
+        let len = (n - k).min(p.max_vl);
+        b = b
+            .set_vl(len)
+            .scalar(p.chunk_overhead)
+            .vle(1, xa + 4 * k as u64)
+            .vfmul_vf(2, scale, 1);
+        b = match p.kind {
+            SystemKind::Pack => b.vsimxei(2, pa + 4 * k as u64, ya),
+            SystemKind::Base | SystemKind::Ideal => {
+                b.vle_index(3, pa + 4 * k as u64).vsuxei(2, 3, ya)
+            }
+        };
+        k += len;
+    }
+
+    let mut expected = vec![0.0f32; n];
+    for (k, &pk) in perm.iter().enumerate() {
+        expected[pk as usize] = scale * x[k];
+    }
+    Kernel {
+        name: "scatter".into(),
+        image: vec![(xa, f32_bytes(&x)), (pa, u32_bytes(&perm))],
+        storage_size: layout.storage_size(),
+        program: b.build(),
+        expected: vec![Check {
+            addr: ya,
+            values: expected,
+            label: "y".into(),
+        }],
+        read_only_streams: true,
+        useful_bytes: 4 * 3 * n as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproc::VInsn;
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let p = random_permutation(97, 3);
+        let mut seen = [false; 97];
+        for v in &p {
+            assert!(!seen[*v as usize], "duplicate {v}");
+            seen[*v as usize] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+
+    #[test]
+    fn pack_uses_in_memory_indexed_stores() {
+        let params = KernelParams::new(SystemKind::Pack, 32);
+        let k = build(64, 2.0, 1, &params);
+        assert!(k
+            .program
+            .insns()
+            .iter()
+            .any(|i| matches!(i, VInsn::Vsimxei { .. })));
+        assert!(!k
+            .program
+            .insns()
+            .iter()
+            .any(|i| matches!(i, VInsn::Vsuxei { .. })));
+    }
+
+    #[test]
+    fn base_scatters_through_a_register() {
+        let params = KernelParams::new(SystemKind::Base, 32);
+        let k = build(64, 2.0, 1, &params);
+        assert!(k
+            .program
+            .insns()
+            .iter()
+            .any(|i| matches!(i, VInsn::Vsuxei { .. })));
+    }
+
+    #[test]
+    fn expected_is_the_scaled_permutation() {
+        let params = KernelParams::new(SystemKind::Pack, 16);
+        let k = build(20, 3.0, 9, &params);
+        let x = random_vector(20, 9);
+        let perm = random_permutation(20, 9 ^ 0x5ca7);
+        for (kk, &pk) in perm.iter().enumerate() {
+            assert_eq!(k.expected[0].values[pk as usize], 3.0 * x[kk]);
+        }
+    }
+}

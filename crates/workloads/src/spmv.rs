@@ -1,0 +1,177 @@
+//! `spmv` — sparse matrix-vector multiply over CSR (indirect gathers).
+//!
+//! Per row, the kernel gathers `x[col[k]]` through the column-index array.
+//! On PACK this is one `vlimxei` per chunk — an AXI-Pack indirect burst
+//! whose index traffic stays memory-side. BASE and IDEAL first load the
+//! indices into a vector register (`vle`), then gather (`vluxei`);
+//! the index load is marked so bus statistics can separate it
+//! (paper Fig. 3a's "no indices" series).
+
+use axi_proto::Addr;
+use vproc::{ProgramBuilder, SystemKind};
+
+use crate::dense::random_vector;
+use crate::kernel::{f32_bytes, u32_bytes, Check, Kernel, KernelParams, Layout};
+use crate::sparse::CsrMatrix;
+
+/// Memory layout of a CSR kernel's arrays.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CsrImage {
+    /// Column-index array base.
+    pub col: Addr,
+    /// Value array base.
+    pub val: Addr,
+}
+
+/// How the per-row combine works.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Semiring {
+    /// `y[i] = Σ val·x[col]` (classic spmv).
+    PlusTimes,
+    /// `y[i] = min (val + x[col])` (Bellman-Ford relaxation).
+    MinPlus,
+}
+
+/// Emits the per-row sparse loop of one matrix sweep: for every row,
+/// gather `x[col[k]]`, combine with `val[k]`, reduce, and scalar-store the
+/// result to `y + 4·row`. Rows with no nonzeros are skipped (their result
+/// must be pre-initialized by the caller: 0 for spmv via the zeroed `y`
+/// image, `+inf` for min-plus via the prefill pass).
+///
+/// Register conventions: v1 gather, v2 values, v3 index scratch, v4
+/// accumulator, v5 reduction result.
+pub(crate) fn emit_sparse_sweep(
+    mut b: ProgramBuilder,
+    m: &CsrMatrix,
+    img: CsrImage,
+    x_addr: Addr,
+    y_addr: Addr,
+    semiring: Semiring,
+    p: &KernelParams,
+) -> ProgramBuilder {
+    for i in 0..m.rows() {
+        let range = m.row_range(i);
+        let nnz = range.len();
+        b = b.scalar(p.row_overhead);
+        if nnz == 0 {
+            continue;
+        }
+        let acc_vl = nnz.min(p.max_vl);
+        b = b.set_vl(acc_vl);
+        b = match semiring {
+            Semiring::PlusTimes => b.vmv_vf(4, 0.0),
+            Semiring::MinPlus => b.vmv_vf(4, f32::INFINITY),
+        };
+        let mut k = 0;
+        while k < nnz {
+            let len = (nnz - k).min(p.max_vl);
+            let off = 4 * (range.start + k) as Addr;
+            b = b.set_vl(len).scalar(p.chunk_overhead);
+            b = match p.kind {
+                SystemKind::Pack => b.vlimxei(1, img.col + off, x_addr),
+                SystemKind::Base | SystemKind::Ideal => {
+                    b.vle_index(3, img.col + off).vluxei(1, 3, x_addr)
+                }
+            };
+            b = b.vle(2, img.val + off);
+            b = match semiring {
+                Semiring::PlusTimes => b.vfmacc(4, 1, 2),
+                Semiring::MinPlus => b.vfadd(6, 1, 2).vfmin(4, 4, 6),
+            };
+            k += len;
+        }
+        b = b.set_vl(acc_vl);
+        b = match semiring {
+            Semiring::PlusTimes => b.vfredsum(5, 4),
+            Semiring::MinPlus => b.vfredmin(5, 4),
+        };
+        b = b.scalar_store_f32(5, y_addr + 4 * i as Addr);
+    }
+    b
+}
+
+/// Builds the spmv kernel `y = A·x` for a CSR matrix.
+pub fn build(m: &CsrMatrix, seed: u64, p: &KernelParams) -> Kernel {
+    let x = random_vector(m.cols(), seed ^ 0x99);
+    let mut layout = Layout::new();
+    let col = layout.alloc_elems(m.nnz().max(1));
+    let val = layout.alloc_elems(m.nnz().max(1));
+    let xa = layout.alloc_elems(m.cols());
+    let ya = layout.alloc_elems(m.rows());
+    let img = CsrImage { col, val };
+    let b = emit_sparse_sweep(
+        ProgramBuilder::new(),
+        m,
+        img,
+        xa,
+        ya,
+        Semiring::PlusTimes,
+        p,
+    );
+    Kernel {
+        name: "spmv".into(),
+        image: vec![
+            (col, u32_bytes(m.col_idx())),
+            (val, f32_bytes(m.vals())),
+            (xa, f32_bytes(&x)),
+        ],
+        storage_size: layout.storage_size(),
+        program: b.build(),
+        expected: vec![Check {
+            addr: ya,
+            values: m.matvec(&x),
+            label: "y".into(),
+        }],
+        read_only_streams: true,
+        useful_bytes: 4 * (2 * m.nnz() + m.cols() + m.rows()) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproc::VInsn;
+
+    fn small() -> CsrMatrix {
+        CsrMatrix::random(24, 24, 6.0, 11)
+    }
+
+    #[test]
+    fn pack_uses_in_memory_indices() {
+        let p = KernelParams::new(SystemKind::Pack, 32);
+        let k = build(&small(), 1, &p);
+        let insns = k.program.insns();
+        assert!(insns.iter().any(|i| matches!(i, VInsn::Vlimxei { .. })));
+        assert!(!insns.iter().any(|i| matches!(i, VInsn::Vluxei { .. })));
+    }
+
+    #[test]
+    fn base_fetches_indices_into_the_core() {
+        let p = KernelParams::new(SystemKind::Base, 32);
+        let k = build(&small(), 1, &p);
+        let insns = k.program.insns();
+        assert!(insns
+            .iter()
+            .any(|i| matches!(i, VInsn::Vle { is_index: true, .. })));
+        assert!(insns.iter().any(|i| matches!(i, VInsn::Vluxei { .. })));
+        assert!(!insns.iter().any(|i| matches!(i, VInsn::Vlimxei { .. })));
+    }
+
+    #[test]
+    fn expected_matches_reference() {
+        let m = small();
+        let p = KernelParams::new(SystemKind::Pack, 32);
+        let k = build(&m, 1, &p);
+        let x = random_vector(m.cols(), 1 ^ 0x99);
+        assert_eq!(k.expected[0].values, m.matvec(&x));
+    }
+
+    #[test]
+    fn empty_rows_produce_zero_via_image_default() {
+        let m = CsrMatrix::from_parts(3, 3, vec![0, 0, 2, 2], vec![0, 2], vec![1.0, 2.0]);
+        let p = KernelParams::new(SystemKind::Pack, 8);
+        let k = build(&m, 1, &p);
+        assert_eq!(k.expected[0].values[0], 0.0);
+        assert_eq!(k.expected[0].values[2], 0.0);
+    }
+}

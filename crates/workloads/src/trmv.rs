@@ -1,0 +1,132 @@
+//! `trmv` — upper-triangular matrix-vector multiply (paper Fig. 3c).
+//!
+//! Like gemv but only the nonzero triangle is streamed, so burst lengths
+//! vary from 1 to *n* — exercising AXI-Pack's request-bundling claim that
+//! short packed bursts never lose to the baseline.
+
+use vproc::ProgramBuilder;
+
+use crate::dense::{random_vector, DenseMatrix};
+use crate::kernel::{f32_bytes, Check, Dataflow, Kernel, KernelParams, Layout};
+
+/// Builds the trmv kernel `y = U·x` for an upper-triangular `n × n` matrix.
+pub fn build(n: usize, seed: u64, dataflow: Dataflow, p: &KernelParams) -> Kernel {
+    let m = DenseMatrix::random_upper_triangular(n, seed);
+    let x = random_vector(n, seed ^ 0x7777);
+    let mut layout = Layout::new();
+    let a = layout.alloc_elems(n * n);
+    let xa = layout.alloc_elems(n);
+    let ya = layout.alloc_elems(n);
+    let program = match dataflow {
+        Dataflow::RowWise => row_wise(n, a, xa, ya, p),
+        Dataflow::ColWise => col_wise(n, a, ya, &x, p),
+    };
+    let nnz = n * (n + 1) / 2;
+    Kernel {
+        name: "trmv".into(),
+        image: vec![(a, f32_bytes(m.as_slice())), (xa, f32_bytes(&x))],
+        storage_size: layout.storage_size(),
+        program,
+        expected: vec![Check {
+            addr: ya,
+            values: m.matvec(&x),
+            label: "y".into(),
+        }],
+        read_only_streams: true,
+        useful_bytes: 4 * (nnz + 2 * n) as u64,
+    }
+}
+
+fn row_wise(n: usize, a: u64, xa: u64, ya: u64, p: &KernelParams) -> vproc::Program {
+    let mut b = ProgramBuilder::new();
+    for i in 0..n {
+        let row_len = n - i;
+        let acc_vl = row_len.min(p.max_vl);
+        b = b.scalar(p.row_overhead).set_vl(acc_vl).vmv_vf(4, 0.0);
+        let mut j = i;
+        while j < n {
+            let len = (n - j).min(p.max_vl);
+            b = b
+                .set_vl(len)
+                .scalar(p.chunk_overhead)
+                .vle(1, a + 4 * (i * n + j) as u64)
+                .vle(2, xa + 4 * j as u64)
+                .vfmacc(4, 1, 2);
+            j += len;
+        }
+        b = b
+            .set_vl(acc_vl)
+            .vfredsum(5, 4)
+            .scalar_store_f32(5, ya + 4 * i as u64);
+    }
+    b.build()
+}
+
+fn col_wise(n: usize, a: u64, ya: u64, x: &[f32], p: &KernelParams) -> vproc::Program {
+    let mut b = ProgramBuilder::new();
+    let mut r = 0;
+    while r < n {
+        let block = (n - r).min(p.max_vl);
+        b = b.scalar(p.row_overhead).set_vl(block).vmv_vf(4, 0.0);
+        // Column j intersects rows [r, r+block) only for j >= r; the
+        // segment covers rows r..=min(j, r+block-1).
+        let mut cur_vl = block;
+        for j in r..n {
+            let seg = (j + 1 - r).min(block);
+            if seg != cur_vl {
+                b = b.set_vl(seg);
+                cur_vl = seg;
+            }
+            b = b
+                .scalar(p.chunk_overhead)
+                .vlse(1, a + 4 * (r * n + j) as u64, n as i32)
+                .vfmacc_vf(4, x[j], 1);
+        }
+        if cur_vl != block {
+            b = b.set_vl(block);
+        }
+        b = b.vse(4, ya + 4 * r as u64);
+        r += block;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproc::{SystemKind, VInsn};
+
+    #[test]
+    fn expected_matches_triangular_reference() {
+        let p = KernelParams::new(SystemKind::Pack, 16);
+        let k = build(12, 5, Dataflow::RowWise, &p);
+        let m = DenseMatrix::random_upper_triangular(12, 5);
+        let x = random_vector(12, 5 ^ 0x7777);
+        assert_eq!(k.expected[0].values, m.matvec(&x));
+    }
+
+    #[test]
+    fn col_wise_bursts_shorten_near_the_diagonal() {
+        let p = KernelParams::new(SystemKind::Pack, 8);
+        let k = build(8, 1, Dataflow::ColWise, &p);
+        // First column of the first block covers a single row.
+        let first_setvl_after_mv = k
+            .program
+            .insns()
+            .iter()
+            .skip_while(|i| !matches!(i, VInsn::VmvVf { .. }))
+            .find_map(|i| match i {
+                VInsn::SetVl { vl } => Some(*vl),
+                _ => None,
+            });
+        assert_eq!(first_setvl_after_mv, Some(1));
+    }
+
+    #[test]
+    fn both_dataflows_share_the_same_expectation() {
+        let p = KernelParams::new(SystemKind::Base, 16);
+        let kr = build(10, 2, Dataflow::RowWise, &p);
+        let kc = build(10, 2, Dataflow::ColWise, &p);
+        assert_eq!(kr.expected[0].values, kc.expected[0].values);
+    }
+}

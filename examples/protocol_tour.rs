@@ -1,0 +1,57 @@
+//! A guided tour of the AXI-Pack protocol itself: craft packed bursts by
+//! hand, push them into the memory controller, and watch tightly-packed
+//! beats come back.
+//!
+//! ```sh
+//! cargo run --release --example protocol_tour
+//! ```
+
+use axi_proto::{ArBeat, AxiChannels, BusConfig, ElemSize, IdxSize, PackMode};
+use banked_mem::{BankConfig, Storage};
+use pack_ctrl::{Adapter, CtrlConfig};
+
+fn main() {
+    let bus = BusConfig::new(256);
+    // 1. Encode a strided request and inspect its user field.
+    let ar = ArBeat::packed_strided(1, 0x100, 16, ElemSize::B4, 5, &bus);
+    println!("strided AR: addr=0x{:x} beats={} user=0x{:x}", ar.addr, ar.beats, ar.user);
+    println!("  decodes to: {}\n", ar.pack_mode().expect("packed"));
+
+    // 2. Stand up a controller over a recognizable memory image.
+    let mut storage = Storage::new(1 << 16);
+    for w in 0..(1 << 14) {
+        storage.write_u32(4 * w, w as u32);
+    }
+    storage.write_u32_slice(0x8000, &[3, 1, 4, 1, 5, 9, 2, 6]);
+    let cfg = CtrlConfig::new(bus, BankConfig::default(), 4);
+    let mut adapter = Adapter::new(cfg, storage);
+    let mut ch = AxiChannels::new();
+
+    // 3. A strided burst: every 5th word, packed 8 per beat.
+    ch.ar.push(ar);
+    // 4. An indirect burst: gather through the index array at 0x8000.
+    let ind = ArBeat::packed_indirect(2, 0x8000, 8, ElemSize::B4, IdxSize::B4, 0, &bus);
+    println!("indirect AR: idx_addr=0x{:x} user decodes to: {}\n", ind.addr, ind.pack_mode().expect("packed"));
+
+    let mut pending = vec![ind];
+    for _cycle in 0..200 {
+        if ch.ar.can_push() {
+            if let Some(ar) = pending.pop() {
+                ch.ar.push(ar);
+            }
+        }
+        if let Some(beat) = ch.r.pop() {
+            let words: Vec<u32> = (0..8)
+                .map(|k| u32::from_le_bytes(beat.data[4 * k..4 * k + 4].try_into().expect("4")))
+                .collect();
+            println!("R beat ({}, last={}): {words:?}", beat.id, beat.last);
+        }
+        adapter.tick(&mut ch);
+        adapter.end_cycle();
+        ch.end_cycle();
+        if adapter.quiescent() && ch.is_empty() && pending.is_empty() {
+            break;
+        }
+    }
+    println!("\nplain AXI4 requestors see user=0, e.g. {:?}", PackMode::decode(0));
+}

@@ -1,0 +1,159 @@
+//! Performance-shape assertions at moderate scale: the paper's headline
+//! qualitative results must hold in this reproduction.
+
+use axi_pack::requestor::{indirect_read_util, strided_read_util, SweepConfig};
+use axi_pack::{run_kernel, SystemConfig};
+use axi_proto::{ElemSize, IdxSize};
+use vproc::SystemKind;
+use workloads::{gemv, ismt, spmv, CsrMatrix, Dataflow};
+
+/// Dense-kernel comparison helper at a paper-relevant size.
+fn speedup(build: impl Fn(&workloads::KernelParams) -> workloads::Kernel) -> f64 {
+    let base_cfg = SystemConfig::paper(SystemKind::Base);
+    let pack_cfg = SystemConfig::paper(SystemKind::Pack);
+    let rb = run_kernel(&base_cfg, &build(&base_cfg.kernel_params())).expect("base verifies");
+    let rp = run_kernel(&pack_cfg, &build(&pack_cfg.kernel_params())).expect("pack verifies");
+    rb.cycles as f64 / rp.cycles as f64
+}
+
+#[test]
+fn strided_speedups_are_large_and_indirect_speedups_meaningful() {
+    // ismt at dim 96: strided loads and stores.
+    let s_ismt = speedup(|p| ismt::build(96, 1, p));
+    assert!(
+        s_ismt > 2.5,
+        "ismt pack speedup collapsed: {s_ismt:.2} (paper: 5.4x at dim 256)"
+    );
+    // spmv with heart1-like rows: indirect gathers.
+    let m = CsrMatrix::random(32, 1024, 200.0, 2);
+    let s_spmv = speedup(|p| spmv::build(&m, 2, p));
+    assert!(
+        (1.5..4.0).contains(&s_spmv),
+        "spmv pack speedup out of band: {s_spmv:.2} (paper: 2.4x)"
+    );
+    assert!(
+        s_ismt > s_spmv,
+        "strided must out-speed indirect: {s_ismt:.2} vs {s_spmv:.2}"
+    );
+}
+
+#[test]
+fn dataflow_crossover_matches_fig3b() {
+    // On BASE, row-wise beats column-wise (strided accesses crawl).
+    // On PACK, column-wise beats row-wise (reductions dominate instead).
+    let n = 96;
+    let run = |kind, df| {
+        let cfg = SystemConfig::paper(kind);
+        let k = gemv::build(n, 3, df, &cfg.kernel_params());
+        run_kernel(&cfg, &k).expect("verifies").cycles
+    };
+    let base_row = run(SystemKind::Base, Dataflow::RowWise);
+    let base_col = run(SystemKind::Base, Dataflow::ColWise);
+    let pack_row = run(SystemKind::Pack, Dataflow::RowWise);
+    let pack_col = run(SystemKind::Pack, Dataflow::ColWise);
+    assert!(
+        base_row < base_col,
+        "BASE must prefer row-wise: {base_row} vs {base_col}"
+    );
+    assert!(
+        pack_col < pack_row,
+        "PACK must prefer col-wise: {pack_col} vs {pack_row}"
+    );
+    // Row-wise performance is (nearly) identical on BASE and PACK: the
+    // contiguous path is untouched by the extension.
+    let rel = (base_row as f64 - pack_row as f64).abs() / base_row as f64;
+    assert!(rel < 0.05, "row-wise must match across systems ({rel:.3})");
+}
+
+#[test]
+fn wider_buses_amplify_pack_speedup() {
+    let mut last = 0.0;
+    for bus in [64u32, 128, 256] {
+        let base_cfg = SystemConfig::with_bus(SystemKind::Base, bus);
+        let pack_cfg = SystemConfig::with_bus(SystemKind::Pack, bus);
+        let kb = ismt::build(64, 4, &base_cfg.kernel_params());
+        let kp = ismt::build(64, 4, &pack_cfg.kernel_params());
+        let s = run_kernel(&base_cfg, &kb).expect("base").cycles as f64
+            / run_kernel(&pack_cfg, &kp).expect("pack").cycles as f64;
+        assert!(
+            s > last,
+            "{bus}-bit speedup {s:.2} must exceed the narrower bus ({last:.2})"
+        );
+        last = s;
+    }
+    assert!(last > 2.5, "256-bit ismt speedup too small: {last:.2}");
+}
+
+#[test]
+fn index_size_ratio_bound_shapes_indirect_utilization() {
+    // Paper Fig. 5a: the ideal utilization is r/(r+1) for an
+    // element:index ratio of r. Measured on conflict-free memory.
+    let cfg = SweepConfig {
+        conflict_free: true,
+        bursts: 2,
+        ..SweepConfig::default()
+    };
+    let cases = [
+        (ElemSize::B4, IdxSize::B4, 0.50),
+        (ElemSize::B4, IdxSize::B2, 0.67),
+        (ElemSize::B4, IdxSize::B1, 0.80),
+        (ElemSize::B8, IdxSize::B4, 0.67),
+    ];
+    for (elem, idx, bound) in cases {
+        let u = indirect_read_util(&cfg, elem, idx, 5);
+        assert!(
+            u <= bound + 0.02,
+            "{elem}/{idx}: util {u:.2} exceeds the r/(r+1) bound {bound:.2}"
+        );
+        assert!(
+            u >= bound - 0.12,
+            "{elem}/{idx}: util {u:.2} far below its bound {bound:.2}"
+        );
+    }
+}
+
+#[test]
+fn prime_banks_beat_power_of_two_on_strided_averages() {
+    // A handful of strides; primes must win on average (Fig. 5b).
+    let avg = |banks: usize| {
+        let cfg = SweepConfig {
+            banks,
+            bursts: 1,
+            ..SweepConfig::default()
+        };
+        let strides = [1, 2, 4, 8, 16, 3, 5, 12];
+        strides
+            .iter()
+            .map(|&s| strided_read_util(&cfg, ElemSize::B4, s))
+            .sum::<f64>()
+            / strides.len() as f64
+    };
+    let prime17 = avg(17);
+    let pow16 = avg(16);
+    assert!(
+        prime17 > pow16 + 0.1,
+        "17 banks must clearly beat 16: {prime17:.2} vs {pow16:.2}"
+    );
+}
+
+#[test]
+fn energy_efficiency_improves_at_scale() {
+    let base_cfg = SystemConfig::paper(SystemKind::Base);
+    let pack_cfg = SystemConfig::paper(SystemKind::Pack);
+    let kb = ismt::build(96, 1, &base_cfg.kernel_params());
+    let kp = ismt::build(96, 1, &pack_cfg.kernel_params());
+    let rb = run_kernel(&base_cfg, &kb).expect("base");
+    let rp = run_kernel(&pack_cfg, &kp).expect("pack");
+    let imp = rp.efficiency_over(&rb);
+    assert!(
+        imp > 1.8,
+        "ismt energy efficiency must improve substantially: {imp:.2} (paper: 5.3x)"
+    );
+    // Power rises only moderately (paper: at most +31%).
+    assert!(
+        rp.power_mw < 1.8 * rb.power_mw,
+        "pack power out of band: {} vs {}",
+        rp.power_mw,
+        rb.power_mw
+    );
+}
