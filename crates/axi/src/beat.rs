@@ -339,10 +339,7 @@ mod tests {
         assert_eq!(ar.tail_elems, 1);
         assert_eq!(ar.beat_valid_elems(0, &bus()), 8);
         assert_eq!(ar.beat_valid_elems(2, &bus()), 1);
-        assert_eq!(
-            ar.pack_mode(),
-            Some(PackMode::Strided { stride: 5 })
-        );
+        assert_eq!(ar.pack_mode(), Some(PackMode::Strided { stride: 5 }));
         assert_eq!(ar.beat_payload_bytes(&bus()), 32);
     }
 

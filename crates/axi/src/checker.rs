@@ -191,7 +191,9 @@ impl Monitor {
 
     /// Returns `true` if every observed burst has fully completed.
     pub fn quiescent(&self) -> bool {
-        self.reads.iter().all(|q| q.is_empty()) && self.writes.is_empty() && self.awaiting_b.is_empty()
+        self.reads.iter().all(|q| q.is_empty())
+            && self.writes.is_empty()
+            && self.awaiting_b.is_empty()
     }
 
     /// Total R beats observed.
@@ -270,9 +272,10 @@ mod tests {
             last: true,
             resp: Resp::Okay,
         });
-        assert!(m
-            .violations()
-            .contains(&Violation::BadBeatWidth { expected: 8, got: 4 }));
+        assert!(m.violations().contains(&Violation::BadBeatWidth {
+            expected: 8,
+            got: 4
+        }));
     }
 
     #[test]

@@ -185,8 +185,7 @@ mod tests {
 
     #[test]
     fn indirect_addresses_shift_and_add() {
-        let ar =
-            ArBeat::packed_indirect(0, 0x0, 8, ElemSize::B4, IdxSize::B4, 0x1_0000, &bus());
+        let ar = ArBeat::packed_indirect(0, 0x0, 8, ElemSize::B4, IdxSize::B4, 0x1_0000, &bus());
         let idx = [0u64, 9, 1, 5, 1, 8, 2, 1];
         let addrs = element_addresses(&ar, Some(&idx), &bus());
         for (k, a) in addrs.iter().enumerate() {

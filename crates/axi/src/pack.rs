@@ -153,7 +153,7 @@ mod tests {
         for idx_size in IdxSize::ALL {
             let m = PackMode::Indirect {
                 idx_size,
-                elem_base: 0xdead_beef_00,
+                elem_base: 0x00de_adbe_ef00,
             };
             assert_eq!(PackMode::decode(m.encode()), Some(m));
         }

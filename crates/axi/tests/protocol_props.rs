@@ -15,11 +15,7 @@ fn buses() -> impl Strategy<Value = BusConfig> {
 }
 
 fn elems() -> impl Strategy<Value = ElemSize> {
-    prop_oneof![
-        Just(ElemSize::B4),
-        Just(ElemSize::B8),
-        Just(ElemSize::B16),
-    ]
+    prop_oneof![Just(ElemSize::B4), Just(ElemSize::B8), Just(ElemSize::B16),]
 }
 
 proptest! {

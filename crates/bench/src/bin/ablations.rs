@@ -11,7 +11,11 @@ use axi_proto::{ElemSize, IdxSize};
 use pack_ctrl::StagePolicy;
 
 fn main() {
-    let bursts = if std::env::args().any(|a| a == "--smoke") { 1 } else { 2 };
+    let bursts = if std::env::args().any(|a| a == "--smoke") {
+        1
+    } else {
+        2
+    };
 
     // 1. Queue depth: indirect reads on 17 banks.
     println!("Ablation 1 — decoupling-queue depth (indirect 32/32-bit, 17 banks)\n");
@@ -50,7 +54,10 @@ fn main() {
     .collect();
     println!(
         "{}",
-        markdown(&["policy", "32b elem / 32b idx", "256b elem / 8b idx"], &rows)
+        markdown(
+            &["policy", "32b elem / 32b idx", "256b elem / 8b idx"],
+            &rows
+        )
     );
 
     // 3. Prime vs power-of-two banks at matched counts.
@@ -66,11 +73,7 @@ fn main() {
                 };
                 strided_read_util_avg(&cfg, ElemSize::B4)
             };
-            vec![
-                format!("{a} vs {b}"),
-                pct(util(a)),
-                pct(util(b)),
-            ]
+            vec![format!("{a} vs {b}"), pct(util(a)), pct(util(b))]
         })
         .collect();
     println!(

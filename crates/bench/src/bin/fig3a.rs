@@ -47,5 +47,8 @@ fn main() {
         )
     );
     let avg: f64 = runs.iter().map(|r| r.pack_vs_ideal()).sum::<f64>() / runs.len() as f64;
-    println!("\npack achieves {:.1}% of ideal performance on average", 100.0 * avg);
+    println!(
+        "\npack achieves {:.1}% of ideal performance on average",
+        100.0 * avg
+    );
 }

@@ -26,7 +26,12 @@ fn main() {
     println!(
         "{}",
         markdown(
-            &["kernel", "base power (mW)", "pack power (mW)", "energy eff. impr."],
+            &[
+                "kernel",
+                "base power (mW)",
+                "pack power (mW)",
+                "energy eff. impr."
+            ],
             &rows
         )
     );

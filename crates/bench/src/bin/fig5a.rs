@@ -5,7 +5,11 @@ use axi_pack_bench::fig5::{fig5a, BANK_COUNTS};
 use axi_pack_bench::table::{markdown, pct};
 
 fn main() {
-    let bursts = if std::env::args().any(|a| a == "--smoke") { 1 } else { 3 };
+    let bursts = if std::env::args().any(|a| a == "--smoke") {
+        1
+    } else {
+        3
+    };
     let points = fig5a(bursts);
     let mut header: Vec<String> = vec!["elem/idx (bits)".into()];
     header.extend(BANK_COUNTS.iter().map(|b| format!("{b}-bank")));

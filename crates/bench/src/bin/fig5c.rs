@@ -19,9 +19,6 @@ fn main() {
     println!("Fig. 5c — bank crossbar area (kGE)\n");
     println!(
         "{}",
-        markdown(
-            &["banks", "crossbar", "modulo", "divider", "total"],
-            &rows
-        )
+        markdown(&["banks", "crossbar", "modulo", "divider", "total"], &rows)
     );
 }

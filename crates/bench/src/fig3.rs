@@ -37,7 +37,11 @@ impl KernelRuns {
     }
 }
 
-fn run(kind: SystemKind, bus_bits: u32, build: impl Fn(&workloads::KernelParams) -> Kernel) -> RunReport {
+fn run(
+    kind: SystemKind,
+    bus_bits: u32,
+    build: impl Fn(&workloads::KernelParams) -> Kernel,
+) -> RunReport {
     let cfg = SystemConfig::with_bus(kind, bus_bits);
     let kernel = build(&cfg.kernel_params());
     run_kernel(&cfg, &kernel).expect("figure kernel must verify")
@@ -52,12 +56,7 @@ fn spmv_matrix(rows: usize, nnz_per_row: f64, seed: u64) -> CsrMatrix {
 /// Builds each of the six benchmark kernels for a given system kind, with
 /// the paper's per-system dataflow choices (gemv/trmv run row-wise on
 /// BASE, column-wise on PACK and IDEAL).
-fn kernel_for(
-    name: &str,
-    kind: SystemKind,
-    scale: Scale,
-    p: &workloads::KernelParams,
-) -> Kernel {
+fn kernel_for(name: &str, kind: SystemKind, scale: Scale, p: &workloads::KernelParams) -> Kernel {
     let n = scale.dense_dim();
     let dataflow = match kind {
         SystemKind::Base => Dataflow::RowWise,
@@ -73,7 +72,12 @@ fn kernel_for(
             p,
         ),
         "prank" => prank::build(
-            &CsrMatrix::random(scale.graph_nodes(), scale.graph_nodes(), scale.graph_degree(), SEED),
+            &CsrMatrix::random(
+                scale.graph_nodes(),
+                scale.graph_nodes(),
+                scale.graph_degree(),
+                SEED,
+            ),
             2,
             p,
         ),

@@ -12,18 +12,18 @@ pub const BANK_COUNTS: [usize; 6] = [8, 11, 16, 17, 31, 32];
 /// The element/index size pairs of Fig. 5a, ordered by rising
 /// element:index ratio as in the paper's x-axis.
 pub const SIZE_PAIRS: [(ElemSize, IdxSize); 12] = [
-    (ElemSize::B4, IdxSize::B4),   // 32/32
-    (ElemSize::B4, IdxSize::B2),   // 32/16
-    (ElemSize::B8, IdxSize::B4),   // 64/32
-    (ElemSize::B4, IdxSize::B1),   // 32/8
-    (ElemSize::B8, IdxSize::B2),   // 64/16
-    (ElemSize::B16, IdxSize::B4),  // 128/32
-    (ElemSize::B8, IdxSize::B1),   // 64/8
-    (ElemSize::B16, IdxSize::B2),  // 128/16
-    (ElemSize::B32, IdxSize::B4),  // 256/32
-    (ElemSize::B16, IdxSize::B1),  // 128/8
-    (ElemSize::B32, IdxSize::B2),  // 256/16
-    (ElemSize::B32, IdxSize::B1),  // 256/8
+    (ElemSize::B4, IdxSize::B4),  // 32/32
+    (ElemSize::B4, IdxSize::B2),  // 32/16
+    (ElemSize::B8, IdxSize::B4),  // 64/32
+    (ElemSize::B4, IdxSize::B1),  // 32/8
+    (ElemSize::B8, IdxSize::B2),  // 64/16
+    (ElemSize::B16, IdxSize::B4), // 128/32
+    (ElemSize::B8, IdxSize::B1),  // 64/8
+    (ElemSize::B16, IdxSize::B2), // 128/16
+    (ElemSize::B32, IdxSize::B4), // 256/32
+    (ElemSize::B16, IdxSize::B1), // 128/8
+    (ElemSize::B32, IdxSize::B2), // 256/16
+    (ElemSize::B32, IdxSize::B1), // 256/8
 ];
 
 /// One measured point of Fig. 5a.
@@ -115,7 +115,10 @@ mod tests {
         let ideal = sweep(None, 1);
         let r1 = indirect_read_util(&ideal, ElemSize::B4, IdxSize::B4, SEED);
         let r8 = indirect_read_util(&ideal, ElemSize::B32, IdxSize::B4, SEED);
-        assert!(r8 > r1 + 0.2, "ratio must lift the bound: {r1:.2} vs {r8:.2}");
+        assert!(
+            r8 > r1 + 0.2,
+            "ratio must lift the bound: {r1:.2} vs {r8:.2}"
+        );
     }
 
     #[test]

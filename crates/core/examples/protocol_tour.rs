@@ -14,7 +14,10 @@ fn main() {
     let bus = BusConfig::new(256);
     // 1. Encode a strided request and inspect its user field.
     let ar = ArBeat::packed_strided(1, 0x100, 16, ElemSize::B4, 5, &bus);
-    println!("strided AR: addr=0x{:x} beats={} user=0x{:x}", ar.addr, ar.beats, ar.user);
+    println!(
+        "strided AR: addr=0x{:x} beats={} user=0x{:x}",
+        ar.addr, ar.beats, ar.user
+    );
     println!("  decodes to: {}\n", ar.pack_mode().expect("packed"));
 
     // 2. Stand up a controller over a recognizable memory image.
@@ -31,7 +34,11 @@ fn main() {
     ch.ar.push(ar);
     // 4. An indirect burst: gather through the index array at 0x8000.
     let ind = ArBeat::packed_indirect(2, 0x8000, 8, ElemSize::B4, IdxSize::B4, 0, &bus);
-    println!("indirect AR: idx_addr=0x{:x} user decodes to: {}\n", ind.addr, ind.pack_mode().expect("packed"));
+    println!(
+        "indirect AR: idx_addr=0x{:x} user decodes to: {}\n",
+        ind.addr,
+        ind.pack_mode().expect("packed")
+    );
 
     let mut pending = vec![ind];
     for _cycle in 0..200 {
@@ -53,5 +60,8 @@ fn main() {
             break;
         }
     }
-    println!("\nplain AXI4 requestors see user=0, e.g. {:?}", PackMode::decode(0));
+    println!(
+        "\nplain AXI4 requestors see user=0, e.g. {:?}",
+        PackMode::decode(0)
+    );
 }

@@ -89,7 +89,10 @@ pub fn run_kernel(cfg: &SystemConfig, kernel: &Kernel) -> Result<RunReport, Stri
                 engine.tick(None, &mut storage);
                 cycles += 1;
                 if cycles > cfg.max_cycles {
-                    return Err(format!("{}: exceeded {} cycles", kernel.name, cfg.max_cycles));
+                    return Err(format!(
+                        "{}: exceeded {} cycles",
+                        kernel.name, cfg.max_cycles
+                    ));
                 }
             }
             (storage, None)
@@ -104,7 +107,10 @@ pub fn run_kernel(cfg: &SystemConfig, kernel: &Kernel) -> Result<RunReport, Stri
                 ch.end_cycle();
                 cycles += 1;
                 if cycles > cfg.max_cycles {
-                    return Err(format!("{}: exceeded {} cycles", kernel.name, cfg.max_cycles));
+                    return Err(format!(
+                        "{}: exceeded {} cycles",
+                        kernel.name, cfg.max_cycles
+                    ));
                 }
             }
             let stats = (

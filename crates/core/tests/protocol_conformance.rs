@@ -3,9 +3,7 @@
 //! user-field encoding round-trips for arbitrary parameters.
 
 use axi_proto::checker::Monitor;
-use axi_proto::{
-    element_addresses, ArBeat, AxiChannels, BusConfig, ElemSize, IdxSize, PackMode,
-};
+use axi_proto::{element_addresses, ArBeat, AxiChannels, BusConfig, ElemSize, IdxSize, PackMode};
 use banked_mem::{BankConfig, Storage};
 use pack_ctrl::{Adapter, CtrlConfig};
 use proptest::prelude::*;
@@ -16,9 +14,16 @@ fn system() -> (Adapter, AxiChannels, Monitor) {
     for w in 0..(1 << 16) {
         storage.write_u32(4 * w, w as u32);
     }
-    storage.write_u32_slice(0x10000, &(0..2048u32).map(|i| (i * 97) % 4096).collect::<Vec<_>>());
+    storage.write_u32_slice(
+        0x10000,
+        &(0..2048u32).map(|i| (i * 97) % 4096).collect::<Vec<_>>(),
+    );
     let cfg = CtrlConfig::new(bus, BankConfig::default(), 4);
-    (Adapter::new(cfg, storage), AxiChannels::new(), Monitor::new(bus))
+    (
+        Adapter::new(cfg, storage),
+        AxiChannels::new(),
+        Monitor::new(bus),
+    )
 }
 
 /// Runs a request list through the adapter under the protocol monitor.
@@ -132,7 +137,13 @@ fn two_requestors_share_one_packed_endpoint() {
     // index array at 0x10000.
     let mut pending0 = vec![ArBeat::packed_strided(1, 0x400, 32, ElemSize::B4, 3, &bus)];
     let mut pending1 = vec![ArBeat::packed_indirect(
-        2, 0x10000, 32, ElemSize::B4, IdxSize::B4, 0x0, &bus,
+        2,
+        0x10000,
+        32,
+        ElemSize::B4,
+        IdxSize::B4,
+        0x0,
+        &bus,
     )];
     let mut got: [Vec<u32>; 2] = [Vec::new(), Vec::new()];
     for _ in 0..2000 {

@@ -417,9 +417,7 @@ mod tests {
         assert!(beats[3].last);
         for (b, beat) in beats.iter().enumerate() {
             for k in 0..8 {
-                let got = u32::from_le_bytes(
-                    beat.data[k * 4..k * 4 + 4].try_into().unwrap(),
-                );
+                let got = u32::from_le_bytes(beat.data[k * 4..k * 4 + 4].try_into().unwrap());
                 assert_eq!(got, 0x5000_0000 + 0x40 + (b * 8 + k) as u32);
             }
         }
@@ -455,9 +453,9 @@ mod tests {
             assert_eq!(s, 0x5000_0000 + (k * 4) as u32);
         }
         let idx = [5u32, 3, 8, 13, 21, 34, 55, 89];
-        for k in 0..8 {
+        for (k, &i) in idx.iter().enumerate() {
             let v = u32::from_le_bytes(indirect.data[k * 4..k * 4 + 4].try_into().unwrap());
-            assert_eq!(v, 0x5000_0000 + idx[k]);
+            assert_eq!(v, 0x5000_0000 + i);
         }
     }
 
@@ -524,10 +522,9 @@ mod tests {
     fn r_channel_interleaves_fairly_under_contention() {
         let (mut adapter, mut ports) = mk();
         let bus = BusConfig::new(256);
-        adapter.storage_mut().write_u32_slice(
-            0x8000,
-            &(0..64u32).collect::<Vec<_>>(),
-        );
+        adapter
+            .storage_mut()
+            .write_u32_slice(0x8000, &(0..64u32).collect::<Vec<_>>());
         ports
             .ar
             .push(ArBeat::packed_strided(1, 0x0, 64, ElemSize::B4, 1, &bus));

@@ -25,10 +25,7 @@ use crate::CtrlConfig;
 #[derive(Debug, Clone)]
 enum RKind {
     /// Full-bus-width contiguous burst: each beat pops one word per lane.
-    Full {
-        beats: u32,
-        done_beats: u32,
-    },
+    Full { beats: u32, done_beats: u32 },
     /// Narrow single-beat transfer of one element within one word.
     Narrow {
         lane: usize,
@@ -117,7 +114,10 @@ impl BaseConverter {
     /// Panics on a packed burst, a multi-beat narrow burst, or a full-width
     /// burst that is not bus-aligned.
     pub fn accept_read(&mut self, ar: &ArBeat) {
-        assert!(ar.pack_mode().is_none(), "packed burst routed to base converter");
+        assert!(
+            ar.pack_mode().is_none(),
+            "packed burst routed to base converter"
+        );
         assert!(self.can_accept_read(), "caller must check can_accept_read");
         let ebytes = ar.size.bytes();
         if ebytes == self.bus.data_bytes() {
@@ -152,7 +152,8 @@ impl BaseConverter {
                 "narrow element must not straddle a word"
             );
             let lane = self.lane_of_word(ar.addr);
-            self.r_lanes.push_job(lane, LaneJob::Read { addr: word_addr });
+            self.r_lanes
+                .push_job(lane, LaneJob::Read { addr: word_addr });
             self.r_txns.push_back(RTxn {
                 id: ar.id,
                 kind: RKind::Narrow {
@@ -177,8 +178,14 @@ impl BaseConverter {
     ///
     /// Panics on packed, multi-beat narrow, or misaligned full-width bursts.
     pub fn accept_write(&mut self, aw: &ArBeat) {
-        assert!(aw.pack_mode().is_none(), "packed burst routed to base converter");
-        assert!(self.can_accept_write(), "caller must check can_accept_write");
+        assert!(
+            aw.pack_mode().is_none(),
+            "packed burst routed to base converter"
+        );
+        assert!(
+            self.can_accept_write(),
+            "caller must check can_accept_write"
+        );
         let seq = self.w_seq_next;
         self.w_seq_next += 1;
         let ebytes = aw.size.bytes();
@@ -191,7 +198,8 @@ impl BaseConverter {
             for b in 0..aw.beats as u64 {
                 for k in 0..self.ports as u64 {
                     let addr = aw.addr + (b * self.ports as u64 + k) * self.word_bytes as Addr;
-                    self.w_lanes.push_job(k as usize, LaneJob::AwaitData { addr });
+                    self.w_lanes
+                        .push_job(k as usize, LaneJob::AwaitData { addr });
                     self.w_refs[k as usize].push_back(seq);
                 }
             }
@@ -204,11 +212,15 @@ impl BaseConverter {
             });
         } else {
             assert_eq!(aw.beats, 1, "narrow bursts are modeled single-beat");
-            assert!(ebytes <= self.word_bytes, "narrow element must fit in a word");
+            assert!(
+                ebytes <= self.word_bytes,
+                "narrow element must fit in a word"
+            );
             let word_addr = aw.addr & !(self.word_bytes as Addr - 1);
             let word_off = (aw.addr % self.word_bytes as Addr) as usize;
             let lane = self.lane_of_word(aw.addr);
-            self.w_lanes.push_job(lane, LaneJob::AwaitData { addr: word_addr });
+            self.w_lanes
+                .push_job(lane, LaneJob::AwaitData { addr: word_addr });
             self.w_refs[lane].push_back(seq);
             self.w_txns.push_back(WTxn {
                 id: aw.id,

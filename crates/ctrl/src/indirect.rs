@@ -161,8 +161,7 @@ impl IndexStage {
             return; // back-pressure: element stage is behind
         }
         let line_start = prog.words_parsed;
-        let line_words =
-            (prog.params.idx_words - line_start).min(self.ports as u32) as usize;
+        let line_words = (prog.params.idx_words - line_start).min(self.ports as u32) as usize;
         let first_lane = (line_start as usize) % self.ports;
         debug_assert_eq!(first_lane, 0, "lines are n-word aligned by planning");
         if !(0..line_words).all(|l| self.lanes.has_resp(l)) {
@@ -345,9 +344,7 @@ impl IndirectReadConverter {
         let winner = match self.policy {
             StagePolicy::RoundRobin => self.stage_arb[lane].grant(&wants),
             StagePolicy::IndexPriority => wants.iter().position(|w| *w),
-            StagePolicy::ElementPriority => {
-                wants.iter().rposition(|w| *w)
-            }
+            StagePolicy::ElementPriority => wants.iter().rposition(|w| *w),
         };
         match winner {
             Some(0) => self.idx.pop_request(lane),
@@ -383,8 +380,7 @@ impl IndirectReadConverter {
         let mut data = vec![0u8; self.bus.data_bytes()];
         for lane in 0..entry.lanes_used {
             let word = self.elem_lanes.pop_resp(lane);
-            data[lane * self.word_bytes..(lane + 1) * self.word_bytes]
-                .copy_from_slice(&word.data);
+            data[lane * self.word_bytes..(lane + 1) * self.word_bytes].copy_from_slice(&word.data);
         }
         self.pack_q.pop_front();
         Some(RBeat {
@@ -398,7 +394,10 @@ impl IndirectReadConverter {
 
     /// Returns `true` when nothing is in flight.
     pub fn idle(&self) -> bool {
-        self.plan_q.is_empty() && self.pack_q.is_empty() && self.idx.idle() && self.elem_lanes.idle()
+        self.plan_q.is_empty()
+            && self.pack_q.is_empty()
+            && self.idx.idle()
+            && self.elem_lanes.idle()
     }
 }
 
@@ -686,15 +685,7 @@ mod tests {
         let idx: Vec<u32> = vec![0, 9, 1, 5, 1, 8, 2, 1, 40, 41, 100, 7, 3, 3, 3, 200];
         let mut conv = IndirectReadConverter::new(&c, 2);
         let mut mem = BankedMemory::new(c.bank, setup(&idx));
-        let ar = ArBeat::packed_indirect(
-            4,
-            0x8000,
-            16,
-            ElemSize::B4,
-            IdxSize::B4,
-            0x0,
-            &c.bus,
-        );
+        let ar = ArBeat::packed_indirect(4, 0x8000, 16, ElemSize::B4, IdxSize::B4, 0x0, &c.bus);
         conv.accept(&ar);
         let (beats, _) = run_read(&mut conv, &mut mem, 500);
         assert_eq!(beats.len(), 2);
@@ -703,8 +694,7 @@ mod tests {
         let addrs = element_addresses(&ar, Some(&idx64), &c.bus);
         for (k, addr) in addrs.iter().enumerate() {
             let off = (k % 8) * 4;
-            let got =
-                u32::from_le_bytes(beats[k / 8].data[off..off + 4].try_into().unwrap());
+            let got = u32::from_le_bytes(beats[k / 8].data[off..off + 4].try_into().unwrap());
             assert_eq!(got, 0x2000_0000 + (addr / 4) as u32, "element {k}");
         }
     }
@@ -715,15 +705,7 @@ mod tests {
         let idx: Vec<u32> = vec![3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5];
         let mut conv = IndirectReadConverter::new(&c, 2);
         let mut mem = BankedMemory::new(c.bank, setup(&idx));
-        let ar = ArBeat::packed_indirect(
-            0,
-            0x8000,
-            11,
-            ElemSize::B4,
-            IdxSize::B4,
-            0x0,
-            &c.bus,
-        );
+        let ar = ArBeat::packed_indirect(0, 0x8000, 11, ElemSize::B4, IdxSize::B4, 0x0, &c.bus);
         conv.accept(&ar);
         let (beats, _) = run_read(&mut conv, &mut mem, 500);
         assert_eq!(beats.len(), 2);
@@ -745,15 +727,7 @@ mod tests {
         }
         let mut conv = IndirectReadConverter::new(&c, 2);
         let mut mem = BankedMemory::new(c.bank, s);
-        let ar = ArBeat::packed_indirect(
-            0,
-            0x8000,
-            8,
-            ElemSize::B4,
-            IdxSize::B2,
-            0x0,
-            &c.bus,
-        );
+        let ar = ArBeat::packed_indirect(0, 0x8000, 8, ElemSize::B4, IdxSize::B2, 0x0, &c.bus);
         conv.accept(&ar);
         let (beats, _) = run_read(&mut conv, &mut mem, 500);
         assert_eq!(beats.len(), 1);
@@ -777,15 +751,7 @@ mod tests {
             },
             setup(&idx),
         );
-        let ar = ArBeat::packed_indirect(
-            0,
-            0x8000,
-            256,
-            ElemSize::B4,
-            IdxSize::B4,
-            0x0,
-            &c.bus,
-        );
+        let ar = ArBeat::packed_indirect(0, 0x8000, 256, ElemSize::B4, IdxSize::B4, 0x0, &c.bus);
         conv.accept(&ar);
         let (beats, cycles) = run_read(&mut conv, &mut mem, 2000);
         assert_eq!(beats.len(), 32);
@@ -837,15 +803,7 @@ mod tests {
         let idx: Vec<u32> = vec![10, 20, 30, 40, 50, 60, 70, 80];
         let mut conv = IndirectWriteConverter::new(&c, 2);
         let mut mem = BankedMemory::new(c.bank, setup(&idx));
-        let aw = ArBeat::packed_indirect(
-            6,
-            0x8000,
-            8,
-            ElemSize::B4,
-            IdxSize::B4,
-            0x0,
-            &c.bus,
-        );
+        let aw = ArBeat::packed_indirect(6, 0x8000, 8, ElemSize::B4, IdxSize::B4, 0x0, &c.bus);
         conv.accept(&aw);
         let mut data = Vec::new();
         for e in 0..8u32 {
@@ -870,15 +828,7 @@ mod tests {
         let mut conv = IndirectWriteConverter::new(&c, 2);
         let mut mem = BankedMemory::new(c.bank, setup(&idx));
         // Only 9 valid elements of the 16 the two beats could carry.
-        let aw = ArBeat::packed_indirect(
-            0,
-            0x8000,
-            9,
-            ElemSize::B4,
-            IdxSize::B4,
-            0x0,
-            &c.bus,
-        );
+        let aw = ArBeat::packed_indirect(0, 0x8000, 9, ElemSize::B4, IdxSize::B4, 0x0, &c.bus);
         conv.accept(&aw);
         let mk = |b: u32, last| {
             let mut data = Vec::new();
@@ -889,11 +839,8 @@ mod tests {
         };
         let mut w_beats = VecDeque::from([mk(0, false), mk(1, true)]);
         run_write(&mut conv, &mut mem, &mut w_beats, 500);
-        for e in 0..9usize {
-            assert_eq!(
-                mem.storage().read_u32(idx[e] as u64 * 4),
-                0xDD00_0000 + e as u32
-            );
+        for (e, &i) in idx.iter().take(9).enumerate() {
+            assert_eq!(mem.storage().read_u32(i as u64 * 4), 0xDD00_0000 + e as u32);
         }
         // Index 100 (the 10th) must be untouched.
         assert_eq!(mem.storage().read_u32(100 * 4), 0x2000_0000 + 100);

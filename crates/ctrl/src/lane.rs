@@ -164,7 +164,10 @@ impl LaneSet {
             return None;
         }
         assert!(
-            !matches!(self.jobs[lane].front(), Some(LaneJob::Write { strb: 0, .. })),
+            !matches!(
+                self.jobs[lane].front(),
+                Some(LaneJob::Write { strb: 0, .. })
+            ),
             "zero-strobe writes must be drained with take_local_ack"
         );
         assert!(self.credits[lane].take(), "wants() guaranteed a credit");
@@ -203,9 +206,7 @@ impl LaneSet {
     ///
     /// Panics if the lane has no response.
     pub fn pop_resp(&mut self, lane: usize) -> WordResp {
-        let r = self.resp[lane]
-            .pop_front()
-            .expect("pop_resp on empty lane");
+        let r = self.resp[lane].pop_front().expect("pop_resp on empty lane");
         self.credits[lane].put();
         r
     }

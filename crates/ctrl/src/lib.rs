@@ -42,7 +42,6 @@ pub use adapter::Adapter;
 pub use axi_proto::AxiChannels;
 pub use lane::{ConvId, LaneSet};
 
-
 use axi_proto::BusConfig;
 use banked_mem::BankConfig;
 

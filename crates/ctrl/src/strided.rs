@@ -54,11 +54,7 @@ pub(crate) fn for_each_strided_word<F: FnMut(u32, usize, Addr)>(
             let elem_addr = ar.addr as i64 + k * stride_bytes;
             assert!(elem_addr >= 0, "strided address underflow at element {k}");
             for w in 0..wpe {
-                f(
-                    b,
-                    e * wpe + w,
-                    elem_addr as Addr + (w * word_bytes) as Addr,
-                );
+                f(b, e * wpe + w, elem_addr as Addr + (w * word_bytes) as Addr);
             }
         }
     }
@@ -177,8 +173,7 @@ impl StridedReadConverter {
         let mut data = vec![0u8; bus_bytes];
         for lane in 0..lanes_used {
             let word = self.lanes.pop_resp(lane);
-            data[lane * self.word_bytes..(lane + 1) * self.word_bytes]
-                .copy_from_slice(&word.data);
+            data[lane * self.word_bytes..(lane + 1) * self.word_bytes].copy_from_slice(&word.data);
         }
         meta.done += 1;
         let last = meta.done == meta.beats;
@@ -479,8 +474,10 @@ mod tests {
     fn pathological_stride_on_pow2_banks_serializes() {
         // Stride of 8 words on 8 banks: every element of a beat maps to the
         // same bank, so each beat serializes over 8 grants.
-        let mut bank = BankConfig::default();
-        bank.banks = 8;
+        let bank = BankConfig {
+            banks: 8,
+            ..BankConfig::default()
+        };
         let c = CtrlConfig::new(BusConfig::new(256), bank, 4);
         let mut conv = StridedReadConverter::new(&c, 2);
         let mut mem = BankedMemory::new(c.bank, storage_with_pattern());

@@ -98,8 +98,7 @@ impl AdapterParams {
         // Stride pre-shift (<< size + log2 n).
         let stride_prep = ADDR_BITS * prim::SHIFT * 6.0;
         // Beat packer/unpacker staging register plus lane muxing.
-        let packer =
-            self.n() * self.w() * prim::FF + self.n() * self.w() * prim::MUX2 * 2.0;
+        let packer = self.n() * self.w() * prim::FF + self.n() * self.w() * prim::MUX2 * 2.0;
         let info_queue = fifo_ge(self.queue_depth, 16.0);
         let ack = if write {
             self.n() * 8.0 * prim::FF + 600.0
@@ -230,7 +229,10 @@ mod tests {
     fn indirect_is_roughly_double_strided() {
         let a = AdapterParams::paper_default();
         let ratio = a.indirect_conv_kge(false) / a.strided_conv_kge(false);
-        assert!((1.6..2.4).contains(&ratio), "two stages should ~double: {ratio:.2}");
+        assert!(
+            (1.6..2.4).contains(&ratio),
+            "two stages should ~double: {ratio:.2}"
+        );
     }
 
     #[test]

@@ -131,7 +131,10 @@ mod tests {
         let pp = m.power_mw(&pack_like());
         assert!((120.0..320.0).contains(&pb), "base power {pb:.0} mW");
         assert!((120.0..400.0).contains(&pp), "pack power {pp:.0} mW");
-        assert!(pp > pb, "pack compresses the same activity into fewer cycles");
+        assert!(
+            pp > pb,
+            "pack compresses the same activity into fewer cycles"
+        );
     }
 
     #[test]

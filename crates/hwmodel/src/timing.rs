@@ -84,6 +84,10 @@ mod tests {
         let p = AdapterParams::paper_default();
         let near = area_at_period_kge(&p, min_period_ps(256) + 10.0).expect("feasible");
         let at_1ghz = area_at_period_kge(&p, 1000.0).expect("feasible");
-        assert!(near / at_1ghz < 1.6, "wall blow-up too large: {}", near / at_1ghz);
+        assert!(
+            near / at_1ghz < 1.6,
+            "wall blow-up too large: {}",
+            near / at_1ghz
+        );
     }
 }

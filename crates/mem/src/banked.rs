@@ -218,16 +218,27 @@ impl BankedMemory {
         let commit = self.cfg.commit_writes;
         for bank in self.banks.iter_mut() {
             if let Some(req) = bank.end_cycle() {
-                responses.push(Self::access(&mut self.storage, self.cfg.word_bytes, req, commit));
+                responses.push(Self::access(
+                    &mut self.storage,
+                    self.cfg.word_bytes,
+                    req,
+                    commit,
+                ));
                 self.total_accesses += 1;
             }
         }
         // Ideal path: serve everything accepted `latency` cycles ago.
         if self.cfg.conflict_free {
-            self.ideal_delay.push_back(std::mem::take(&mut self.ideal_overflow));
+            self.ideal_delay
+                .push_back(std::mem::take(&mut self.ideal_overflow));
             if self.ideal_delay.len() >= self.cfg.latency.max(1) {
                 for req in self.ideal_delay.pop_front().expect("nonempty") {
-                    responses.push(Self::access(&mut self.storage, self.cfg.word_bytes, req, commit));
+                    responses.push(Self::access(
+                        &mut self.storage,
+                        self.cfg.word_bytes,
+                        req,
+                        commit,
+                    ));
                     self.total_accesses += 1;
                 }
             }
@@ -391,7 +402,10 @@ mod tests {
             m.end_cycle();
             cycles += 1;
         }
-        assert!(cycles >= 4, "conflicting accesses must serialize, took {cycles}");
+        assert!(
+            cycles >= 4,
+            "conflicting accesses must serialize, took {cycles}"
+        );
         assert!(m.conflict_stall_events() > 0);
     }
 

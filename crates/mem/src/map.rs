@@ -146,10 +146,8 @@ mod tests {
         // the pathology prime bank counts avoid.
         let pow2 = BankMap::new(16, 4);
         let prime = BankMap::new(17, 4);
-        let pow2_banks: HashSet<usize> =
-            (0..16u64).map(|k| pow2.bank_of(k * 16 * 4)).collect();
-        let prime_banks: HashSet<usize> =
-            (0..16u64).map(|k| prime.bank_of(k * 16 * 4)).collect();
+        let pow2_banks: HashSet<usize> = (0..16u64).map(|k| pow2.bank_of(k * 16 * 4)).collect();
+        let prime_banks: HashSet<usize> = (0..16u64).map(|k| prime.bank_of(k * 16 * 4)).collect();
         assert_eq!(pow2_banks.len(), 1);
         assert_eq!(prime_banks.len(), 16);
     }

@@ -113,7 +113,9 @@ impl Storage {
 
     /// Reads `n` contiguous `f32` values.
     pub fn read_f32_slice(&self, addr: Addr, n: usize) -> Vec<f32> {
-        (0..n).map(|i| self.read_f32(addr + 4 * i as Addr)).collect()
+        (0..n)
+            .map(|i| self.read_f32(addr + 4 * i as Addr))
+            .collect()
     }
 
     /// Writes a slice of `u32` values contiguously.
@@ -125,7 +127,9 @@ impl Storage {
 
     /// Reads `n` contiguous `u32` values.
     pub fn read_u32_slice(&self, addr: Addr, n: usize) -> Vec<u32> {
-        (0..n).map(|i| self.read_u32(addr + 4 * i as Addr)).collect()
+        (0..n)
+            .map(|i| self.read_u32(addr + 4 * i as Addr))
+            .collect()
     }
 
     /// Borrows the raw bytes (for whole-image comparisons in tests).
@@ -207,7 +211,10 @@ mod tests {
         let mut s = Storage::new(16);
         s.write(0, &[0xAA; 8]);
         s.write_masked(0, &[0x55; 8], 0b0000_1111);
-        assert_eq!(&s.as_bytes()[..8], &[0x55, 0x55, 0x55, 0x55, 0xAA, 0xAA, 0xAA, 0xAA]);
+        assert_eq!(
+            &s.as_bytes()[..8],
+            &[0x55, 0x55, 0x55, 0x55, 0xAA, 0xAA, 0xAA, 0xAA]
+        );
     }
 
     #[test]

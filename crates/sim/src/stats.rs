@@ -279,13 +279,16 @@ impl Histogram {
 
 impl std::fmt::Display for Histogram {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: n={} mean={:.1} max={}", self.name, self.count, self.mean(), self.max)?;
+        write!(
+            f,
+            "{}: n={} mean={:.1} max={}",
+            self.name,
+            self.count,
+            self.mean(),
+            self.max
+        )?;
         if self.count > 0 {
-            let top = self
-                .buckets
-                .iter()
-                .rposition(|c| *c > 0)
-                .unwrap_or(0);
+            let top = self.buckets.iter().rposition(|c| *c > 0).unwrap_or(0);
             for (k, c) in self.buckets[..=top].iter().enumerate() {
                 write!(f, " [{}..{}):{}", 1u64 << k, 1u64 << (k + 1), c)?;
             }

@@ -87,10 +87,19 @@ impl EngineStats {
 /// Timing class of an in-flight instruction.
 #[derive(Debug)]
 enum Class {
-    Compute { srcs: Vec<u64>, flops_per_elem: u64 },
-    Reduction { src: u64, consumed: usize, tail: u32 },
+    Compute {
+        srcs: Vec<u64>,
+        flops_per_elem: u64,
+    },
+    Reduction {
+        src: u64,
+        consumed: usize,
+        tail: u32,
+    },
     Load,
-    Store { done: bool },
+    Store {
+        done: bool,
+    },
 }
 
 #[derive(Debug)]
@@ -296,11 +305,7 @@ impl Engine {
                 .store_active
                 .as_mut()
                 .filter(|r| r.axi_id == b.id.0)
-                .or_else(|| {
-                    self.stores_draining
-                        .iter_mut()
-                        .find(|r| r.axi_id == b.id.0)
-                })
+                .or_else(|| self.stores_draining.iter_mut().find(|r| r.axi_id == b.id.0))
                 .expect("B response matches an outstanding store");
             run.b_received += 1;
             if run.b_received == run.b_expected {
@@ -345,10 +350,9 @@ impl Engine {
                 let ready = match run.ws.front() {
                     Some((_, need)) => {
                         let avail = match src_uid {
-                            Some(uid) if uid != NO_WRITER => self
-                                .window
-                                .get(&uid)
-                                .map_or(usize::MAX, |e| e.produced),
+                            Some(uid) if uid != NO_WRITER => {
+                                self.window.get(&uid).map_or(usize::MAX, |e| e.produced)
+                            }
                             _ => usize::MAX,
                         };
                         avail >= *need
@@ -410,11 +414,7 @@ impl Engine {
         }
         if finished {
             self.loads_draining.retain(|r| r.uid != uid);
-            if self
-                .load_issuing
-                .as_ref()
-                .is_some_and(|r| r.uid == uid)
-            {
+            if self.load_issuing.as_ref().is_some_and(|r| r.uid == uid) {
                 self.load_issuing = None;
             }
         }
@@ -656,11 +656,14 @@ impl Engine {
                 self.next_uid += 1;
                 let vl = self.vl;
                 let class = self.classify(&insn);
-                self.window.insert(uid, InFlight {
-                    vl,
-                    produced: 0,
-                    class,
-                });
+                self.window.insert(
+                    uid,
+                    InFlight {
+                        vl,
+                        produced: 0,
+                        class,
+                    },
+                );
                 self.order.push_back(uid);
                 if insn.is_mem() {
                     let run = self.build_mem_run(uid, &insn);
@@ -722,15 +725,15 @@ impl Engine {
             }
             VInsn::Vluxei { vd, vidx, base } => {
                 let idx = self.regs.read_u32(vidx, vl);
-                for k in 0..vl {
-                    let v = storage.read_f32(base + idx[k] as Addr * 4);
+                for (k, &i) in idx.iter().enumerate() {
+                    let v = storage.read_f32(base + i as Addr * 4);
                     self.regs.set_elem_f32(vd, k, v);
                 }
             }
             VInsn::Vlimxei { vd, idx_addr, base } => {
                 let idx = storage.read_u32_slice(idx_addr, vl);
-                for k in 0..vl {
-                    let v = storage.read_f32(base + idx[k] as Addr * 4);
+                for (k, &i) in idx.iter().enumerate() {
+                    let v = storage.read_f32(base + i as Addr * 4);
                     self.regs.set_elem_f32(vd, k, v);
                 }
             }
@@ -746,14 +749,14 @@ impl Engine {
             }
             VInsn::Vsuxei { vs, vidx, base } => {
                 let idx = self.regs.read_u32(vidx, vl);
-                for k in 0..vl {
-                    storage.write_f32(base + idx[k] as Addr * 4, self.regs.elem_f32(vs, k));
+                for (k, &i) in idx.iter().enumerate() {
+                    storage.write_f32(base + i as Addr * 4, self.regs.elem_f32(vs, k));
                 }
             }
             VInsn::Vsimxei { vs, idx_addr, base } => {
                 let idx = storage.read_u32_slice(idx_addr, vl);
-                for k in 0..vl {
-                    storage.write_f32(base + idx[k] as Addr * 4, self.regs.elem_f32(vs, k));
+                for (k, &i) in idx.iter().enumerate() {
+                    storage.write_f32(base + i as Addr * 4, self.regs.elem_f32(vs, k));
                 }
             }
             VInsn::Vfadd { vd, vs1, vs2 } => self.elementwise(vd, vs1, vs2, |a, b| a + b),
@@ -774,12 +777,14 @@ impl Engine {
             }
             VInsn::VfmulVf { vd, rs, vs } => {
                 for k in 0..vl {
-                    self.regs.set_elem_f32(vd, k, rs * self.regs.elem_f32(vs, k));
+                    self.regs
+                        .set_elem_f32(vd, k, rs * self.regs.elem_f32(vs, k));
                 }
             }
             VInsn::VfaddVf { vd, rs, vs } => {
                 for k in 0..vl {
-                    self.regs.set_elem_f32(vd, k, rs + self.regs.elem_f32(vs, k));
+                    self.regs
+                        .set_elem_f32(vd, k, rs + self.regs.elem_f32(vs, k));
                 }
             }
             VInsn::VmvVf { vd, imm } => {
@@ -836,9 +841,7 @@ impl Engine {
     fn build_ideal_run(&mut self, uid: u64, insn: &VInsn) -> MemRun {
         let is_store = insn.is_store();
         let src_uid = if is_store {
-            insn.sources()
-                .first()
-                .map(|v| self.reg_writer[*v as usize])
+            insn.sources().first().map(|v| self.reg_writer[*v as usize])
         } else {
             None
         };
@@ -878,8 +881,7 @@ impl Engine {
                 // Unaligned head: narrow beats up to the first bus boundary
                 // (what an AXI data-width converter does for unaligned
                 // INCR bursts), then one full-width burst.
-                let head = (((bus_bytes as Addr - base % bus_bytes as Addr)
-                    % bus_bytes as Addr)
+                let head = (((bus_bytes as Addr - base % bus_bytes as Addr) % bus_bytes as Addr)
                     / 4) as usize;
                 let head = head.min(vl);
                 for k in 0..head {
@@ -904,7 +906,14 @@ impl Engine {
             VInsn::Vlse { vd, base, stride } => {
                 match self.kind {
                     SystemKind::Pack => {
-                        let ar = ArBeat::packed_strided(id, base, vl as u32, ElemSize::B4, stride, &self.bus);
+                        let ar = ArBeat::packed_strided(
+                            id,
+                            base,
+                            vl as u32,
+                            ElemSize::B4,
+                            stride,
+                            &self.bus,
+                        );
                         for b in 0..ar.beats {
                             beat_elems.push_back(ar.beat_valid_elems(b, &self.bus));
                             lane_offs.push_back(0);
@@ -925,8 +934,8 @@ impl Engine {
             }
             VInsn::Vluxei { vd, vidx, base } => {
                 let idx = self.regs.read_u32(vidx, vl);
-                for k in 0..vl {
-                    let addr = base + idx[k] as Addr * 4;
+                for &i in &idx {
+                    let addr = base + i as Addr * 4;
                     reqs.push_back(ArBeat::narrow(id, addr, ElemSize::B4));
                     beat_elems.push_back(1);
                     lane_offs.push_back((addr % bus_bytes as Addr) as usize);
@@ -1010,8 +1019,7 @@ impl Engine {
                 assert_eq!(base % 4, 0, "vse base must be element-aligned");
                 // Unaligned head as narrow writes, then one aligned burst
                 // whose beats draw data starting at the head offset.
-                let head = (((bus_bytes as Addr - base % bus_bytes as Addr)
-                    % bus_bytes as Addr)
+                let head = (((bus_bytes as Addr - base % bus_bytes as Addr) % bus_bytes as Addr)
                     / 4) as usize;
                 let head = head.min(vl);
                 for k in 0..head {
@@ -1048,7 +1056,14 @@ impl Engine {
             }
             VInsn::Vsse { base, stride, .. } => match self.kind {
                 SystemKind::Pack => {
-                    let aw = ArBeat::packed_strided(id, base, vl as u32, ElemSize::B4, stride, &self.bus);
+                    let aw = ArBeat::packed_strided(
+                        id,
+                        base,
+                        vl as u32,
+                        ElemSize::B4,
+                        stride,
+                        &self.bus,
+                    );
                     let beats = aw.beats as usize;
                     aws.push_back(aw);
                     b_expected = 1;
@@ -1069,8 +1084,8 @@ impl Engine {
             VInsn::Vsuxei { vidx, base, .. } => {
                 let idx = self.regs.read_u32(vidx, vl);
                 b_expected = vl as u32;
-                for k in 0..vl {
-                    let addr = base + idx[k] as Addr * 4;
+                for (k, &i) in idx.iter().enumerate() {
+                    let addr = base + i as Addr * 4;
                     aws.push_back(ArBeat::narrow(id, addr, ElemSize::B4));
                     ws.push_back((Self::narrow_w(&data, k, addr, bus_bytes), k + 1));
                 }
@@ -1138,8 +1153,7 @@ impl Engine {
         for uid in done {
             self.window.remove(&uid);
         }
-        self.order
-            .retain(|uid| self.window.contains_key(uid));
+        self.order.retain(|uid| self.window.contains_key(uid));
     }
 }
 
@@ -1301,9 +1315,7 @@ mod tests {
         let expect: Vec<f32> = idx.iter().map(|&i| i as f32).collect();
         assert_eq!(engine.regs().read_f32(1, 64), expect);
         // Index beats are excluded from the data-only utilization.
-        assert!(
-            engine.stats().r_util.payload_bytes() > engine.stats().r_util_data.payload_bytes()
-        );
+        assert!(engine.stats().r_util.payload_bytes() > engine.stats().r_util_data.payload_bytes());
     }
 
     #[test]
@@ -1443,7 +1455,10 @@ mod tests {
     fn register_indexed_scatter_roundtrips() {
         let idx: Vec<u32> = vec![9, 3, 77, 12, 5, 60, 31, 2];
         let mut prog = ProgramBuilder::new().set_vl(8);
-        prog = prog.vle(1, 0x400).vle_index(2, 0x40000).vsuxei(1, 2, 0x60000);
+        prog = prog
+            .vle(1, 0x400)
+            .vle_index(2, 0x40000)
+            .vsuxei(1, 2, 0x60000);
         let cfg = VprocConfig::default();
         let ctrl = CtrlConfig::new(bus(), BankConfig::default(), 4);
         let mut storage = patterned_storage();
@@ -1522,9 +1537,6 @@ mod tests {
         }
         // Index fetch (16 cycles) + gather (16 cycles) both hit the port.
         assert!(cycles >= 32, "index traffic must cost port time: {cycles}");
-        assert!(
-            engine.stats().r_util.payload_bytes()
-                > engine.stats().r_util_data.payload_bytes()
-        );
+        assert!(engine.stats().r_util.payload_bytes() > engine.stats().r_util_data.payload_bytes());
     }
 }

@@ -248,7 +248,9 @@ impl VInsn {
                 vec![vs]
             }
             VInsn::Vsuxei { vs, vidx, .. } => vec![vs, vidx],
-            VInsn::Vfadd { vs1, vs2, .. } | VInsn::Vfmul { vs1, vs2, .. } | VInsn::Vfmin { vs1, vs2, .. } => {
+            VInsn::Vfadd { vs1, vs2, .. }
+            | VInsn::Vfmul { vs1, vs2, .. }
+            | VInsn::Vfmin { vs1, vs2, .. } => {
                 vec![vs1, vs2]
             }
             VInsn::Vfmacc { vd, vs1, vs2 } => vec![vd, vs1, vs2],

@@ -66,12 +66,7 @@ mod tests {
         let p = KernelParams::new(SystemKind::Pack, 16);
         let k = build(8, 1, &p);
         // 4 memory insns per chunk; n-1 rows, each one chunk at vl=16.
-        let mems = k
-            .program
-            .insns()
-            .iter()
-            .filter(|i| i.is_mem())
-            .count();
+        let mems = k.program.insns().iter().filter(|i| i.is_mem()).count();
         assert_eq!(mems, 7 * 4);
         assert_eq!(k.expected[0].values.len(), 64);
     }

@@ -99,10 +99,7 @@ pub(crate) fn emit_prefill(
     let mut r = 0;
     while r < n {
         let len = (n - r).min(p.max_vl);
-        b = b
-            .set_vl(len)
-            .vmv_vf(1, value)
-            .vse(1, addr + 4 * r as u64);
+        b = b.set_vl(len).vmv_vf(1, value).vse(1, addr + 4 * r as u64);
         r += len;
     }
     b

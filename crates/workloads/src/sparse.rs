@@ -257,12 +257,12 @@ mod tests {
         let m = CsrMatrix::random(16, 16, 5.0, 3);
         let x: Vec<f32> = (0..16).map(|i| 1.0 + i as f32 * 0.25).collect();
         let y = m.matvec(&x);
-        for r in 0..16 {
+        for (r, &yr) in y.iter().enumerate() {
             let mut expect = 0.0f32;
             for k in m.row_range(r) {
                 expect += m.vals()[k] * x[m.col_idx()[k] as usize];
             }
-            assert_eq!(y[r], expect);
+            assert_eq!(yr, expect);
         }
     }
 

@@ -101,10 +101,9 @@ pub fn dijkstra(graph: &CsrMatrix, source: usize) -> Vec<f32> {
     for _ in 0..n {
         let mut best = None;
         for v in 0..n {
-            if !visited[v] && dist[v].is_finite()
-                && best.is_none_or(|b: usize| dist[v] < dist[b]) {
-                    best = Some(v);
-                }
+            if !visited[v] && dist[v].is_finite() && best.is_none_or(|b: usize| dist[v] < dist[b]) {
+                best = Some(v);
+            }
         }
         let Some(u) = best else { break };
         visited[u] = true;

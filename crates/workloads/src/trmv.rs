@@ -71,7 +71,7 @@ fn col_wise(n: usize, a: u64, ya: u64, x: &[f32], p: &KernelParams) -> vproc::Pr
         // Column j intersects rows [r, r+block) only for j >= r; the
         // segment covers rows r..=min(j, r+block-1).
         let mut cur_vl = block;
-        for j in r..n {
+        for (j, &xj) in x.iter().enumerate().skip(r) {
             let seg = (j + 1 - r).min(block);
             if seg != cur_vl {
                 b = b.set_vl(seg);
@@ -80,7 +80,7 @@ fn col_wise(n: usize, a: u64, ya: u64, x: &[f32], p: &KernelParams) -> vproc::Pr
             b = b
                 .scalar(p.chunk_overhead)
                 .vlse(1, a + 4 * (r * n + j) as u64, n as i32)
-                .vfmacc_vf(4, x[j], 1);
+                .vfmacc_vf(4, xj, 1);
         }
         if cur_vl != block {
             b = b.set_vl(block);

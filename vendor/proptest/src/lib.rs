@@ -1,0 +1,387 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a miniature property-testing runner with the API subset its
+//! test suites use: the [`proptest!`] macro, [`Strategy`] over integer
+//! ranges / [`Just`] / tuples / [`collection::vec`] / [`prop_oneof!`],
+//! and the `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Differences from upstream, deliberately accepted for a shim:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs
+//!   formatted into the message instead of a minimized counterexample;
+//! * **fixed deterministic seed** per test function, so failures are
+//!   always reproducible and CI is hermetic;
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately rather than
+//!   routing a `TestCaseError` back through the runner.
+
+use std::ops::Range;
+
+/// Number of accepted cases each `proptest!` test runs.
+pub const CASES: u32 = 96;
+
+/// Cap on total attempts (accepted + rejected-by-`prop_assume!`) so a
+/// pathological assumption cannot loop forever.
+pub const MAX_ATTEMPTS: u32 = CASES * 20;
+
+/// Why a single generated case did not produce a passing verdict.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`]; the runner draws a
+    /// fresh one.
+    Reject,
+    /// The case failed; the runner panics with the message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure from anything printable — usable directly as
+    /// `.map_err(TestCaseError::fail)?`.
+    pub fn fail(reason: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+}
+
+/// Per-`proptest!` runner configuration (set via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+/// The deterministic source of randomness handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Creates the runner RNG for one test function.
+///
+/// Seeded from the test's name so distinct properties explore distinct
+/// streams while every run of the same test is identical.
+pub fn test_rng(test_name: &str) -> TestRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A generator of values of one type.
+///
+/// Object-safe (the RNG parameter is concrete) so [`prop_oneof!`] can box
+/// heterogeneous strategies with a common `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident.$idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+/// Uniform choice among boxed alternatives — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<T> {
+    /// The alternatives; `generate` picks one uniformly.
+    pub options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the given alternatives.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        use rand::Rng;
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(elem, 1..64)` — a vector of 1 to 63 elements drawn from
+    /// `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::{Strategy, TestRng};
+
+    /// The type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform `true` / `false`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            use rand::RngCore;
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategies.
+
+    macro_rules! any_mod {
+        ($($m:ident: $t:ty),*) => {$(
+            pub mod $m {
+                use crate::{Strategy, TestRng};
+
+                /// The type of [`ANY`].
+                #[derive(Debug, Clone, Copy)]
+                pub struct Any;
+
+                /// The full value range of the type, uniformly.
+                pub const ANY: Any = Any;
+
+                impl Strategy for Any {
+                    type Value = $t;
+                    fn generate(&self, rng: &mut TestRng) -> $t {
+                        use rand::RngCore;
+                        rng.next_u64() as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    any_mod!(u8: u8, u16: u16, u32: u32, u64: u64, usize: usize);
+}
+
+pub mod prelude {
+    //! Everything a property-test file needs in scope.
+
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running deterministic random cases ([`CASES`] by
+/// default; override with a leading
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(concat!(module_path!(), "::", stringify!($name)));
+            let mut accepted = 0u32;
+            let mut attempts = 0u32;
+            while accepted < config.cases {
+                attempts += 1;
+                assert!(
+                    attempts <= config.cases.saturating_mul(20),
+                    "prop_assume! rejected too many cases ({} accepted of {} attempts)",
+                    accepted,
+                    attempts,
+                );
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                let case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                match case() {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("test case failed: {msg}");
+                    }
+                }
+            }
+        }
+    )*};
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),+) $body)*
+        }
+    };
+}
+
+/// Skips the current case when `cond` is false; the runner draws a fresh
+/// one.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Like `assert!`, inside a property (no shrinking: panics immediately).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Like `assert_eq!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Like `assert_ne!`, inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among the listed strategies (all must yield the same
+/// `Value` type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        let options: ::std::vec::Vec<::std::boxed::Box<dyn $crate::Strategy<Value = _>>> =
+            vec![$(::std::boxed::Box::new($s)),+];
+        $crate::Union::new(options)
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// The runner itself works: ranges respect bounds, tuples and
+        /// vecs compose, assume rejects without failing.
+        #[test]
+        fn runner_smoke(
+            x in 3u32..10,
+            (a, b) in (0usize..4, crate::bool::ANY),
+            v in crate::collection::vec(0u64..100, 1..16),
+        ) {
+            prop_assume!(x != 5);
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(x != 5);
+            prop_assert!(a < 4);
+            prop_assert_eq!(a == a, true);
+            let _ = b;
+            prop_assert!(!v.is_empty() && v.len() < 16);
+            prop_assert!(v.iter().all(|&e| e < 100));
+        }
+
+        /// prop_oneof draws each alternative eventually.
+        #[test]
+        fn oneof_covers(tag in prop_oneof![Just(1u8), Just(2), Just(3)]) {
+            prop_assert!((1..=3).contains(&tag));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        let mut r1 = crate::test_rng("t");
+        let mut r2 = crate::test_rng("t");
+        let s = 0u64..1000;
+        for _ in 0..50 {
+            assert_eq!(s.generate(&mut r1), s.generate(&mut r2));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the small slice of `rand`'s API it actually uses:
+//!
+//! * [`SeedableRng::seed_from_u64`] — every generator in the workspace is
+//!   seeded explicitly for reproducibility;
+//! * [`Rng::gen_range`] over integer and float ranges;
+//! * [`rngs::StdRng`] as the concrete generator.
+//!
+//! The stream is a xoshiro256++ generator seeded through SplitMix64 — not
+//! bit-compatible with upstream `StdRng` (which is ChaCha-based), but the
+//! workspace only relies on determinism for a fixed seed, never on a
+//! specific stream.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Returns the next uniformly distributed 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next uniformly distributed 32-bit value.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing generator interface (blanket-implemented for every
+/// [`RngCore`]).
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on an empty range,
+    /// matching upstream `rand`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Seeding interface; only the `u64` convenience constructor is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample values of type `T` from.
+///
+/// Parameterized by the output type (as in upstream `rand`) so that a
+/// float literal range like `0.5..1.5` infers its width from the
+/// destination: `Range<f32>: SampleRange<f32>` is the only candidate
+/// when the result is stored as `f32`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Maps a uniform `u64` onto `0..n` without modulo bias (Lemire's method
+/// is overkill for a test shim; widening-multiply keeps it cheap and
+/// bias below 2^-64 for the range sizes used here).
+#[inline]
+fn below(rng: &mut impl RngCore, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    ((rng.next_u64() as u128 * n as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // 53 random bits -> unit interval [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                self.start + (unit as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for upstream's
+    /// ChaCha-based `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64 step, used to expand a 64-bit seed into generator state.
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10i32..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5usize..=9);
+            assert!((5..=9).contains(&w));
+            let f = rng.gen_range(0.5f32..1.5);
+            assert!((0.5..1.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn inclusive_range_hits_endpoints() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 3];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..=2)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
