@@ -1,4 +1,4 @@
-//! AXI channel payload types.
+//! AXI channel payload types (paper §III-B).
 //!
 //! One value of these types corresponds to one accepted handshake on the
 //! respective channel. Data channels carry real bytes so that the packing

@@ -1,4 +1,7 @@
 //! The five-channel AXI bus as a bundle of handshake FIFOs.
+//!
+//! The AR/R/AW/W/B structure of AXI4 (paper Fig. 1) that both BASE and
+//! PACK systems drive; AXI-Pack changes beat *contents*, never channels.
 
 use simkit::Fifo;
 

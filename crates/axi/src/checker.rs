@@ -21,7 +21,12 @@ pub enum Violation {
     /// The advertised burst length was exceeded without `last`.
     MissingLast(AxiId),
     /// An R beat's data length differs from the bus width.
-    BadBeatWidth { expected: usize, got: usize },
+    BadBeatWidth {
+        /// Bus width in bytes.
+        expected: usize,
+        /// Observed beat payload length in bytes.
+        got: usize,
+    },
     /// A W beat arrived with no outstanding write burst.
     OrphanWBeat,
     /// A B response arrived with no outstanding write burst awaiting one.

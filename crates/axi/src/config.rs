@@ -1,4 +1,7 @@
 //! Bus and element-size configuration.
+//!
+//! The 64/128/256-bit bus widths of the scaling studies (Fig. 3d/3e) and
+//! the element/index sizes swept in Fig. 5a/5b.
 
 /// Width configuration of one AXI data bus.
 ///

@@ -48,6 +48,17 @@ pub struct WordRef {
 /// `addr + k × stride × elem_bytes`; for indirect bursts they follow
 /// `elem_base + index[k] << log2(elem_bytes)` using the provided `indices`.
 ///
+/// # Examples
+///
+/// ```
+/// use axi_proto::{expand::element_addresses, ArBeat, BusConfig, ElemSize};
+///
+/// let bus = BusConfig::new(64); // 8 elems of 1 B per beat
+/// let ar = ArBeat::packed_strided(0, 100, 8, ElemSize::B1, 3, &bus);
+/// let addrs = element_addresses(&ar, None, &bus);
+/// assert_eq!(addrs, vec![100, 103, 106, 109, 112, 115, 118, 121]);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if called on a plain AXI4 burst, or if an indirect burst is given
@@ -87,6 +98,17 @@ pub fn element_addresses(ar: &ArBeat, indices: Option<&[u64]>, bus: &BusConfig) 
 /// of the stream always lands at byte `k × elem_bytes mod bus_bytes` of beat
 /// `k / elems_per_beat` — the property that lets the vector processor feed
 /// lanes without realignment.
+///
+/// # Examples
+///
+/// ```
+/// use axi_proto::{expand::beat_layout, BusConfig, ElemSize};
+///
+/// let bus = BusConfig::new(64); // 2 elems of 4 B per beat
+/// let beats = beat_layout(&[40, 80, 120], ElemSize::B4, &bus);
+/// assert_eq!(beats.len(), 2); // 3 elements -> 1 full + 1 partial beat
+/// assert_eq!(beats[0].elems[1].beat_offset, 4);
+/// ```
 pub fn beat_layout(elem_addrs: &[Addr], elem: ElemSize, bus: &BusConfig) -> Vec<BeatSource> {
     let epb = bus.elems_per_beat(elem);
     elem_addrs
@@ -110,6 +132,18 @@ pub fn beat_layout(elem_addrs: &[Addr], elem: ElemSize, bus: &BusConfig) -> Vec<
 /// The banked controller accesses memory in words of the bank width; an
 /// element that is wider than a word, or misaligned, decomposes into several
 /// word accesses. Word width must be a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use axi_proto::expand::split_words;
+///
+/// // A 4-byte element at address 6 straddles two 4-byte words.
+/// let frags = split_words(6, 4, 4);
+/// assert_eq!(frags.len(), 2);
+/// assert_eq!((frags[0].word_addr, frags[0].bytes), (4, 2));
+/// assert_eq!((frags[1].word_addr, frags[1].bytes), (8, 2));
+/// ```
 ///
 /// # Panics
 ///

@@ -33,6 +33,10 @@
 //! assert_eq!(ar.beats(), 8); // 8 elements per 256-bit beat
 //! ```
 
+// Public-API documentation is part of this crate's contract: every
+// public item must explain what paper structure it models.
+#![deny(missing_docs)]
+
 pub mod beat;
 pub mod channels;
 pub mod checker;

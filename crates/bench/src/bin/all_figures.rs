@@ -1,473 +1,23 @@
-//! Regenerates every table and figure of the paper's evaluation and
-//! writes the results, alongside the paper's reported values, to
-//! `EXPERIMENTS.md`.
-//!
-//! Run with `--smoke` for a quick pass on reduced problem sizes; the
-//! default reproduces the paper-scale inputs (minutes of simulation).
+//! Deprecated shim: the figure harness is now the unified `figures` CLI
+//! (`figures all` regenerates `EXPERIMENTS.md`; `figures list` shows every
+//! family). This binary keeps the old muscle-memory entry point working.
 
-use std::fmt::Write as _;
+use std::time::Instant;
 
-use axi_pack::requestor::{indirect_read_util, SweepConfig};
-use axi_pack::{run_kernel, SystemConfig};
-use axi_pack_bench::fig3::{fig3a, fig3b, fig3c, fig3d, fig3e, BUS_WIDTHS};
-use axi_pack_bench::fig4::{energy_row, fig4a, fig4b};
-use axi_pack_bench::fig5::{fig5a, fig5b, fig5c, BANK_COUNTS};
-use axi_pack_bench::table::{f, markdown, pct};
-use axi_pack_bench::Scale;
+use axi_pack_bench::{experiments, Scale};
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
-    let scale = if smoke { Scale::Smoke } else { Scale::Paper };
-    let mut out = String::new();
-    let w = &mut out;
-
-    writeln!(w, "# EXPERIMENTS — paper vs. reproduction\n").unwrap();
-    writeln!(
-        w,
-        "Regenerated by `cargo run --release -p axi-pack-bench --bin all_figures{}`.\n",
-        if smoke { " -- --smoke" } else { "" }
-    )
-    .unwrap();
-    writeln!(
-        w,
-        "Scale: **{scale:?}** (dense dim {}, spmv ≈{} nnz/row, graphs {} nodes × ≈{} degree).\n",
-        scale.dense_dim(),
-        scale.spmv_nnz_per_row(),
-        scale.graph_nodes(),
-        scale.graph_degree()
-    )
-    .unwrap();
-    writeln!(
-        w,
-        "Absolute cycle counts come from this reproduction's cycle-level simulator, \
-         not the authors' RTL; the comparison targets are the *shapes*: who wins, by \
-         roughly what factor, and where crossovers fall. Paper numbers quoted below \
-         are from the DATE 2023 text and figures.\n"
-    )
-    .unwrap();
-
-    // ---------------- Fig. 3a ----------------
-    let runs = fig3a(scale);
-    writeln!(w, "## Fig. 3a — speedups and R-bus utilizations\n").unwrap();
-    writeln!(
-        w,
-        "Paper: peak strided speedup 5.4× (ismt), peak indirect speedup 2.4× (spmv); \
-         bus utilizations up to 87 % strided (gemv) and 39 % indirect (sssp); ismt R \
-         utilization limited to ~50 % by read-write ordering; PACK reaches 97 % of \
-         IDEAL performance on average.\n"
-    )
-    .unwrap();
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            vec![
-                r.name.clone(),
-                r.base.cycles.to_string(),
-                r.pack.cycles.to_string(),
-                r.ideal.cycles.to_string(),
-                f(r.pack_speedup(), 2),
-                pct(r.pack.r_util),
-                pct(r.base.r_util),
-                pct(r.base.r_util_no_idx),
-            ]
-        })
-        .collect();
-    writeln!(
-        w,
-        "{}",
-        markdown(
-            &[
-                "kernel",
-                "base cyc",
-                "pack cyc",
-                "ideal cyc",
-                "pack speedup",
-                "pack R util",
-                "base R util",
-                "base R util (no idx)",
-            ],
-            &rows
-        )
-    )
-    .unwrap();
-    let avg: f64 = runs.iter().map(|r| r.pack_vs_ideal()).sum::<f64>() / runs.len() as f64;
-    writeln!(
-        w,
-        "\nMeasured: PACK reaches {:.1} % of IDEAL on average (paper: 97 %). Strided \
-         speedups exceed indirect ones, and PACK never loses to BASE — both paper \
-         claims hold.\n",
-        100.0 * avg
-    )
-    .unwrap();
-
-    // ---------------- Fig. 3b/3c ----------------
-    for (fig, name, data) in [("3b", "gemv", fig3b(scale)), ("3c", "trmv", fig3c(scale))] {
-        writeln!(w, "## Fig. {fig} — {name} dataflows compared\n").unwrap();
-        writeln!(
-            w,
-            "Paper: row-wise flows perform identically on BASE and PACK but are \
-             reduction-bound; column-wise flows win on PACK/IDEAL (utilizations 87 % \
-             gemv / 72 % trmv) and lose badly on BASE, which therefore sticks to \
-             row-wise.\n"
-        )
-        .unwrap();
-        let rows: Vec<Vec<String>> = data
-            .iter()
-            .map(|r| {
-                vec![
-                    r.kind.to_string(),
-                    r.dataflow.to_string(),
-                    r.report.cycles.to_string(),
-                    pct(r.report.r_util),
-                ]
-            })
-            .collect();
-        writeln!(
-            w,
-            "{}",
-            markdown(&["system", "dataflow", "cycles", "R util"], &rows)
-        )
-        .unwrap();
-        writeln!(w).unwrap();
-    }
-
-    // ---------------- Fig. 3d/3e ----------------
-    for (fig, label, xlabel, points, paper) in [
-        (
-            "3d",
-            "ismt PACK speedup scaling",
-            "matrix dim",
-            fig3d(scale),
-            "speedups converge with size to ≈1.9 / 3.2 / 5.4× for 64/128/256-bit buses",
-        ),
-        (
-            "3e",
-            "spmv PACK speedup scaling",
-            "nnz/row",
-            fig3e(scale),
-            "speedups converge with row length to ≈1.4 / 1.8 / 2.4× for 64/128/256-bit buses",
-        ),
-    ] {
-        writeln!(w, "## Fig. {fig} — {label}\n").unwrap();
-        writeln!(
-            w,
-            "Paper: {paper}; short streams roll speedups off toward 1 but never below it.\n"
-        )
-        .unwrap();
-        let mut xs: Vec<usize> = points.iter().map(|p| p.x).collect();
-        xs.sort_unstable();
-        xs.dedup();
-        let rows: Vec<Vec<String>> = xs
-            .iter()
-            .map(|&x| {
-                let mut row = vec![x.to_string()];
-                for &bus in &BUS_WIDTHS {
-                    let p = points
-                        .iter()
-                        .find(|p| p.x == x && p.bus_bits == bus)
-                        .expect("point exists");
-                    row.push(f(p.speedup, 2));
-                }
-                row
-            })
-            .collect();
-        writeln!(
-            w,
-            "{}",
-            markdown(&[xlabel, "64b bus", "128b bus", "256b bus"], &rows)
-        )
-        .unwrap();
-        writeln!(w).unwrap();
-    }
-
-    // ---------------- Fig. 4a ----------------
-    writeln!(w, "## Fig. 4a — adapter area vs. minimum clock\n").unwrap();
-    writeln!(
-        w,
-        "Paper: 69 / 130 / 257 kGE at 64/128/256 bit under a 1 GHz constraint; \
-         minimum periods 787 / 800 / 839 ps with only small area increases near the \
-         wall. (Analytical model, calibrated — see DESIGN.md.)\n"
-    )
-    .unwrap();
-    let (points, minima) = fig4a();
-    let mut periods: Vec<f64> = points.iter().map(|p| p.period_ps).collect();
-    periods.sort_by(f64::total_cmp);
-    periods.dedup();
-    let rows: Vec<Vec<String>> = periods
-        .iter()
-        .map(|&period| {
-            let mut row = vec![format!("{period:.0} ps")];
-            for bus in [64u32, 128, 256] {
-                let a = points
-                    .iter()
-                    .find(|p| p.bus_bits == bus && p.period_ps == period)
-                    .and_then(|p| p.area_kge);
-                row.push(a.map_or("infeasible".into(), |v| f(v, 1)));
-            }
-            row
-        })
-        .collect();
-    writeln!(
-        w,
-        "{}",
-        markdown(
-            &["clock period", "64b (kGE)", "128b (kGE)", "256b (kGE)"],
-            &rows
-        )
-    )
-    .unwrap();
-    writeln!(w, "\nMinimum periods:").unwrap();
-    for (bus, ps) in minima {
-        writeln!(w, "- {bus}-bit: {ps:.0} ps").unwrap();
-    }
-    writeln!(w).unwrap();
-
-    // ---------------- Fig. 4b ----------------
-    writeln!(w, "## Fig. 4b — adapter area breakdown (256 bit)\n").unwrap();
-    writeln!(
-        w,
-        "Paper: AXI4 conv 26 (10 %), stride R/W 36/37 (14 %/14 %), indir R/W 73/74 \
-         (28 %/29 %), demux 3 (1 %), memory mux 9 kGE (3 %).\n"
-    )
-    .unwrap();
-    let rows: Vec<Vec<String>> = fig4b()
-        .iter()
-        .map(|(n, kge, share)| vec![(*n).into(), f(*kge, 1), pct(*share)])
-        .collect();
-    writeln!(w, "{}", markdown(&["component", "kGE", "share"], &rows)).unwrap();
-    let total: f64 = fig4b().iter().map(|(_, kge, _)| kge).sum();
-    writeln!(w, "\nTotal: {total:.1} kGE (paper: 257 kGE).\n").unwrap();
-
-    // ---------------- Fig. 4c ----------------
-    writeln!(w, "## Fig. 4c — power and energy efficiency\n").unwrap();
-    writeln!(
-        w,
-        "Paper: PACK power rises by at most 31 % (trmv) yet energy efficiency \
-         improves everywhere, peaking at 5.3× (ismt) strided and 2.1× (sssp) \
-         indirect. (Activity-based energy model — see DESIGN.md.)\n"
-    )
-    .unwrap();
-    let rows: Vec<Vec<String>> = runs
-        .iter()
-        .map(|r| {
-            let e = energy_row(r);
-            vec![
-                e.name,
-                f(e.base_mw, 0),
-                f(e.pack_mw, 0),
-                f(e.improvement, 2),
-            ]
-        })
-        .collect();
-    writeln!(
-        w,
-        "{}",
-        markdown(
-            &["kernel", "base (mW)", "pack (mW)", "energy eff. impr."],
-            &rows
-        )
-    )
-    .unwrap();
-    writeln!(w).unwrap();
-
-    // ---------------- Fig. 5a ----------------
-    let bursts = if smoke { 1 } else { 3 };
-    writeln!(w, "## Fig. 5a — indirect read utilization\n").unwrap();
-    writeln!(
-        w,
-        "Paper: utilization rises monotonically with bank count; prime counts hold \
-         no special advantage; across bank counts the element:index ratio r caps \
-         utilization at r/(r+1) (50/67/80 % for 32-bit elements with 32/16/8-bit \
-         indices).\n"
-    )
-    .unwrap();
-    let points = fig5a(bursts);
-    let mut pairs: Vec<(axi_proto::ElemSize, axi_proto::IdxSize)> = Vec::new();
-    for p in &points {
-        if !pairs.contains(&(p.elem, p.idx)) {
-            pairs.push((p.elem, p.idx));
-        }
-    }
-    let mut header: Vec<String> = vec!["elem/idx".into()];
-    header.extend(BANK_COUNTS.iter().map(|b| format!("{b}b")));
-    header.push("ideal".into());
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let rows: Vec<Vec<String>> = pairs
-        .iter()
-        .map(|&(elem, idx)| {
-            let mut row = vec![format!("{}/{}", elem.bits(), idx.bits())];
-            for banks in BANK_COUNTS.iter().map(|b| Some(*b)).chain([None]) {
-                let p = points
-                    .iter()
-                    .find(|p| p.elem == elem && p.idx == idx && p.banks == banks)
-                    .expect("point exists");
-                row.push(pct(p.util));
-            }
-            row
-        })
-        .collect();
-    writeln!(w, "{}", markdown(&header_refs, &rows)).unwrap();
-    writeln!(w).unwrap();
-
-    // ---------------- Fig. 5b ----------------
-    let bursts = if smoke { 1 } else { 2 };
-    writeln!(
-        w,
-        "## Fig. 5b — strided read utilization (strides 0–63 averaged)\n"
-    )
-    .unwrap();
-    writeln!(
-        w,
-        "Paper: prime bank counts clearly beat powers of two; more banks and larger \
-         elements both raise utilization; 17 banks reach ≈95 % of ideal strided \
-         performance.\n"
-    )
-    .unwrap();
-    let points = fig5b(bursts);
-    let mut header: Vec<String> = vec!["element".into()];
-    header.extend(BANK_COUNTS.iter().map(|b| format!("{b}b")));
-    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    let mut elems: Vec<axi_proto::ElemSize> = Vec::new();
-    for p in &points {
-        if !elems.contains(&p.elem) {
-            elems.push(p.elem);
-        }
-    }
-    let rows: Vec<Vec<String>> = elems
-        .iter()
-        .map(|&elem| {
-            let mut row = vec![format!("{}b", elem.bits())];
-            for &banks in &BANK_COUNTS {
-                let p = points
-                    .iter()
-                    .find(|p| p.elem == elem && p.banks == banks)
-                    .expect("point exists");
-                row.push(pct(p.util));
-            }
-            row
-        })
-        .collect();
-    writeln!(w, "{}", markdown(&header_refs, &rows)).unwrap();
-    writeln!(w).unwrap();
-
-    // ---------------- Fig. 5c ----------------
-    writeln!(w, "## Fig. 5c — bank crossbar area\n").unwrap();
-    writeln!(
-        w,
-        "Paper: power-of-two crossbars are cheaper; prime counts pay modulo/divider \
-         overhead that shrinks relatively as bank count grows; 17 banks are the \
-         chosen tradeoff. (Analytical model.)\n"
-    )
-    .unwrap();
-    let rows: Vec<Vec<String>> = fig5c()
-        .iter()
-        .map(|(banks, a)| {
-            vec![
-                banks.to_string(),
-                f(a.crossbar_kge, 1),
-                f(a.modulo_kge, 1),
-                f(a.divider_kge, 1),
-                f(a.total_kge(), 1),
-            ]
-        })
-        .collect();
-    writeln!(
-        w,
-        "{}",
-        markdown(
-            &["banks", "crossbar", "modulo", "divider", "total (kGE)"],
-            &rows
-        )
-    )
-    .unwrap();
-
-    // ---------------- Extensions ----------------
-    writeln!(w, "\n## Extensions beyond the paper\n").unwrap();
-    writeln!(
-        w,
-        "**Indirect write path** — the `scatter` kernel (`y[p[k]] = a·x[k]`) \
-         drives the indirect *write* converter via `vsimxei`:\n"
-    )
-    .unwrap();
-    {
-        use vproc::SystemKind;
-        use workloads::scatter;
-        let n = 4 * scale.dense_dim();
-        let base_cfg = SystemConfig::paper(SystemKind::Base);
-        let pack_cfg = SystemConfig::paper(SystemKind::Pack);
-        let rb = run_kernel(
-            &base_cfg,
-            &scatter::build(n, 2.0, 7, &base_cfg.kernel_params()),
-        )
-        .expect("base scatter verifies");
-        let rp = run_kernel(
-            &pack_cfg,
-            &scatter::build(n, 2.0, 7, &pack_cfg.kernel_params()),
-        )
-        .expect("pack scatter verifies");
-        let rows = vec![
-            vec!["base".to_string(), rb.cycles.to_string()],
-            vec![
-                "pack".to_string(),
-                format!("{} ({:.2}x speedup)", rp.cycles, rp.speedup_over(&rb)),
-            ],
-        ];
-        writeln!(w, "{}", markdown(&["system", "cycles"], &rows)).unwrap();
-    }
-    writeln!(
-        w,
-        "\n**Stage-arbitration ablation** — round-robin (the paper's design) \
-         versus strict priorities, indirect 32/32-bit reads on 17 banks:\n"
-    )
-    .unwrap();
-    {
-        use pack_ctrl::StagePolicy;
-        let rows: Vec<Vec<String>> = [
-            StagePolicy::RoundRobin,
-            StagePolicy::IndexPriority,
-            StagePolicy::ElementPriority,
-        ]
-        .iter()
-        .map(|&policy| {
-            let cfg = SweepConfig {
-                stage_policy: policy,
-                bursts: if smoke { 1 } else { 2 },
-                ..SweepConfig::default()
-            };
-            let u = indirect_read_util(&cfg, axi_proto::ElemSize::B4, axi_proto::IdxSize::B4, 1);
-            vec![policy.to_string(), pct(u)]
-        })
-        .collect();
-        writeln!(w, "{}", markdown(&["policy", "R util"], &rows)).unwrap();
-    }
-    writeln!(
-        w,
-        "\nSee `--bin ablations` for the queue-depth sweep and the matched \
-         prime/power-of-two bank comparison, and `examples/shared_bus.rs` for \
-         the multi-requestor configuration through `axi_proto::AxiMux`.\n"
-    )
-    .unwrap();
-
-    // Known deviations, stated explicitly.
-    writeln!(w, "\n## Known deviations from the paper\n").unwrap();
-    writeln!(
-        w,
-        "- ismt PACK speedup lands around 4× (paper 5.4×) and its R utilization \
-         around 41 % (paper ~50 %): this simulator's BASE per-element path \
-         pipelines narrow transactions at ~1 element/cycle, slightly faster than \
-         the authors' RTL baseline, and burst-transition bubbles are not fully \
-         hidden.\n- trmv's PACK column-wise utilization is higher than the paper's \
-         72 % (less per-column overhead in our Ara model), which lifts trmv's \
-         speedup above gemv's; the paper orders them the other way.\n- Indirect \
-         utilizations land in the low 40 % range (paper tops out at 39 %): same \
-         direction, slightly more favorable index-stage overlap.\n- Energy and \
-         area figures come from calibrated analytical models, not synthesis; \
-         their *scaling* is structural, their absolute calibration points are \
-         taken from the paper.\n"
-    )
-    .unwrap();
-
-    std::fs::write("EXPERIMENTS.md", &out).expect("write EXPERIMENTS.md");
-    println!("{out}");
+    eprintln!("note: `all_figures` is deprecated; use `figures all` (see `figures --help`)\n");
+    let scale = Scale::from_flags(std::env::args().skip(1));
+    let threads = simkit::sweep::thread_count(None);
+    let t0 = Instant::now();
+    let (body, _) = experiments::render_body(scale);
+    let wallclock = format!(
+        "_Wall-clock: {:.2} s on {threads} worker thread(s)._",
+        t0.elapsed().as_secs_f64()
+    );
+    let doc = format!("{}{}", experiments::preamble(scale, Some(&wallclock)), body);
+    std::fs::write("EXPERIMENTS.md", &doc).expect("write EXPERIMENTS.md");
+    println!("{doc}");
     println!("\nwrote EXPERIMENTS.md");
 }

@@ -1,0 +1,423 @@
+//! The unified figure CLI: every paper figure family, the full
+//! `EXPERIMENTS.md` regeneration, ad-hoc cartesian sweeps, and single
+//! kernel runs — one binary, all sweep points fanned across cores by
+//! `simkit::sweep`.
+//!
+//! ```sh
+//! figures list                 # what can I regenerate?
+//! figures fig3a --smoke        # one figure family, quick inputs
+//! figures all                  # everything -> EXPERIMENTS.md + CSV/JSON
+//! figures all --smoke --check  # CI: regenerate, verify determinism, write nothing
+//! figures sweep --kernel spmv,gemv --backend base,pack --bus 64,256 --size 32
+//! figures sweep --ew 32,64,256 --idx 8,32 --banks 8,17
+//! figures kernel --kernel spmv --system pack --mtx path/to/heart1.mtx
+//! ```
+//!
+//! Thread count: `--threads N` or the `AXI_PACK_THREADS` environment
+//! variable; default is the host's available parallelism.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use axi_pack_bench::emit::{write_files, Table};
+use axi_pack_bench::sweeps::{
+    kernel_sweep, parse_elem, parse_idx, util_sweep, KernelPoint, KernelSweep, UtilSweep,
+    KERNEL_NAMES,
+};
+use axi_pack_bench::{experiments, figures, Scale};
+use simkit::sweep::THREADS_ENV;
+use vproc::SystemKind;
+use workloads::Dataflow;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: figures <subcommand> [options]\n\
+         \n\
+         subcommands:\n\
+         \x20 list                     list the figure families\n\
+         \x20 <figure>                 regenerate one family (fig3a..fig5c, ablations)\n\
+         \x20 all                      regenerate everything into EXPERIMENTS.md\n\
+         \x20 sweep                    ad-hoc cartesian sweep (see axes below)\n\
+         \x20 kernel                   run one kernel and print the full report\n\
+         \n\
+         common options:\n\
+         \x20 --smoke                  quick problem sizes (default: paper scale)\n\
+         \x20 --threads N              sweep worker threads (default: {} or all cores)\n\
+         \x20 --out DIR                CSV/JSON output directory (default: figures-out)\n\
+         \x20 --no-files               print tables only, write nothing\n\
+         \n\
+         all options:\n\
+         \x20 --check                  regenerate at N threads and serial, verify they\n\
+         \x20                          match, write nothing (CI mode)\n\
+         \x20 --compare-serial         also time a serial run; record both wall-clocks\n\
+         \n\
+         sweep axes (comma-separated lists):\n\
+         \x20 kernel grid:  --kernel a,b --backend base,pack,ideal --bus 64,128,256\n\
+         \x20               --size N,M [--nnz F] [--banks N,M] [--queue-depth N]\n\
+         \x20               [--dataflow row|col] [--seed N]\n\
+         \x20 util grid:    --ew 32,64,128,256 [--idx 8,16,32 | --stride 0,1,7]\n\
+         \x20               [--banks 8,17,32] [--bursts N] [--seed N]\n\
+         \n\
+         kernel options: --kernel NAME --system base|pack|ideal --bus N --banks N\n\
+         \x20             --queue-depth N --size N --nnz F --seed N --mtx FILE\n\
+         \x20             --dataflow row|col",
+        THREADS_ENV
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("figures: {msg}");
+    std::process::exit(1);
+}
+
+/// Options shared by every subcommand.
+struct Common {
+    scale: Scale,
+    out_dir: PathBuf,
+    write_files: bool,
+    rest: Vec<String>,
+}
+
+fn parse_common(args: Vec<String>) -> Common {
+    let mut scale = Scale::Paper;
+    let mut out_dir = PathBuf::from("figures-out");
+    let mut write = true;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--out" => out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            "--no-files" => write = false,
+            "--threads" => {
+                let n: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                // Read by `simkit::sweep::thread_count` at each sweep.
+                std::env::set_var(THREADS_ENV, n.to_string());
+            }
+            "--help" | "-h" => usage(),
+            _ => rest.push(a),
+        }
+    }
+    Common {
+        scale,
+        out_dir,
+        write_files: write,
+        rest,
+    }
+}
+
+fn print_tables(title: &str, tables: &[Table]) {
+    println!("{title}\n");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        print!("{}", t.to_markdown());
+    }
+}
+
+fn emit(c: &Common, name: &str, tables: &[Table]) {
+    if !c.write_files {
+        return;
+    }
+    match write_files(&c.out_dir, name, tables) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => fail(&format!("writing {name} output: {e}")),
+    }
+}
+
+fn cmd_figure(fig: &figures::Figure, c: &Common) {
+    let t0 = Instant::now();
+    let tables = (fig.render)(c.scale);
+    print_tables(fig.title, &tables);
+    println!(
+        "\n[{:.2} s on {} worker thread(s)]",
+        t0.elapsed().as_secs_f64(),
+        simkit::sweep::thread_count(None)
+    );
+    emit(c, fig.name, &tables);
+}
+
+fn cmd_all(c: &Common) {
+    let mut check = false;
+    let mut compare_serial = false;
+    for a in &c.rest {
+        match a.as_str() {
+            "--check" => check = true,
+            "--compare-serial" => compare_serial = true,
+            other => fail(&format!("unknown flag {other} for `all`")),
+        }
+    }
+    let threads = simkit::sweep::thread_count(None);
+    let t0 = Instant::now();
+    let (body, tables) = experiments::render_body(c.scale);
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    if check || compare_serial {
+        std::env::set_var(THREADS_ENV, "1");
+        let t1 = Instant::now();
+        let (serial_body, _) = experiments::render_body(c.scale);
+        let serial_elapsed = t1.elapsed().as_secs_f64();
+        std::env::set_var(THREADS_ENV, threads.to_string());
+        if serial_body != body {
+            fail("determinism violation: serial and parallel sweeps disagree");
+        }
+        if check {
+            println!(
+                "figures all --check OK: {} figure families byte-identical at {threads} thread(s) \
+                 and serial ({elapsed:.2} s vs {serial_elapsed:.2} s)",
+                tables.len(),
+            );
+            return;
+        }
+        let wallclock = format!(
+            "_Wall-clock: {elapsed:.2} s on {threads} worker thread(s) vs {serial_elapsed:.2} s \
+             serial ({:.2}× speedup)._",
+            serial_elapsed / elapsed
+        );
+        finish_all(c, &body, &tables, &wallclock);
+        return;
+    }
+    let wallclock = format!("_Wall-clock: {elapsed:.2} s on {threads} worker thread(s)._");
+    finish_all(c, &body, &tables, &wallclock);
+}
+
+fn finish_all(c: &Common, body: &str, tables: &[(&'static str, Vec<Table>)], wallclock: &str) {
+    let doc = format!(
+        "{}{}",
+        experiments::preamble(c.scale, Some(wallclock)),
+        body
+    );
+    std::fs::write("EXPERIMENTS.md", &doc).unwrap_or_else(|e| fail(&e.to_string()));
+    println!("{doc}");
+    println!("\nwrote EXPERIMENTS.md");
+    for (name, t) in tables {
+        emit(c, name, t);
+    }
+}
+
+fn split_list(v: &str) -> Vec<String> {
+    v.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect()
+}
+
+fn parse_kind(s: &str) -> SystemKind {
+    match s {
+        "base" => SystemKind::Base,
+        "pack" => SystemKind::Pack,
+        "ideal" => SystemKind::Ideal,
+        _ => usage(),
+    }
+}
+
+fn cmd_sweep(c: &Common) {
+    let mut kernels: Vec<String> = Vec::new();
+    let mut kinds: Vec<SystemKind> = Vec::new();
+    let mut buses: Vec<u32> = Vec::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut ews: Vec<String> = Vec::new();
+    let mut idxs: Vec<String> = Vec::new();
+    let mut strides: Vec<i32> = Vec::new();
+    let mut banks: Vec<usize> = Vec::new();
+    let mut bursts = 1usize;
+    let mut fixed = KernelPoint::default();
+    let mut it = c.rest.clone().into_iter();
+    let parse_list = |v: String| -> Vec<String> { split_list(&v) };
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--kernel" => kernels = parse_list(val()),
+            "--backend" => kinds = parse_list(val()).iter().map(|s| parse_kind(s)).collect(),
+            "--bus" => {
+                buses = parse_list(val())
+                    .iter()
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--size" => {
+                sizes = parse_list(val())
+                    .iter()
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--ew" => ews = parse_list(val()),
+            "--idx" => idxs = parse_list(val()),
+            "--stride" => {
+                strides = parse_list(val())
+                    .iter()
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--banks" => {
+                banks = parse_list(val())
+                    .iter()
+                    .map(|s| s.parse().unwrap_or_else(|_| usage()))
+                    .collect()
+            }
+            "--bursts" => bursts = val().parse().unwrap_or_else(|_| usage()),
+            "--nnz" => fixed.nnz = val().parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => fixed.queue_depth = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => fixed.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--dataflow" => {
+                fixed.dataflow = match val().as_str() {
+                    "row" => Dataflow::RowWise,
+                    "col" => Dataflow::ColWise,
+                    _ => usage(),
+                }
+            }
+            other => fail(&format!("unknown sweep flag {other}")),
+        }
+    }
+    let t0 = Instant::now();
+    let table = if !ews.is_empty() {
+        if !kernels.is_empty() {
+            fail("--kernel and --ew select different sweep families; pick one");
+        }
+        if !idxs.is_empty() && !strides.is_empty() {
+            fail("--idx (indirect grid) and --stride (strided grid) are exclusive; pick one");
+        }
+        let spec = UtilSweep {
+            elems: ews
+                .iter()
+                .map(|s| parse_elem(s).unwrap_or_else(|e| fail(&e)))
+                .collect(),
+            idxs: idxs
+                .iter()
+                .map(|s| parse_idx(s).unwrap_or_else(|e| fail(&e)))
+                .collect(),
+            strides: if strides.is_empty() && idxs.is_empty() {
+                (0..8).collect() // a default handful of strides
+            } else {
+                strides
+            },
+            banks: if banks.is_empty() { vec![17] } else { banks },
+            bursts,
+            seed: fixed.seed,
+        };
+        util_sweep(&spec)
+    } else {
+        if kernels.is_empty() {
+            fail("sweep needs --kernel (kernel grid) or --ew (utilization grid)");
+        }
+        let spec = KernelSweep {
+            kernels,
+            kinds: if kinds.is_empty() {
+                vec![SystemKind::Base, SystemKind::Pack]
+            } else {
+                kinds
+            },
+            buses: if buses.is_empty() { vec![256] } else { buses },
+            sizes: if sizes.is_empty() {
+                vec![fixed.size]
+            } else {
+                sizes
+            },
+            banks: if banks.is_empty() {
+                vec![fixed.banks]
+            } else {
+                banks
+            },
+            fixed,
+        };
+        kernel_sweep(&spec).unwrap_or_else(|e| fail(&e))
+    };
+    print_tables("Custom sweep", std::slice::from_ref(&table));
+    println!(
+        "\n[{} points, {:.2} s on {} worker thread(s)]",
+        table.rows.len(),
+        t0.elapsed().as_secs_f64(),
+        simkit::sweep::thread_count(None)
+    );
+    emit(c, "sweep", &[table]);
+}
+
+fn cmd_kernel(c: &Common) {
+    let mut p = KernelPoint::default();
+    let mut it = c.rest.clone().into_iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--kernel" => p.kernel = val(),
+            "--system" => p.kind = parse_kind(&val()),
+            "--bus" => p.bus_bits = val().parse().unwrap_or_else(|_| usage()),
+            "--banks" => p.banks = val().parse().unwrap_or_else(|_| usage()),
+            "--queue-depth" => p.queue_depth = val().parse().unwrap_or_else(|_| usage()),
+            "--size" => p.size = val().parse().unwrap_or_else(|_| usage()),
+            "--nnz" => p.nnz = val().parse().unwrap_or_else(|_| usage()),
+            "--seed" => p.seed = val().parse().unwrap_or_else(|_| usage()),
+            "--mtx" => p.mtx_path = Some(val()),
+            "--dataflow" => {
+                p.dataflow = match val().as_str() {
+                    "row" => Dataflow::RowWise,
+                    "col" => Dataflow::ColWise,
+                    _ => usage(),
+                }
+            }
+            other => fail(&format!("unknown kernel flag {other}")),
+        }
+    }
+    if !KERNEL_NAMES.contains(&p.kernel.as_str()) {
+        fail(&format!(
+            "unknown kernel {} (expected one of {})",
+            p.kernel,
+            KERNEL_NAMES.join("/")
+        ));
+    }
+    let (cfg, kernel) = p.build().unwrap_or_else(|e| fail(&e));
+    match axi_pack::run_kernel(&cfg, &kernel) {
+        Ok(report) => {
+            println!("{report}");
+            println!(
+                "  bank conflicts: {}, useful bytes: {}, energy: {:.2} uJ",
+                report.bank_conflicts, kernel.useful_bytes, report.energy_uj
+            );
+            println!("  functional result verified against the scalar reference");
+        }
+        Err(e) => fail(&format!("run failed: {e}")),
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let sub = args.remove(0);
+    let c = parse_common(args);
+    match sub.as_str() {
+        "list" => {
+            for f in figures::FIGURES {
+                println!("{:10} {}", f.name, f.title);
+            }
+            println!("{:10} everything -> EXPERIMENTS.md + CSV/JSON", "all");
+            println!("{:10} ad-hoc cartesian sweep", "sweep");
+            println!("{:10} one kernel, full report", "kernel");
+        }
+        "all" => cmd_all(&c),
+        "sweep" => cmd_sweep(&c),
+        "kernel" => cmd_kernel(&c),
+        name => match figures::find(name) {
+            Some(fig) => {
+                if !c.rest.is_empty() {
+                    fail(&format!("unknown flag {} for `{name}`", c.rest[0]));
+                }
+                cmd_figure(fig, &c);
+            }
+            None => {
+                eprintln!("unknown subcommand {name}\n");
+                usage();
+            }
+        },
+    }
+}

@@ -1,0 +1,190 @@
+//! Machine-readable figure output: a [`Table`] of cells rendered as
+//! markdown (via [`crate::table`]), CSV, or JSON, and written next to the
+//! human-readable tables by the `figures` CLI.
+
+use std::path::{Path, PathBuf};
+
+/// One figure's tabular data: a header plus rows of stringified cells.
+///
+/// Every figure formatter produces `Table`s; the three renderers
+/// ([`Table::to_markdown`], [`Table::to_csv`], [`Table::to_json`]) are then
+/// guaranteed to agree on the data.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column names.
+    pub header: Vec<String>,
+    /// Data rows; every row has `header.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Builds a table from a static header and stringified rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from the header's.
+    pub fn new(header: &[&str], rows: Vec<Vec<String>>) -> Self {
+        for row in &rows {
+            assert_eq!(row.len(), header.len(), "ragged table row");
+        }
+        Table {
+            header: header.iter().map(|h| (*h).into()).collect(),
+            rows,
+        }
+    }
+
+    /// Renders the table as an aligned markdown table.
+    pub fn to_markdown(&self) -> String {
+        let header: Vec<&str> = self.header.iter().map(String::as_str).collect();
+        crate::table::markdown(&header, &self.rows)
+    }
+
+    /// Renders the table as RFC-4180-style CSV (quotes cells containing
+    /// commas, quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let mut push_row = |cells: &[String]| {
+            let line: Vec<String> = cells.iter().map(|c| csv_cell(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        push_row(&self.header);
+        for row in &self.rows {
+            push_row(row);
+        }
+        out
+    }
+
+    /// Renders the table as a JSON array of objects keyed by header.
+    ///
+    /// Cells that parse as numbers are emitted as JSON numbers; `%` cells
+    /// and everything else stay strings.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for (j, (key, cell)) in self.header.iter().zip(row).enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("{}: {}", json_string(key), json_value(cell)));
+            }
+            out.push('}');
+            if i + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push(']');
+        out.push('\n');
+        out
+    }
+}
+
+fn csv_cell(cell: &str) -> String {
+    if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+        format!("\"{}\"", cell.replace('"', "\"\""))
+    } else {
+        cell.to_string()
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_value(cell: &str) -> String {
+    // Bare numbers become JSON numbers; anything else (percentages,
+    // "infeasible", names) stays a string.
+    if cell.parse::<i64>().is_ok() {
+        return cell.to_string();
+    }
+    match cell.parse::<f64>() {
+        Ok(v) if v.is_finite() => cell.to_string(),
+        _ => json_string(cell),
+    }
+}
+
+/// Writes one figure's CSV and JSON files into `dir`, creating it if
+/// needed. Multi-table figures get `-2`, `-3`, … suffixes.
+///
+/// Returns the written paths.
+pub fn write_files(dir: &Path, figure: &str, tables: &[Table]) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    for (i, table) in tables.iter().enumerate() {
+        let stem = if i == 0 {
+            figure.to_string()
+        } else {
+            format!("{figure}-{}", i + 1)
+        };
+        for (ext, contents) in [("csv", table.to_csv()), ("json", table.to_json())] {
+            let path = dir.join(format!("{stem}.{ext}"));
+            std::fs::write(&path, contents)?;
+            written.push(path);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(
+            &["kernel", "speedup", "note"],
+            vec![
+                vec!["ismt".into(), "5.40".into(), "strided, fast".into()],
+                vec!["spmv".into(), "2.40".into(), "say \"hi\"".into()],
+            ],
+        )
+    }
+
+    #[test]
+    fn csv_quotes_only_when_needed() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "kernel,speedup,note");
+        assert_eq!(lines[1], "ismt,5.40,\"strided, fast\"");
+        assert_eq!(lines[2], "spmv,2.40,\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn json_types_cells() {
+        let json = sample().to_json();
+        assert!(json.contains("\"kernel\": \"ismt\""));
+        assert!(json.contains("\"speedup\": 5.40"), "{json}");
+        assert!(json.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let _ = Table::new(&["a", "b"], vec![vec!["1".into()]]);
+    }
+
+    #[test]
+    fn files_round_trip() {
+        let dir = std::env::temp_dir().join("axi-pack-emit-test");
+        let written = write_files(&dir, "figx", &[sample(), sample()]).expect("write");
+        assert_eq!(written.len(), 4);
+        assert!(dir.join("figx.csv").exists());
+        assert!(dir.join("figx-2.json").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,7 +1,12 @@
 //! Performance figures: speedups, utilizations, dataflows and scaling
 //! (paper Fig. 3a–3e).
+//!
+//! Every figure here is expressed as a [`SweepSpec`] grid whose points run
+//! in parallel on the sweep engine; the fixed [`SEED`] keeps the results
+//! identical at any thread count.
 
 use axi_pack::{run_kernel, RunReport, SystemConfig};
+use simkit::SweepSpec;
 use vproc::SystemKind;
 use workloads::{gemv, ismt, prank, spmv, sssp, trmv, CsrMatrix, Dataflow, Kernel};
 
@@ -96,20 +101,22 @@ pub const KERNELS: [&str; 6] = ["ismt", "gemv", "trmv", "spmv", "prank", "sssp"]
 
 /// Fig. 3a: speedups over BASE and R-bus utilizations for all six
 /// workloads on the 256-bit systems.
+///
+/// The 6 × 3 (kernel × system) grid runs in parallel on the sweep engine.
 pub fn fig3a(scale: Scale) -> Vec<KernelRuns> {
-    KERNELS
-        .iter()
-        .map(|name| KernelRuns {
+    let kinds = [SystemKind::Base, SystemKind::Pack, SystemKind::Ideal];
+    let reports = SweepSpec::over(KERNELS.to_vec())
+        .cross(&kinds)
+        .seed(SEED)
+        .run(|_ctx, &(name, kind)| run(kind, 256, |p| kernel_for(name, kind, scale, p)));
+    reports
+        .chunks_exact(kinds.len())
+        .zip(&KERNELS)
+        .map(|(runs, name)| KernelRuns {
             name: (*name).into(),
-            base: run(SystemKind::Base, 256, |p| {
-                kernel_for(name, SystemKind::Base, scale, p)
-            }),
-            pack: run(SystemKind::Pack, 256, |p| {
-                kernel_for(name, SystemKind::Pack, scale, p)
-            }),
-            ideal: run(SystemKind::Ideal, 256, |p| {
-                kernel_for(name, SystemKind::Ideal, scale, p)
-            }),
+            base: runs[0].clone(),
+            pack: runs[1].clone(),
+            ideal: runs[2].clone(),
         })
         .collect()
 }
@@ -127,20 +134,16 @@ pub struct DataflowRow {
 
 fn dataflow_figure(
     scale: Scale,
-    build: impl Fn(usize, Dataflow, &workloads::KernelParams) -> Kernel,
+    build: impl Fn(usize, Dataflow, &workloads::KernelParams) -> Kernel + Sync,
 ) -> Vec<DataflowRow> {
-    let mut rows = Vec::new();
-    for kind in [SystemKind::Base, SystemKind::Pack, SystemKind::Ideal] {
-        for dataflow in [Dataflow::RowWise, Dataflow::ColWise] {
-            let report = run(kind, 256, |p| build(scale.dense_dim(), dataflow, p));
-            rows.push(DataflowRow {
-                kind,
-                dataflow,
-                report,
-            });
-        }
-    }
-    rows
+    SweepSpec::over(vec![SystemKind::Base, SystemKind::Pack, SystemKind::Ideal])
+        .cross(&[Dataflow::RowWise, Dataflow::ColWise])
+        .seed(SEED)
+        .run(|_ctx, &(kind, dataflow)| DataflowRow {
+            kind,
+            dataflow,
+            report: run(kind, 256, |p| build(scale.dense_dim(), dataflow, p)),
+        })
 }
 
 /// Fig. 3b: gemv row- versus column-wise dataflow on all three systems.
@@ -173,19 +176,18 @@ pub fn fig3d(scale: Scale) -> Vec<ScalingPoint> {
         Scale::Smoke => &[8, 16, 32, 48],
         Scale::Paper => &[8, 16, 32, 64, 128, 192, 256],
     };
-    let mut out = Vec::new();
-    for &bus in &BUS_WIDTHS {
-        for &dim in dims {
+    SweepSpec::over(BUS_WIDTHS.to_vec())
+        .cross(dims)
+        .seed(SEED)
+        .run(|_ctx, &(bus, dim)| {
             let base = run(SystemKind::Base, bus, |p| ismt::build(dim, SEED, p));
             let pack = run(SystemKind::Pack, bus, |p| ismt::build(dim, SEED, p));
-            out.push(ScalingPoint {
+            ScalingPoint {
                 x: dim,
                 bus_bits: bus,
                 speedup: pack.speedup_over(&base),
-            });
-        }
-    }
-    out
+            }
+        })
 }
 
 /// Fig. 3e: spmv PACK speedup versus average nonzeros per row and bus
@@ -199,20 +201,19 @@ pub fn fig3e(scale: Scale) -> Vec<ScalingPoint> {
         Scale::Smoke => 32,
         Scale::Paper => 64,
     };
-    let mut out = Vec::new();
-    for &bus in &BUS_WIDTHS {
-        for &nnz in nnzs {
+    SweepSpec::over(BUS_WIDTHS.to_vec())
+        .cross(nnzs)
+        .seed(SEED)
+        .run(|_ctx, &(bus, nnz)| {
             let m = spmv_matrix(rows, nnz as f64, SEED);
             let base = run(SystemKind::Base, bus, |p| spmv::build(&m, SEED, p));
             let pack = run(SystemKind::Pack, bus, |p| spmv::build(&m, SEED, p));
-            out.push(ScalingPoint {
+            ScalingPoint {
                 x: nnz,
                 bus_bits: bus,
                 speedup: pack.speedup_over(&base),
-            });
-        }
-    }
-    out
+            }
+        })
 }
 
 #[cfg(test)]

@@ -1,8 +1,12 @@
 //! Parameter-sensitivity figures (paper Fig. 5a–5c).
+//!
+//! Fig. 5a/5b are (size × bank-count) grids of independent controller
+//! measurements, run in parallel as [`SweepSpec`] sweeps.
 
 use axi_pack::requestor::{indirect_read_util, strided_read_util_avg, SweepConfig};
 use axi_proto::{ElemSize, IdxSize};
 use hwmodel::xbar::{crossbar_area, XbarArea};
+use simkit::SweepSpec;
 
 use crate::SEED;
 
@@ -51,19 +55,17 @@ fn sweep(banks: Option<usize>, bursts: usize) -> SweepConfig {
 /// Fig. 5a: indirect-read utilization for all size pairs × bank counts
 /// (plus the conflict-free ideal).
 pub fn fig5a(bursts: usize) -> Vec<IndirectUtilPoint> {
-    let mut out = Vec::new();
-    for &(elem, idx) in &SIZE_PAIRS {
-        for banks in BANK_COUNTS.iter().map(|b| Some(*b)).chain([None]) {
-            let util = indirect_read_util(&sweep(banks, bursts), elem, idx, SEED);
-            out.push(IndirectUtilPoint {
-                elem,
-                idx,
-                banks,
-                util,
-            });
-        }
-    }
-    out
+    let bank_axis: Vec<Option<usize>> =
+        BANK_COUNTS.iter().map(|b| Some(*b)).chain([None]).collect();
+    SweepSpec::over(SIZE_PAIRS.to_vec())
+        .cross(&bank_axis)
+        .seed(SEED)
+        .run(|_ctx, &((elem, idx), banks)| IndirectUtilPoint {
+            elem,
+            idx,
+            banks,
+            util: indirect_read_util(&sweep(banks, bursts), elem, idx, SEED),
+        })
 }
 
 /// One measured point of Fig. 5b.
@@ -80,15 +82,15 @@ pub struct StridedUtilPoint {
 /// Fig. 5b: strided-read utilization, averaged across strides 0–63, for
 /// element sizes 32–256 bit × bank counts.
 pub fn fig5b(bursts: usize) -> Vec<StridedUtilPoint> {
-    let elems = [ElemSize::B4, ElemSize::B8, ElemSize::B16, ElemSize::B32];
-    let mut out = Vec::new();
-    for &elem in &elems {
-        for &banks in &BANK_COUNTS {
-            let util = strided_read_util_avg(&sweep(Some(banks), bursts), elem);
-            out.push(StridedUtilPoint { elem, banks, util });
-        }
-    }
-    out
+    let elems = vec![ElemSize::B4, ElemSize::B8, ElemSize::B16, ElemSize::B32];
+    SweepSpec::over(elems)
+        .cross(&BANK_COUNTS)
+        .seed(SEED)
+        .run(|_ctx, &(elem, banks)| StridedUtilPoint {
+            elem,
+            banks,
+            util: strided_read_util_avg(&sweep(Some(banks), bursts), elem),
+        })
 }
 
 /// Fig. 5c: bank-crossbar area breakdown per bank count.

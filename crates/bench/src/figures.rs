@@ -1,0 +1,395 @@
+//! The figure registry: one [`Table`] formatter per paper figure, shared by
+//! the `figures` CLI and the `EXPERIMENTS.md` renderer so the two can never
+//! disagree.
+//!
+//! Before the unified CLI, each figure had its own binary with its own copy
+//! of the formatting code (and `all_figures` had a third copy); the
+//! builders here are the single remaining copy.
+
+use crate::emit::Table;
+use crate::fig3::{
+    fig3a, fig3b, fig3c, fig3d, fig3e, DataflowRow, KernelRuns, ScalingPoint, BUS_WIDTHS,
+};
+use crate::fig4::{energy_row, fig4a, fig4b};
+use crate::fig5::{fig5a, fig5b, fig5c, IndirectUtilPoint, StridedUtilPoint, BANK_COUNTS};
+use crate::table::{f, pct};
+use crate::Scale;
+
+/// Fig. 3a as rendered into `EXPERIMENTS.md` (8 columns).
+pub fn fig3a_table(runs: &[KernelRuns]) -> Table {
+    let rows = runs
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.base.cycles.to_string(),
+                r.pack.cycles.to_string(),
+                r.ideal.cycles.to_string(),
+                f(r.pack_speedup(), 2),
+                pct(r.pack.r_util),
+                pct(r.base.r_util),
+                pct(r.base.r_util_no_idx),
+            ]
+        })
+        .collect();
+    Table::new(
+        &[
+            "kernel",
+            "base cyc",
+            "pack cyc",
+            "ideal cyc",
+            "pack speedup",
+            "pack R util",
+            "base R util",
+            "base R util (no idx)",
+        ],
+        rows,
+    )
+}
+
+/// Average PACK-vs-IDEAL fraction quoted under the Fig. 3a table.
+pub fn fig3a_pack_vs_ideal_avg(runs: &[KernelRuns]) -> f64 {
+    runs.iter().map(|r| r.pack_vs_ideal()).sum::<f64>() / runs.len() as f64
+}
+
+/// Fig. 3b/3c dataflow-comparison table.
+pub fn dataflow_table(rows: &[DataflowRow]) -> Table {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.kind.to_string(),
+                r.dataflow.to_string(),
+                r.report.cycles.to_string(),
+                pct(r.report.r_util),
+            ]
+        })
+        .collect();
+    Table::new(&["system", "dataflow", "cycles", "R util"], rows)
+}
+
+/// Fig. 3d/3e scaling table: one row per swept x, one column per bus width.
+pub fn scaling_table(points: &[ScalingPoint], xlabel: &str) -> Table {
+    let mut xs: Vec<usize> = points.iter().map(|p| p.x).collect();
+    xs.sort_unstable();
+    xs.dedup();
+    let rows = xs
+        .iter()
+        .map(|&x| {
+            let mut row = vec![x.to_string()];
+            for &bus in &BUS_WIDTHS {
+                let p = points
+                    .iter()
+                    .find(|p| p.x == x && p.bus_bits == bus)
+                    .expect("point exists");
+                row.push(f(p.speedup, 2));
+            }
+            row
+        })
+        .collect();
+    Table::new(&[xlabel, "64b bus", "128b bus", "256b bus"], rows)
+}
+
+/// Fig. 4a area-versus-clock table plus the per-width minimum periods.
+pub fn fig4a_table() -> (Table, Vec<(u32, f64)>) {
+    let (points, minima) = fig4a();
+    let mut periods: Vec<f64> = points.iter().map(|p| p.period_ps).collect();
+    periods.sort_by(f64::total_cmp);
+    periods.dedup();
+    let rows = periods
+        .iter()
+        .map(|&period| {
+            let mut row = vec![format!("{period:.0} ps")];
+            for bus in [64u32, 128, 256] {
+                let a = points
+                    .iter()
+                    .find(|p| p.bus_bits == bus && p.period_ps == period)
+                    .and_then(|p| p.area_kge);
+                row.push(a.map_or("infeasible".into(), |v| f(v, 1)));
+            }
+            row
+        })
+        .collect();
+    (
+        Table::new(
+            &["clock period", "64b (kGE)", "128b (kGE)", "256b (kGE)"],
+            rows,
+        ),
+        minima,
+    )
+}
+
+/// Fig. 4b area-breakdown table plus the total in kGE.
+pub fn fig4b_table() -> (Table, f64) {
+    let breakdown = fig4b();
+    let rows = breakdown
+        .iter()
+        .map(|(n, kge, share)| vec![(*n).into(), f(*kge, 1), pct(*share)])
+        .collect();
+    let total: f64 = breakdown.iter().map(|(_, kge, _)| kge).sum();
+    (Table::new(&["component", "kGE", "share"], rows), total)
+}
+
+/// Fig. 4c power/energy table, derived from the Fig. 3a runs.
+pub fn fig4c_table(runs: &[KernelRuns]) -> Table {
+    let rows = runs
+        .iter()
+        .map(|r| {
+            let e = energy_row(r);
+            vec![
+                e.name,
+                f(e.base_mw, 0),
+                f(e.pack_mw, 0),
+                f(e.improvement, 2),
+            ]
+        })
+        .collect();
+    Table::new(
+        &["kernel", "base (mW)", "pack (mW)", "energy eff. impr."],
+        rows,
+    )
+}
+
+/// Fig. 5a indirect-utilization table: size pairs × bank counts + ideal.
+pub fn fig5a_table(points: &[IndirectUtilPoint]) -> Table {
+    let mut pairs: Vec<(axi_proto::ElemSize, axi_proto::IdxSize)> = Vec::new();
+    for p in points {
+        if !pairs.contains(&(p.elem, p.idx)) {
+            pairs.push((p.elem, p.idx));
+        }
+    }
+    let mut header: Vec<String> = vec!["elem/idx".into()];
+    header.extend(BANK_COUNTS.iter().map(|b| format!("{b}b")));
+    header.push("ideal".into());
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows = pairs
+        .iter()
+        .map(|&(elem, idx)| {
+            let mut row = vec![format!("{}/{}", elem.bits(), idx.bits())];
+            for banks in BANK_COUNTS.iter().map(|b| Some(*b)).chain([None]) {
+                let p = points
+                    .iter()
+                    .find(|p| p.elem == elem && p.idx == idx && p.banks == banks)
+                    .expect("point exists");
+                row.push(pct(p.util));
+            }
+            row
+        })
+        .collect();
+    Table::new(&header_refs, rows)
+}
+
+/// Fig. 5b strided-utilization table: element sizes × bank counts.
+pub fn fig5b_table(points: &[StridedUtilPoint]) -> Table {
+    let mut elems: Vec<axi_proto::ElemSize> = Vec::new();
+    for p in points {
+        if !elems.contains(&p.elem) {
+            elems.push(p.elem);
+        }
+    }
+    let mut header: Vec<String> = vec!["element".into()];
+    header.extend(BANK_COUNTS.iter().map(|b| format!("{b}b")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let rows = elems
+        .iter()
+        .map(|&elem| {
+            let mut row = vec![format!("{}b", elem.bits())];
+            for &banks in &BANK_COUNTS {
+                let p = points
+                    .iter()
+                    .find(|p| p.elem == elem && p.banks == banks)
+                    .expect("point exists");
+                row.push(pct(p.util));
+            }
+            row
+        })
+        .collect();
+    Table::new(&header_refs, rows)
+}
+
+/// Fig. 5c crossbar-area table.
+pub fn fig5c_table() -> Table {
+    let rows = fig5c()
+        .iter()
+        .map(|(banks, a)| {
+            vec![
+                banks.to_string(),
+                f(a.crossbar_kge, 1),
+                f(a.modulo_kge, 1),
+                f(a.divider_kge, 1),
+                f(a.total_kge(), 1),
+            ]
+        })
+        .collect();
+    Table::new(
+        &["banks", "crossbar", "modulo", "divider", "total (kGE)"],
+        rows,
+    )
+}
+
+/// The ablation tables (queue depth, stage policy, prime-vs-pow2 banks),
+/// formerly the `ablations` binary.
+pub fn ablation_tables(scale: Scale) -> Vec<Table> {
+    use axi_pack::requestor::{indirect_read_util, strided_read_util_avg, SweepConfig};
+    use axi_proto::{ElemSize, IdxSize};
+    use pack_ctrl::StagePolicy;
+    use simkit::SweepSpec;
+
+    let bursts = scale.ablation_bursts();
+
+    // 1. Queue depth: indirect reads on 17 banks.
+    let depths = vec![1usize, 2, 4, 8, 16, 32];
+    let queue = SweepSpec::over(depths).run(|_ctx, &depth| {
+        let cfg = SweepConfig {
+            queue_depth: depth,
+            bursts,
+            ..SweepConfig::default()
+        };
+        let u = indirect_read_util(&cfg, ElemSize::B4, IdxSize::B4, 1);
+        vec![depth.to_string(), pct(u)]
+    });
+
+    // 2. Stage arbitration policy, at two element:index ratios.
+    let policies = vec![
+        StagePolicy::RoundRobin,
+        StagePolicy::IndexPriority,
+        StagePolicy::ElementPriority,
+    ];
+    let policy = SweepSpec::over(policies).run(|_ctx, &policy| {
+        let cfg = SweepConfig {
+            stage_policy: policy,
+            bursts,
+            ..SweepConfig::default()
+        };
+        let u32b = indirect_read_util(&cfg, ElemSize::B4, IdxSize::B4, 1);
+        let u256b = indirect_read_util(&cfg, ElemSize::B32, IdxSize::B1, 1);
+        vec![policy.to_string(), pct(u32b), pct(u256b)]
+    });
+
+    // 3. Prime vs power-of-two banks at matched counts.
+    let pairs = vec![(16usize, 17usize), (31, 32)];
+    let banks = SweepSpec::over(pairs).run(|_ctx, &(a, b)| {
+        let util = |banks| {
+            let cfg = SweepConfig {
+                banks,
+                bursts: 1,
+                ..SweepConfig::default()
+            };
+            strided_read_util_avg(&cfg, ElemSize::B4)
+        };
+        vec![format!("{a} vs {b}"), pct(util(a)), pct(util(b))]
+    });
+
+    vec![
+        Table::new(&["queue depth", "R util"], queue),
+        Table::new(
+            &["policy", "32b elem / 32b idx", "256b elem / 8b idx"],
+            policy,
+        ),
+        Table::new(&["pair", "first (pow2/prime)", "second"], banks),
+    ]
+}
+
+/// One figure family of the registry.
+pub struct Figure {
+    /// Subcommand name (`fig3a` … `fig5c`, `ablations`).
+    pub name: &'static str,
+    /// Human title printed above the tables.
+    pub title: &'static str,
+    /// Renders the figure's tables at the given scale.
+    pub render: fn(Scale) -> Vec<Table>,
+}
+
+/// Every figure family the CLI can regenerate, in the paper's order.
+pub static FIGURES: &[Figure] = &[
+    Figure {
+        name: "fig3a",
+        title: "Fig. 3a — speedups and R-bus utilizations",
+        render: |scale| vec![fig3a_table(&fig3a(scale))],
+    },
+    Figure {
+        name: "fig3b",
+        title: "Fig. 3b — gemv dataflows compared",
+        render: |scale| vec![dataflow_table(&fig3b(scale))],
+    },
+    Figure {
+        name: "fig3c",
+        title: "Fig. 3c — trmv dataflows compared",
+        render: |scale| vec![dataflow_table(&fig3c(scale))],
+    },
+    Figure {
+        name: "fig3d",
+        title: "Fig. 3d — ismt PACK speedup scaling",
+        render: |scale| vec![scaling_table(&fig3d(scale), "matrix dim")],
+    },
+    Figure {
+        name: "fig3e",
+        title: "Fig. 3e — spmv PACK speedup scaling",
+        render: |scale| vec![scaling_table(&fig3e(scale), "nnz/row")],
+    },
+    Figure {
+        name: "fig4a",
+        title: "Fig. 4a — adapter area vs. minimum clock",
+        render: |_| vec![fig4a_table().0],
+    },
+    Figure {
+        name: "fig4b",
+        title: "Fig. 4b — adapter area breakdown (256 bit)",
+        render: |_| vec![fig4b_table().0],
+    },
+    Figure {
+        name: "fig4c",
+        title: "Fig. 4c — power and energy efficiency",
+        render: |scale| vec![fig4c_table(&fig3a(scale))],
+    },
+    Figure {
+        name: "fig5a",
+        title: "Fig. 5a — indirect read utilization",
+        render: |scale| vec![fig5a_table(&fig5a(scale.fig5a_bursts()))],
+    },
+    Figure {
+        name: "fig5b",
+        title: "Fig. 5b — strided read utilization (strides 0–63 averaged)",
+        render: |scale| vec![fig5b_table(&fig5b(scale.fig5b_bursts()))],
+    },
+    Figure {
+        name: "fig5c",
+        title: "Fig. 5c — bank crossbar area",
+        render: |_| vec![fig5c_table()],
+    },
+    Figure {
+        name: "ablations",
+        title: "Ablations — queue depth, stage policy, prime vs pow2 banks",
+        render: ablation_tables,
+    },
+];
+
+/// Looks a figure up by subcommand name.
+pub fn find(name: &str) -> Option<&'static Figure> {
+    FIGURES.iter().find(|f| f.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for f in FIGURES {
+            assert!(std::ptr::eq(find(f.name).expect("findable"), f));
+        }
+        let mut names: Vec<&str> = FIGURES.iter().map(|f| f.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), FIGURES.len());
+    }
+
+    #[test]
+    fn cheap_figures_render() {
+        for name in ["fig4a", "fig4b", "fig5c"] {
+            let tables = (find(name).unwrap().render)(Scale::Smoke);
+            assert!(!tables.is_empty());
+            assert!(!tables[0].rows.is_empty());
+        }
+    }
+}

@@ -1,18 +1,26 @@
 //! `axi-pack-bench` — the figure-regeneration harness.
 //!
 //! One library function per figure of the paper's evaluation (Fig. 3a–3e,
-//! 4a–4c, 5a–5c), each returning structured rows; the `src/bin` binaries
-//! print them as tables, and `bin/all_figures` regenerates the complete
-//! set into `EXPERIMENTS.md`. Criterion benches in `benches/` time the
-//! simulator itself on scaled-down versions of the same scenarios.
+//! 4a–4c, 5a–5c), each a [`simkit::SweepSpec`] grid whose points run in
+//! parallel on the sweep engine and return structured rows. The [`figures`]
+//! registry turns rows into tables (markdown + CSV + JSON via [`emit`]),
+//! [`experiments`] renders the complete `EXPERIMENTS.md`, and the single
+//! `figures` binary exposes it all as subcommands (`figures fig3a`,
+//! `figures all`, `figures sweep …`, `figures kernel …`). Criterion
+//! benches in `benches/` time the simulator itself on scaled-down versions
+//! of the same scenarios.
 //!
 //! Absolute cycle counts come from this reproduction's simulator, not the
 //! authors' RTL, so the comparison targets are the *shapes*: who wins, by
 //! roughly what factor, and where the crossovers sit (see EXPERIMENTS.md).
 
+pub mod emit;
+pub mod experiments;
 pub mod fig3;
 pub mod fig4;
 pub mod fig5;
+pub mod figures;
+pub mod sweeps;
 pub mod table;
 
 /// Problem-size preset for figure runs.
@@ -65,6 +73,43 @@ impl Scale {
         match self {
             Scale::Smoke => 6.0,
             Scale::Paper => 390.0,
+        }
+    }
+
+    /// Burst count of the Fig. 5a indirect-utilization sweep.
+    ///
+    /// These per-figure burst defaults used to be duplicated across the
+    /// figure binaries; they live here so every entry point agrees.
+    pub fn fig5a_bursts(&self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Paper => 3,
+        }
+    }
+
+    /// Burst count of the Fig. 5b strided-utilization sweep.
+    pub fn fig5b_bursts(&self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Paper => 2,
+        }
+    }
+
+    /// Burst count of the ablation sweeps (queue depth, stage policy).
+    pub fn ablation_bursts(&self) -> usize {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Paper => 2,
+        }
+    }
+
+    /// The scale selected by a `--smoke` flag in `args` (the convention
+    /// every figure entry point shares).
+    pub fn from_flags<S: AsRef<str>>(args: impl IntoIterator<Item = S>) -> Self {
+        if args.into_iter().any(|a| a.as_ref() == "--smoke") {
+            Scale::Smoke
+        } else {
+            Scale::Paper
         }
     }
 }

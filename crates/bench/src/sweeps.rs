@@ -1,0 +1,351 @@
+//! Ad-hoc cartesian sweeps for the `figures sweep` and `figures kernel`
+//! subcommands: build any (kernel × backend × bus × size) or
+//! (element-width × index-width/stride × bank) grid from CLI axis lists and
+//! run it on the parallel sweep engine.
+
+use axi_pack::requestor::{indirect_read_util, strided_read_util, SweepConfig};
+use axi_pack::{run_kernel, RunReport, SystemConfig};
+use axi_proto::{ElemSize, IdxSize};
+use simkit::SweepSpec;
+use vproc::SystemKind;
+use workloads::{gemv, ismt, prank, scatter, spmv, sssp, trmv, CsrMatrix, Dataflow, Kernel};
+
+use crate::emit::Table;
+use crate::table::{f, pct};
+
+/// The kernel names `build_kernel` accepts.
+pub const KERNEL_NAMES: [&str; 7] = ["ismt", "gemv", "trmv", "spmv", "prank", "sssp", "scatter"];
+
+/// Single-point kernel parameters shared by `figures kernel` and each
+/// point of a kernel sweep.
+#[derive(Debug, Clone)]
+pub struct KernelPoint {
+    /// Kernel name (see [`KERNEL_NAMES`]).
+    pub kernel: String,
+    /// System backend.
+    pub kind: SystemKind,
+    /// Bus width in bits.
+    pub bus_bits: u32,
+    /// Problem size (dense dim / sparse rows / graph nodes).
+    pub size: usize,
+    /// Average nonzeros per row for the sparse operands.
+    pub nnz: f64,
+    /// Bank count of the shared SRAM.
+    pub banks: usize,
+    /// Decoupling-queue depth.
+    pub queue_depth: usize,
+    /// Operand seed.
+    pub seed: u64,
+    /// Dense dataflow (gemv/trmv).
+    pub dataflow: Dataflow,
+    /// Optional Matrix Market operand overriding the random one.
+    pub mtx_path: Option<String>,
+}
+
+impl Default for KernelPoint {
+    fn default() -> Self {
+        KernelPoint {
+            kernel: "spmv".into(),
+            kind: SystemKind::Pack,
+            bus_bits: 256,
+            banks: 17,
+            queue_depth: 4,
+            size: 64,
+            nnz: 32.0,
+            seed: 42,
+            mtx_path: None,
+            dataflow: Dataflow::ColWise,
+        }
+    }
+}
+
+impl KernelPoint {
+    fn sparse_operand(&self) -> Result<CsrMatrix, String> {
+        match &self.mtx_path {
+            Some(path) => workloads::mtx::read_mtx_file(path).map_err(|e| e.to_string()),
+            None => Ok(CsrMatrix::random(
+                self.size,
+                (2 * self.size).max(self.nnz as usize * 3),
+                self.nnz,
+                self.seed,
+            )),
+        }
+    }
+
+    /// Builds the configured system and kernel.
+    pub fn build(&self) -> Result<(SystemConfig, Kernel), String> {
+        let mut cfg = SystemConfig::with_bus(self.kind, self.bus_bits);
+        cfg.banks = self.banks;
+        cfg.queue_depth = self.queue_depth;
+        let p = cfg.kernel_params();
+        let kernel = match self.kernel.as_str() {
+            "ismt" => ismt::build(self.size, self.seed, &p),
+            "gemv" => gemv::build(self.size, self.seed, self.dataflow, &p),
+            "trmv" => trmv::build(self.size, self.seed, self.dataflow, &p),
+            "spmv" => spmv::build(&self.sparse_operand()?, self.seed, &p),
+            "prank" => prank::build(&self.sparse_operand()?, 2, &p),
+            "sssp" => sssp::build(&self.sparse_operand()?, 0, 3, &p),
+            "scatter" => scatter::build(self.size, 2.0, self.seed, &p),
+            other => return Err(format!("unknown kernel {other}")),
+        };
+        Ok((cfg, kernel))
+    }
+
+    /// Builds and runs the point, returning the full report.
+    pub fn run(&self) -> Result<RunReport, String> {
+        let (cfg, kernel) = self.build()?;
+        run_kernel(&cfg, &kernel)
+    }
+}
+
+/// Axes of a `figures sweep` kernel grid; the cartesian product of the
+/// five lists is the sweep.
+#[derive(Debug, Clone)]
+pub struct KernelSweep {
+    /// Kernel-name axis.
+    pub kernels: Vec<String>,
+    /// Backend axis.
+    pub kinds: Vec<SystemKind>,
+    /// Bus-width axis (bits).
+    pub buses: Vec<u32>,
+    /// Problem-size axis.
+    pub sizes: Vec<usize>,
+    /// Bank-count axis.
+    pub banks: Vec<usize>,
+    /// Everything held fixed across the grid (nnz, queue depth, seed, …).
+    pub fixed: KernelPoint,
+}
+
+/// Runs the kernel grid in parallel and tabulates one row per point.
+pub fn kernel_sweep(spec: &KernelSweep) -> Result<Table, String> {
+    let grid = SweepSpec::over(spec.kernels.clone())
+        .cross(&spec.kinds)
+        .cross(&spec.buses)
+        .cross(&spec.sizes)
+        .cross(&spec.banks)
+        .seed(spec.fixed.seed);
+    let results = grid.run(|_ctx, point| {
+        let ((((kernel, kind), bus), size), banks) = point.clone();
+        let p = KernelPoint {
+            kernel,
+            kind,
+            bus_bits: bus,
+            size,
+            banks,
+            ..spec.fixed.clone()
+        };
+        p.run().map(|r| (p, r))
+    });
+    let mut rows = Vec::with_capacity(results.len());
+    for res in results {
+        let (p, r) = res?;
+        rows.push(vec![
+            p.kernel,
+            p.kind.to_string(),
+            p.bus_bits.to_string(),
+            p.size.to_string(),
+            p.banks.to_string(),
+            r.cycles.to_string(),
+            pct(r.r_util),
+            f(r.power_mw, 0),
+            f(r.energy_uj, 2),
+            r.bank_conflicts.to_string(),
+        ]);
+    }
+    Ok(Table::new(
+        &[
+            "kernel",
+            "system",
+            "bus",
+            "size",
+            "banks",
+            "cycles",
+            "R util",
+            "power (mW)",
+            "energy (uJ)",
+            "bank conflicts",
+        ],
+        rows,
+    ))
+}
+
+/// Axes of a controller-utilization sweep (`figures sweep --ew …`): element
+/// widths × (index widths | strides) × bank counts.
+#[derive(Debug, Clone)]
+pub struct UtilSweep {
+    /// Element-size axis.
+    pub elems: Vec<ElemSize>,
+    /// Index-size axis (indirect mode); empty selects strided mode.
+    pub idxs: Vec<IdxSize>,
+    /// Stride axis (strided mode).
+    pub strides: Vec<i32>,
+    /// Bank-count axis.
+    pub banks: Vec<usize>,
+    /// Bursts per measurement.
+    pub bursts: usize,
+    /// Index seed (indirect mode).
+    pub seed: u64,
+}
+
+/// Runs the utilization grid in parallel and tabulates one row per point.
+pub fn util_sweep(spec: &UtilSweep) -> Table {
+    let cfg = |banks| SweepConfig {
+        banks,
+        bursts: spec.bursts,
+        ..SweepConfig::default()
+    };
+    if spec.idxs.is_empty() {
+        let rows = SweepSpec::over(spec.elems.clone())
+            .cross(&spec.strides)
+            .cross(&spec.banks)
+            .seed(spec.seed)
+            .run(|_ctx, &((elem, stride), banks)| {
+                let u = strided_read_util(&cfg(banks), elem, stride);
+                vec![
+                    format!("{}b", elem.bits()),
+                    stride.to_string(),
+                    banks.to_string(),
+                    pct(u),
+                ]
+            });
+        Table::new(&["element", "stride", "banks", "R util"], rows)
+    } else {
+        let rows = SweepSpec::over(spec.elems.clone())
+            .cross(&spec.idxs)
+            .cross(&spec.banks)
+            .seed(spec.seed)
+            .run(|ctx, &((elem, idx), banks)| {
+                let u = indirect_read_util(&cfg(banks), elem, idx, ctx.seed);
+                vec![
+                    format!("{}b", elem.bits()),
+                    format!("{}b", idx.bits()),
+                    banks.to_string(),
+                    pct(u),
+                ]
+            });
+        Table::new(&["element", "index", "banks", "R util"], rows)
+    }
+}
+
+/// Parses an element width in bits (32/64/128/256, the sizes of the
+/// paper's Fig. 5 sweeps) into an [`ElemSize`].
+pub fn parse_elem(bits: &str) -> Result<ElemSize, String> {
+    match bits {
+        "32" => Ok(ElemSize::B4),
+        "64" => Ok(ElemSize::B8),
+        "128" => Ok(ElemSize::B16),
+        "256" => Ok(ElemSize::B32),
+        other => Err(format!("element width {other} not in 32/64/128/256")),
+    }
+}
+
+/// Parses an index width in bits into an [`IdxSize`].
+pub fn parse_idx(bits: &str) -> Result<IdxSize, String> {
+    match bits {
+        "8" => Ok(IdxSize::B1),
+        "16" => Ok(IdxSize::B2),
+        "32" => Ok(IdxSize::B4),
+        other => Err(format!("index width {other} not in 8/16/32")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_point_runs_and_verifies() {
+        let p = KernelPoint {
+            kernel: "ismt".into(),
+            size: 16,
+            ..KernelPoint::default()
+        };
+        let r = p.run().expect("verifies");
+        assert!(r.cycles > 0);
+    }
+
+    #[test]
+    fn kernel_sweep_tabulates_the_grid() {
+        let spec = KernelSweep {
+            kernels: vec!["ismt".into(), "gemv".into()],
+            kinds: vec![SystemKind::Base, SystemKind::Pack],
+            buses: vec![128, 256],
+            sizes: vec![16],
+            banks: vec![17],
+            fixed: KernelPoint::default(),
+        };
+        let t = kernel_sweep(&spec).expect("sweep verifies");
+        assert_eq!(t.rows.len(), 2 * 2 * 2);
+        // Row-major grid order: last axis fastest.
+        assert_eq!(t.rows[0][0], "ismt");
+        assert_eq!(t.rows[0][2], "128");
+        assert_eq!(t.rows[1][2], "256");
+    }
+
+    #[test]
+    fn kernel_runs_are_thread_count_invariant() {
+        // The acceptance bar for the sweep engine: full-system simulation
+        // points fanned across >1 worker thread return bit-identical
+        // reports, in order, at any thread count.
+        let points: Vec<KernelPoint> = ["ismt", "gemv", "spmv", "scatter"]
+            .iter()
+            .map(|k| KernelPoint {
+                kernel: (*k).into(),
+                size: 16,
+                nnz: 4.0,
+                ..KernelPoint::default()
+            })
+            .collect();
+        let cycles = |threads: usize| -> Vec<u64> {
+            SweepSpec::new(points.clone())
+                .threads(threads)
+                .run(|_ctx, p| p.run().expect("verifies").cycles)
+        };
+        let serial = cycles(1);
+        assert_eq!(serial, cycles(4));
+        assert_eq!(serial, cycles(8));
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error_not_a_panic() {
+        let spec = KernelSweep {
+            kernels: vec!["nope".into()],
+            kinds: vec![SystemKind::Base],
+            buses: vec![256],
+            sizes: vec![16],
+            banks: vec![17],
+            fixed: KernelPoint::default(),
+        };
+        assert!(kernel_sweep(&spec).is_err());
+    }
+
+    #[test]
+    fn util_sweep_both_modes() {
+        let strided = util_sweep(&UtilSweep {
+            elems: vec![ElemSize::B4],
+            idxs: vec![],
+            strides: vec![1, 2],
+            banks: vec![17],
+            bursts: 1,
+            seed: 7,
+        });
+        assert_eq!(strided.rows.len(), 2);
+        let indirect = util_sweep(&UtilSweep {
+            elems: vec![ElemSize::B4],
+            idxs: vec![IdxSize::B4],
+            strides: vec![],
+            banks: vec![8, 17],
+            bursts: 1,
+            seed: 7,
+        });
+        assert_eq!(indirect.rows.len(), 2);
+    }
+
+    #[test]
+    fn width_parsers() {
+        assert!(parse_elem("64").is_ok());
+        assert!(parse_elem("7").is_err());
+        assert!(parse_idx("16").is_ok());
+        assert!(parse_idx("64").is_err());
+    }
+}

@@ -24,9 +24,24 @@
 //! assert!(report.cycles > 0);
 //! ```
 
+// Public-API documentation is part of this crate's contract: every
+// public item must explain what paper structure it models.
+#![deny(missing_docs)]
+
 pub mod report;
 pub mod requestor;
 pub mod system;
 
 pub use report::RunReport;
 pub use system::{run_kernel, SystemConfig};
+
+// Sweep points run on `simkit::sweep` worker threads: everything a point
+// closure captures or returns must stay `Send + Sync`. Compile-time audit
+// so a stray `Rc`/`RefCell` in a config or report breaks the build here,
+// not in a distant figure harness.
+const _: () = {
+    const fn assert_thread_safe<T: Send + Sync>() {}
+    assert_thread_safe::<SystemConfig>();
+    assert_thread_safe::<RunReport>();
+    assert_thread_safe::<requestor::SweepConfig>();
+};

@@ -1,4 +1,8 @@
 //! Run reports: the measurements every figure is built from.
+//!
+//! One [`RunReport`] per (kernel × system) point carries the cycles and
+//! utilizations of Fig. 3, and the activity counts the energy model of
+//! Fig. 4c charges.
 
 use hwmodel::energy::Activity;
 use vproc::SystemKind;

@@ -32,6 +32,10 @@
 //! assert_eq!(adapter.config().ports(), 8); // 256-bit bus over 32-bit words
 //! ```
 
+// Public-API documentation is part of this crate's contract: every
+// public item must explain what paper structure it models.
+#![deny(missing_docs)]
+
 pub mod adapter;
 pub mod base;
 pub mod indirect;

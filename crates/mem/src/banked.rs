@@ -1,4 +1,8 @@
 //! Conflict-accurate banked memory endpoint.
+//!
+//! The paper's near-memory SRAM (§III-D): *m* single-port banks whose
+//! conflict behaviour under strided and random access produces the
+//! utilization curves of Fig. 5a/5b.
 
 use axi_proto::Addr;
 use simkit::{Pipeline, RoundRobin};

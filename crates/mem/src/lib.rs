@@ -23,6 +23,10 @@
 //! let _responses = mem.end_cycle();
 //! ```
 
+// Public-API documentation is part of this crate's contract: every
+// public item must explain what paper structure it models.
+#![deny(missing_docs)]
+
 pub mod banked;
 pub mod map;
 pub mod storage;

@@ -1,4 +1,8 @@
 //! Word-interleaved address-to-bank mapping.
+//!
+//! Word address modulo bank count — including the prime counts (17, 31)
+//! whose modulo/divider hardware Fig. 5c prices and whose stride
+//! robustness Fig. 5b demonstrates.
 
 use axi_proto::Addr;
 

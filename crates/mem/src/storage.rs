@@ -1,4 +1,7 @@
 //! Flat byte-addressed backing store.
+//!
+//! The functional source of truth behind the banked timing model: kernels
+//! build their operands here and verify results against it after a run.
 
 use axi_proto::Addr;
 

@@ -1,4 +1,8 @@
 //! Round-robin arbitration.
+//!
+//! The fairness policy the paper's controller uses wherever requests
+//! compete: between the index and element stages of the indirect
+//! converters (Fig. 2d) and among word lanes at the bank ports (§III-C).
 
 /// A stateful round-robin arbiter over `n` requestors.
 ///

@@ -1,4 +1,7 @@
 //! Credit counters for request regulation.
+//!
+//! Used by the converters' lane machinery (Fig. 2c/2d) to bound in-flight
+//! word requests per lane, mirroring the decoupling queues of §III-C.
 
 /// A credit counter bounding the number of in-flight operations.
 ///

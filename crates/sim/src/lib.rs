@@ -16,6 +16,12 @@
 //! that wire them together; each cycle it calls `tick` on every component
 //! (any order) and then [`Fifo::end_cycle`] on every queue.
 //!
+//! On top of the single-simulation substrate, [`sweep`] provides the
+//! *parallel sweep engine*: [`SweepSpec`] builds cartesian parameter grids
+//! and fans the independent simulation points across worker threads with
+//! deterministic per-point seeds and ordered result collection — how the
+//! figure harness regenerates the paper's evaluation on all cores.
+//!
 //! ```
 //! use simkit::Fifo;
 //!
@@ -27,17 +33,23 @@
 //! assert_eq!(q.pop(), Some(7));
 //! ```
 
+// Public-API documentation is part of this crate's contract: every
+// public item must explain what paper structure it models.
+#![deny(missing_docs)]
+
 pub mod arbiter;
 pub mod credit;
 pub mod fifo;
 pub mod pipeline;
 pub mod stats;
+pub mod sweep;
 
 pub use arbiter::RoundRobin;
 pub use credit::Credit;
 pub use fifo::Fifo;
 pub use pipeline::Pipeline;
 pub use stats::{Counter, Histogram, Utilization};
+pub use sweep::{PointCtx, SweepSpec};
 
 /// A simulation cycle index.
 ///

@@ -1,4 +1,7 @@
 //! Fixed-latency pipeline register chains.
+//!
+//! Models fixed structural latencies such as the banked SRAM's access
+//! pipeline (§III-D) without hand-written shift registers.
 
 use std::collections::VecDeque;
 

@@ -1,4 +1,7 @@
 //! Simulation statistics: event counters and channel-utilization trackers.
+//!
+//! [`Utilization`] implements the paper's headline metric — R-channel
+//! payload bytes over theoretical bus bytes (Fig. 3a, Fig. 5a/5b).
 
 /// A saturating event counter with a human-readable name.
 ///

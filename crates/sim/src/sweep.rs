@@ -1,0 +1,328 @@
+//! The parallel sweep engine: fans independent simulation points across
+//! worker threads with deterministic per-point seeds and ordered result
+//! collection.
+//!
+//! This module models nothing from the paper; it is the machinery that
+//! regenerates the paper's evaluation (Fig. 3–5 families) in parallel.
+//! Every figure is a *sweep*: a cartesian grid of (kernel × system ×
+//! parameter) points, each an independent simulation. [`SweepSpec`] builds
+//! the grid, [`SweepSpec::run`] executes it on a scoped thread pool
+//! ([`std::thread::scope`]) with a shared work-stealing cursor, and results
+//! come back in point order regardless of which worker finished first — so
+//! a sweep's output is bit-identical at any thread count.
+//!
+//! Determinism contract: the closure passed to [`SweepSpec::run`] must
+//! derive all randomness from [`PointCtx::seed`] (a [splitmix64] mix of the
+//! sweep's base seed and the point index) and must not share mutable state
+//! between points. Under that contract, `run` at 1 thread and at N threads
+//! produce identical `Vec`s.
+//!
+//! [splitmix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! ```
+//! use simkit::sweep::SweepSpec;
+//!
+//! // A 2×3 grid, squared in parallel, collected in grid order.
+//! let out = SweepSpec::over(vec![10u64, 20])
+//!     .cross(&[1u64, 2, 3])
+//!     .threads(4)
+//!     .run(|_ctx, &(a, b)| a * b);
+//! assert_eq!(out, vec![10, 20, 30, 20, 40, 60]);
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Drop guard that cancels the sweep if a point closure unwinds.
+struct CancelOnUnwind<'a>(&'a AtomicBool);
+
+impl Drop for CancelOnUnwind<'_> {
+    fn drop(&mut self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Environment variable overriding the sweep worker-thread count
+/// (`AXI_PACK_THREADS=1` forces serial execution).
+pub const THREADS_ENV: &str = "AXI_PACK_THREADS";
+
+/// Resolves the worker-thread count for a sweep.
+///
+/// Priority: the `explicit` override (a CLI flag, say), then the
+/// [`THREADS_ENV`] environment variable, then the host's available
+/// parallelism. Always at least 1.
+pub fn thread_count(explicit: Option<usize>) -> usize {
+    explicit
+        .or_else(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+        .max(1)
+}
+
+/// Mixes a sweep-level base seed and a point index into an independent
+/// per-point seed (splitmix64 finalizer).
+///
+/// Nearby indices produce statistically unrelated seeds, so every point of
+/// a sweep gets its own reproducible random stream no matter which worker
+/// thread executes it.
+pub fn point_seed(base: u64, index: usize) -> u64 {
+    let mut z = base.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-point context handed to the sweep closure.
+#[derive(Debug, Clone, Copy)]
+pub struct PointCtx {
+    /// Position of this point in the sweep (and in the result `Vec`).
+    pub index: usize,
+    /// Deterministic per-point seed ([`point_seed`] of the sweep's base
+    /// seed and `index`).
+    pub seed: u64,
+}
+
+/// A parameter sweep: an ordered list of points plus execution policy
+/// (thread count, base seed).
+///
+/// Build grids with [`SweepSpec::over`] and [`SweepSpec::cross`] (cartesian
+/// product, row-major: the *last* crossed axis varies fastest), or wrap an
+/// explicit point list with [`SweepSpec::new`]. Execute with
+/// [`SweepSpec::run`].
+///
+/// # Examples
+///
+/// ```
+/// use simkit::SweepSpec;
+///
+/// let grid = SweepSpec::over(vec!["spmv", "gemv"]).cross(&[64u32, 128, 256]);
+/// assert_eq!(grid.len(), 6);
+/// let labels = grid.threads(2).run(|ctx, (k, bus)| format!("{}:{k}@{bus}", ctx.index));
+/// assert_eq!(labels[5], "5:gemv@256");
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec<P> {
+    points: Vec<P>,
+    threads: Option<usize>,
+    base_seed: u64,
+}
+
+impl<P> SweepSpec<P> {
+    /// A sweep over an explicit list of points.
+    pub fn new(points: Vec<P>) -> Self {
+        SweepSpec {
+            points,
+            threads: None,
+            base_seed: 0,
+        }
+    }
+
+    /// A sweep over one axis (the first axis of a grid).
+    pub fn over(axis: impl Into<Vec<P>>) -> Self {
+        SweepSpec::new(axis.into())
+    }
+
+    /// Crosses the sweep with another axis: the cartesian product, with
+    /// the new axis varying fastest.
+    pub fn cross<B: Clone>(self, axis: &[B]) -> SweepSpec<(P, B)>
+    where
+        P: Clone,
+    {
+        let points = self
+            .points
+            .iter()
+            .flat_map(|p| axis.iter().map(move |b| (p.clone(), b.clone())))
+            .collect();
+        SweepSpec {
+            points,
+            threads: self.threads,
+            base_seed: self.base_seed,
+        }
+    }
+
+    /// Pins the worker-thread count (otherwise [`thread_count`] decides).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
+    /// Sets the base seed mixed into every [`PointCtx::seed`].
+    pub fn seed(mut self, base: u64) -> Self {
+        self.base_seed = base;
+        self
+    }
+
+    /// Number of points in the sweep.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The points, in execution (result) order.
+    pub fn points(&self) -> &[P] {
+        &self.points
+    }
+
+    /// Runs `f` on every point and returns the results **in point order**.
+    ///
+    /// Points are distributed to worker threads through a shared atomic
+    /// cursor (idle workers steal the next unclaimed point), so wall-clock
+    /// scales with cores while the output order — and, given the
+    /// determinism contract in the [module docs](self), the output *values*
+    /// — are independent of the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic from `f`: the sweep cancels (workers stop
+    /// claiming new points, finishing only their in-flight one) and the
+    /// panic resurfaces on the calling thread.
+    pub fn run<R, F>(&self, f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(PointCtx, &P) -> R + Sync,
+    {
+        let n = self.points.len();
+        let workers = thread_count(self.threads).min(n.max(1));
+        let ctx = |index| PointCtx {
+            index,
+            seed: point_seed(self.base_seed, index),
+        };
+        if workers <= 1 || n <= 1 {
+            return self
+                .points
+                .iter()
+                .enumerate()
+                .map(|(i, p)| f(ctx(i), p))
+                .collect();
+        }
+        let cursor = AtomicUsize::new(0);
+        let cancelled = AtomicBool::new(false);
+        let mut harvest: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            if cancelled.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            // On panic, unwinding skips the push; flag the
+                            // other workers down before it leaves the loop.
+                            let guard = CancelOnUnwind(&cancelled);
+                            let r = f(ctx(i), &self.points[i]);
+                            std::mem::forget(guard);
+                            local.push((i, r));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut first_panic = None;
+            let harvest = handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(local) => local,
+                    Err(payload) => {
+                        first_panic.get_or_insert(payload);
+                        Vec::new()
+                    }
+                })
+                .collect();
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
+            }
+            harvest
+        });
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in harvest.drain(..).flatten() {
+            debug_assert!(slots[i].is_none(), "point {i} produced twice");
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| s.unwrap_or_else(|| panic!("point {i} not produced")))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_order_is_row_major() {
+        let spec = SweepSpec::over(vec!["a", "b"]).cross(&[1, 2, 3]);
+        assert_eq!(spec.len(), 6);
+        assert_eq!(spec.points()[0], ("a", 1));
+        assert_eq!(spec.points()[1], ("a", 2));
+        assert_eq!(spec.points()[5], ("b", 3));
+    }
+
+    #[test]
+    fn results_are_ordered_and_thread_count_invariant() {
+        let points: Vec<u64> = (0..97).collect();
+        let serial = SweepSpec::new(points.clone())
+            .seed(42)
+            .threads(1)
+            .run(|ctx, &p| (p * 3, ctx.seed));
+        for workers in [2, 4, 8] {
+            let parallel = SweepSpec::new(points.clone())
+                .seed(42)
+                .threads(workers)
+                .run(|ctx, &p| (p * 3, ctx.seed));
+            assert_eq!(serial, parallel, "{workers} workers must match serial");
+        }
+    }
+
+    #[test]
+    fn point_seeds_are_distinct_and_stable() {
+        let a = point_seed(7, 0);
+        let b = point_seed(7, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, point_seed(7, 0), "seeds are pure functions");
+        assert_ne!(point_seed(8, 0), a, "base seed matters");
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let none: Vec<i32> = SweepSpec::new(Vec::<i32>::new()).run(|_, &p| p);
+        assert!(none.is_empty());
+        let one = SweepSpec::new(vec![5])
+            .threads(8)
+            .run(|ctx, &p| p + ctx.index as i32);
+        assert_eq!(one, vec![5]);
+    }
+
+    #[test]
+    fn thread_count_floor_is_one() {
+        assert!(thread_count(Some(0)) >= 1);
+        assert!(thread_count(None) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep point panicked")]
+    fn worker_panics_propagate() {
+        let _ = SweepSpec::new(vec![0u32, 1, 2, 3]).threads(2).run(|_, &p| {
+            if p == 2 {
+                panic!("sweep point panicked");
+            }
+            p
+        });
+    }
+}
