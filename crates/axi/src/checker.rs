@@ -31,6 +31,15 @@ pub enum Violation {
     OrphanWBeat,
     /// A B response arrived with no outstanding write burst awaiting one.
     OrphanBResp(AxiId),
+    /// A request carried a transaction ID wider than the monitored port's
+    /// ID space (e.g. a manager behind an [`crate::AxiMux`] must keep its
+    /// IDs below `1 << LOCAL_ID_BITS` so the mux prefix fits).
+    IdOutOfRange {
+        /// The offending ID.
+        id: AxiId,
+        /// The port's configured ID width in bits.
+        id_bits: u32,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -44,6 +53,12 @@ impl std::fmt::Display for Violation {
             }
             Violation::OrphanWBeat => write!(f, "W beat without outstanding write"),
             Violation::OrphanBResp(id) => write!(f, "B response without outstanding write ({id})"),
+            Violation::IdOutOfRange { id, id_bits } => {
+                write!(
+                    f,
+                    "transaction ID {id} exceeds the port's {id_bits}-bit ID space"
+                )
+            }
         }
     }
 }
@@ -82,6 +97,8 @@ struct OpenBurst {
 #[derive(Debug)]
 pub struct Monitor {
     bus: BusConfig,
+    /// ID-space width of the monitored port, in bits (≤ 8).
+    id_bits: u32,
     /// Outstanding read bursts, per ID, in issue order.
     reads: Vec<VecDeque<OpenBurst>>,
     /// Outstanding write bursts (beats still expected on W), issue order.
@@ -98,10 +115,26 @@ pub struct Monitor {
 const ID_SPACE: usize = 256;
 
 impl Monitor {
-    /// Creates a monitor for a bus of the given width.
+    /// Creates a monitor for a bus of the given width, with the full
+    /// 8-bit ID space (a subordinate-side port).
     pub fn new(bus: BusConfig) -> Self {
+        Monitor::with_id_bits(bus, 8)
+    }
+
+    /// Creates a monitor whose port only carries `id_bits`-bit transaction
+    /// IDs — the manager-side port of an [`crate::AxiMux`], whose prefix
+    /// scheme needs manager-local IDs to fit
+    /// [`crate::mux::LOCAL_ID_BITS`]. Requests with wider IDs are recorded
+    /// as [`Violation::IdOutOfRange`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= id_bits <= 8`.
+    pub fn with_id_bits(bus: BusConfig, id_bits: u32) -> Self {
+        assert!((1..=8).contains(&id_bits), "ID width must be 1..=8 bits");
         Monitor {
             bus,
+            id_bits,
             reads: (0..ID_SPACE).map(|_| VecDeque::new()).collect(),
             writes: VecDeque::new(),
             awaiting_b: VecDeque::new(),
@@ -111,8 +144,19 @@ impl Monitor {
         }
     }
 
+    /// Flags a request ID exceeding the port's ID space.
+    fn check_id_width(&mut self, id: AxiId) {
+        if self.id_bits < 8 && (id.0 >> self.id_bits) != 0 {
+            self.violations.push(Violation::IdOutOfRange {
+                id,
+                id_bits: self.id_bits,
+            });
+        }
+    }
+
     /// Records an accepted AR handshake.
     pub fn observe_ar(&mut self, ar: &ArBeat) {
+        self.check_id_width(ar.id);
         self.reads[ar.id.0 as usize].push_back(OpenBurst {
             id: ar.id,
             beats_left: ar.beats,
@@ -121,6 +165,7 @@ impl Monitor {
 
     /// Records an accepted AW handshake.
     pub fn observe_aw(&mut self, aw: &ArBeat) {
+        self.check_id_width(aw.id);
         self.writes.push_back(OpenBurst {
             id: aw.id,
             beats_left: aw.beats,
@@ -317,6 +362,26 @@ mod tests {
         });
         assert!(m.violations().is_empty());
         assert!(m.quiescent());
+    }
+
+    #[test]
+    fn narrow_id_space_flags_wide_ids() {
+        // A manager-side port behind the mux: local IDs must fit 6 bits.
+        let mut m = Monitor::with_id_bits(bus(), 6);
+        m.observe_ar(&ArBeat::incr(63, 0, 1, &bus()));
+        assert!(m.violations().is_empty(), "63 fits 6 bits");
+        m.observe_ar(&ArBeat::incr(64, 0, 1, &bus()));
+        assert_eq!(
+            m.violations(),
+            &[Violation::IdOutOfRange {
+                id: AxiId(64),
+                id_bits: 6
+            }]
+        );
+        // The default subordinate-side monitor accepts the full space.
+        let mut wide = Monitor::new(bus());
+        wide.observe_ar(&ArBeat::incr(255, 0, 1, &bus()));
+        assert!(wide.violations().is_empty());
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub use beat::{ArBeat, AxiId, BBeat, Burst, RBeat, Resp, WBeat};
 pub use channels::AxiChannels;
 pub use config::{BusConfig, ElemSize, IdxSize};
 pub use expand::{beat_layout, element_addresses, split_words, BeatSource, WordRef};
-pub use mux::AxiMux;
+pub use mux::{AxiMux, LOCAL_ID_BITS, MAX_MANAGERS};
 pub use pack::PackMode;
 
 /// A byte address in the simulated physical address space.

@@ -8,6 +8,29 @@
 //! with the manager index (the standard AXI interconnect scheme), routes
 //! W beats in AW-acceptance order, and demultiplexes R/B responses by ID
 //! prefix. Packed bursts need no special handling whatsoever.
+//!
+//! # Arbitration policy
+//!
+//! Both request channels arbitrate **round-robin** through
+//! [`simkit::RoundRobin`]: after manager *i* wins a grant, manager *i + 1*
+//! holds the highest priority for the next one, so under sustained load
+//! every manager receives the same request bandwidth regardless of its
+//! port index. A fixed-priority mux would starve high-index managers and
+//! skew every contention measurement toward manager 0; the fairness tests
+//! below pin the rotating behaviour down. AR and AW rotate independently
+//! (reads cannot starve writes or vice versa), W follows AW-acceptance
+//! order as AXI4 requires, and R/B are pure demultiplexers (the
+//! subordinate already serialized them).
+//!
+//! # Accounting
+//!
+//! The mux tracks, per manager, the outstanding read bursts (AR accepted,
+//! final R beat not yet returned) and writes awaiting their B response, so
+//! a multi-requestor run loop can ask [`AxiMux::manager_quiescent`] when a
+//! single requestor has fully drained while its neighbours keep running.
+//! It also counts, per manager, granted and lost AR arbitration rounds
+//! ([`AxiMux::ar_grants`] / [`AxiMux::ar_lost`]) — the mux-level view of
+//! bus contention that the per-engine stall counters complement.
 
 use simkit::RoundRobin;
 use std::collections::VecDeque;
@@ -17,16 +40,20 @@ use crate::channels::AxiChannels;
 
 /// Maximum managers one mux supports (2 ID bits).
 pub const MAX_MANAGERS: usize = 4;
-/// Bits of the ID space reserved for the manager index.
-const PORT_SHIFT: u32 = 6;
+/// Bits of the ID space left to each manager: the mux prefixes the two
+/// manager-index bits above them, so manager-local transaction IDs must
+/// stay below `1 << LOCAL_ID_BITS`. Engines sitting behind a mux restrict
+/// their ID allocators to this width.
+pub const LOCAL_ID_BITS: u32 = 6;
 /// Mask of the manager-local ID bits.
-const LOCAL_MASK: u8 = (1 << PORT_SHIFT) - 1;
+const LOCAL_MASK: u8 = (1 << LOCAL_ID_BITS) - 1;
 
 /// An N-to-1 AXI(-Pack) multiplexer.
 ///
 /// Per cycle it forwards at most one AR and one AW (round-robin across
-/// managers), one W beat (strictly in AW-acceptance order, as AXI4
-/// requires), and routes back one R and one B beat by ID prefix.
+/// managers — see the [module docs](self) for the policy), one W beat
+/// (strictly in AW-acceptance order, as AXI4 requires), and routes back
+/// one R and one B beat by ID prefix.
 ///
 /// # Examples
 ///
@@ -37,6 +64,7 @@ const LOCAL_MASK: u8 = (1 << PORT_SHIFT) - 1;
 /// let mut managers = vec![AxiChannels::new(), AxiChannels::new()];
 /// let mut downstream = AxiChannels::new();
 /// mux.tick(&mut managers, &mut downstream);
+/// assert!(mux.quiescent());
 /// ```
 #[derive(Debug)]
 pub struct AxiMux {
@@ -45,6 +73,15 @@ pub struct AxiMux {
     aw_arb: RoundRobin,
     /// W routing: (manager, beats remaining) per accepted AW, in order.
     w_route: VecDeque<(usize, u32)>,
+    /// Outstanding read bursts per manager (AR forwarded, last R pending).
+    reads_open: Vec<u32>,
+    /// Writes per manager awaiting their B response.
+    writes_open: Vec<u32>,
+    /// AR requests granted per manager.
+    ar_grants: Vec<u64>,
+    /// Cycles a manager had an AR ready but was not granted (downstream
+    /// back-pressure or a lost arbitration round).
+    ar_lost: Vec<u64>,
 }
 
 impl AxiMux {
@@ -63,6 +100,10 @@ impl AxiMux {
             ar_arb: RoundRobin::new(n),
             aw_arb: RoundRobin::new(n),
             w_route: VecDeque::new(),
+            reads_open: vec![0; n],
+            writes_open: vec![0; n],
+            ar_grants: vec![0; n],
+            ar_lost: vec![0; n],
         }
     }
 
@@ -76,15 +117,15 @@ impl AxiMux {
         assert!(
             id.0 & !LOCAL_MASK == 0,
             "manager IDs must fit {} bits, got {}",
-            PORT_SHIFT,
+            LOCAL_ID_BITS,
             id.0
         );
-        AxiId((port as u8) << PORT_SHIFT | id.0)
+        AxiId((port as u8) << LOCAL_ID_BITS | id.0)
     }
 
     /// Splits a downstream ID back into (manager, local ID).
     fn downstream_id(id: AxiId) -> (usize, AxiId) {
-        ((id.0 >> PORT_SHIFT) as usize, AxiId(id.0 & LOCAL_MASK))
+        ((id.0 >> LOCAL_ID_BITS) as usize, AxiId(id.0 & LOCAL_MASK))
     }
 
     /// One cycle of multiplexer work.
@@ -96,13 +137,23 @@ impl AxiMux {
     pub fn tick(&mut self, managers: &mut [AxiChannels], down: &mut AxiChannels) {
         assert_eq!(managers.len(), self.n, "manager port count mismatch");
         // AR: round-robin one request.
-        if down.ar.can_push() {
-            let wants: Vec<bool> = managers.iter().map(|m| m.ar.can_pop()).collect();
-            if let Some(p) = self.ar_arb.grant(&wants) {
-                let mut ar = managers[p].ar.pop().expect("granted manager has AR");
-                ar.id = Self::upstream_id(p, ar.id);
-                down.ar.push(ar);
+        let wants: Vec<bool> = managers.iter().map(|m| m.ar.can_pop()).collect();
+        let granted = if down.ar.can_push() {
+            self.ar_arb.grant(&wants)
+        } else {
+            None
+        };
+        for (p, want) in wants.iter().enumerate() {
+            if *want && granted != Some(p) {
+                self.ar_lost[p] += 1;
             }
+        }
+        if let Some(p) = granted {
+            let mut ar = managers[p].ar.pop().expect("granted manager has AR");
+            ar.id = Self::upstream_id(p, ar.id);
+            self.reads_open[p] += 1;
+            self.ar_grants[p] += 1;
+            down.ar.push(ar);
         }
         // AW: round-robin one request; record the W route.
         if down.aw.can_push() {
@@ -111,6 +162,7 @@ impl AxiMux {
                 let mut aw = managers[p].aw.pop().expect("granted manager has AW");
                 aw.id = Self::upstream_id(p, aw.id);
                 self.w_route.push_back((p, aw.beats));
+                self.writes_open[p] += 1;
                 down.aw.push(aw);
             }
         }
@@ -133,6 +185,10 @@ impl AxiMux {
             if managers[p].r.can_push() {
                 let mut r = down.r.pop().expect("peeked");
                 r.id = local;
+                if r.last {
+                    debug_assert!(self.reads_open[p] > 0, "last R without open read");
+                    self.reads_open[p] = self.reads_open[p].saturating_sub(1);
+                }
                 managers[p].r.push(r);
             }
         }
@@ -143,14 +199,44 @@ impl AxiMux {
             if managers[p].b.can_push() {
                 let mut b = down.b.pop().expect("peeked");
                 b.id = local;
+                debug_assert!(self.writes_open[p] > 0, "B without open write");
+                self.writes_open[p] = self.writes_open[p].saturating_sub(1);
                 managers[p].b.push(b);
             }
         }
     }
 
-    /// Returns `true` when no write burst is mid-route.
+    /// Returns `true` when manager `p` has no outstanding traffic through
+    /// the mux: no read burst awaiting its last R beat, no write awaiting
+    /// its B response, and no W route still draining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not a valid manager index.
+    pub fn manager_quiescent(&self, p: usize) -> bool {
+        assert!(p < self.n, "manager {p} out of range");
+        self.reads_open[p] == 0
+            && self.writes_open[p] == 0
+            && !self.w_route.iter().any(|(q, _)| *q == p)
+    }
+
+    /// Returns `true` when no manager has outstanding traffic (every read
+    /// returned its last beat, every write its B, no W burst mid-route).
     pub fn quiescent(&self) -> bool {
         self.w_route.is_empty()
+            && self.reads_open.iter().all(|&r| r == 0)
+            && self.writes_open.iter().all(|&w| w == 0)
+    }
+
+    /// AR requests granted to manager `p` so far.
+    pub fn ar_grants(&self, p: usize) -> u64 {
+        self.ar_grants[p]
+    }
+
+    /// Cycles manager `p` had an AR ready but was not granted (lost the
+    /// arbitration round or the subordinate back-pressured).
+    pub fn ar_lost(&self, p: usize) -> u64 {
+        self.ar_lost[p]
     }
 }
 
@@ -205,6 +291,48 @@ mod tests {
         // Round-robin: managers alternate when both are ready.
         let alternations = order.windows(2).filter(|w| w[0] != w[1]).count();
         assert!(alternations >= 12, "poor interleave: {order:?}");
+        assert_eq!(mux.ar_grants(0), 8);
+        assert_eq!(mux.ar_grants(1), 8);
+    }
+
+    #[test]
+    fn arbitration_rotates_without_index_bias() {
+        // Four always-ready managers must each win exactly one grant per
+        // four-cycle rotation — the round-robin policy the contention
+        // figures depend on (a fixed-priority mux would hand manager 0
+        // every grant).
+        let bus = BusConfig::new(256);
+        let mut mux = AxiMux::new(4);
+        let mut mgrs: Vec<AxiChannels> = (0..4).map(|_| AxiChannels::new()).collect();
+        let mut down = AxiChannels::new();
+        let mut order = Vec::new();
+        for cycle in 0..64u64 {
+            for (p, m) in mgrs.iter_mut().enumerate() {
+                if m.ar.can_push() {
+                    m.ar.push(ArBeat::incr(p as u8, cycle * 0x40, 1, &bus));
+                }
+            }
+            if let Some(ar) = down.ar.pop() {
+                order.push(AxiMux::downstream_id(ar.id).0);
+            }
+            mux.tick(&mut mgrs, &mut down);
+            for m in mgrs.iter_mut() {
+                m.end_cycle();
+            }
+            down.end_cycle();
+        }
+        assert!(order.len() >= 32, "sustained load must keep granting");
+        // Every window of four consecutive grants covers all four managers.
+        for w in order.windows(4) {
+            let mut seen = [false; 4];
+            for &p in w {
+                seen[p] = true;
+            }
+            assert_eq!(seen, [true; 4], "rotation broke: {order:?}");
+        }
+        let grants: Vec<u64> = (0..4).map(|p| mux.ar_grants(p)).collect();
+        let (min, max) = (grants.iter().min().unwrap(), grants.iter().max().unwrap());
+        assert!(max - min <= 1, "grant skew by manager index: {grants:?}");
     }
 
     #[test]
@@ -243,6 +371,27 @@ mod tests {
         } else {
             assert_eq!(w_data, vec![0xBB, 0xAA, 0xAA]);
         }
+        // Both writes still await their B responses.
+        assert!(!mux.quiescent());
+        assert!(!mux.manager_quiescent(0));
+        // Return the Bs; the mux books full quiescence per manager.
+        down.b.push(BBeat {
+            id: AxiMux::upstream_id(0, AxiId(1)),
+            resp: Resp::Okay,
+        });
+        down.end_cycle();
+        mux.tick(&mut mgrs, &mut down);
+        for m in mgrs.iter_mut() {
+            m.end_cycle();
+        }
+        assert!(mux.manager_quiescent(0));
+        assert!(!mux.manager_quiescent(1));
+        down.b.push(BBeat {
+            id: AxiMux::upstream_id(1, AxiId(2)),
+            resp: Resp::Okay,
+        });
+        down.end_cycle();
+        mux.tick(&mut mgrs, &mut down);
         assert!(mux.quiescent());
     }
 
@@ -251,6 +400,25 @@ mod tests {
         let mut mux = AxiMux::new(3);
         let mut mgrs = vec![AxiChannels::new(), AxiChannels::new(), AxiChannels::new()];
         let mut down = AxiChannels::new();
+        // Open the transactions the responses answer, so the per-manager
+        // accounting sees a consistent stream.
+        let bus = BusConfig::new(256);
+        mgrs[2].ar.push(ArBeat::incr(5, 0x0, 1, &bus));
+        mgrs[1].aw.push(ArBeat::incr(9, 0x100, 1, &bus));
+        mgrs[1].w.push(WBeat::full(vec![0u8; 32], true));
+        for m in mgrs.iter_mut() {
+            m.end_cycle();
+        }
+        for _ in 0..4 {
+            mux.tick(&mut mgrs, &mut down);
+            down.aw.pop();
+            down.ar.pop();
+            down.w.pop();
+            for m in mgrs.iter_mut() {
+                m.end_cycle();
+            }
+            down.end_cycle();
+        }
         down.r.push(RBeat {
             id: AxiMux::upstream_id(2, AxiId(5)),
             data: vec![0u8; 32],
@@ -270,6 +438,7 @@ mod tests {
         assert_eq!(mgrs[2].r.pop().expect("routed").id, AxiId(5));
         assert_eq!(mgrs[1].b.pop().expect("routed").id, AxiId(9));
         assert!(!mgrs[0].r.can_pop());
+        assert!(mux.quiescent());
     }
 
     #[test]
@@ -287,5 +456,8 @@ mod tests {
         let got = down.ar.pop().expect("forwarded");
         assert_eq!(got.user, user, "pack semantics must survive the mux");
         assert_eq!(AxiMux::downstream_id(got.id), (1, AxiId(3)));
+        // The burst is open until its last R beat returns.
+        assert!(!mux.manager_quiescent(1));
+        assert!(mux.manager_quiescent(0));
     }
 }

@@ -46,10 +46,11 @@ fn usage() -> ! {
          \x20 --out DIR                CSV/JSON output directory (default: figures-out)\n\
          \x20 --no-files               print tables only, write nothing\n\
          \n\
-         all options:\n\
+         figure/all options:\n\
          \x20 --check                  regenerate at N threads and serial, verify they\n\
          \x20                          match, write nothing (CI mode)\n\
-         \x20 --compare-serial         also time a serial run; record both wall-clocks\n\
+         \x20 --compare-serial         (`all` only) also time a serial run; record\n\
+         \x20                          both wall-clocks\n\
          \n\
          sweep axes (comma-separated lists):\n\
          \x20 kernel grid:  --kernel a,b --backend base,pack,ideal --bus 64,128,256\n\
@@ -134,15 +135,56 @@ fn emit(c: &Common, name: &str, tables: &[Table]) {
     }
 }
 
+/// Re-renders serially, restores the thread setting, and fails the
+/// process unless the serial result equals the parallel one — the
+/// determinism recheck shared by `--check` on `all` and on any single
+/// family. Returns the serial wall-clock in seconds.
+fn check_serial<T: PartialEq>(
+    threads: usize,
+    what: &str,
+    parallel: &T,
+    render: impl Fn() -> T,
+) -> f64 {
+    std::env::set_var(THREADS_ENV, "1");
+    let t0 = Instant::now();
+    let serial = render();
+    let serial_elapsed = t0.elapsed().as_secs_f64();
+    std::env::set_var(THREADS_ENV, threads.to_string());
+    if &serial != parallel {
+        fail(&format!(
+            "determinism violation: {what} differs between serial and {threads}-thread sweeps"
+        ));
+    }
+    serial_elapsed
+}
+
 fn cmd_figure(fig: &figures::Figure, c: &Common) {
+    let mut check = false;
+    for a in &c.rest {
+        match a.as_str() {
+            "--check" => check = true,
+            other => fail(&format!("unknown flag {other} for `{}`", fig.name)),
+        }
+    }
+    let threads = simkit::sweep::thread_count(None);
     let t0 = Instant::now();
     let tables = (fig.render)(c.scale);
+    let elapsed = t0.elapsed().as_secs_f64();
+    if check {
+        // CI mode: verify the parallel sweep is deterministic; write
+        // nothing.
+        check_serial(threads, &format!("`{}`", fig.name), &tables, || {
+            (fig.render)(c.scale)
+        });
+        println!(
+            "figures {} --check OK: byte-identical at {threads} thread(s) and serial \
+             ({elapsed:.2} s)",
+            fig.name
+        );
+        return;
+    }
     print_tables(fig.title, &tables);
-    println!(
-        "\n[{:.2} s on {} worker thread(s)]",
-        t0.elapsed().as_secs_f64(),
-        simkit::sweep::thread_count(None)
-    );
+    println!("\n[{elapsed:.2} s on {threads} worker thread(s)]");
     emit(c, fig.name, &tables);
 }
 
@@ -162,14 +204,9 @@ fn cmd_all(c: &Common) {
     let elapsed = t0.elapsed().as_secs_f64();
 
     if check || compare_serial {
-        std::env::set_var(THREADS_ENV, "1");
-        let t1 = Instant::now();
-        let (serial_body, _) = experiments::render_body(c.scale);
-        let serial_elapsed = t1.elapsed().as_secs_f64();
-        std::env::set_var(THREADS_ENV, threads.to_string());
-        if serial_body != body {
-            fail("determinism violation: serial and parallel sweeps disagree");
-        }
+        let serial_elapsed = check_serial(threads, "`all`", &body, || {
+            experiments::render_body(c.scale).0
+        });
         if check {
             println!(
                 "figures all --check OK: {} figure families byte-identical at {threads} thread(s) \
@@ -408,12 +445,7 @@ fn main() {
         "sweep" => cmd_sweep(&c),
         "kernel" => cmd_kernel(&c),
         name => match figures::find(name) {
-            Some(fig) => {
-                if !c.rest.is_empty() {
-                    fail(&format!("unknown flag {} for `{name}`", c.rest[0]));
-                }
-                cmd_figure(fig, &c);
-            }
+            Some(fig) => cmd_figure(fig, &c),
             None => {
                 eprintln!("unknown subcommand {name}\n");
                 usage();

@@ -1,0 +1,159 @@
+//! The `contention` figure family: multi-requestor shared-bus scaling.
+//!
+//! The paper notes AXI-Pack "in principle supports non-core requestors
+//! and systems with multiple requestors and endpoints" (§II-A, §V); this
+//! family promotes that note to a measured scenario. A grid of 1/2/4
+//! requestors × kernel mix × BASE/PACK runs each point as one
+//! [`axi_pack::Topology`] — N vector engines in private address windows,
+//! funneled through the round-robin ID-remapping mux into one shared
+//! near-memory adapter — and reports total cycles, per-requestor finish
+//! spread (arbitration fairness), aggregate bus occupancy and
+//! shared-bank conflict amplification.
+
+use axi_pack::{run_system, Requestor, SystemConfig, Topology};
+use simkit::SweepSpec;
+use vproc::SystemKind;
+use workloads::{gemv, spmv, CsrMatrix, Dataflow, Kernel, KernelParams};
+
+use crate::{Scale, SEED};
+
+/// Kernel mix of one contention point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mix {
+    /// Every requestor runs the strided gemv (the bus-bound workload the
+    /// shared channel serializes hardest).
+    Homogeneous,
+    /// Requestors alternate strided gemv and indirect spmv — strided
+    /// bursts competing with two-stage indirect expansion at the banks.
+    StridedIndirect,
+}
+
+impl std::fmt::Display for Mix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Mix::Homogeneous => write!(f, "homogeneous"),
+            Mix::StridedIndirect => write!(f, "strided+indirect"),
+        }
+    }
+}
+
+/// Requestor counts of the grid (bounded by the mux's four manager ports).
+pub const REQUESTOR_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// One measured point of the contention grid.
+#[derive(Debug, Clone)]
+pub struct ContentionRow {
+    /// Number of requestors sharing the bus.
+    pub requestors: usize,
+    /// Kernel mix across the requestors.
+    pub mix: Mix,
+    /// System kind of every requestor (all-BASE or all-PACK).
+    pub kind: SystemKind,
+    /// Cycles until the whole system quiesced.
+    pub cycles: u64,
+    /// Completion cycle of the slowest requestor.
+    pub slowest: u64,
+    /// Completion cycle of the fastest requestor.
+    pub fastest: u64,
+    /// Fraction of cycles the shared R channel carried a beat.
+    pub bus_busy: f64,
+    /// Bank-conflict serialization events in the shared memory.
+    pub bank_conflicts: u64,
+}
+
+/// The kernel requestor `slot` runs at one grid point. Dataflows follow
+/// the per-system choices of Fig. 3a (gemv row-wise on BASE, column-wise
+/// on PACK); seeds vary per slot so requestors stream different data.
+fn kernel_for_slot(
+    slot: usize,
+    mix: Mix,
+    kind: SystemKind,
+    scale: Scale,
+    p: &KernelParams,
+) -> Kernel {
+    let dataflow = match kind {
+        SystemKind::Base => Dataflow::RowWise,
+        _ => Dataflow::ColWise,
+    };
+    let seed = SEED + slot as u64;
+    let indirect = mix == Mix::StridedIndirect && slot % 2 == 1;
+    if indirect {
+        let rows = scale.contention_dim() / 2;
+        let cols = rows
+            .max((scale.contention_nnz() * 2.5) as usize)
+            .next_power_of_two();
+        spmv::build(
+            &CsrMatrix::random(rows, cols, scale.contention_nnz(), seed),
+            seed,
+            p,
+        )
+    } else {
+        gemv::build(scale.contention_dim(), seed, dataflow, p)
+    }
+}
+
+/// Runs the contention grid: 1/2/4 requestors × {homogeneous,
+/// strided+indirect} × BASE/PACK, minus the meaningless (1 requestor ×
+/// mixed) points, in parallel on the sweep engine.
+pub fn contention(scale: Scale) -> Vec<ContentionRow> {
+    let kinds = [SystemKind::Base, SystemKind::Pack];
+    SweepSpec::over(REQUESTOR_COUNTS.to_vec())
+        .cross(&[Mix::Homogeneous, Mix::StridedIndirect])
+        .cross(&kinds)
+        .retain(|((n, mix), _)| !(*n == 1 && *mix == Mix::StridedIndirect))
+        .seed(SEED)
+        .run(|_ctx, &((n, mix), kind)| {
+            let cfg = SystemConfig::with_bus(kind, 256);
+            let params = cfg.kernel_params();
+            let requestors = (0..n)
+                .map(|slot| Requestor::new(kind, kernel_for_slot(slot, mix, kind, scale, &params)))
+                .collect();
+            let report = run_system(&Topology::shared_bus(&cfg, requestors))
+                .expect("contention point verifies");
+            ContentionRow {
+                requestors: n,
+                mix,
+                kind,
+                cycles: report.cycles,
+                slowest: report.slowest().cycles,
+                fastest: report.fastest().cycles,
+                bus_busy: report.bus_r_busy,
+                bank_conflicts: report.bank_conflicts,
+            }
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_covers_counts_and_mixes_without_degenerate_points() {
+        let rows = contention(Scale::Smoke);
+        assert_eq!(rows.len(), 10, "3×2×2 grid minus the two 1×mixed points");
+        assert!(rows
+            .iter()
+            .all(|r| !(r.requestors == 1 && r.mix == Mix::StridedIndirect)));
+        let solo = |kind: SystemKind| {
+            rows.iter()
+                .find(|r| r.requestors == 1 && r.kind == kind)
+                .expect("solo baseline exists")
+        };
+        for kind in [SystemKind::Base, SystemKind::Pack] {
+            let one = solo(kind);
+            assert_eq!(one.slowest, one.fastest, "one requestor has no spread");
+            let four = rows
+                .iter()
+                .find(|r| r.requestors == 4 && r.mix == Mix::Homogeneous && r.kind == kind)
+                .expect("4-requestor point exists");
+            assert!(
+                four.cycles > one.cycles,
+                "{kind}: contention must cost cycles"
+            );
+            assert!(
+                four.bus_busy >= one.bus_busy,
+                "{kind}: sharing raises occupancy"
+            );
+        }
+    }
+}

@@ -9,7 +9,7 @@ use std::path::{Path, PathBuf};
 /// Every figure formatter produces `Table`s; the three renderers
 /// ([`Table::to_markdown`], [`Table::to_csv`], [`Table::to_json`]) are then
 /// guaranteed to agree on the data.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Column names.
     pub header: Vec<String>,

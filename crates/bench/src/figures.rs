@@ -6,6 +6,7 @@
 //! of the formatting code (and `all_figures` had a third copy); the
 //! builders here are the single remaining copy.
 
+use crate::contention::{contention, ContentionRow, Mix};
 use crate::emit::Table;
 use crate::fig3::{
     fig3a, fig3b, fig3c, fig3d, fig3e, DataflowRow, KernelRuns, ScalingPoint, BUS_WIDTHS,
@@ -290,6 +291,56 @@ pub fn ablation_tables(scale: Scale) -> Vec<Table> {
     ]
 }
 
+/// Contention table: shared-bus scaling with per-requestor finish spread
+/// and the homogeneous points normalized against `n ×` their solo run.
+pub fn contention_table(rows: &[ContentionRow]) -> Table {
+    let solo = |row: &ContentionRow| {
+        rows.iter()
+            .find(|r| r.requestors == 1 && r.mix == Mix::Homogeneous && r.kind == row.kind)
+            .expect("solo baseline in grid")
+            .cycles
+    };
+    let rows = rows
+        .iter()
+        .map(|r| {
+            // Normalized against n× the solo run. Below 1.00 the
+            // requestors fill each other's idle bus cycles (solo runs
+            // are not 100% bus-bound); at 1.00 the shared channel fully
+            // serializes them. Only meaningful for identical kernels.
+            let vs_nsolo = if r.mix == Mix::Homogeneous {
+                f(r.cycles as f64 / (r.requestors as f64 * solo(r) as f64), 2)
+            } else {
+                "-".into()
+            };
+            vec![
+                r.requestors.to_string(),
+                r.mix.to_string(),
+                r.kind.to_string(),
+                r.cycles.to_string(),
+                r.slowest.to_string(),
+                r.fastest.to_string(),
+                pct(r.bus_busy),
+                r.bank_conflicts.to_string(),
+                vs_nsolo,
+            ]
+        })
+        .collect();
+    Table::new(
+        &[
+            "requestors",
+            "mix",
+            "system",
+            "cycles",
+            "slowest req",
+            "fastest req",
+            "bus busy",
+            "bank conflicts",
+            "vs n×solo",
+        ],
+        rows,
+    )
+}
+
 /// One figure family of the registry.
 pub struct Figure {
     /// Subcommand name (`fig3a` … `fig5c`, `ablations`).
@@ -361,6 +412,11 @@ pub static FIGURES: &[Figure] = &[
         name: "ablations",
         title: "Ablations — queue depth, stage policy, prime vs pow2 banks",
         render: ablation_tables,
+    },
+    Figure {
+        name: "contention",
+        title: "Contention — 1/2/4 requestors sharing one bus (§II-A/§V)",
+        render: |scale| vec![contention_table(&contention(scale))],
     },
 ];
 

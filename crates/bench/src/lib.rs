@@ -14,6 +14,7 @@
 //! authors' RTL, so the comparison targets are the *shapes*: who wins, by
 //! roughly what factor, and where the crossovers sit (see EXPERIMENTS.md).
 
+pub mod contention;
 pub mod emit;
 pub mod experiments;
 pub mod fig3;
@@ -100,6 +101,24 @@ impl Scale {
         match self {
             Scale::Smoke => 1,
             Scale::Paper => 2,
+        }
+    }
+
+    /// Dense dimension of the contention family's strided requestors
+    /// (kept below `dense_dim` — up to four copies share one bus).
+    pub fn contention_dim(&self) -> usize {
+        match self {
+            Scale::Smoke => 32,
+            Scale::Paper => 128,
+        }
+    }
+
+    /// Average nonzeros per row of the contention family's indirect
+    /// requestors.
+    pub fn contention_nnz(&self) -> f64 {
+        match self {
+            Scale::Smoke => 6.0,
+            Scale::Paper => 48.0,
         }
     }
 

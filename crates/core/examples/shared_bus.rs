@@ -1,85 +1,43 @@
-//! Two requestors — a strided streamer and an indirect gatherer — share
-//! one AXI-Pack memory controller through an ID-remapping mux, the
-//! multi-requestor configuration the paper sketches in §II-A.
+//! Two requestors — a strided gemv and an indirect spmv — share one
+//! AXI-Pack bus and near-memory adapter through the ID-remapping mux: the
+//! multi-requestor configuration the paper sketches in §II-A, now a
+//! first-class [`Topology`].
 //!
 //! ```sh
 //! cargo run --release --example shared_bus
 //! ```
 
-use axi_proto::{ArBeat, AxiChannels, AxiMux, BusConfig, ElemSize, IdxSize};
-use banked_mem::{BankConfig, Storage};
-use pack_ctrl::{Adapter, CtrlConfig};
+use axi_pack::{run_system, Requestor, SystemConfig, Topology};
+use vproc::SystemKind;
+use workloads::{gemv, spmv, CsrMatrix, Dataflow};
 
 fn main() {
-    let bus = BusConfig::new(256);
-    let mut storage = Storage::new(1 << 18);
-    for w in 0..(1 << 16) {
-        storage.write_u32(4 * w, w as u32);
-    }
-    let indices: Vec<u32> = (0..512u32).map(|i| (i * 193) % 8192).collect();
-    storage.write_u32_slice(0x20000, &indices);
-    let mut adapter = Adapter::new(CtrlConfig::new(bus, BankConfig::default(), 4), storage);
-    let mut down = AxiChannels::new();
-    let mut mux = AxiMux::new(2);
-    let mut mgrs = vec![AxiChannels::new(), AxiChannels::new()];
-
-    // Manager 0 streams strided bursts, manager 1 gathers indirectly.
-    let mut q0: Vec<ArBeat> = (0..4)
-        .map(|i| ArBeat::packed_strided(i, 0x400 * (i as u64 + 1), 128, ElemSize::B4, 5, &bus))
-        .collect();
-    let mut q1: Vec<ArBeat> = (0..4)
-        .map(|i| {
-            ArBeat::packed_indirect(
-                i,
-                0x20000 + 512 * i as u64,
-                128,
-                ElemSize::B4,
-                IdxSize::B4,
-                0,
-                &bus,
-            )
-        })
-        .collect();
-    q0.reverse();
-    q1.reverse();
-
-    let mut beats = [0u64; 2];
-    let mut cycles = 0u64;
-    loop {
-        if mgrs[0].ar.can_push() {
-            if let Some(ar) = q0.pop() {
-                mgrs[0].ar.push(ar);
-            }
-        }
-        if mgrs[1].ar.can_push() {
-            if let Some(ar) = q1.pop() {
-                mgrs[1].ar.push(ar);
-            }
-        }
-        for (p, m) in mgrs.iter_mut().enumerate() {
-            if m.r.pop().is_some() {
-                beats[p] += 1;
-            }
-        }
-        mux.tick(&mut mgrs, &mut down);
-        adapter.tick(&mut down);
-        adapter.end_cycle();
-        down.end_cycle();
-        for m in mgrs.iter_mut() {
-            m.end_cycle();
-        }
-        cycles += 1;
-        if beats[0] == 64 && beats[1] == 64 {
-            break;
-        }
-        assert!(cycles < 100_000, "hung");
-    }
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let params = cfg.kernel_params();
+    let strided = gemv::build(64, 7, Dataflow::ColWise, &params);
+    let indirect = spmv::build(&CsrMatrix::random(48, 64, 9.0, 5), 3, &params);
+    let topo = Topology::shared_bus(
+        &cfg,
+        vec![
+            Requestor::new(SystemKind::Pack, strided),
+            Requestor::new(SystemKind::Pack, indirect),
+        ],
+    );
+    let report = run_system(&topo).expect("both requestors verify");
     println!("two requestors shared one AXI-Pack endpoint:");
-    println!("  strided manager : {} beats", beats[0]);
-    println!("  indirect manager: {} beats", beats[1]);
-    println!("  total           : {cycles} cycles");
+    for r in &report.requestors {
+        println!(
+            "  {:>6}: {:>6} cycles, R util {:>5.1}%, {} AR stall cycles",
+            r.kernel,
+            r.cycles,
+            100.0 * r.r_util,
+            r.ar_stall_cycles
+        );
+    }
     println!(
-        "  combined R throughput: {:.1}% of one bus",
-        100.0 * (beats[0] + beats[1]) as f64 / cycles as f64
+        "  total : {:>6} cycles, bus busy {:.1}%, {} bank conflicts",
+        report.cycles,
+        100.0 * report.bus_r_busy,
+        report.bank_conflicts
     );
 }

@@ -13,6 +13,13 @@
 //! result against the kernel's scalar reference, and reports cycles, bus
 //! utilization and energy.
 //!
+//! Multi-requestor systems (paper §II-A/§V) are first-class: a
+//! [`Topology`] places N requestors — each with its own kernel,
+//! [`vproc::SystemKind`] and private address-space window — on one shared
+//! AXI(-Pack) endpoint through an ID-remapping mux, and [`run_system`]
+//! measures them together (contention, arbitration fairness, shared-bank
+//! conflicts).
+//!
 //! ```
 //! use axi_pack::{SystemConfig, run_kernel};
 //! use vproc::SystemKind;
@@ -32,8 +39,8 @@ pub mod report;
 pub mod requestor;
 pub mod system;
 
-pub use report::RunReport;
-pub use system::{run_kernel, SystemConfig};
+pub use report::{RunReport, SystemReport};
+pub use system::{run_kernel, run_system, Requestor, SystemConfig, Topology};
 
 // Sweep points run on `simkit::sweep` worker threads: everything a point
 // closure captures or returns must stay `Send + Sync`. Compile-time audit
@@ -42,6 +49,8 @@ pub use system::{run_kernel, SystemConfig};
 const _: () = {
     const fn assert_thread_safe<T: Send + Sync>() {}
     assert_thread_safe::<SystemConfig>();
+    assert_thread_safe::<Topology>();
     assert_thread_safe::<RunReport>();
+    assert_thread_safe::<SystemReport>();
     assert_thread_safe::<requestor::SweepConfig>();
 };

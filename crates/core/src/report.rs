@@ -29,7 +29,18 @@ pub struct RunReport {
     /// R beats whose payload differed from the issue-time snapshot
     /// (nonzero only for kernels with overlapping load/store streams).
     pub data_mismatches: u64,
-    /// Bank-conflict serialization events in the memory.
+    /// Cycles this requestor had an AR request ready but the channel was
+    /// full — per-requestor bus back-pressure, the counter that makes
+    /// shared-bus contention attributable (zero on IDEAL).
+    pub ar_stall_cycles: u64,
+    /// Cycles a data-ready W beat waited on a full channel (zero on
+    /// IDEAL).
+    pub w_stall_cycles: u64,
+    /// Bank-conflict serialization events in the memory. In a
+    /// multi-requestor run conflicts happen at the shared banks and are
+    /// not attributable to one requestor; see
+    /// [`SystemReport::bank_conflicts`] for the aggregate (this field is
+    /// then zero).
     pub bank_conflicts: u64,
     /// Raw activity counts, for energy modeling.
     pub activity: Activity,
@@ -68,6 +79,59 @@ impl RunReport {
     }
 }
 
+/// The outcome of one system run: per-requestor reports plus the
+/// aggregate view of the shared bus and memory.
+///
+/// Produced by [`crate::run_system`]. A single-requestor topology yields
+/// exactly one entry in `requestors`, identical to what
+/// [`crate::run_kernel`] returns.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Cycles until the whole system quiesced: every engine done, the mux
+    /// drained, the adapter and banks idle.
+    pub cycles: u64,
+    /// One report per requestor, in topology (manager-port) order. Each
+    /// entry's `cycles` is that requestor's own completion cycle, so the
+    /// spread across entries measures arbitration fairness.
+    pub requestors: Vec<RunReport>,
+    /// Fraction of cycles the shared R channel carried any beat,
+    /// aggregated over all requestors (0 when no requestor uses the bus).
+    pub bus_r_busy: f64,
+    /// Aggregate R-channel utilization: summed payload bytes of all
+    /// bus-attached requestors over the bus's theoretical capacity.
+    pub bus_r_util: f64,
+    /// Bank-conflict serialization events in the shared memory.
+    pub bank_conflicts: u64,
+    /// Word accesses issued to the shared banks.
+    pub word_accesses: u64,
+}
+
+impl SystemReport {
+    /// The requestor that finished last.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report (never produced by `run_system`).
+    pub fn slowest(&self) -> &RunReport {
+        self.requestors
+            .iter()
+            .max_by_key(|r| r.cycles)
+            .expect("at least one requestor")
+    }
+
+    /// The requestor that finished first.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty report (never produced by `run_system`).
+    pub fn fastest(&self) -> &RunReport {
+        self.requestors
+            .iter()
+            .min_by_key(|r| r.cycles)
+            .expect("at least one requestor")
+    }
+}
+
 impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -98,6 +162,8 @@ mod tests {
             r_util_no_idx: 0.5,
             r_busy: 0.5,
             data_mismatches: 0,
+            ar_stall_cycles: 0,
+            w_stall_cycles: 0,
             bank_conflicts: 0,
             activity: Activity {
                 cycles,
@@ -122,6 +188,20 @@ mod tests {
         let a = report("a", 10, 1.0);
         let b = report("b", 10, 1.0);
         let _ = a.speedup_over(&b);
+    }
+
+    #[test]
+    fn slowest_and_fastest_requestors() {
+        let sys = SystemReport {
+            cycles: 1200,
+            requestors: vec![report("a", 1000, 1.0), report("b", 1200, 1.0)],
+            bus_r_busy: 0.5,
+            bus_r_util: 0.4,
+            bank_conflicts: 3,
+            word_accesses: 10,
+        };
+        assert_eq!(sys.slowest().kernel, "b");
+        assert_eq!(sys.fastest().kernel, "a");
     }
 
     #[test]

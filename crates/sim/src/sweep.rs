@@ -146,6 +146,29 @@ impl<P> SweepSpec<P> {
         }
     }
 
+    /// Drops grid points the predicate rejects.
+    ///
+    /// Cartesian grids often contain a few combinations that make no
+    /// sense (e.g. a multi-requestor *kernel mix* axis crossed with a
+    /// requestor count of one); `retain` prunes them while keeping the
+    /// surviving points — and therefore the per-point seeds and result
+    /// order — deterministic.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use simkit::SweepSpec;
+    ///
+    /// let grid = SweepSpec::over(vec![1usize, 2, 4])
+    ///     .cross(&["homogeneous", "mixed"])
+    ///     .retain(|&(n, mix)| !(n == 1 && mix == "mixed"));
+    /// assert_eq!(grid.len(), 5);
+    /// ```
+    pub fn retain(mut self, keep: impl FnMut(&P) -> bool) -> Self {
+        self.points.retain(keep);
+        self
+    }
+
     /// Pins the worker-thread count (otherwise [`thread_count`] decides).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = Some(n.max(1));
@@ -297,6 +320,18 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(a, point_seed(7, 0), "seeds are pure functions");
         assert_ne!(point_seed(8, 0), a, "base seed matters");
+    }
+
+    #[test]
+    fn retain_prunes_points_but_keeps_order() {
+        let spec = SweepSpec::over(vec![1usize, 2, 4])
+            .cross(&["homo", "mixed"])
+            .retain(|&(n, m)| !(n == 1 && m == "mixed"));
+        assert_eq!(spec.len(), 5);
+        assert_eq!(spec.points()[0], (1, "homo"));
+        assert_eq!(spec.points()[1], (2, "homo"));
+        let labels = spec.run(|_, &(n, m)| format!("{n}{m}"));
+        assert_eq!(labels[1], "2homo");
     }
 
     #[test]

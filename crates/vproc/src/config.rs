@@ -47,6 +47,12 @@ pub struct VprocConfig {
     pub ideal_latency: u32,
     /// Maximum outstanding load instructions draining data concurrently.
     pub max_outstanding_loads: usize,
+    /// Width of the AXI transaction-ID space the VLSU allocates from, in
+    /// bits. 8 (the full `u8` space) when the engine owns the bus; an
+    /// engine sitting behind an ID-remapping mux must restrict itself to
+    /// the mux's manager-local width (`axi_proto::LOCAL_ID_BITS`) so the
+    /// manager-index prefix fits.
+    pub axi_id_bits: u32,
 }
 
 impl VprocConfig {
@@ -86,6 +92,7 @@ impl Default for VprocConfig {
             window: 16,
             ideal_latency: 2,
             max_outstanding_loads: 4,
+            axi_id_bits: 8,
         }
     }
 }

@@ -45,6 +45,12 @@ pub struct EngineStats {
     pub r_util: Utilization,
     /// R-channel utilization with index-load beats counted as idle.
     pub r_util_data: Utilization,
+    /// Cycles this engine had an AR request ready but the channel was
+    /// full — bus back-pressure, the per-engine signal that makes
+    /// shared-bus contention attributable to a specific requestor.
+    pub ar_stall_cycles: u64,
+    /// Cycles a W beat was data-ready but the channel was full.
+    pub w_stall_cycles: u64,
     /// W beats pushed.
     pub w_beats: u64,
     /// W payload bytes pushed.
@@ -71,6 +77,8 @@ impl EngineStats {
             cycles: 0,
             r_util: Utilization::new(bus_bytes),
             r_util_data: Utilization::new(bus_bytes),
+            ar_stall_cycles: 0,
+            w_stall_cycles: 0,
             w_beats: 0,
             w_payload: 0,
             issued: 0,
@@ -210,7 +218,18 @@ const NO_WRITER: u64 = 0;
 
 impl Engine {
     /// Creates an engine for the given system kind and program.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `cfg.axi_id_bits` is in `1..=8` — a zero width would
+    /// collapse every transaction onto ID 0 and silently cross-wire R
+    /// beats between outstanding loads.
     pub fn new(cfg: VprocConfig, kind: SystemKind, bus: BusConfig, program: Program) -> Self {
+        assert!(
+            (1..=8).contains(&cfg.axi_id_bits),
+            "axi_id_bits must be 1..=8, got {}",
+            cfg.axi_id_bits
+        );
         let bus_bytes = match kind {
             SystemKind::Ideal => cfg.lanes * 4,
             _ => bus.data_bytes(),
@@ -331,6 +350,8 @@ impl Engine {
                 if let Some(ar) = run.reqs.pop_front() {
                     ch.ar.push(ar);
                 }
+            } else if !run.reqs.is_empty() {
+                self.stats.ar_stall_cycles += 1;
             }
             if run.reqs.is_empty() {
                 let run = self.load_issuing.take().expect("checked above");
@@ -345,7 +366,7 @@ impl Engine {
                     ch.aw.push(aw);
                 }
             }
-            if ch.w.can_push() && run.unlocked_w > 0 {
+            if run.unlocked_w > 0 {
                 let src_uid = run.src_uid;
                 let ready = match run.ws.front() {
                     Some((_, need)) => {
@@ -360,12 +381,16 @@ impl Engine {
                     None => false,
                 };
                 if ready {
-                    let run = self.store_active.as_mut().expect("still active");
-                    let (w, _) = run.ws.pop_front().expect("front checked");
-                    run.unlocked_w -= 1;
-                    self.stats.w_beats += 1;
-                    self.stats.w_payload += w.payload_bytes() as u64;
-                    ch.w.push(w);
+                    if ch.w.can_push() {
+                        let run = self.store_active.as_mut().expect("still active");
+                        let (w, _) = run.ws.pop_front().expect("front checked");
+                        run.unlocked_w -= 1;
+                        self.stats.w_beats += 1;
+                        self.stats.w_payload += w.payload_bytes() as u64;
+                        ch.w.push(w);
+                    } else {
+                        self.stats.w_stall_cycles += 1;
+                    }
                 }
             }
             // All data sent: only the B response is outstanding; free the
@@ -822,8 +847,11 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn alloc_axi_id(&mut self) -> u8 {
-        let id = self.next_axi_id;
-        self.next_axi_id = self.next_axi_id.wrapping_add(1);
+        // Wrap within the configured ID space: the full u8 range when the
+        // engine owns the bus, the mux's manager-local width behind one.
+        let mask = ((1u16 << self.cfg.axi_id_bits) - 1) as u8;
+        let id = self.next_axi_id & mask;
+        self.next_axi_id = id.wrapping_add(1) & mask;
         id
     }
 
@@ -1207,6 +1235,29 @@ mod tests {
             assert!(cycles < 2_000_000, "simulation hung");
         }
         (engine, storage, cycles)
+    }
+
+    #[test]
+    fn axi_ids_wrap_within_configured_width() {
+        let cfg = VprocConfig {
+            axi_id_bits: 6,
+            ..VprocConfig::default()
+        };
+        let mut engine = Engine::new(cfg, SystemKind::Pack, bus(), Program::default());
+        for k in 0..130u32 {
+            let id = engine.alloc_axi_id();
+            assert!(id < 64, "6-bit ID space violated: {id}");
+            assert_eq!(id as u32, k % 64);
+        }
+        let mut wide = Engine::new(
+            VprocConfig::default(),
+            SystemKind::Pack,
+            bus(),
+            Program::default(),
+        );
+        for k in 0..300u32 {
+            assert_eq!(wide.alloc_axi_id() as u32, k % 256);
+        }
     }
 
     #[test]

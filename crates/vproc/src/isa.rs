@@ -240,6 +240,61 @@ impl VInsn {
         }
     }
 
+    /// Returns the instruction with every memory address shifted by
+    /// `offset` — how a kernel is relocated into a requestor's private
+    /// address-space window of a multi-requestor system. Element indices
+    /// (register- or memory-resident) are relative to their `base` and
+    /// need no adjustment; register numbers, strides and immediates are
+    /// untouched.
+    pub fn offset_addrs(self, offset: Addr) -> VInsn {
+        match self {
+            VInsn::Vle { vd, base, is_index } => VInsn::Vle {
+                vd,
+                base: base + offset,
+                is_index,
+            },
+            VInsn::Vlse { vd, base, stride } => VInsn::Vlse {
+                vd,
+                base: base + offset,
+                stride,
+            },
+            VInsn::Vluxei { vd, vidx, base } => VInsn::Vluxei {
+                vd,
+                vidx,
+                base: base + offset,
+            },
+            VInsn::Vlimxei { vd, idx_addr, base } => VInsn::Vlimxei {
+                vd,
+                idx_addr: idx_addr + offset,
+                base: base + offset,
+            },
+            VInsn::Vse { vs, base } => VInsn::Vse {
+                vs,
+                base: base + offset,
+            },
+            VInsn::Vsse { vs, base, stride } => VInsn::Vsse {
+                vs,
+                base: base + offset,
+                stride,
+            },
+            VInsn::Vsuxei { vs, vidx, base } => VInsn::Vsuxei {
+                vs,
+                vidx,
+                base: base + offset,
+            },
+            VInsn::Vsimxei { vs, idx_addr, base } => VInsn::Vsimxei {
+                vs,
+                idx_addr: idx_addr + offset,
+                base: base + offset,
+            },
+            VInsn::ScalarStoreF32 { vs, addr } => VInsn::ScalarStoreF32 {
+                vs,
+                addr: addr + offset,
+            },
+            other => other,
+        }
+    }
+
     /// The vector registers this instruction reads.
     pub fn sources(&self) -> Vec<VReg> {
         match *self {
@@ -283,6 +338,13 @@ impl Program {
     /// Returns `true` for an empty program.
     pub fn is_empty(&self) -> bool {
         self.insns.is_empty()
+    }
+
+    /// Returns the program with every memory address shifted by `offset`
+    /// (see [`VInsn::offset_addrs`]) — kernel relocation into an
+    /// address-space window.
+    pub fn offset_addrs(self, offset: Addr) -> Program {
+        self.into_iter().map(|i| i.offset_addrs(offset)).collect()
     }
 }
 
@@ -524,6 +586,40 @@ mod tests {
         assert_eq!(p.len(), 4);
         assert!(matches!(p.insns()[0], VInsn::SetVl { vl: 8 }));
         assert!(matches!(p.insns()[3], VInsn::ScalarStoreF32 { .. }));
+    }
+
+    #[test]
+    fn offset_addrs_shifts_every_address_field() {
+        let p = ProgramBuilder::new()
+            .set_vl(8)
+            .vle(1, 0x100)
+            .vlimxei(2, 0x200, 0x300)
+            .vsse(1, 0x400, 3)
+            .scalar_store_f32(2, 0x500)
+            .build()
+            .offset_addrs(0x1_0000);
+        assert!(matches!(p.insns()[0], VInsn::SetVl { vl: 8 }));
+        assert!(matches!(p.insns()[1], VInsn::Vle { base: 0x1_0100, .. }));
+        assert!(matches!(
+            p.insns()[2],
+            VInsn::Vlimxei {
+                idx_addr: 0x1_0200,
+                base: 0x1_0300,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.insns()[3],
+            VInsn::Vsse {
+                base: 0x1_0400,
+                stride: 3,
+                ..
+            }
+        ));
+        assert!(matches!(
+            p.insns()[4],
+            VInsn::ScalarStoreF32 { addr: 0x1_0500, .. }
+        ));
     }
 
     #[test]

@@ -101,6 +101,28 @@ impl Kernel {
         s
     }
 
+    /// Relocates the kernel into an address-space window starting at
+    /// `offset`: image regions, program addresses and expected-output
+    /// checks all shift together, and `storage_size` grows to cover the
+    /// window. Element indices stay relative to their (shifted) bases, so
+    /// indirect kernels relocate unchanged. This is how a multi-requestor
+    /// topology gives each requestor a private window of one shared
+    /// backing store; `offset == 0` is the identity.
+    pub fn rebased(mut self, offset: Addr) -> Kernel {
+        if offset == 0 {
+            return self;
+        }
+        for (addr, _) in &mut self.image {
+            *addr += offset;
+        }
+        for check in &mut self.expected {
+            check.addr += offset;
+        }
+        self.program = std::mem::take(&mut self.program).offset_addrs(offset);
+        self.storage_size += offset as usize;
+        self
+    }
+
     /// Verifies all expected output regions against the store.
     ///
     /// Uses a relative tolerance of `1e-3` (vectorized accumulation order
@@ -197,6 +219,30 @@ mod tests {
         assert_eq!(b % 64, 0);
         assert!(b >= a + 40);
         assert!(l.storage_size() > b as usize + 400);
+    }
+
+    #[test]
+    fn rebased_kernel_verifies_in_its_window() {
+        let k = Kernel {
+            name: "toy".into(),
+            image: vec![(0x100, f32_bytes(&[3.0, 4.0]))],
+            storage_size: 0x1000,
+            program: Program::default(),
+            expected: vec![Check {
+                addr: 0x100,
+                values: vec![3.0, 4.0],
+                label: "in".into(),
+            }],
+            read_only_streams: true,
+            useful_bytes: 8,
+        };
+        let moved = k.rebased(0x4000);
+        assert_eq!(moved.image[0].0, 0x4100);
+        assert_eq!(moved.expected[0].addr, 0x4100);
+        assert_eq!(moved.storage_size, 0x5000);
+        let s = moved.build_storage();
+        moved.verify(&s).expect("window image verifies");
+        assert_eq!(s.read_f32(0x4100), 3.0);
     }
 
     #[test]
