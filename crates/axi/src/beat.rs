@@ -8,6 +8,21 @@ use crate::config::{BusConfig, ElemSize, IdxSize};
 use crate::pack::PackMode;
 use crate::Addr;
 
+/// Maximum bytes one data beat can carry: the widest data channel AXI4
+/// permits is 1024 bits. This is the fixed capacity of [`BeatBuf`].
+pub const MAX_BEAT_BYTES: usize = 128;
+
+/// Inline payload of one R or W data beat.
+///
+/// A fixed-capacity buffer ([`simkit::InlineBuf`]) sized for the widest
+/// bus, so beats carry their bytes *inline* instead of heap-allocating a
+/// `Vec<u8>` per handshake — the per-cycle path of every simulated system
+/// stays allocation-free. The visible length always equals the bus width
+/// in bytes; bytes beyond it are zero. Build payloads with
+/// [`BeatBuf::zeroed`] (then slice-assign lanes) or
+/// [`BeatBuf::from_slice`].
+pub type BeatBuf = simkit::InlineBuf<MAX_BEAT_BYTES>;
+
 /// AXI transaction identifier.
 ///
 /// Transactions with the same ID must stay ordered; different IDs may
@@ -252,7 +267,7 @@ pub struct RBeat {
     pub id: AxiId,
     /// Beat payload; length equals the bus width in bytes (narrow beats are
     /// placed in the low lanes, the rest is zero).
-    pub data: Vec<u8>,
+    pub data: BeatBuf,
     /// Bytes of `data` that carry useful payload (for utilization stats).
     pub payload_bytes: usize,
     /// Set on the final beat of a burst.
@@ -265,7 +280,7 @@ pub struct RBeat {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WBeat {
     /// Beat payload; length equals the bus width in bytes.
-    pub data: Vec<u8>,
+    pub data: BeatBuf,
     /// Byte-enable strobe, bit *i* enables `data[i]`. A 1024-bit bus has
     /// 128 byte lanes, so `u128` always suffices.
     pub strb: u128,
@@ -275,7 +290,8 @@ pub struct WBeat {
 
 impl WBeat {
     /// A beat with every byte lane enabled.
-    pub fn full(data: Vec<u8>, last: bool) -> Self {
+    pub fn full(data: impl Into<BeatBuf>, last: bool) -> Self {
+        let data = data.into();
         let strb = if data.len() >= 128 {
             u128::MAX
         } else {
@@ -378,7 +394,7 @@ mod tests {
         assert!(w.lane_enabled(31));
         assert!(!w.lane_enabled(32));
         let partial = WBeat {
-            data: vec![0u8; 32],
+            data: BeatBuf::zeroed(32),
             strb: 0b1111,
             last: false,
         };

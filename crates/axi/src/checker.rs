@@ -80,14 +80,14 @@ struct OpenBurst {
 /// # Examples
 ///
 /// ```
-/// use axi_proto::{checker::Monitor, ArBeat, BusConfig, RBeat, Resp};
+/// use axi_proto::{checker::Monitor, ArBeat, BeatBuf, BusConfig, RBeat, Resp};
 ///
 /// let bus = BusConfig::new(64);
 /// let mut mon = Monitor::new(bus);
 /// mon.observe_ar(&ArBeat::incr(0, 0x0, 1, &bus));
 /// mon.observe_r(&RBeat {
 ///     id: axi_proto::AxiId(0),
-///     data: vec![0u8; 8],
+///     data: BeatBuf::zeroed(8),
 ///     payload_bytes: 8,
 ///     last: true,
 ///     resp: Resp::Okay,
@@ -260,7 +260,7 @@ impl Monitor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::beat::Resp;
+    use crate::beat::{BeatBuf, Resp};
     use crate::ElemSize;
 
     fn bus() -> BusConfig {
@@ -270,7 +270,7 @@ mod tests {
     fn rbeat(id: u8, last: bool) -> RBeat {
         RBeat {
             id: AxiId(id),
-            data: vec![0u8; 8],
+            data: BeatBuf::zeroed(8),
             payload_bytes: 8,
             last,
             resp: Resp::Okay,
@@ -317,7 +317,7 @@ mod tests {
         m.observe_ar(&ArBeat::incr(0, 0, 1, &bus()));
         m.observe_r(&RBeat {
             id: AxiId(0),
-            data: vec![0u8; 4],
+            data: BeatBuf::zeroed(4),
             payload_bytes: 4,
             last: true,
             resp: Resp::Okay,

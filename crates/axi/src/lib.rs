@@ -45,7 +45,7 @@ pub mod expand;
 pub mod mux;
 pub mod pack;
 
-pub use beat::{ArBeat, AxiId, BBeat, Burst, RBeat, Resp, WBeat};
+pub use beat::{ArBeat, AxiId, BBeat, BeatBuf, Burst, RBeat, Resp, WBeat, MAX_BEAT_BYTES};
 pub use channels::AxiChannels;
 pub use config::{BusConfig, ElemSize, IdxSize};
 pub use expand::{beat_layout, element_addresses, split_words, BeatSource, WordRef};

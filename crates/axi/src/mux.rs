@@ -136,10 +136,15 @@ impl AxiMux {
     /// or if a response carries a manager index out of range.
     pub fn tick(&mut self, managers: &mut [AxiChannels], down: &mut AxiChannels) {
         assert_eq!(managers.len(), self.n, "manager port count mismatch");
-        // AR: round-robin one request.
-        let wants: Vec<bool> = managers.iter().map(|m| m.ar.can_pop()).collect();
+        // AR: round-robin one request. The request vectors live on the
+        // stack (at most MAX_MANAGERS ports) — no per-cycle allocation.
+        let mut wants = [false; MAX_MANAGERS];
+        for (p, m) in managers.iter().enumerate() {
+            wants[p] = m.ar.can_pop();
+        }
+        let wants = &wants[..self.n];
         let granted = if down.ar.can_push() {
-            self.ar_arb.grant(&wants)
+            self.ar_arb.grant(wants)
         } else {
             None
         };
@@ -157,8 +162,11 @@ impl AxiMux {
         }
         // AW: round-robin one request; record the W route.
         if down.aw.can_push() {
-            let wants: Vec<bool> = managers.iter().map(|m| m.aw.can_pop()).collect();
-            if let Some(p) = self.aw_arb.grant(&wants) {
+            let mut wants = [false; MAX_MANAGERS];
+            for (p, m) in managers.iter().enumerate() {
+                wants[p] = m.aw.can_pop();
+            }
+            if let Some(p) = self.aw_arb.grant(&wants[..self.n]) {
                 let mut aw = managers[p].aw.pop().expect("granted manager has AW");
                 aw.id = Self::upstream_id(p, aw.id);
                 self.w_route.push_back((p, aw.beats));
@@ -243,7 +251,7 @@ impl AxiMux {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::beat::{ArBeat, BBeat, RBeat, Resp, WBeat};
+    use crate::beat::{ArBeat, BBeat, BeatBuf, RBeat, Resp, WBeat};
     use crate::config::{BusConfig, ElemSize};
 
     #[test]
@@ -421,7 +429,7 @@ mod tests {
         }
         down.r.push(RBeat {
             id: AxiMux::upstream_id(2, AxiId(5)),
-            data: vec![0u8; 32],
+            data: BeatBuf::zeroed(32),
             payload_bytes: 32,
             last: true,
             resp: Resp::Okay,

@@ -88,7 +88,7 @@ fn run_read_traffic(schedules: &[Vec<ReadReq>], seed: u64) -> Vec<Vec<(u8, u8, b
                 id: open[i].id,
                 // Tag the payload with the downstream ID so routing is
                 // provable end to end.
-                data: vec![open[i].id.0; bus.data_bytes()],
+                data: vec![open[i].id.0; bus.data_bytes()].into(),
                 payload_bytes: bus.data_bytes(),
                 last: open[i].beats_left == 0,
                 resp: Resp::Okay,

@@ -1,0 +1,103 @@
+//! Criterion microbenches of the allocation-free hot path.
+//!
+//! Three altitudes of the same data plane:
+//!
+//! * `beat_push_pop` — the raw cost of moving one inline-payload beat
+//!   through a channel FIFO (the [`axi_proto::BeatBuf`] swap's unit cost);
+//! * `adapter_tick` — one full strided burst through the AXI-Pack
+//!   endpoint (converters + bank port mux + banked SRAM);
+//! * `single_kernel_run` — a complete PACK system run, the granule every
+//!   figure sweep repeats thousands of times.
+//!
+//! CI runs these in `--test` smoke mode (one pass, no statistics) to keep
+//! the harness itself from rotting; real measurements come from
+//! `cargo bench -p axi-pack-bench` and the `figures bench` baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use axi_pack::{run_kernel, SystemConfig};
+use axi_proto::{ArBeat, AxiChannels, AxiId, BeatBuf, BusConfig, ElemSize, RBeat, Resp};
+use banked_mem::{BankConfig, Storage};
+use pack_ctrl::{Adapter, CtrlConfig};
+use simkit::Fifo;
+use vproc::SystemKind;
+use workloads::ismt;
+
+/// One beat through a depth-2 channel FIFO: push, end_cycle, pop.
+fn bench_beat_push_pop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.bench_function("beat_push_pop", |b| {
+        let mut fifo: Fifo<RBeat> = Fifo::new(2);
+        let beat = RBeat {
+            id: AxiId(3),
+            data: BeatBuf::zeroed(32),
+            payload_bytes: 32,
+            last: false,
+            resp: Resp::Okay,
+        };
+        b.iter(|| {
+            fifo.push(beat.clone());
+            fifo.end_cycle();
+            let popped = fifo.pop().expect("visible after end_cycle");
+            fifo.end_cycle();
+            popped.payload_bytes
+        });
+    });
+    g.finish();
+}
+
+/// One 8-beat packed strided burst through the complete endpoint.
+fn bench_adapter_tick(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    g.bench_function("adapter_strided_burst", |b| {
+        let bus = BusConfig::new(256);
+        let cfg = CtrlConfig::new(bus, BankConfig::default(), 4);
+        let mut storage = Storage::new(1 << 16);
+        for w in 0..(1 << 14) {
+            storage.write_u32(w * 4, w as u32);
+        }
+        let mut adapter = Adapter::new(cfg, storage);
+        let mut ports = AxiChannels::new();
+        b.iter(|| {
+            ports
+                .ar
+                .push(ArBeat::packed_strided(0, 0, 64, ElemSize::B4, 3, &bus));
+            let mut beats = 0u32;
+            for _ in 0..200 {
+                if ports.r.pop().is_some() {
+                    beats += 1;
+                }
+                adapter.tick(&mut ports);
+                adapter.end_cycle();
+                ports.end_cycle();
+                if beats == 8 && adapter.quiescent() && ports.is_empty() {
+                    break;
+                }
+            }
+            assert_eq!(beats, 8, "burst must complete");
+            beats
+        });
+    });
+    g.finish();
+}
+
+/// One complete PACK-system kernel run (the sweep granule).
+fn bench_single_kernel_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10);
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let kernel = ismt::build(24, 3, &cfg.kernel_params());
+    g.bench_function("single_kernel_run", |b| {
+        b.iter(|| run_kernel(&cfg, &kernel).expect("verifies").cycles);
+    });
+    g.finish();
+}
+
+criterion_group!(
+    hotpath,
+    bench_beat_push_pop,
+    bench_adapter_tick,
+    bench_single_kernel_run
+);
+criterion_main!(hotpath);

@@ -1,0 +1,186 @@
+//! The tracked perf baseline: `figures bench`.
+//!
+//! Times every figure family's render at a given [`Scale`], measures
+//! simulator throughput (simulated cycles per host second) on a
+//! representative kernel, and emits the results as machine-readable JSON
+//! (`BENCH_hotpath.json`). The committed file carries two measurement
+//! sets:
+//!
+//! * `pre_pr_*` — the suite timed *before* the allocation-free data-plane
+//!   rework landed (the pre-PR baseline, preserved verbatim on rewrite);
+//! * `total_s` / `families` / `cycles_per_sec` — the current measurement.
+//!
+//! CI runs `figures bench --smoke --check`, which re-measures and fails
+//! if the wall-clock regresses more than [`MAX_REGRESSION`] against the
+//! committed current baseline — so future PRs regress against numbers,
+//! not vibes. Criterion microbenches of the same hot paths live in
+//! `benches/hotpath.rs`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use axi_pack::{run_kernel, SystemConfig};
+use vproc::SystemKind;
+use workloads::ismt;
+
+use crate::{figures, Scale};
+
+/// Allowed wall-clock regression before `--check` fails (fraction of the
+/// committed baseline: 0.25 = 25 %).
+pub const MAX_REGRESSION: f64 = 0.25;
+
+/// One bench run: per-family wall-clocks plus aggregate metrics.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `(family name, seconds)` per figure family, in registry order.
+    pub families: Vec<(&'static str, f64)>,
+    /// Sum of the family wall-clocks (the "smoke suite" time).
+    pub total_s: f64,
+    /// Simulated cycles per host second on the throughput probe kernel.
+    pub cycles_per_sec: f64,
+}
+
+/// Renders every figure family once at `scale`, timing each, then runs
+/// the throughput probe (a PACK ismt kernel at the scale's dense dim).
+pub fn run(scale: Scale) -> BenchResult {
+    let mut families = Vec::with_capacity(figures::FIGURES.len());
+    let mut total = 0.0;
+    for fig in figures::FIGURES {
+        let t0 = Instant::now();
+        let tables = (fig.render)(scale);
+        let dt = t0.elapsed().as_secs_f64();
+        assert!(!tables.is_empty(), "{} rendered no tables", fig.name);
+        families.push((fig.name, dt));
+        total += dt;
+    }
+    BenchResult {
+        families,
+        total_s: total,
+        cycles_per_sec: cycles_per_sec_probe(scale),
+    }
+}
+
+/// Measures simulated cycles per host second on one representative
+/// full-system run (PACK ismt — exercises engine, converters, and banks).
+pub fn cycles_per_sec_probe(scale: Scale) -> f64 {
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let kernel = ismt::build(scale.dense_dim(), 1, &cfg.kernel_params());
+    // One warm-up, then time a few repetitions.
+    let warm = run_kernel(&cfg, &kernel).expect("probe kernel verifies");
+    let reps = 3;
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        run_kernel(&cfg, &kernel).expect("probe kernel verifies");
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    (warm.cycles * reps as u64) as f64 / dt
+}
+
+/// Serializes a measurement (plus the preserved pre-PR baseline, if any)
+/// as the `BENCH_hotpath.json` document.
+pub fn to_json(scale: Scale, result: &BenchResult, pre_pr: Option<&str>) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "{{").unwrap();
+    writeln!(w, "  \"scale\": \"{scale:?}\",").unwrap();
+    if let Some(pre) = pre_pr {
+        // Preserve the committed pre-PR section verbatim.
+        writeln!(w, "{pre}").unwrap();
+    }
+    writeln!(w, "  \"families\": {{").unwrap();
+    for (i, (name, secs)) in result.families.iter().enumerate() {
+        let comma = if i + 1 == result.families.len() {
+            ""
+        } else {
+            ","
+        };
+        writeln!(w, "    \"{name}\": {secs:.4}{comma}").unwrap();
+    }
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"total_s\": {:.4},", result.total_s).unwrap();
+    writeln!(w, "  \"cycles_per_sec\": {:.0},", result.cycles_per_sec).unwrap();
+    let speedup = parse_number(pre_pr.unwrap_or(""), "pre_pr_total_s")
+        .map(|pre| pre / result.total_s)
+        .unwrap_or(1.0);
+    writeln!(w, "  \"speedup_vs_pre_pr\": {speedup:.2}").unwrap();
+    writeln!(w, "}}").unwrap();
+    out
+}
+
+/// Extracts the `"pre_pr_*"` lines of an existing `BENCH_hotpath.json`,
+/// so a re-measurement never loses the original baseline.
+pub fn pre_pr_section(json: &str) -> Option<String> {
+    let lines: Vec<&str> = json
+        .lines()
+        .filter(|l| l.trim_start().starts_with("\"pre_pr_"))
+        .collect();
+    if lines.is_empty() {
+        None
+    } else {
+        Some(lines.join("\n"))
+    }
+}
+
+/// Extracts a top-level string field (`"key": "value"`) from the
+/// document — used to refuse comparing measurements taken at different
+/// [`Scale`]s.
+pub fn parse_string(json: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start().strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extracts a top-level numeric field (`"key": 1.23`) from the document.
+/// Hand-rolled on purpose: the workspace vendors no JSON parser, and the
+/// file format is our own.
+pub fn parse_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_totals() {
+        let r = BenchResult {
+            families: vec![("fig3a", 0.07), ("fig5b", 0.92)],
+            total_s: 0.99,
+            cycles_per_sec: 123456.0,
+        };
+        let json = to_json(Scale::Smoke, &r, Some("  \"pre_pr_total_s\": 1.24,"));
+        assert_eq!(parse_number(&json, "total_s"), Some(0.99));
+        assert_eq!(parse_number(&json, "pre_pr_total_s"), Some(1.24));
+        let speedup = parse_number(&json, "speedup_vs_pre_pr").unwrap();
+        assert!((speedup - 1.24 / 0.99).abs() < 0.01);
+        assert_eq!(
+            pre_pr_section(&json).as_deref(),
+            Some("  \"pre_pr_total_s\": 1.24,")
+        );
+    }
+
+    #[test]
+    fn missing_fields_parse_to_none() {
+        assert_eq!(parse_number("{}", "total_s"), None);
+        assert_eq!(pre_pr_section("{}"), None);
+        assert_eq!(parse_string("{}", "scale"), None);
+    }
+
+    #[test]
+    fn scale_field_roundtrips() {
+        let r = BenchResult {
+            families: vec![("fig3a", 0.07)],
+            total_s: 0.07,
+            cycles_per_sec: 1.0,
+        };
+        let json = to_json(Scale::Smoke, &r, None);
+        assert_eq!(parse_string(&json, "scale").as_deref(), Some("Smoke"));
+    }
+}

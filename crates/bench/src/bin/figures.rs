@@ -19,6 +19,7 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use axi_pack_bench::bench::{self, MAX_REGRESSION};
 use axi_pack_bench::emit::{write_files, Table};
 use axi_pack_bench::sweeps::{
     kernel_sweep, parse_elem, parse_idx, util_sweep, KernelPoint, KernelSweep, UtilSweep,
@@ -37,6 +38,8 @@ fn usage() -> ! {
          \x20 list                     list the figure families\n\
          \x20 <figure>                 regenerate one family (fig3a..fig5c, ablations)\n\
          \x20 all                      regenerate everything into EXPERIMENTS.md\n\
+         \x20 bench                    time every figure family -> BENCH_hotpath.json\n\
+         \x20                          (--check: fail if >25% slower than committed)\n\
          \x20 sweep                    ad-hoc cartesian sweep (see axes below)\n\
          \x20 kernel                   run one kernel and print the full report\n\
          \n\
@@ -241,6 +244,105 @@ fn finish_all(c: &Common, body: &str, tables: &[(&'static str, Vec<Table>)], wal
     }
 }
 
+/// `figures bench`: time every figure family, write (or in `--check`
+/// mode, gate against) the committed `BENCH_hotpath.json` baseline.
+fn cmd_bench(c: &Common) {
+    let mut check = false;
+    let mut baseline = PathBuf::from("BENCH_hotpath.json");
+    let mut it = c.rest.clone().into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--baseline" => baseline = PathBuf::from(it.next().unwrap_or_else(|| usage())),
+            other => fail(&format!("unknown flag {other} for `bench`")),
+        }
+    }
+    let result = bench::run(c.scale);
+    println!("figures bench ({:?} scale):", c.scale);
+    for (name, secs) in &result.families {
+        println!("  {name:<10} {secs:>8.3} s");
+    }
+    println!("  {:<10} {:>8.3} s", "total", result.total_s);
+    println!(
+        "  throughput {:>8.0} simulated cycles/s (PACK ismt probe)",
+        result.cycles_per_sec
+    );
+    let committed = std::fs::read_to_string(&baseline).ok();
+    // Wall-clocks from different scales must never be compared (or the
+    // pre-PR section mixed across scales).
+    let scale_matches = committed
+        .as_deref()
+        .and_then(|doc| bench::parse_string(doc, "scale"))
+        .is_none_or(|s| s == format!("{:?}", c.scale));
+    if check {
+        let Some(doc) = committed else {
+            fail(&format!(
+                "--check needs a committed baseline at {}",
+                baseline.display()
+            ));
+        };
+        if !scale_matches {
+            fail(&format!(
+                "{} was measured at {} scale, this run is {:?} — re-run with the \
+                 matching scale flag",
+                baseline.display(),
+                bench::parse_string(&doc, "scale").unwrap_or_default(),
+                c.scale
+            ));
+        }
+        let Some(base_total) = bench::parse_number(&doc, "total_s") else {
+            fail(&format!("no \"total_s\" in {}", baseline.display()));
+        };
+        // The committed numbers come from one specific host; a slower
+        // (CI) machine can widen the limit instead of regenerating the
+        // file: AXI_PACK_BENCH_TOLERANCE=0.60 allows +60%.
+        let limit = std::env::var("AXI_PACK_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(MAX_REGRESSION);
+        let ratio = result.total_s / base_total;
+        if ratio > 1.0 + limit {
+            fail(&format!(
+                "smoke wall-clock regressed {:.0}% over the committed baseline \
+                 ({:.3} s vs {:.3} s; limit {:.0}%)",
+                (ratio - 1.0) * 100.0,
+                result.total_s,
+                base_total,
+                limit * 100.0
+            ));
+        }
+        println!(
+            "figures bench --check OK: {:.3} s vs committed {:.3} s ({:+.0}%, limit +{:.0}%)",
+            result.total_s,
+            base_total,
+            (ratio - 1.0) * 100.0,
+            limit * 100.0
+        );
+        return;
+    }
+    if !c.write_files {
+        return;
+    }
+    // Preserve the pre-PR section of an existing baseline verbatim —
+    // but only when it was measured at the same scale.
+    if !scale_matches {
+        eprintln!(
+            "figures bench: {} holds a different scale's measurement; \
+             writing a fresh baseline without its pre-PR section",
+            baseline.display()
+        );
+    }
+    let pre = committed
+        .as_deref()
+        .filter(|_| scale_matches)
+        .and_then(bench::pre_pr_section);
+    let json = bench::to_json(c.scale, &result, pre.as_deref());
+    match std::fs::write(&baseline, &json) {
+        Ok(()) => println!("wrote {}", baseline.display()),
+        Err(e) => fail(&format!("writing {}: {e}", baseline.display())),
+    }
+}
+
 fn split_list(v: &str) -> Vec<String> {
     v.split(',')
         .map(str::trim)
@@ -438,10 +540,12 @@ fn main() {
                 println!("{:10} {}", f.name, f.title);
             }
             println!("{:10} everything -> EXPERIMENTS.md + CSV/JSON", "all");
+            println!("{:10} perf baseline -> BENCH_hotpath.json", "bench");
             println!("{:10} ad-hoc cartesian sweep", "sweep");
             println!("{:10} one kernel, full report", "kernel");
         }
         "all" => cmd_all(&c),
+        "bench" => cmd_bench(&c),
         "sweep" => cmd_sweep(&c),
         "kernel" => cmd_kernel(&c),
         name => match figures::find(name) {

@@ -4,7 +4,9 @@
 //! 4a–4c, 5a–5c), each a [`simkit::SweepSpec`] grid whose points run in
 //! parallel on the sweep engine and return structured rows. The [`figures`]
 //! registry turns rows into tables (markdown + CSV + JSON via [`emit`]),
-//! [`experiments`] renders the complete `EXPERIMENTS.md`, and the single
+//! [`experiments`] renders the complete `EXPERIMENTS.md`, [`mod@bench`] tracks
+//! the simulator's own wall-clock baseline (`figures bench` →
+//! `BENCH_hotpath.json`), and the single
 //! `figures` binary exposes it all as subcommands (`figures fig3a`,
 //! `figures all`, `figures sweep …`, `figures kernel …`). Criterion
 //! benches in `benches/` time the simulator itself on scaled-down versions
@@ -14,6 +16,7 @@
 //! authors' RTL, so the comparison targets are the *shapes*: who wins, by
 //! roughly what factor, and where the crossovers sit (see EXPERIMENTS.md).
 
+pub mod bench;
 pub mod contention;
 pub mod emit;
 pub mod experiments;

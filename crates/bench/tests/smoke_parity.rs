@@ -1,0 +1,78 @@
+//! Determinism and timing-parity regression tests of the smoke tables.
+//!
+//! Two guarantees the allocation-free data plane must uphold:
+//!
+//! 1. **Cross-thread determinism** — the `figures all --smoke --check` CI
+//!    gate in miniature: a figure family rendered serially and on two
+//!    worker threads is byte-identical.
+//! 2. **Timing parity** — performance work must change *no simulated
+//!    cycle count*. The golden FNV-1a digests below fingerprint the
+//!    smoke-scale tables of representative figure families (full-system
+//!    kernels and the contention family). If a change alters any cell —
+//!    a cycle count, a utilization, a stall counter — the digest moves
+//!    and this test fails. A *deliberate* timing change (new arbitration
+//!    policy, different latency model) should update the constants in
+//!    the same commit, with the reasoning in its message; an
+//!    optimization never should.
+
+use axi_pack_bench::{figures, Scale};
+use simkit::sweep::THREADS_ENV;
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Renders one family at smoke scale and digests its markdown tables.
+fn digest(name: &str) -> u64 {
+    let fig = figures::find(name).expect("family is registered");
+    let mut doc = String::new();
+    for t in (fig.render)(Scale::Smoke) {
+        doc.push_str(&t.to_markdown());
+        doc.push('\n');
+    }
+    fnv1a(doc.as_bytes())
+}
+
+/// Golden digests of the smoke tables (family, FNV-1a of markdown).
+/// fig3a covers every kernel end-to-end on all three systems; contention
+/// covers the multi-requestor mux path; fig5c covers the analytical side.
+const GOLDEN: &[(&str, u64)] = &[
+    ("fig3a", 0xeaccd4e9b19ebc6f),
+    ("fig5c", 0xce968912868b0b9c),
+    ("contention", 0x653b176e6291fbd8),
+];
+
+/// One test (not several) because the worker-thread count travels
+/// through an environment variable shared by the whole process.
+#[test]
+fn smoke_tables_are_deterministic_and_timing_stable() {
+    // Cross-thread determinism: 2 workers vs serial, byte-identical.
+    for (name, _) in GOLDEN {
+        let fig = figures::find(name).expect("family is registered");
+        std::env::set_var(THREADS_ENV, "2");
+        let threaded = (fig.render)(Scale::Smoke);
+        std::env::set_var(THREADS_ENV, "1");
+        let serial = (fig.render)(Scale::Smoke);
+        assert_eq!(
+            threaded, serial,
+            "{name}: tables differ between 1 and 2 worker threads"
+        );
+    }
+    // Timing parity against the committed goldens (serial render).
+    for (name, want) in GOLDEN {
+        let got = digest(name);
+        assert_eq!(
+            got, *want,
+            "{name}: smoke tables changed (digest 0x{got:016x}, golden 0x{want:016x}). \
+             If this is a deliberate timing-model change, update GOLDEN in this test; \
+             a performance optimization must never get here."
+        );
+    }
+    std::env::remove_var(THREADS_ENV);
+}

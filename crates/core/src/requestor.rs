@@ -59,9 +59,14 @@ fn adapter(cfg: &SweepConfig, storage_bytes: usize) -> (Adapter, AxiChannels) {
     let mut ctrl = CtrlConfig::new(BusConfig::new(cfg.bus_bits), bank, cfg.queue_depth);
     ctrl.stage_policy = cfg.stage_policy;
     let mut storage = Storage::new(storage_bytes);
-    // Nonzero fill so reads demonstrably move data.
-    for w in 0..(storage_bytes / 4).min(1 << 16) {
-        storage.write_u32(4 * w as u64, w as u32);
+    // Nonzero fill so reads demonstrably move data; one pass over the raw
+    // bytes, not 64Ki bounds-checked word writes per sweep point.
+    let words = (storage_bytes / 4).min(1 << 16);
+    for (w, chunk) in storage.as_bytes_mut()[..4 * words]
+        .chunks_exact_mut(4)
+        .enumerate()
+    {
+        chunk.copy_from_slice(&(w as u32).to_le_bytes());
     }
     (Adapter::new(ctrl, storage), AxiChannels::new())
 }

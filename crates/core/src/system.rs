@@ -413,11 +413,14 @@ fn run_single(
 fn run_shared(topo: &Topology) -> Result<SystemReport, String> {
     let sys = &topo.system;
     let bases = topo.window_bases();
+    // Window relocation is zero-copy: `rebased` shares image payloads and
+    // reference data via `Arc`, and only offset-0 requestors share the
+    // program itself (nonzero windows rewrite instruction addresses).
     let kernels: Vec<Kernel> = topo
         .requestors
         .iter()
         .zip(&bases)
-        .map(|(r, &b)| r.kernel.clone().rebased(b))
+        .map(|(r, &b)| r.kernel.rebased(b))
         .collect();
     let mut storage = Storage::new(topo.storage_bytes());
     for k in &kernels {

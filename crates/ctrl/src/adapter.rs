@@ -53,6 +53,9 @@ pub struct Adapter {
     w_route: VecDeque<(WConsumer, u32)>,
     /// Responses produced by the memory at the previous cycle boundary.
     pending_resps: Vec<WordResp>,
+    /// Second response buffer ping-ponged with `pending_resps`, so the
+    /// per-cycle delivery loop never allocates.
+    resp_scratch: Vec<WordResp>,
     /// Statistics.
     r_beats: u64,
     w_beats: u64,
@@ -88,6 +91,7 @@ impl Adapter {
             b_arb: RoundRobin::new(3),
             w_route: VecDeque::new(),
             pending_resps: Vec::new(),
+            resp_scratch: Vec::new(),
             cfg,
             r_beats: 0,
             w_beats: 0,
@@ -107,8 +111,13 @@ impl Adapter {
     /// One simulation cycle of adapter work against the channel FIFOs.
     pub fn tick(&mut self, ports: &mut AxiChannels) {
         self.cycles += 1;
-        // 1. Deliver last cycle's memory responses.
-        for resp in std::mem::take(&mut self.pending_resps) {
+        // 1. Deliver last cycle's memory responses. The two response
+        // buffers ping-pong: responses land in `pending_resps` at the
+        // cycle boundary, are drained from `resp_scratch` here, and both
+        // vectors keep their capacity forever.
+        std::mem::swap(&mut self.pending_resps, &mut self.resp_scratch);
+        for i in 0..self.resp_scratch.len() {
+            let resp = self.resp_scratch[i];
             match ConvId::from_tag(resp.tag) {
                 ConvId::Base => self.base.deliver(resp),
                 ConvId::StridedR => self.strided_r.deliver(resp),
@@ -117,6 +126,7 @@ impl Adapter {
                 ConvId::IndirWIdx | ConvId::IndirWElem => self.indirect_w.deliver(resp),
             }
         }
+        self.resp_scratch.clear();
         // Internal per-cycle work.
         self.base.drain_local_acks();
         self.strided_w.drain_local_acks();
@@ -200,7 +210,7 @@ impl Adapter {
                     match consumer {
                         WConsumer::Base => self.base.push_w(&w),
                         WConsumer::Strided => self.strided_w.push_w(&w),
-                        WConsumer::Indirect => self.indirect_w.push_w(&w),
+                        WConsumer::Indirect => self.indirect_w.push_w(w),
                     }
                     self.w_beats += 1;
                     *beats_left -= 1;
@@ -211,16 +221,25 @@ impl Adapter {
             }
         }
         // 4. Bank port mux: arbitrate every word port among converters.
+        // The O(1) converter-level activity gates skip the per-lane polls
+        // of the (usually three or four) converters with nothing planned.
+        let active = [
+            self.base.active(),
+            self.strided_r.active(),
+            self.strided_w.active(),
+            self.indirect_r.active(),
+            self.indirect_w.active(),
+        ];
         for p in 0..self.cfg.ports() {
             if !self.mem.port_free(p) {
                 continue;
             }
             let wants = [
-                self.base.port_wants(p),
-                self.strided_r.port_wants(p),
-                self.strided_w.port_wants(p),
-                self.indirect_r.port_wants(p),
-                self.indirect_w.port_wants(p),
+                active[0] && self.base.port_wants(p),
+                active[1] && self.strided_r.port_wants(p),
+                active[2] && self.strided_w.port_wants(p),
+                active[3] && self.indirect_r.port_wants(p),
+                active[4] && self.indirect_w.port_wants(p),
             ];
             let Some(winner) = self.port_arb[p].grant(&wants) else {
                 continue;
@@ -297,7 +316,7 @@ impl Adapter {
     /// Advances the banked memory; call once per cycle after
     /// [`Adapter::tick`].
     pub fn end_cycle(&mut self) {
-        self.pending_resps = self.mem.end_cycle();
+        self.mem.end_cycle_into(&mut self.pending_resps);
     }
 
     /// Returns `true` when the adapter, converters and memory are all idle.

@@ -15,7 +15,7 @@
 
 use std::collections::VecDeque;
 
-use axi_proto::{Addr, ArBeat, AxiId, BusConfig, RBeat, Resp, WBeat};
+use axi_proto::{Addr, ArBeat, AxiId, BeatBuf, BusConfig, RBeat, Resp, WBeat};
 use banked_mem::WordReq;
 
 use crate::lane::{ConvId, LaneJob, LaneSet};
@@ -259,13 +259,13 @@ impl BaseConverter {
             None => {
                 for k in 0..self.ports {
                     let lo = k * self.word_bytes;
-                    let data = w.data[lo..lo + self.word_bytes].to_vec();
                     let strb = ((w.strb >> lo) & ((1u128 << self.word_bytes) - 1)) as u32;
-                    self.w_lanes.fill_data(k, data, strb);
+                    self.w_lanes
+                        .fill_data(k, &w.data[lo..lo + self.word_bytes], strb);
                 }
             }
             Some((lane, lane_off, word_off, bytes)) => {
-                let mut data = vec![0u8; self.word_bytes];
+                let mut data = banked_mem::WordBuf::zeroed(self.word_bytes);
                 let mut strb = 0u32;
                 for i in 0..bytes {
                     data[word_off + i] = w.data[lane_off + i];
@@ -273,12 +273,20 @@ impl BaseConverter {
                         strb |= 1 << (word_off + i);
                     }
                 }
-                self.w_lanes.fill_data(lane, data, strb);
+                self.w_lanes.fill_data(lane, &data, strb);
             }
         }
     }
 
+    /// Returns `true` if any word request is planned at all — the O(1)
+    /// converter-level gate the adapter checks before polling every lane.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.r_lanes.queued_jobs() > 0 || self.w_lanes.queued_jobs() > 0
+    }
+
     /// Returns `true` if `lane` has an issuable word request.
+    #[inline]
     pub fn port_wants(&self, lane: usize) -> bool {
         self.r_lanes.wants(lane) || self.w_lanes.wants(lane)
     }
@@ -298,6 +306,9 @@ impl BaseConverter {
     /// Completes zero-strobe write words without memory accesses. Called
     /// once per cycle by the adapter before port arbitration.
     pub fn drain_local_acks(&mut self) {
+        if self.w_txns.is_empty() {
+            return; // no write in flight, nothing to drain
+        }
         for lane in 0..self.ports {
             while self.w_lanes.take_local_ack(lane) {
                 self.attribute_ack(lane);
@@ -362,9 +373,11 @@ impl BaseConverter {
                 if !self.r_lanes.all_have_resp(0..self.ports) {
                     return None;
                 }
-                let mut data = Vec::with_capacity(bus_bytes);
+                let mut data = BeatBuf::zeroed(bus_bytes);
                 for lane in 0..self.ports {
-                    data.extend_from_slice(&self.r_lanes.pop_resp(lane).data);
+                    let word = self.r_lanes.pop_resp(lane);
+                    data[lane * self.word_bytes..(lane + 1) * self.word_bytes]
+                        .copy_from_slice(&word.data);
                 }
                 *done_beats += 1;
                 let last = *done_beats == *beats;
@@ -390,7 +403,7 @@ impl BaseConverter {
                     return None;
                 }
                 let word = self.r_lanes.pop_resp(*lane);
-                let mut data = vec![0u8; bus_bytes];
+                let mut data = BeatBuf::zeroed(bus_bytes);
                 data[*lane_off..*lane_off + *bytes]
                     .copy_from_slice(&word.data[*word_off..*word_off + *bytes]);
                 let id = txn.id;

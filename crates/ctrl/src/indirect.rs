@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use axi_proto::{Addr, ArBeat, AxiId, BusConfig, IdxSize, PackMode, RBeat, Resp, WBeat};
+use axi_proto::{Addr, ArBeat, AxiId, BeatBuf, BusConfig, IdxSize, PackMode, RBeat, Resp, WBeat};
 use banked_mem::{WordReq, WordResp};
 use simkit::RoundRobin;
 
@@ -25,7 +25,9 @@ use crate::lane::{ConvId, LaneJob, LaneSet};
 use crate::{CtrlConfig, StagePolicy};
 
 /// Decoded per-burst parameters shared by the read and write sides.
-#[derive(Debug, Clone)]
+/// All fields are scalar, so the struct is `Copy` — bursts are booked by
+/// value, never cloned through the heap.
+#[derive(Debug, Clone, Copy)]
 struct BurstParams {
     id: AxiId,
     beats: u32,
@@ -182,24 +184,38 @@ impl IndexStage {
         }
     }
 
-    /// Pops `want` indices for the element stage's next beat, if available,
-    /// from the oldest burst with unconsumed indices.
-    fn take_indices(&mut self, want: usize) -> Option<Vec<u64>> {
-        let prog = self
+    /// Pops `want` indices for the element stage's next beat into the
+    /// caller's scratch vector (cleared first), from the oldest burst
+    /// with unconsumed indices. Returns `false` — and takes nothing — if
+    /// fewer than `want` indices are parsed. The scratch keeps its
+    /// capacity across beats, so the per-beat path never allocates.
+    fn take_indices_into(&mut self, want: usize, out: &mut Vec<u64>) -> bool {
+        let Some(prog) = self
             .bursts
             .iter_mut()
-            .find(|p| p.consumed < p.params.n_elems)?;
+            .find(|p| p.consumed < p.params.n_elems)
+        else {
+            return false;
+        };
         if prog.parsed.len() < want {
-            return None;
+            return false;
         }
         prog.consumed += want as u32;
-        let out: Vec<u64> = prog.parsed.drain(..want).collect();
+        out.clear();
+        out.extend(prog.parsed.drain(..want));
         if prog.consumed == prog.params.n_elems && prog.words_parsed == prog.params.idx_words {
             self.bursts.pop_front();
         }
-        Some(out)
+        true
     }
 
+    /// Returns `true` if any index-word fetch is planned at all.
+    #[inline]
+    fn active(&self) -> bool {
+        self.lanes.queued_jobs() > 0
+    }
+
+    #[inline]
     fn wants(&self, lane: usize) -> bool {
         self.lanes.wants(lane)
     }
@@ -232,6 +248,8 @@ pub struct IndirectReadConverter {
     pack_q: VecDeque<PackEntry>,
     /// Bursts accepted, in order, for element planning.
     plan_q: VecDeque<PlanState>,
+    /// Per-beat index scratch, reused so planning never allocates.
+    idx_scratch: Vec<u64>,
     max_bursts: usize,
 }
 
@@ -241,7 +259,7 @@ struct PlanState {
     beats_planned: u32,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct PackEntry {
     id: AxiId,
     lanes_used: usize,
@@ -266,6 +284,7 @@ impl IndirectReadConverter {
             policy: cfg.stage_policy,
             pack_q: VecDeque::new(),
             plan_q: VecDeque::new(),
+            idx_scratch: Vec::new(),
             max_bursts,
         }
     }
@@ -279,7 +298,7 @@ impl IndirectReadConverter {
     pub fn accept(&mut self, ar: &ArBeat) {
         assert!(self.can_accept(), "caller must check can_accept");
         let params = BurstParams::decode(ar, &self.bus, self.word_bytes);
-        self.idx.accept(params.clone());
+        self.idx.accept(params);
         self.plan_q.push_back(PlanState {
             params,
             beats_planned: 0,
@@ -303,13 +322,13 @@ impl IndirectReadConverter {
         let Some(plan) = self.plan_q.front() else {
             return;
         };
-        let p = plan.params.clone();
+        let p = plan.params;
         let want = p.beat_elems(plan.beats_planned);
-        let Some(indices) = self.idx.take_indices(want) else {
+        if !self.idx.take_indices_into(want, &mut self.idx_scratch) {
             return;
-        };
-        for (e, idx) in indices.iter().enumerate() {
-            let elem_addr = p.elem_base + (idx << p.elem_shift);
+        }
+        for e in 0..want {
+            let elem_addr = p.elem_base + (self.idx_scratch[e] << p.elem_shift);
             for w in 0..p.wpe {
                 self.elem_lanes.push_job(
                     e * p.wpe + w,
@@ -332,7 +351,16 @@ impl IndirectReadConverter {
         }
     }
 
+    /// Returns `true` if any word request is planned in either stage —
+    /// the O(1) converter-level gate the adapter checks before polling
+    /// every lane.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.idx.active() || self.elem_lanes.queued_jobs() > 0
+    }
+
     /// Returns `true` if `lane` has an issuable request in either stage.
+    #[inline]
     pub fn port_wants(&self, lane: usize) -> bool {
         self.idx.wants(lane) || self.elem_lanes.wants(lane)
     }
@@ -373,11 +401,11 @@ impl IndirectReadConverter {
 
     /// Assembles and returns the next R beat if all its words have arrived.
     pub fn pop_r(&mut self) -> Option<RBeat> {
-        let entry = self.pack_q.front()?.clone();
+        let entry = *self.pack_q.front()?;
         if !self.elem_lanes.all_have_resp(0..entry.lanes_used) {
             return None;
         }
-        let mut data = vec![0u8; self.bus.data_bytes()];
+        let mut data = BeatBuf::zeroed(self.bus.data_bytes());
         for lane in 0..entry.lanes_used {
             let word = self.elem_lanes.pop_resp(lane);
             data[lane * self.word_bytes..(lane + 1) * self.word_bytes].copy_from_slice(&word.data);
@@ -413,6 +441,8 @@ pub struct IndirectWriteConverter {
     stage_arb: Vec<RoundRobin>,
     policy: StagePolicy,
     plan_q: VecDeque<PlanState>,
+    /// Per-beat index scratch, reused so planning never allocates.
+    idx_scratch: Vec<u64>,
     /// W beats received, awaiting indices.
     w_buf: VecDeque<WBeat>,
     /// Write-ack bookkeeping, one entry per burst in acceptance order.
@@ -451,6 +481,7 @@ impl IndirectWriteConverter {
             stage_arb: (0..cfg.ports()).map(|_| RoundRobin::new(2)).collect(),
             policy: cfg.stage_policy,
             plan_q: VecDeque::new(),
+            idx_scratch: Vec::new(),
             w_buf: VecDeque::new(),
             acks: VecDeque::new(),
             refs: (0..cfg.ports()).map(|_| VecDeque::new()).collect(),
@@ -471,7 +502,7 @@ impl IndirectWriteConverter {
         assert!(self.can_accept(), "caller must check can_accept");
         let params = BurstParams::decode(aw, &self.bus, self.word_bytes);
         let total_words = params.n_elems as u64 * params.wpe as u64;
-        self.idx.accept(params.clone());
+        self.idx.accept(params);
         self.acks.push_back(WAck {
             id: params.id,
             total_words,
@@ -491,10 +522,11 @@ impl IndirectWriteConverter {
         self.w_buf.len() < 4 && !self.plan_q.is_empty()
     }
 
-    /// Buffers one W beat.
-    pub fn push_w(&mut self, w: &WBeat) {
+    /// Buffers one W beat (taken by value — the payload is inline, so the
+    /// move is a plain copy, never a heap clone).
+    pub fn push_w(&mut self, w: WBeat) {
         assert!(self.w_buf.len() < 4, "caller must check needs_w");
-        self.w_buf.push_back(w.clone());
+        self.w_buf.push_back(w);
     }
 
     /// Advances extraction and write planning; call once per cycle.
@@ -512,20 +544,20 @@ impl IndirectWriteConverter {
         let Some(plan) = self.plan_q.front() else {
             return;
         };
-        let p = plan.params.clone();
+        let p = plan.params;
         let want = p.beat_elems(plan.beats_planned);
-        let Some(indices) = self.idx.take_indices(want) else {
+        if !self.idx.take_indices_into(want, &mut self.idx_scratch) {
             return;
-        };
+        }
         let w = self.w_buf.pop_front().expect("checked nonempty");
         // The front plan entry is the oldest not-fully-planned burst.
         let seq = self.seq_next - self.plan_q.len() as u64;
-        for (e, idx) in indices.iter().enumerate() {
-            let elem_addr = p.elem_base + (idx << p.elem_shift);
+        for e in 0..want {
+            let elem_addr = p.elem_base + (self.idx_scratch[e] << p.elem_shift);
             for wrd in 0..p.wpe {
                 let lane = e * p.wpe + wrd;
                 let lo = lane * self.word_bytes;
-                let data = w.data[lo..lo + self.word_bytes].to_vec();
+                let data = banked_mem::WordBuf::from_slice(&w.data[lo..lo + self.word_bytes]);
                 let strb = ((w.strb >> lo) & ((1u128 << self.word_bytes) - 1)) as u32;
                 self.elem_lanes.push_job(
                     lane,
@@ -548,7 +580,16 @@ impl IndirectWriteConverter {
         }
     }
 
+    /// Returns `true` if any word request is planned in either stage —
+    /// the O(1) converter-level gate the adapter checks before polling
+    /// every lane.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.idx.active() || self.elem_lanes.queued_jobs() > 0
+    }
+
     /// Returns `true` if `lane` has an issuable request in either stage.
+    #[inline]
     pub fn port_wants(&self, lane: usize) -> bool {
         self.idx.wants(lane) || self.elem_lanes.wants(lane)
     }
@@ -571,6 +612,9 @@ impl IndirectWriteConverter {
 
     /// Completes zero-strobe words locally; call once per cycle.
     pub fn drain_local_acks(&mut self) {
+        if self.acks.is_empty() {
+            return; // no write burst in flight, nothing to drain
+        }
         for lane in 0..self.ports {
             while self.elem_lanes.take_local_ack(lane) {
                 self.attribute_ack(lane);
@@ -774,7 +818,7 @@ mod tests {
             conv.drain_local_acks();
             if conv.needs_w() {
                 if let Some(w) = w_beats.pop_front() {
-                    conv.push_w(&w);
+                    conv.push_w(w);
                 }
             }
             conv.tick();

@@ -12,7 +12,7 @@
 use std::collections::VecDeque;
 
 use axi_proto::Addr;
-use banked_mem::{WordOp, WordReq, WordResp};
+use banked_mem::{WordBuf, WordOp, WordReq, WordResp};
 use simkit::Credit;
 
 /// Identifies which converter (and internal stage) a word request belongs
@@ -77,8 +77,8 @@ pub enum LaneJob {
     Write {
         /// Word-aligned address.
         addr: Addr,
-        /// Word data.
-        data: Vec<u8>,
+        /// Word data (inline, word-width).
+        data: WordBuf,
         /// Byte-enable mask; all-zero jobs are completed without a memory
         /// access.
         strb: u32,
@@ -100,6 +100,9 @@ pub struct LaneSet {
     resp: Vec<VecDeque<WordResp>>,
     /// Request regulators, per lane.
     credits: Vec<Credit>,
+    /// Planned jobs across all lanes, maintained incrementally so the
+    /// adapter's per-cycle activity gating is O(1).
+    total_jobs: usize,
     /// Tag all requests carry.
     id: ConvId,
     word_bytes: usize,
@@ -112,6 +115,7 @@ impl LaneSet {
             jobs: (0..ports).map(|_| VecDeque::new()).collect(),
             resp: (0..ports).map(|_| VecDeque::new()).collect(),
             credits: (0..ports).map(|_| Credit::new(depth)).collect(),
+            total_jobs: 0,
             id,
             word_bytes,
         }
@@ -123,14 +127,17 @@ impl LaneSet {
     }
 
     /// Queues a job on `lane`.
+    #[inline]
     pub fn push_job(&mut self, lane: usize, job: LaneJob) {
         self.jobs[lane].push_back(job);
+        self.total_jobs += 1;
     }
 
     /// Returns `true` if `lane` has an issuable job and a free credit.
     ///
     /// Jobs still awaiting write data are not issuable, and neither are
     /// zero-strobe writes (drain those with [`LaneSet::take_local_ack`]).
+    #[inline]
     pub fn wants(&self, lane: usize) -> bool {
         match self.jobs[lane].front() {
             None | Some(LaneJob::AwaitData { .. }) | Some(LaneJob::Write { strb: 0, .. }) => false,
@@ -146,6 +153,7 @@ impl LaneSet {
     pub fn take_local_ack(&mut self, lane: usize) -> bool {
         if let Some(LaneJob::Write { strb: 0, .. }) = self.jobs[lane].front() {
             self.jobs[lane].pop_front();
+            self.total_jobs -= 1;
             true
         } else {
             false
@@ -172,6 +180,7 @@ impl LaneSet {
         );
         assert!(self.credits[lane].take(), "wants() guaranteed a credit");
         let job = self.jobs[lane].pop_front().expect("wants() checked front");
+        self.total_jobs -= 1;
         let (addr, op) = match job {
             LaneJob::Read { addr } => (addr, WordOp::Read),
             LaneJob::Write { addr, data, strb } => (addr, WordOp::Write { data, strb }),
@@ -217,7 +226,7 @@ impl LaneSet {
     ///
     /// Panics if the lane's oldest unfilled job is not `AwaitData` — write
     /// data must arrive in beat order (AXI W channel property).
-    pub fn fill_data(&mut self, lane: usize, data: Vec<u8>, strb: u32) {
+    pub fn fill_data(&mut self, lane: usize, data: &[u8], strb: u32) {
         assert_eq!(data.len(), self.word_bytes, "word-sized write data");
         let job = self.jobs[lane]
             .iter_mut()
@@ -226,7 +235,11 @@ impl LaneSet {
         let LaneJob::AwaitData { addr } = *job else {
             unreachable!()
         };
-        *job = LaneJob::Write { addr, data, strb };
+        *job = LaneJob::Write {
+            addr,
+            data: WordBuf::from_slice(data),
+            strb,
+        };
     }
 
     /// Returns `true` when no jobs, responses, or in-flight words remain.
@@ -236,9 +249,17 @@ impl LaneSet {
             && self.credits.iter().all(|c| c.in_flight() == 0)
     }
 
-    /// Total planned jobs across lanes (for back-pressure decisions).
+    /// Total planned jobs across lanes (for back-pressure and activity
+    /// decisions); O(1), maintained incrementally.
+    #[inline]
     pub fn queued_jobs(&self) -> usize {
-        self.jobs.iter().map(VecDeque::len).sum()
+        self.total_jobs
+    }
+
+    /// Returns `true` if any response is buffered on any lane.
+    #[inline]
+    pub fn any_resp(&self) -> bool {
+        self.resp.iter().any(|q| !q.is_empty())
     }
 
     /// Memory word width in bytes.
@@ -255,7 +276,7 @@ mod tests {
         WordResp {
             port,
             word_addr: 0,
-            data: vec![0u8; 4],
+            data: WordBuf::zeroed(4),
             is_write: false,
             tag,
         }
@@ -300,7 +321,7 @@ mod tests {
             0,
             LaneJob::Write {
                 addr: 0,
-                data: vec![0; 4],
+                data: WordBuf::zeroed(4),
                 strb: 0,
             },
         );
@@ -315,7 +336,7 @@ mod tests {
         let mut lanes = LaneSet::new(1, 4, ConvId::StridedW, 4);
         lanes.push_job(0, LaneJob::AwaitData { addr: 0x10 });
         assert!(!lanes.wants(0));
-        lanes.fill_data(0, vec![1, 2, 3, 4], 0xf);
+        lanes.fill_data(0, &[1, 2, 3, 4], 0xf);
         assert!(lanes.wants(0));
         let req = lanes.pop_request(0).expect("issuable");
         assert_eq!(req.word_addr, 0x10);
@@ -338,6 +359,6 @@ mod tests {
     #[should_panic(expected = "fill_data without a pending AwaitData")]
     fn fill_without_await_panics() {
         let mut lanes = LaneSet::new(1, 4, ConvId::StridedW, 4);
-        lanes.fill_data(0, vec![0; 4], 0);
+        lanes.fill_data(0, &[0; 4], 0);
     }
 }

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use axi_proto::{Addr, ArBeat, AxiId, BusConfig, PackMode, RBeat, Resp, WBeat};
+use axi_proto::{Addr, ArBeat, AxiId, BeatBuf, BusConfig, PackMode, RBeat, Resp, WBeat};
 use banked_mem::{WordReq, WordResp};
 
 use crate::lane::{ConvId, LaneJob, LaneSet};
@@ -45,17 +45,21 @@ pub(crate) fn for_each_strided_word<F: FnMut(u32, usize, Addr)>(
         "strided burst base must be word-aligned"
     );
     let wpe = eb / word_bytes;
-    let epb = bus.elems_per_beat(ar.size);
     let stride_bytes = stride as i64 * eb as i64;
+    // Strength-reduced: one running element address instead of a
+    // multiplication per element (this runs once per word of every
+    // accepted burst).
+    let mut elem_addr = ar.addr as i64;
+    let mut k = 0i64;
     for b in 0..ar.beats {
         let valid = ar.beat_valid_elems(b, bus);
         for e in 0..valid {
-            let k = (b as usize * epb + e) as i64;
-            let elem_addr = ar.addr as i64 + k * stride_bytes;
             assert!(elem_addr >= 0, "strided address underflow at element {k}");
             for w in 0..wpe {
                 f(b, e * wpe + w, elem_addr as Addr + (w * word_bytes) as Addr);
             }
+            elem_addr += stride_bytes;
+            k += 1;
         }
     }
 }
@@ -137,7 +141,15 @@ impl StridedReadConverter {
         });
     }
 
+    /// Returns `true` if any word request is planned at all — the O(1)
+    /// converter-level gate the adapter checks before polling every lane.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.lanes.queued_jobs() > 0
+    }
+
     /// Returns `true` if `lane` has an issuable word request.
+    #[inline]
     pub fn port_wants(&self, lane: usize) -> bool {
         self.lanes.wants(lane)
     }
@@ -170,7 +182,7 @@ impl StridedReadConverter {
         if !self.lanes.all_have_resp(0..lanes_used) {
             return None;
         }
-        let mut data = vec![0u8; bus_bytes];
+        let mut data = BeatBuf::zeroed(bus_bytes);
         for lane in 0..lanes_used {
             let word = self.lanes.pop_resp(lane);
             data[lane * self.word_bytes..(lane + 1) * self.word_bytes].copy_from_slice(&word.data);
@@ -304,15 +316,22 @@ impl StridedWriteConverter {
         };
         for lane in 0..lanes_used {
             let lo = lane * wb;
-            let data = w.data[lo..lo + wb].to_vec();
             let strb = ((w.strb >> lo) & ((1u128 << wb) - 1)) as u32;
-            self.lanes.fill_data(lane, data, strb);
+            self.lanes.fill_data(lane, &w.data[lo..lo + wb], strb);
         }
         burst.beats_filled += 1;
         burst.w_left -= 1;
     }
 
+    /// Returns `true` if any word request is planned at all — the O(1)
+    /// converter-level gate the adapter checks before polling every lane.
+    #[inline]
+    pub fn active(&self) -> bool {
+        self.lanes.queued_jobs() > 0
+    }
+
     /// Returns `true` if `lane` has an issuable word request.
+    #[inline]
     pub fn port_wants(&self, lane: usize) -> bool {
         self.lanes.wants(lane)
     }
@@ -324,6 +343,9 @@ impl StridedWriteConverter {
 
     /// Completes zero-strobe words locally; call once per cycle.
     pub fn drain_local_acks(&mut self) {
+        if self.bursts.is_empty() {
+            return; // no write burst in flight, nothing to drain
+        }
         for lane in 0..self.ports {
             while self.lanes.take_local_ack(lane) {
                 self.attribute_ack(lane);

@@ -10,6 +10,20 @@ use simkit::{Pipeline, RoundRobin};
 use crate::map::BankMap;
 use crate::storage::Storage;
 
+/// Maximum bank word width in bytes — the fixed capacity of [`WordBuf`].
+/// The paper's banks are 32 bit; 16 bytes leaves headroom for wide-word
+/// experiments without ever heap-allocating word data.
+pub const MAX_WORD_BYTES: usize = 16;
+
+/// Inline payload of one bank word access.
+///
+/// Word requests and responses cross the bank port every cycle on every
+/// lane; carrying their data in a fixed-capacity inline buffer
+/// ([`simkit::InlineBuf`]) instead of a `Vec<u8>` keeps the per-cycle
+/// path allocation-free. The visible length equals the configured bank
+/// word width.
+pub type WordBuf = simkit::InlineBuf<MAX_WORD_BYTES>;
+
 /// Configuration of a [`BankedMemory`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankConfig {
@@ -48,21 +62,21 @@ impl Default for BankConfig {
 }
 
 /// Operation of one word access.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WordOp {
     /// Read one word.
     Read,
     /// Write `data` under byte-enable `strb` (bit *i* enables byte *i*).
     Write {
         /// Word data, `word_bytes` long.
-        data: Vec<u8>,
+        data: WordBuf,
         /// Byte-enable mask.
         strb: u32,
     },
 }
 
 /// One word access presented at a port.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WordReq {
     /// Issuing port (0..ports).
     pub port: usize,
@@ -75,14 +89,14 @@ pub struct WordReq {
 }
 
 /// A completed word access.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WordResp {
     /// Port the request was issued on.
     pub port: usize,
     /// Word-aligned byte address.
     pub word_addr: Addr,
     /// Word data for reads; the written data echoed back for writes.
-    pub data: Vec<u8>,
+    pub data: WordBuf,
     /// `true` for writes (an ack), `false` for reads.
     pub is_write: bool,
     /// The requestor tag.
@@ -120,6 +134,15 @@ pub struct BankedMemory {
     ideal_overflow: Vec<WordReq>,
     /// Conflict-free mode: accepted request groups awaiting their latency.
     ideal_delay: std::collections::VecDeque<Vec<WordReq>>,
+    /// Grant-phase request masks, one bit per port, one mask per bank —
+    /// reused every cycle so arbitration never allocates or loops over
+    /// idle ports.
+    wants_scratch: Vec<u32>,
+    /// Banks with at least one request this cycle (grant-phase scratch):
+    /// only these entries of `wants_scratch` are touched and re-cleared,
+    /// so the per-cycle cost scales with the port count, not the bank
+    /// count.
+    dirty_banks: Vec<usize>,
     /// Statistics.
     total_accesses: u64,
     conflict_stall_events: u64,
@@ -134,6 +157,15 @@ impl BankedMemory {
     /// Panics on a zero port count or invalid [`BankMap`] parameters.
     pub fn new(cfg: BankConfig, storage: Storage) -> Self {
         assert!(cfg.ports > 0, "need at least one port");
+        assert!(
+            cfg.ports <= 32,
+            "the grant-phase port masks are 32 bits wide"
+        );
+        assert!(
+            cfg.word_bytes <= MAX_WORD_BYTES,
+            "bank words of {} B exceed the {MAX_WORD_BYTES}-B inline word buffer",
+            cfg.word_bytes
+        );
         let map = BankMap::new(cfg.banks, cfg.word_bytes);
         BankedMemory {
             map,
@@ -145,6 +177,8 @@ impl BankedMemory {
             arbs: (0..cfg.banks).map(|_| RoundRobin::new(cfg.ports)).collect(),
             ideal_overflow: Vec::new(),
             ideal_delay: std::collections::VecDeque::new(),
+            wants_scratch: vec![0; cfg.banks],
+            dirty_banks: Vec::with_capacity(cfg.ports),
             cfg,
             total_accesses: 0,
             conflict_stall_events: 0,
@@ -185,7 +219,20 @@ impl BankedMemory {
     /// Arbitrates, advances bank pipelines, and performs completing
     /// accesses. Returns the responses emerging this cycle (any number of
     /// ports may complete in the same cycle).
+    ///
+    /// Allocates the response vector; per-cycle callers should prefer
+    /// [`BankedMemory::end_cycle_into`], which reuses one.
     pub fn end_cycle(&mut self) -> Vec<WordResp> {
+        let mut responses = Vec::new();
+        self.end_cycle_into(&mut responses);
+        responses
+    }
+
+    /// Like [`BankedMemory::end_cycle`], but appends the responses to a
+    /// caller-owned vector (cleared first) so the per-cycle loop reuses
+    /// its capacity instead of allocating a fresh `Vec` every cycle.
+    pub fn end_cycle_into(&mut self, responses: &mut Vec<WordResp>) {
+        responses.clear();
         self.cycles += 1;
         // Grant phase: each bank picks at most one pending port.
         if self.cfg.conflict_free {
@@ -197,30 +244,42 @@ impl BankedMemory {
                 }
             }
         } else {
-            let mut wants: Vec<Vec<bool>> = vec![vec![false; self.cfg.ports]; self.cfg.banks];
+            self.dirty_banks.clear();
             for (p, slot) in self.pending.iter().enumerate() {
                 if let Some(req) = slot {
-                    wants[self.map.bank_of(req.word_addr)][p] = true;
+                    let b = self.map.bank_of(req.word_addr);
+                    if self.wants_scratch[b] == 0 {
+                        self.dirty_banks.push(b);
+                    }
+                    self.wants_scratch[b] |= 1 << p;
                 }
             }
-            for (b, want) in wants.iter().enumerate() {
-                let contenders = want.iter().filter(|w| **w).count();
+            for i in 0..self.dirty_banks.len() {
+                let b = self.dirty_banks[i];
+                let want = self.wants_scratch[b];
+                let contenders = want.count_ones();
                 if contenders > 1 {
                     self.conflict_stall_events += (contenders - 1) as u64;
                 }
-                if !self.banks[b].can_insert() {
-                    continue;
+                if self.banks[b].can_insert() {
+                    if let Some(p) = self.arbs[b].grant_mask(want) {
+                        let req = self.pending[p].take().expect("granted port has request");
+                        self.banks[b].insert(req);
+                    }
                 }
-                if let Some(p) = self.arbs[b].grant(want) {
-                    let req = self.pending[p].take().expect("granted port has request");
-                    self.banks[b].insert(req);
-                }
+                // Re-clear only the entries this cycle touched.
+                self.wants_scratch[b] = 0;
             }
         }
-        // Access phase: requests leaving pipelines touch storage.
-        let mut responses = Vec::new();
+        // Access phase: requests leaving pipelines touch storage. Idle
+        // banks (nothing in flight, nothing inserted this cycle) need no
+        // register rotation — with 17 banks and at most `ports` grants
+        // per cycle most banks are idle in any given cycle.
         let commit = self.cfg.commit_writes;
         for bank in self.banks.iter_mut() {
+            if bank.is_empty() {
+                continue;
+            }
             if let Some(req) = bank.end_cycle() {
                 responses.push(Self::access(
                     &mut self.storage,
@@ -247,13 +306,12 @@ impl BankedMemory {
                 }
             }
         }
-        responses
     }
 
     fn access(storage: &mut Storage, word_bytes: usize, req: WordReq, commit: bool) -> WordResp {
         match req.op {
             WordOp::Read => {
-                let mut data = vec![0u8; word_bytes];
+                let mut data = WordBuf::zeroed(word_bytes);
                 storage.read(req.word_addr, &mut data);
                 WordResp {
                     port: req.port,
@@ -363,7 +421,7 @@ mod tests {
         let resps = run_until_quiescent(&mut m, 10);
         assert_eq!(resps.len(), 1);
         assert_eq!(resps[0].tag, 42);
-        assert_eq!(resps[0].data, 4u32.to_le_bytes());
+        assert_eq!(*resps[0].data, 4u32.to_le_bytes());
     }
 
     #[test]
@@ -440,7 +498,7 @@ mod tests {
             port: 0,
             word_addr: 0x20,
             op: WordOp::Write {
-                data: 0xcafe_f00du32.to_le_bytes().to_vec(),
+                data: 0xcafe_f00du32.to_le_bytes().into(),
                 strb: 0xf
             },
             tag: 0
@@ -457,7 +515,7 @@ mod tests {
             port: 0,
             word_addr: 0x40,
             op: WordOp::Write {
-                data: vec![0x55; 4],
+                data: WordBuf::from_slice(&[0x55; 4]),
                 strb: 0b0011
             },
             tag: 0
@@ -519,7 +577,7 @@ mod tests {
         }
         let resps = run_until_quiescent(&mut m, 5);
         assert_eq!(resps.len(), 4);
-        assert!(resps.iter().all(|r| r.data == 7u32.to_le_bytes()));
+        assert!(resps.iter().all(|r| *r.data == 7u32.to_le_bytes()));
     }
 
     #[test]

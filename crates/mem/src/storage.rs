@@ -114,11 +114,12 @@ impl Storage {
         }
     }
 
-    /// Reads `n` contiguous `f32` values.
+    /// Reads `n` contiguous `f32` values. Allocates; per-cycle callers
+    /// should prefer [`Storage::read_f32_into`].
     pub fn read_f32_slice(&self, addr: Addr, n: usize) -> Vec<f32> {
-        (0..n)
-            .map(|i| self.read_f32(addr + 4 * i as Addr))
-            .collect()
+        let mut out = vec![0.0; n];
+        self.read_f32_into(addr, &mut out);
+        out
     }
 
     /// Writes a slice of `u32` values contiguously.
@@ -128,16 +129,39 @@ impl Storage {
         }
     }
 
-    /// Reads `n` contiguous `u32` values.
+    /// Reads `n` contiguous `u32` values. Allocates; per-cycle callers
+    /// should prefer [`Storage::read_u32_into`].
     pub fn read_u32_slice(&self, addr: Addr, n: usize) -> Vec<u32> {
-        (0..n)
-            .map(|i| self.read_u32(addr + 4 * i as Addr))
-            .collect()
+        let mut out = vec![0; n];
+        self.read_u32_into(addr, &mut out);
+        out
     }
 
     /// Borrows the raw bytes (for whole-image comparisons in tests).
     pub fn as_bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// Mutably borrows the raw bytes — the bulk-fill entry point for
+    /// workload setup, replacing per-word `write_u32` loops.
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// Reads `out.len()` contiguous `f32` values into a caller slice —
+    /// the allocation-free variant of [`Storage::read_f32_slice`].
+    pub fn read_f32_into(&self, addr: Addr, out: &mut [f32]) {
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.read_f32(addr + 4 * i as Addr);
+        }
+    }
+
+    /// Reads `out.len()` contiguous `u32` values into a caller slice —
+    /// the allocation-free variant of [`Storage::read_u32_slice`].
+    pub fn read_u32_into(&self, addr: Addr, out: &mut [u32]) {
+        for (i, v) in out.iter_mut().enumerate() {
+            *v = self.read_u32(addr + 4 * i as Addr);
+        }
     }
 }
 

@@ -59,7 +59,7 @@ proptest! {
                 }
             }
             for resp in mem.end_cycle() {
-                got.insert(resp.tag, u32::from_le_bytes(resp.data.try_into().expect("4")));
+                got.insert(resp.tag, u32::from_le_bytes((*resp.data).try_into().expect("4")));
             }
             guard += 1;
             prop_assert!(guard < 10_000, "memory hung");
@@ -104,7 +104,7 @@ proptest! {
                         let req = WordReq {
                             port,
                             word_addr: addr,
-                            op: WordOp::Write { data: v.to_le_bytes().to_vec(), strb: 0xf },
+                            op: WordOp::Write { data: v.to_le_bytes().into(), strb: 0xf },
                             tag: 0,
                         };
                         prop_assert!(mem.try_issue(req));

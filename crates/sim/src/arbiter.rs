@@ -41,6 +41,7 @@ impl RoundRobin {
     }
 
     /// Number of requestors.
+    #[inline]
     pub fn len(&self) -> usize {
         self.n
     }
@@ -59,6 +60,7 @@ impl RoundRobin {
     /// # Panics
     ///
     /// Panics if `requests.len()` differs from the arbiter width.
+    #[inline]
     pub fn grant(&mut self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n, "request vector width mismatch");
         for off in 0..self.n {
@@ -71,7 +73,45 @@ impl RoundRobin {
         None
     }
 
+    /// Grants from a bitmask request vector (bit *i* = requestor *i*
+    /// asserted) — the allocation- and loop-free variant of
+    /// [`RoundRobin::grant`] used on per-cycle paths with many arbiters
+    /// (e.g. one per memory bank). Identical policy: the first asserted
+    /// requestor at or after the priority index wins, and priority
+    /// rotates past the winner.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if a bit at or above the arbiter width is set.
+    #[inline]
+    pub fn grant_mask(&mut self, mask: u32) -> Option<usize> {
+        debug_assert!(
+            self.n >= 32 || mask >> self.n == 0,
+            "request mask wider than the arbiter"
+        );
+        if mask == 0 {
+            return None;
+        }
+        // Rotate the mask so the priority index lands at bit 0, pick the
+        // lowest set bit, and map it back to a requestor index. The lane
+        // mask is computed shift-safely: at n == 32 (e.g. a 1024-bit bus
+        // over 4-byte bank words) `1u32 << n` would overflow.
+        let n = self.n as u32;
+        let next = self.next as u32;
+        let lane_mask = if n >= 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let rotated = if next == 0 {
+            mask
+        } else {
+            ((mask >> next) | (mask << (n - next))) & lane_mask
+        };
+        let off = rotated.trailing_zeros() as usize;
+        let idx = (self.next + off) % self.n;
+        self.next = (idx + 1) % self.n;
+        Some(idx)
+    }
+
     /// Peeks at who would win without rotating the priority.
+    #[inline]
     pub fn peek(&self, requests: &[bool]) -> Option<usize> {
         assert_eq!(requests.len(), self.n, "request vector width mismatch");
         (0..self.n)
@@ -105,6 +145,30 @@ mod tests {
         let mut arb = RoundRobin::new(2);
         assert_eq!(arb.grant(&[false, false]), None);
         assert_eq!(arb.grant(&[true, true]), Some(0));
+    }
+
+    #[test]
+    fn grant_mask_matches_grant_at_full_width() {
+        // Width 32 is reachable (1024-bit bus / 4-byte words); the lane
+        // mask must not overflow once the priority index has rotated.
+        let mut a = RoundRobin::new(32);
+        let mut b = RoundRobin::new(32);
+        let masks = [1u32 << 31, 0x8000_0001, u32::MAX, 0, 0x0001_0000];
+        for (round, &m) in masks.iter().cycle().take(64).enumerate() {
+            let bools: Vec<bool> = (0..32).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(
+                a.grant_mask(m),
+                b.grant(&bools),
+                "round {round} mask {m:#x}"
+            );
+        }
+        // Narrow widths agree too.
+        let mut a = RoundRobin::new(5);
+        let mut b = RoundRobin::new(5);
+        for m in [0b10110u32, 0b00001, 0b11111, 0b01000] {
+            let bools: Vec<bool> = (0..5).map(|i| m >> i & 1 == 1).collect();
+            assert_eq!(a.grant_mask(m), b.grant(&bools));
+        }
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Fixed-capacity inline byte buffers for allocation-free payloads.
+//!
+//! The per-cycle hot path of the simulation moves real payload bytes on
+//! every accepted handshake: R/W beats on the bus, word data at the bank
+//! ports. Carrying those bytes in a `Vec<u8>` puts one heap allocation on
+//! every beat and every word access — at sweep scale the allocator, not
+//! the simulator, dominates the profile. [`InlineBuf`] replaces them with
+//! a fixed-capacity array plus a length, so payloads live inline in their
+//! beat structs and move with a `memcpy`.
+//!
+//! The capacity is a const generic: `axi-proto` instantiates it at 128
+//! bytes (`BeatBuf`, the widest AXI4 bus permits 1024 bits) and
+//! `banked-mem` at 16 bytes (`WordBuf`, comfortably above any modeled
+//! bank word).
+
+use std::ops::{Deref, DerefMut};
+
+/// A fixed-capacity inline byte buffer with a runtime length.
+///
+/// Dereferences to `[u8]` over the *visible* `len` bytes, so slice
+/// indexing, iteration and `len()` work exactly as they did on the
+/// `Vec<u8>` payloads it replaces. Bytes beyond `len` are always zero
+/// (the buffer never shrinks), and equality/hashing cover only the
+/// visible bytes.
+///
+/// # Examples
+///
+/// ```
+/// use simkit::InlineBuf;
+///
+/// let mut b: InlineBuf<32> = InlineBuf::zeroed(8);
+/// b[0..4].copy_from_slice(&7u32.to_le_bytes());
+/// assert_eq!(b.len(), 8);
+/// assert_eq!(u32::from_le_bytes(b[0..4].try_into().unwrap()), 7);
+/// assert_eq!(b, InlineBuf::<32>::from_slice(&[7, 0, 0, 0, 0, 0, 0, 0]));
+/// ```
+#[derive(Clone, Copy)]
+pub struct InlineBuf<const N: usize> {
+    data: [u8; N],
+    len: u16,
+}
+
+impl<const N: usize> InlineBuf<N> {
+    /// Creates a buffer of `len` zero bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the capacity `N`.
+    #[inline]
+    pub fn zeroed(len: usize) -> Self {
+        assert!(len <= N, "inline buffer of {len} B exceeds capacity {N}");
+        InlineBuf {
+            data: [0; N],
+            len: len as u16,
+        }
+    }
+
+    /// Creates a buffer holding a copy of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` exceeds the capacity `N`.
+    #[inline]
+    pub fn from_slice(src: &[u8]) -> Self {
+        let mut b = Self::zeroed(src.len());
+        b.data[..src.len()].copy_from_slice(src);
+        b
+    }
+
+    /// The fixed capacity in bytes.
+    #[inline]
+    pub const fn capacity() -> usize {
+        N
+    }
+}
+
+impl<const N: usize> Deref for InlineBuf<N> {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        &self.data[..self.len as usize]
+    }
+}
+
+impl<const N: usize> DerefMut for InlineBuf<N> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[..self.len as usize]
+    }
+}
+
+impl<const N: usize> PartialEq for InlineBuf<N> {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<const N: usize> Eq for InlineBuf<N> {}
+
+impl<const N: usize> std::hash::Hash for InlineBuf<N> {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (**self).hash(state);
+    }
+}
+
+impl<const N: usize> std::fmt::Debug for InlineBuf<N> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+impl<const N: usize> Default for InlineBuf<N> {
+    /// An empty (zero-length) buffer.
+    fn default() -> Self {
+        Self::zeroed(0)
+    }
+}
+
+impl<const N: usize> From<&[u8]> for InlineBuf<N> {
+    fn from(src: &[u8]) -> Self {
+        Self::from_slice(src)
+    }
+}
+
+impl<const N: usize> From<Vec<u8>> for InlineBuf<N> {
+    fn from(src: Vec<u8>) -> Self {
+        Self::from_slice(&src)
+    }
+}
+
+impl<const N: usize, const M: usize> From<[u8; M]> for InlineBuf<N> {
+    fn from(src: [u8; M]) -> Self {
+        Self::from_slice(&src)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_has_requested_length() {
+        let b: InlineBuf<16> = InlineBuf::zeroed(5);
+        assert_eq!(b.len(), 5);
+        assert!(b.iter().all(|&x| x == 0));
+        assert_eq!(InlineBuf::<16>::capacity(), 16);
+    }
+
+    #[test]
+    fn from_slice_roundtrips() {
+        let src = [1u8, 2, 3, 4, 5];
+        let b: InlineBuf<8> = InlineBuf::from_slice(&src);
+        assert_eq!(&*b, &src);
+    }
+
+    #[test]
+    fn equality_covers_visible_bytes_only() {
+        let mut a: InlineBuf<8> = InlineBuf::zeroed(4);
+        let b: InlineBuf<8> = InlineBuf::zeroed(4);
+        assert_eq!(a, b);
+        a[0] = 1;
+        assert_ne!(a, b);
+        let c: InlineBuf<8> = InlineBuf::zeroed(5);
+        assert_ne!(b, c, "different lengths are unequal");
+    }
+
+    #[test]
+    fn deref_mut_allows_in_place_edits() {
+        let mut b: InlineBuf<4> = InlineBuf::zeroed(4);
+        b.copy_from_slice(&[9, 9, 9, 9]);
+        assert_eq!(&*b, &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds capacity")]
+    fn oversized_construction_panics() {
+        let _: InlineBuf<4> = InlineBuf::zeroed(5);
+    }
+}

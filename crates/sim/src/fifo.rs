@@ -58,7 +58,9 @@ impl<T> Fifo<T> {
         assert!(capacity > 0, "fifo capacity must be at least 1");
         Fifo {
             queue: VecDeque::with_capacity(capacity),
-            staged: VecDeque::new(),
+            // Staged items are bounded by the capacity too; pre-sizing
+            // means a FIFO never reallocates after construction.
+            staged: VecDeque::with_capacity(capacity),
             len_at_cycle_start: 0,
             capacity,
             total_pushed: 0,
@@ -121,6 +123,7 @@ impl<T> Fifo<T> {
     ///
     /// Must be called exactly once per simulated cycle, after all component
     /// ticks.
+    #[inline]
     pub fn end_cycle(&mut self) {
         self.queue.append(&mut self.staged);
         debug_assert!(

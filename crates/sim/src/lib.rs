@@ -11,6 +11,8 @@
 //!   controller uses between the index and element stages).
 //! * [`Credit`] — a credit counter used to build request regulators that
 //!   bound the number of in-flight requests per lane.
+//! * [`InlineBuf`] — a fixed-capacity inline byte buffer so data-carrying
+//!   beats and word accesses never touch the heap on the per-cycle path.
 //!
 //! A simulation is a plain `struct` owning its components and the [`Fifo`]s
 //! that wire them together; each cycle it calls `tick` on every component
@@ -38,6 +40,7 @@
 #![deny(missing_docs)]
 
 pub mod arbiter;
+pub mod buf;
 pub mod credit;
 pub mod fifo;
 pub mod pipeline;
@@ -45,6 +48,7 @@ pub mod stats;
 pub mod sweep;
 
 pub use arbiter::RoundRobin;
+pub use buf::InlineBuf;
 pub use credit::Credit;
 pub use fifo::Fifo;
 pub use pipeline::Pipeline;

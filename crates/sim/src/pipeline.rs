@@ -26,6 +26,9 @@ use std::collections::VecDeque;
 pub struct Pipeline<T> {
     stages: VecDeque<Option<T>>,
     inserted_this_cycle: bool,
+    /// Items currently in flight, maintained incrementally so emptiness
+    /// checks on the per-cycle path are O(1).
+    in_flight: usize,
 }
 
 impl<T> Pipeline<T> {
@@ -44,6 +47,7 @@ impl<T> Pipeline<T> {
         Pipeline {
             stages,
             inserted_this_cycle: false,
+            in_flight: 0,
         }
     }
 
@@ -58,11 +62,13 @@ impl<T> Pipeline<T> {
             "pipeline accepts one insert per cycle"
         );
         self.inserted_this_cycle = true;
+        self.in_flight += 1;
         // Goes into the newest stage slot at end_cycle; stash it here.
         *self.stages.back_mut().expect("nonzero latency") = Some(item);
     }
 
     /// Returns `true` if no item was inserted yet this cycle.
+    #[inline]
     pub fn can_insert(&self) -> bool {
         !self.inserted_this_cycle
     }
@@ -72,17 +78,22 @@ impl<T> Pipeline<T> {
         self.inserted_this_cycle = false;
         let out = self.stages.pop_front().expect("nonzero latency");
         self.stages.push_back(None);
+        if out.is_some() {
+            self.in_flight -= 1;
+        }
         out
     }
 
     /// Number of items currently somewhere in the pipeline.
+    #[inline]
     pub fn occupancy(&self) -> usize {
-        self.stages.iter().filter(|s| s.is_some()).count()
+        self.in_flight
     }
 
     /// Returns `true` if no items are in flight.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.occupancy() == 0
+        self.in_flight == 0
     }
 
     /// Pipeline depth in cycles.

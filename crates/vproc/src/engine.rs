@@ -27,8 +27,10 @@
 //! kernels — integration tests assert exactly that.
 
 use std::collections::{HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
-use axi_proto::{Addr, ArBeat, AxiChannels, BusConfig, ElemSize, IdxSize, WBeat};
+use axi_proto::{Addr, ArBeat, AxiChannels, BeatBuf, BusConfig, ElemSize, IdxSize, WBeat};
 use banked_mem::Storage;
 use simkit::Utilization;
 
@@ -191,9 +193,12 @@ pub struct Engine {
     kind: SystemKind,
     bus: BusConfig,
     regs: RegFile,
-    program: VecDeque<VInsn>,
+    /// The program, shared (never cloned) between the kernel and any
+    /// number of engines; `pc` is this engine's issue cursor into it.
+    program: Arc<Program>,
+    pc: usize,
     vl: usize,
-    window: HashMap<u64, InFlight>,
+    window: UidMap<InFlight>,
     order: VecDeque<u64>,
     reg_writer: [u64; 32],
     next_uid: u64,
@@ -211,10 +216,38 @@ pub struct Engine {
     /// back-to-back operations.
     ideal_last_active: u64,
     stats: EngineStats,
+    /// Start-of-cycle producer-progress snapshot, reused every cycle so
+    /// chaining never allocates (uid → produced, in issue order).
+    progress_scratch: Vec<(u64, usize)>,
 }
 
 /// Sentinel "no writer" uid (uids start at 1).
 const NO_WRITER: u64 = 0;
+
+/// Identity hasher for uid keys: uids are sequential `u64`s, so hashing
+/// them through SipHash on every window lookup of every cycle is pure
+/// overhead. The in-flight window is tiny (≤ `cfg.window` entries) and
+/// its keys are unique by construction.
+#[derive(Debug, Default)]
+struct UidHasher(u64);
+
+impl Hasher for UidHasher {
+    #[inline]
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("uid keys hash via write_u64");
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// The uid-keyed in-flight window map.
+type UidMap<V> = HashMap<u64, V, BuildHasherDefault<UidHasher>>;
 
 impl Engine {
     /// Creates an engine for the given system kind and program.
@@ -224,7 +257,12 @@ impl Engine {
     /// Panics unless `cfg.axi_id_bits` is in `1..=8` — a zero width would
     /// collapse every transaction onto ID 0 and silently cross-wire R
     /// beats between outstanding loads.
-    pub fn new(cfg: VprocConfig, kind: SystemKind, bus: BusConfig, program: Program) -> Self {
+    pub fn new(
+        cfg: VprocConfig,
+        kind: SystemKind,
+        bus: BusConfig,
+        program: impl Into<Arc<Program>>,
+    ) -> Self {
         assert!(
             (1..=8).contains(&cfg.axi_id_bits),
             "axi_id_bits must be 1..=8, got {}",
@@ -236,9 +274,10 @@ impl Engine {
         };
         Engine {
             regs: RegFile::new(cfg.vlen_bytes),
-            program: program.into_iter().collect(),
+            program: program.into(),
+            pc: 0,
             vl: cfg.max_vl(),
-            window: HashMap::new(),
+            window: UidMap::default(),
             order: VecDeque::new(),
             reg_writer: [NO_WRITER; 32],
             next_uid: 1,
@@ -252,6 +291,7 @@ impl Engine {
             ideal_active: None,
             ideal_last_active: 0,
             stats: EngineStats::new(bus_bytes),
+            progress_scratch: Vec::new(),
             cfg,
             kind,
             bus,
@@ -270,7 +310,7 @@ impl Engine {
 
     /// Returns `true` when the program has fully executed and drained.
     pub fn done(&self) -> bool {
-        self.program.is_empty()
+        self.pc >= self.program.len()
             && self.window.is_empty()
             && self.scalar_stall == 0
             && self.mem_q.is_empty()
@@ -568,24 +608,34 @@ impl Engine {
     /// Advances compute instructions under a shared `lanes`-elements-per-
     /// cycle budget, honoring chaining via producer progress snapshots.
     fn tick_compute(&mut self) {
-        let snapshot: HashMap<u64, usize> = self
-            .order
-            .iter()
-            .filter_map(|uid| self.window.get(uid).map(|e| (*uid, e.produced)))
-            .collect();
+        // Snapshot producer progress at the start of the compute tick so
+        // same-cycle production is never consumed (registered chaining).
+        // The scratch vector is engine-owned and reused every cycle; the
+        // window is small (≤ cfg.window entries), so linear lookup wins
+        // over any hashing.
+        self.progress_scratch.clear();
+        for uid in &self.order {
+            if let Some(e) = self.window.get(uid) {
+                self.progress_scratch.push((*uid, e.produced));
+            }
+        }
+        let snapshot = &self.progress_scratch;
         let progress = |uid: u64| -> usize {
             if uid == NO_WRITER {
                 usize::MAX
             } else {
-                snapshot.get(&uid).copied().unwrap_or(usize::MAX)
+                snapshot
+                    .iter()
+                    .find(|(u, _)| *u == uid)
+                    .map_or(usize::MAX, |(_, p)| *p)
             }
         };
         let mut budget = self.cfg.lanes;
-        let order: Vec<u64> = self.order.iter().copied().collect();
-        for uid in order {
+        for i in 0..self.order.len() {
             if budget == 0 {
                 break;
             }
+            let uid = self.order[i];
             let Some(entry) = self.window.get_mut(&uid) else {
                 continue;
             };
@@ -651,16 +701,19 @@ impl Engine {
         // result written back after each row): the next vector instruction
         // cannot issue until the producer completes. This is what keeps
         // row-wise dataflows reduction-bound in the paper's Fig. 3b/3c.
-        if let Some(VInsn::ScalarStoreF32 { vs, .. }) = self.program.front() {
+        if let Some(VInsn::ScalarStoreF32 { vs, .. }) = self.program.insns().get(self.pc) {
             let producer = self.reg_writer[*vs as usize];
             if producer != NO_WRITER && self.window.contains_key(&producer) {
                 self.stats.scalar_stall_cycles += 1;
                 return;
             }
         }
-        let Some(insn) = self.program.pop_front() else {
+        // Instructions are tiny flat enums; cloning one out of the shared
+        // program is a register-width copy, not a heap operation.
+        let Some(insn) = self.program.insns().get(self.pc).cloned() else {
             return;
         };
+        self.pc += 1;
         self.stats.issued += 1;
         self.exec_functional(&insn, storage);
         match &insn {
@@ -738,8 +791,12 @@ impl Engine {
         match *insn {
             VInsn::SetVl { .. } | VInsn::Scalar { .. } => {}
             VInsn::Vle { vd, base, .. } => {
-                let vals = storage.read_f32_slice(base, vl);
-                self.regs.write_f32(vd, &vals);
+                // Registers hold little-endian f32 bytes, exactly the
+                // storage layout: a raw byte copy is the same result as
+                // the element-wise read, without the intermediate Vec.
+                let a = base as usize;
+                self.regs
+                    .write_bytes(vd, &storage.as_bytes()[a..a + vl * 4]);
             }
             VInsn::Vlse { vd, base, stride } => {
                 for k in 0..vl {
@@ -749,22 +806,21 @@ impl Engine {
                 }
             }
             VInsn::Vluxei { vd, vidx, base } => {
-                let idx = self.regs.read_u32(vidx, vl);
-                for (k, &i) in idx.iter().enumerate() {
+                for k in 0..vl {
+                    let i = self.regs.elem_u32(vidx, k);
                     let v = storage.read_f32(base + i as Addr * 4);
                     self.regs.set_elem_f32(vd, k, v);
                 }
             }
             VInsn::Vlimxei { vd, idx_addr, base } => {
-                let idx = storage.read_u32_slice(idx_addr, vl);
-                for (k, &i) in idx.iter().enumerate() {
+                for k in 0..vl {
+                    let i = storage.read_u32(idx_addr + 4 * k as Addr);
                     let v = storage.read_f32(base + i as Addr * 4);
                     self.regs.set_elem_f32(vd, k, v);
                 }
             }
             VInsn::Vse { vs, base } => {
-                let vals = self.regs.read_f32(vs, vl);
-                storage.write_f32_slice(base, &vals);
+                storage.write(base, &self.regs.bytes(vs)[..vl * 4]);
             }
             VInsn::Vsse { vs, base, stride } => {
                 for k in 0..vl {
@@ -773,14 +829,14 @@ impl Engine {
                 }
             }
             VInsn::Vsuxei { vs, vidx, base } => {
-                let idx = self.regs.read_u32(vidx, vl);
-                for (k, &i) in idx.iter().enumerate() {
+                for k in 0..vl {
+                    let i = self.regs.elem_u32(vidx, k);
                     storage.write_f32(base + i as Addr * 4, self.regs.elem_f32(vs, k));
                 }
             }
             VInsn::Vsimxei { vs, idx_addr, base } => {
-                let idx = storage.read_u32_slice(idx_addr, vl);
-                for (k, &i) in idx.iter().enumerate() {
+                for k in 0..vl {
+                    let i = storage.read_u32(idx_addr + 4 * k as Addr);
                     storage.write_f32(base + i as Addr * 4, self.regs.elem_f32(vs, k));
                 }
             }
@@ -818,15 +874,17 @@ impl Engine {
                 }
             }
             VInsn::Vfredsum { vd, vs } => {
-                let sum: f32 = self.regs.read_f32(vs, vl).iter().sum();
+                let mut sum = 0.0f32;
+                for k in 0..vl {
+                    sum += self.regs.elem_f32(vs, k);
+                }
                 self.regs.set_elem_f32(vd, 0, sum);
             }
             VInsn::Vfredmin { vd, vs } => {
-                let m = self
-                    .regs
-                    .read_f32(vs, vl)
-                    .into_iter()
-                    .fold(f32::INFINITY, f32::min);
+                let mut m = f32::INFINITY;
+                for k in 0..vl {
+                    m = m.min(self.regs.elem_f32(vs, k));
+                }
                 self.regs.set_elem_f32(vd, 0, m);
             }
             VInsn::ScalarStoreF32 { vs, addr } => {
@@ -961,9 +1019,8 @@ impl Engine {
                 (vd, false)
             }
             VInsn::Vluxei { vd, vidx, base } => {
-                let idx = self.regs.read_u32(vidx, vl);
-                for &i in &idx {
-                    let addr = base + i as Addr * 4;
+                for k in 0..vl {
+                    let addr = base + self.regs.elem_u32(vidx, k) as Addr * 4;
                     reqs.push_back(ArBeat::narrow(id, addr, ElemSize::B4));
                     beat_elems.push_back(1);
                     lane_offs.push_back((addr % bus_bytes as Addr) as usize);
@@ -1025,7 +1082,7 @@ impl Engine {
         let src_uid = Some(self.reg_writer[vs as usize]);
         let full_beat = |b: usize, total_beats: usize| -> (WBeat, usize) {
             let elems = epb.min(vl - b * epb);
-            let mut bytes = vec![0u8; bus_bytes];
+            let mut bytes = BeatBuf::zeroed(bus_bytes);
             bytes[..elems * 4].copy_from_slice(&data[b * epb * 4..b * epb * 4 + elems * 4]);
             let strb = if elems * 4 >= 128 {
                 u128::MAX
@@ -1062,7 +1119,7 @@ impl Engine {
                     aws.push_back(ArBeat::incr(id, aligned, beats as u32, &self.bus));
                     for b in 0..beats {
                         let elems = epb.min(rem - b * epb);
-                        let mut bytes = vec![0u8; bus_bytes];
+                        let mut bytes = BeatBuf::zeroed(bus_bytes);
                         let lo = (head + b * epb) * 4;
                         bytes[..elems * 4].copy_from_slice(&data[lo..lo + elems * 4]);
                         let strb = if elems * 4 >= 128 {
@@ -1110,10 +1167,9 @@ impl Engine {
                 SystemKind::Ideal => unreachable!(),
             },
             VInsn::Vsuxei { vidx, base, .. } => {
-                let idx = self.regs.read_u32(vidx, vl);
                 b_expected = vl as u32;
-                for (k, &i) in idx.iter().enumerate() {
-                    let addr = base + i as Addr * 4;
+                for k in 0..vl {
+                    let addr = base + self.regs.elem_u32(vidx, k) as Addr * 4;
                     aws.push_back(ArBeat::narrow(id, addr, ElemSize::B4));
                     ws.push_back((Self::narrow_w(&data, k, addr, bus_bytes), k + 1));
                 }
@@ -1158,7 +1214,7 @@ impl Engine {
     /// Builds the W beat of a narrow per-element store.
     fn narrow_w(data: &[u8], k: usize, addr: Addr, bus_bytes: usize) -> WBeat {
         let lane = (addr % bus_bytes as Addr) as usize;
-        let mut bytes = vec![0u8; bus_bytes];
+        let mut bytes = BeatBuf::zeroed(bus_bytes);
         bytes[lane..lane + 4].copy_from_slice(&data[k * 4..k * 4 + 4]);
         WBeat {
             data: bytes,
@@ -1172,16 +1228,15 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn sweep_completed(&mut self) {
-        let done: Vec<u64> = self
-            .order
-            .iter()
-            .copied()
-            .filter(|uid| self.window.get(uid).is_some_and(InFlight::complete))
-            .collect();
-        for uid in done {
-            self.window.remove(&uid);
-        }
-        self.order.retain(|uid| self.window.contains_key(uid));
+        let window = &mut self.window;
+        self.order.retain(|uid| match window.get(uid) {
+            Some(e) if e.complete() => {
+                window.remove(uid);
+                false
+            }
+            Some(_) => true,
+            None => false,
+        });
     }
 }
 

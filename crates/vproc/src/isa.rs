@@ -340,11 +340,14 @@ impl Program {
         self.insns.is_empty()
     }
 
-    /// Returns the program with every memory address shifted by `offset`
-    /// (see [`VInsn::offset_addrs`]) — kernel relocation into an
-    /// address-space window.
-    pub fn offset_addrs(self, offset: Addr) -> Program {
-        self.into_iter().map(|i| i.offset_addrs(offset)).collect()
+    /// Returns a copy of the program with every memory address shifted by
+    /// `offset` (see [`VInsn::offset_addrs`]) — kernel relocation into an
+    /// address-space window. Borrows: the original program stays shared.
+    pub fn offset_addrs(&self, offset: Addr) -> Program {
+        self.insns
+            .iter()
+            .map(|i| i.clone().offset_addrs(offset))
+            .collect()
     }
 }
 

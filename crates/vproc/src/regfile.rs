@@ -94,7 +94,16 @@ impl RegFile {
         }
     }
 
+    /// Reads one u32 element — the allocation-free accessor the engine's
+    /// indexed paths use instead of materializing a whole index `Vec`.
+    #[inline]
+    pub fn elem_u32(&self, v: u8, k: usize) -> u32 {
+        let r = &self.regs[v as usize];
+        u32::from_le_bytes(r[4 * k..4 * k + 4].try_into().expect("4 bytes"))
+    }
+
     /// Reads one f32 element.
+    #[inline]
     pub fn elem_f32(&self, v: u8, k: usize) -> f32 {
         let r = &self.regs[v as usize];
         f32::from_le_bytes(r[4 * k..4 * k + 4].try_into().expect("4 bytes"))

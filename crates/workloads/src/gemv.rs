@@ -27,10 +27,10 @@ pub fn build(n: usize, seed: u64, dataflow: Dataflow, p: &KernelParams) -> Kerne
         name: "gemv".into(),
         image: vec![(a, f32_bytes(m.as_slice())), (xa, f32_bytes(&x))],
         storage_size: layout.storage_size(),
-        program,
+        program: program.into(),
         expected: vec![Check {
             addr: ya,
-            values: m.matvec(&x),
+            values: m.matvec(&x).into(),
             label: "y".into(),
         }],
         read_only_streams: true,
@@ -111,6 +111,6 @@ mod tests {
         let k = build(8, 7, Dataflow::ColWise, &p);
         let m = DenseMatrix::random(8, 8, 7);
         let x = random_vector(8, 7 ^ 0xabcd);
-        assert_eq!(k.expected[0].values, m.matvec(&x));
+        assert_eq!(*k.expected[0].values, *m.matvec(&x));
     }
 }

@@ -42,10 +42,10 @@ pub fn build(n: usize, seed: u64, p: &KernelParams) -> Kernel {
         name: "ismt".into(),
         image: vec![(a, f32_bytes(m.as_slice()))],
         storage_size: layout.storage_size(),
-        program: b.build(),
+        program: b.build().into(),
         expected: vec![Check {
             addr: a,
-            values: transposed.as_slice().to_vec(),
+            values: transposed.as_slice().to_vec().into(),
             label: "A^T".into(),
         }],
         // Loads and stores interleave over the same matrix inside the

@@ -1,6 +1,8 @@
 //! The kernel abstraction: memory image + system-specific program +
 //! scalar-reference expectations.
 
+use std::sync::Arc;
+
 use axi_proto::Addr;
 use banked_mem::Storage;
 use vproc::{Program, SystemKind};
@@ -56,8 +58,9 @@ impl std::fmt::Display for Dataflow {
 pub struct Check {
     /// Start address of the FP32 array.
     pub addr: Addr,
-    /// Expected values (scalar reference).
-    pub values: Vec<f32>,
+    /// Expected values (scalar reference), shared so relocating a kernel
+    /// into an address window never deep-copies the reference data.
+    pub values: Arc<[f32]>,
     /// Human-readable label for error messages.
     pub label: String,
 }
@@ -67,12 +70,15 @@ pub struct Check {
 pub struct Kernel {
     /// Kernel name for reports (e.g. `"ismt"`).
     pub name: String,
-    /// Initial memory contents as `(address, bytes)` regions.
-    pub image: Vec<(Addr, Vec<u8>)>,
+    /// Initial memory contents as `(address, bytes)` regions. The byte
+    /// payloads are shared (`Arc`), so cloning or relocating a kernel
+    /// copies addresses, never data.
+    pub image: Vec<(Addr, Arc<[u8]>)>,
     /// Required backing-store size (includes over-fetch slack).
     pub storage_size: usize,
-    /// The vector program for the chosen system.
-    pub program: Program,
+    /// The vector program for the chosen system, shared with every
+    /// engine that executes it (engines keep a cursor, not a copy).
+    pub program: Arc<Program>,
     /// Expected memory contents after the run.
     pub expected: Vec<Check>,
     /// `true` when no timed store can overlap a timed load's region, so
@@ -108,19 +114,32 @@ impl Kernel {
     /// indirect kernels relocate unchanged. This is how a multi-requestor
     /// topology gives each requestor a private window of one shared
     /// backing store; `offset == 0` is the identity.
-    pub fn rebased(mut self, offset: Addr) -> Kernel {
+    pub fn rebased(&self, offset: Addr) -> Kernel {
         if offset == 0 {
-            return self;
+            // The identity window: share everything, copy nothing.
+            return self.clone();
         }
-        for (addr, _) in &mut self.image {
-            *addr += offset;
+        Kernel {
+            name: self.name.clone(),
+            image: self
+                .image
+                .iter()
+                .map(|(addr, bytes)| (addr + offset, Arc::clone(bytes)))
+                .collect(),
+            storage_size: self.storage_size + offset as usize,
+            program: Arc::new(self.program.offset_addrs(offset)),
+            expected: self
+                .expected
+                .iter()
+                .map(|c| Check {
+                    addr: c.addr + offset,
+                    values: Arc::clone(&c.values),
+                    label: c.label.clone(),
+                })
+                .collect(),
+            read_only_streams: self.read_only_streams,
+            useful_bytes: self.useful_bytes,
         }
-        for check in &mut self.expected {
-            check.addr += offset;
-        }
-        self.program = std::mem::take(&mut self.program).offset_addrs(offset);
-        self.storage_size += offset as usize;
-        self
     }
 
     /// Verifies all expected output regions against the store.
@@ -159,14 +178,20 @@ fn close(got: f32, expect: f32) -> bool {
     (got - expect).abs() <= 1e-3 * scale
 }
 
-/// Converts FP32 values to little-endian bytes for image regions.
-pub(crate) fn f32_bytes(vals: &[f32]) -> Vec<u8> {
-    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+/// Converts FP32 values to shared little-endian bytes for image regions.
+pub(crate) fn f32_bytes(vals: &[f32]) -> Arc<[u8]> {
+    vals.iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect::<Vec<u8>>()
+        .into()
 }
 
-/// Converts u32 values to little-endian bytes for image regions.
-pub(crate) fn u32_bytes(vals: &[u32]) -> Vec<u8> {
-    vals.iter().flat_map(|v| v.to_le_bytes()).collect()
+/// Converts u32 values to shared little-endian bytes for image regions.
+pub(crate) fn u32_bytes(vals: &[u32]) -> Arc<[u8]> {
+    vals.iter()
+        .flat_map(|v| v.to_le_bytes())
+        .collect::<Vec<u8>>()
+        .into()
 }
 
 /// A bump allocator for kernel address layout: 64-byte aligned regions
@@ -227,10 +252,10 @@ mod tests {
             name: "toy".into(),
             image: vec![(0x100, f32_bytes(&[3.0, 4.0]))],
             storage_size: 0x1000,
-            program: Program::default(),
+            program: Program::default().into(),
             expected: vec![Check {
                 addr: 0x100,
-                values: vec![3.0, 4.0],
+                values: vec![3.0, 4.0].into(),
                 label: "in".into(),
             }],
             read_only_streams: true,
@@ -251,10 +276,10 @@ mod tests {
             name: "toy".into(),
             image: vec![(0x100, f32_bytes(&[1.0, 2.0]))],
             storage_size: 0x1000,
-            program: Program::default(),
+            program: Program::default().into(),
             expected: vec![Check {
                 addr: 0x100,
-                values: vec![1.0, 2.0],
+                values: vec![1.0, 2.0].into(),
                 label: "in".into(),
             }],
             read_only_streams: true,

@@ -73,10 +73,10 @@ pub fn build(graph: &CsrMatrix, iters: usize, p: &KernelParams) -> Kernel {
             (bufs[0], f32_bytes(&init)),
         ],
         storage_size: layout.storage_size(),
-        program: b.build(),
+        program: b.build().into(),
         expected: vec![Check {
             addr: bufs[iters % 2],
-            values: rank,
+            values: rank.into(),
             label: "rank".into(),
         }],
         // The tmp buffer is re-prefilled at the start of each iteration
@@ -123,7 +123,7 @@ mod tests {
         let g = CsrMatrix::from_parts(n, n, row_ptr, col_idx, vec![1.0; n]);
         let p = KernelParams::new(SystemKind::Pack, 8);
         let k = build(&g, 3, &p);
-        for v in &k.expected[0].values {
+        for v in k.expected[0].values.iter() {
             assert!((v - 1.0 / n as f32).abs() < 1e-5);
         }
     }

@@ -66,10 +66,10 @@ pub fn build(n: usize, scale: f32, seed: u64, p: &KernelParams) -> Kernel {
         name: "scatter".into(),
         image: vec![(xa, f32_bytes(&x)), (pa, u32_bytes(&perm))],
         storage_size: layout.storage_size(),
-        program: b.build(),
+        program: b.build().into(),
         expected: vec![Check {
             addr: ya,
-            values: expected,
+            values: expected.into(),
             label: "y".into(),
         }],
         read_only_streams: true,

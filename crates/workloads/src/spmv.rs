@@ -116,10 +116,10 @@ pub fn build(m: &CsrMatrix, seed: u64, p: &KernelParams) -> Kernel {
             (xa, f32_bytes(&x)),
         ],
         storage_size: layout.storage_size(),
-        program: b.build(),
+        program: b.build().into(),
         expected: vec![Check {
             addr: ya,
-            values: m.matvec(&x),
+            values: m.matvec(&x).into(),
             label: "y".into(),
         }],
         read_only_streams: true,
@@ -163,7 +163,7 @@ mod tests {
         let p = KernelParams::new(SystemKind::Pack, 32);
         let k = build(&m, 1, &p);
         let x = random_vector(m.cols(), 1 ^ 0x99);
-        assert_eq!(k.expected[0].values, m.matvec(&x));
+        assert_eq!(*k.expected[0].values, *m.matvec(&x));
     }
 
     #[test]

@@ -70,10 +70,10 @@ pub fn build(graph: &CsrMatrix, source: usize, sweeps: usize, p: &KernelParams) 
             (dist, f32_bytes(&init)),
         ],
         storage_size: layout.storage_size(),
-        program: b.build(),
+        program: b.build().into(),
         expected: vec![Check {
             addr: dist,
-            values: d,
+            values: d.into(),
             label: "dist".into(),
         }],
         // The merge pass loads and stores `dist` within the instruction

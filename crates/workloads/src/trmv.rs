@@ -26,10 +26,10 @@ pub fn build(n: usize, seed: u64, dataflow: Dataflow, p: &KernelParams) -> Kerne
         name: "trmv".into(),
         image: vec![(a, f32_bytes(m.as_slice())), (xa, f32_bytes(&x))],
         storage_size: layout.storage_size(),
-        program,
+        program: program.into(),
         expected: vec![Check {
             addr: ya,
-            values: m.matvec(&x),
+            values: m.matvec(&x).into(),
             label: "y".into(),
         }],
         read_only_streams: true,
@@ -102,7 +102,7 @@ mod tests {
         let k = build(12, 5, Dataflow::RowWise, &p);
         let m = DenseMatrix::random_upper_triangular(12, 5);
         let x = random_vector(12, 5 ^ 0x7777);
-        assert_eq!(k.expected[0].values, m.matvec(&x));
+        assert_eq!(*k.expected[0].values, *m.matvec(&x));
     }
 
     #[test]
