@@ -6,6 +6,7 @@
 use simkit::Fifo;
 
 use crate::beat::{ArBeat, BBeat, RBeat, WBeat};
+use crate::checker::Monitor;
 
 /// One AXI(-Pack) bus: AR, AW, W, R and B channel registers.
 ///
@@ -62,6 +63,34 @@ impl AxiChannels {
         self.b.end_cycle();
     }
 
+    /// Advances all channel registers like [`AxiChannels::end_cycle`],
+    /// first feeding every handshake accepted this cycle to a protocol
+    /// [`Monitor`].
+    ///
+    /// Each beat pushed into a channel sits in exactly one cycle's staged
+    /// set, so a run loop that ends every cycle through this method shows
+    /// the monitor every AR/AW/W/R/B handshake exactly once, in channel
+    /// order, without touching the simulated timing — the hook the
+    /// differential fuzzing harness attaches to.
+    pub fn end_cycle_observed(&mut self, mon: &mut Monitor) {
+        for ar in self.ar.staged() {
+            mon.observe_ar(ar);
+        }
+        for aw in self.aw.staged() {
+            mon.observe_aw(aw);
+        }
+        for w in self.w.staged() {
+            mon.observe_w(w);
+        }
+        for r in self.r.staged() {
+            mon.observe_r(r);
+        }
+        for b in self.b.staged() {
+            mon.observe_b(b);
+        }
+        self.end_cycle();
+    }
+
     /// Returns `true` when every channel is fully drained.
     pub fn is_empty(&self) -> bool {
         self.ar.is_empty()
@@ -82,6 +111,34 @@ impl Default for AxiChannels {
 mod tests {
     use super::*;
     use crate::config::BusConfig;
+
+    #[test]
+    fn observed_end_cycle_feeds_the_monitor_once_per_beat() {
+        use crate::beat::{AxiId, BeatBuf, RBeat, Resp};
+        let bus = BusConfig::new(64);
+        let mut ch = AxiChannels::new();
+        let mut mon = Monitor::new(bus);
+        ch.ar.push(ArBeat::incr(3, 0, 2, &bus));
+        ch.end_cycle_observed(&mut mon);
+        for last in [false, true] {
+            ch.r.push(RBeat {
+                id: AxiId(3),
+                data: BeatBuf::zeroed(8),
+                payload_bytes: 8,
+                last,
+                resp: Resp::Okay,
+            });
+            ch.end_cycle_observed(&mut mon);
+        }
+        // Drain without re-observing: already-promoted beats never recount.
+        ch.ar.pop();
+        ch.r.pop();
+        ch.r.pop();
+        ch.end_cycle_observed(&mut mon);
+        assert_eq!(mon.r_beats(), 2);
+        assert!(mon.violations().is_empty());
+        assert!(mon.quiescent());
+    }
 
     #[test]
     fn channels_register_one_cycle() {

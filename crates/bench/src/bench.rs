@@ -38,6 +38,10 @@ pub struct BenchResult {
     pub total_s: f64,
     /// Simulated cycles per host second on the throughput probe kernel.
     pub cycles_per_sec: f64,
+    /// Fully-checked differential fuzz scenarios per host second
+    /// ([`crate::fuzz::fuzz_scenarios_per_sec`]), so generator/runner
+    /// throughput is tracked alongside the figure families.
+    pub fuzz_scenarios_per_sec: f64,
 }
 
 /// Renders every figure family once at `scale`, timing each, then runs
@@ -57,6 +61,7 @@ pub fn run(scale: Scale) -> BenchResult {
         families,
         total_s: total,
         cycles_per_sec: cycles_per_sec_probe(scale),
+        fuzz_scenarios_per_sec: crate::fuzz::fuzz_scenarios_per_sec(),
     }
 }
 
@@ -99,6 +104,12 @@ pub fn to_json(scale: Scale, result: &BenchResult, pre_pr: Option<&str>) -> Stri
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"total_s\": {:.4},", result.total_s).unwrap();
     writeln!(w, "  \"cycles_per_sec\": {:.0},", result.cycles_per_sec).unwrap();
+    writeln!(
+        w,
+        "  \"fuzz_scenarios_per_sec\": {:.1},",
+        result.fuzz_scenarios_per_sec
+    )
+    .unwrap();
     let speedup = parse_number(pre_pr.unwrap_or(""), "pre_pr_total_s")
         .map(|pre| pre / result.total_s)
         .unwrap_or(1.0);
@@ -154,9 +165,11 @@ mod tests {
             families: vec![("fig3a", 0.07), ("fig5b", 0.92)],
             total_s: 0.99,
             cycles_per_sec: 123456.0,
+            fuzz_scenarios_per_sec: 42.5,
         };
         let json = to_json(Scale::Smoke, &r, Some("  \"pre_pr_total_s\": 1.24,"));
         assert_eq!(parse_number(&json, "total_s"), Some(0.99));
+        assert_eq!(parse_number(&json, "fuzz_scenarios_per_sec"), Some(42.5));
         assert_eq!(parse_number(&json, "pre_pr_total_s"), Some(1.24));
         let speedup = parse_number(&json, "speedup_vs_pre_pr").unwrap();
         assert!((speedup - 1.24 / 0.99).abs() < 0.01);
@@ -179,6 +192,7 @@ mod tests {
             families: vec![("fig3a", 0.07)],
             total_s: 0.07,
             cycles_per_sec: 1.0,
+            fuzz_scenarios_per_sec: 1.0,
         };
         let json = to_json(Scale::Smoke, &r, None);
         assert_eq!(parse_string(&json, "scale").as_deref(), Some("Smoke"));

@@ -19,8 +19,11 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
+use axi_pack::differential::{replay_corpus, SEED_CORPUS};
 use axi_pack_bench::bench::{self, MAX_REGRESSION};
+use axi_pack_bench::cli::{resolve, Dispatch};
 use axi_pack_bench::emit::{write_files, Table};
+use axi_pack_bench::fuzz::{run_fuzz, FuzzSpec};
 use axi_pack_bench::sweeps::{
     kernel_sweep, parse_elem, parse_idx, util_sweep, KernelPoint, KernelSweep, UtilSweep,
     KERNEL_NAMES,
@@ -42,6 +45,18 @@ fn usage() -> ! {
          \x20                          (--check: fail if >25% slower than committed)\n\
          \x20 sweep                    ad-hoc cartesian sweep (see axes below)\n\
          \x20 kernel                   run one kernel and print the full report\n\
+         \x20 fuzz                     randomized differential engine: every seed runs\n\
+         \x20                          random kernels on BASE/PACK/IDEAL and 1/2/4-requestor\n\
+         \x20                          topologies against a bit-exact reference model\n\
+         \n\
+         fuzz options:\n\
+         \x20 --seed-start N           first seed (default 0)\n\
+         \x20 --count M                seeds to check (default 64)\n\
+         \x20 --minimize               shrink failing seeds before reporting\n\
+         \x20 --corpus                 replay the checked-in regression corpus instead\n\
+         \x20 --max-ops N              generator: program-length cap (default 24)\n\
+         \x20 --max-elems N            generator: array-length cap (default 192)\n\
+         \x20 --no-read-back           generator: keep load and store streams disjoint\n\
          \n\
          common options:\n\
          \x20 --smoke                  quick problem sizes (default: paper scale)\n\
@@ -267,6 +282,10 @@ fn cmd_bench(c: &Common) {
         "  throughput {:>8.0} simulated cycles/s (PACK ismt probe)",
         result.cycles_per_sec
     );
+    println!(
+        "  fuzz       {:>8.1} differential scenarios/s",
+        result.fuzz_scenarios_per_sec
+    );
     let committed = std::fs::read_to_string(&baseline).ok();
     // Wall-clocks from different scales must never be compared (or the
     // pre-PR section mixed across scales).
@@ -341,6 +360,78 @@ fn cmd_bench(c: &Common) {
         Ok(()) => println!("wrote {}", baseline.display()),
         Err(e) => fail(&format!("writing {}: {e}", baseline.display())),
     }
+}
+
+/// `figures fuzz`: run a seed window (or the regression corpus) through
+/// the differential engine; print one repro line per failing seed and
+/// exit non-zero if anything failed.
+fn cmd_fuzz(c: &Common) {
+    let mut spec = FuzzSpec::default();
+    let mut corpus = false;
+    let mut it = c.rest.clone().into_iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--seed-start" => spec.seed_start = val().parse().unwrap_or_else(|_| usage()),
+            "--count" => spec.count = val().parse().unwrap_or_else(|_| usage()),
+            "--minimize" => spec.minimize = true,
+            "--corpus" => corpus = true,
+            "--max-ops" => spec.cfg.max_ops = val().parse().unwrap_or_else(|_| usage()),
+            "--max-elems" => spec.cfg.max_elems = val().parse().unwrap_or_else(|_| usage()),
+            "--no-read-back" => spec.cfg.allow_read_back = false,
+            other => fail(&format!("unknown flag {other} for `fuzz`")),
+        }
+    }
+    if spec.count == 0 || spec.cfg.max_ops == 0 || spec.cfg.max_elems == 0 {
+        fail("--count, --max-ops and --max-elems must be positive");
+    }
+    if corpus {
+        let t0 = Instant::now();
+        match replay_corpus() {
+            Ok(cases) => println!(
+                "figures fuzz --corpus OK: {cases} regression cases green ({:.2} s)",
+                t0.elapsed().as_secs_f64()
+            ),
+            Err(failures) => {
+                for (seed, e) in &failures {
+                    eprintln!("corpus seed {seed} FAILED: {e}");
+                }
+                fail(&format!(
+                    "{} of {} corpus cases failed",
+                    failures.len(),
+                    SEED_CORPUS.len()
+                ));
+            }
+        }
+        return;
+    }
+    let threads = simkit::sweep::thread_count(None);
+    let summary = run_fuzz(&spec);
+    if summary.failures.is_empty() {
+        println!(
+            "figures fuzz OK: seeds {}..{} all green — {} checks, {} simulated cycles \
+             ({:.2} s on {threads} worker thread(s), {:.1} scenarios/s)",
+            spec.seed_start,
+            spec.seed_start + spec.count as u64,
+            summary.checks,
+            summary.cycles,
+            summary.elapsed_s,
+            summary.scenarios_per_sec,
+        );
+        return;
+    }
+    for f in &summary.failures {
+        eprintln!("seed {} FAILED: {}", f.seed, f.error);
+        if let Some((_, min_err)) = &f.minimized {
+            eprintln!("  minimized: {min_err}");
+        }
+        eprintln!("  repro: {}", f.repro(&spec.cfg));
+    }
+    fail(&format!(
+        "{} of {} seeds failed differential checking",
+        summary.failures.len(),
+        spec.count
+    ));
 }
 
 fn split_list(v: &str) -> Vec<String> {
@@ -534,8 +625,13 @@ fn main() {
     }
     let sub = args.remove(0);
     let c = parse_common(args);
-    match sub.as_str() {
-        "list" => {
+    // One tested dispatch table (axi_pack_bench::cli) decides what a name
+    // means; anything unknown fails loudly with a non-zero exit.
+    match resolve(&sub) {
+        Dispatch::List => {
+            if let Some(stray) = c.rest.first() {
+                fail(&format!("unknown flag {stray} for `list`"));
+            }
             for f in figures::FIGURES {
                 println!("{:10} {}", f.name, f.title);
             }
@@ -543,17 +639,19 @@ fn main() {
             println!("{:10} perf baseline -> BENCH_hotpath.json", "bench");
             println!("{:10} ad-hoc cartesian sweep", "sweep");
             println!("{:10} one kernel, full report", "kernel");
+            println!("{:10} randomized differential engine", "fuzz");
         }
-        "all" => cmd_all(&c),
-        "bench" => cmd_bench(&c),
-        "sweep" => cmd_sweep(&c),
-        "kernel" => cmd_kernel(&c),
-        name => match figures::find(name) {
-            Some(fig) => cmd_figure(fig, &c),
-            None => {
-                eprintln!("unknown subcommand {name}\n");
-                usage();
-            }
-        },
+        Dispatch::All => cmd_all(&c),
+        Dispatch::Bench => cmd_bench(&c),
+        Dispatch::Sweep => cmd_sweep(&c),
+        Dispatch::Kernel => cmd_kernel(&c),
+        Dispatch::Fuzz => cmd_fuzz(&c),
+        Dispatch::Figure(fig) => cmd_figure(fig, &c),
+        Dispatch::Unknown => {
+            eprintln!(
+                "figures: unknown subcommand `{sub}` (run `figures list` for the families)\n"
+            );
+            usage();
+        }
     }
 }

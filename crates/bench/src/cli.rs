@@ -1,0 +1,96 @@
+//! The `figures` CLI dispatch table.
+//!
+//! One authoritative mapping from subcommand name to action, shared by
+//! `main` and by unit tests — so "unknown subcommand exits non-zero with
+//! a clear message" is a tested property of a table, not a side effect of
+//! a `match` arm buried in the binary.
+
+use crate::figures::{self, Figure};
+
+/// What a subcommand name resolves to.
+#[derive(Debug, Clone, Copy)]
+pub enum Dispatch {
+    /// `figures list` — print the registry.
+    List,
+    /// `figures all` — regenerate EXPERIMENTS.md.
+    All,
+    /// `figures bench` — perf baseline.
+    Bench,
+    /// `figures sweep` — ad-hoc cartesian sweep.
+    Sweep,
+    /// `figures kernel` — one kernel, full report.
+    Kernel,
+    /// `figures fuzz` — randomized differential engine.
+    Fuzz,
+    /// A figure family from the registry (`fig3a` … `contention`).
+    Figure(&'static Figure),
+    /// Not a subcommand: the caller must print an error and exit
+    /// non-zero.
+    Unknown,
+}
+
+/// Fixed (non-registry) subcommand names, for `list` and completion.
+pub const FIXED_SUBCOMMANDS: &[&str] = &["list", "all", "bench", "sweep", "kernel", "fuzz"];
+
+/// Resolves a subcommand name. Never panics; unknown names resolve to
+/// [`Dispatch::Unknown`] so the binary can fail loudly.
+pub fn resolve(name: &str) -> Dispatch {
+    match name {
+        "list" => Dispatch::List,
+        "all" => Dispatch::All,
+        "bench" => Dispatch::Bench,
+        "sweep" => Dispatch::Sweep,
+        "kernel" => Dispatch::Kernel,
+        "fuzz" => Dispatch::Fuzz,
+        other => match figures::find(other) {
+            Some(fig) => Dispatch::Figure(fig),
+            None => Dispatch::Unknown,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fixed_subcommand_resolves() {
+        for name in FIXED_SUBCOMMANDS {
+            assert!(
+                !matches!(resolve(name), Dispatch::Unknown | Dispatch::Figure(_)),
+                "{name} must resolve to its own dispatch arm"
+            );
+        }
+    }
+
+    #[test]
+    fn every_figure_family_resolves_to_itself() {
+        for fig in figures::FIGURES {
+            match resolve(fig.name) {
+                Dispatch::Figure(f) => assert!(std::ptr::eq(f, fig)),
+                other => panic!("{} resolved to {other:?}", fig.name),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_names_resolve_to_unknown() {
+        for bogus in ["fig9z", "figures", "", "al", "fuz", "--smoke", "Fig3a"] {
+            assert!(
+                matches!(resolve(bogus), Dispatch::Unknown),
+                "{bogus:?} must not dispatch"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_and_fixed_names_never_collide() {
+        for fig in figures::FIGURES {
+            assert!(
+                !FIXED_SUBCOMMANDS.contains(&fig.name),
+                "figure family {} shadows a fixed subcommand",
+                fig.name
+            );
+        }
+    }
+}

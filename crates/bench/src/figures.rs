@@ -342,6 +342,7 @@ pub fn contention_table(rows: &[ContentionRow]) -> Table {
 }
 
 /// One figure family of the registry.
+#[derive(Debug)]
 pub struct Figure {
     /// Subcommand name (`fig3a` … `fig5c`, `ablations`).
     pub name: &'static str,

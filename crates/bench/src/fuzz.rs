@@ -1,0 +1,157 @@
+//! `figures fuzz` — the CLI face of the randomized differential engine.
+//!
+//! Fans a window of seeds across the sweep workers (each seed is an
+//! independent [`axi_pack::differential::check_seed`] run), collects
+//! failures, optionally shrinks them ([`axi_pack::differential::minimize`])
+//! and renders each as a one-line repro command. CI runs a small window on
+//! every PR (`fuzz-smoke`) and a large one nightly; the checked-in
+//! regression corpus replays with `--corpus`.
+
+use std::time::Instant;
+
+use axi_pack::differential::{check_seed, minimize, repro_command, SeedOutcome};
+use simkit::SweepSpec;
+use workloads::synth::SynthConfig;
+
+/// What to fuzz: a seed window plus generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzSpec {
+    /// First seed of the window.
+    pub seed_start: u64,
+    /// Number of consecutive seeds.
+    pub count: usize,
+    /// Generator configuration every seed runs at.
+    pub cfg: SynthConfig,
+    /// Shrink failing seeds down the halving ladder before reporting.
+    pub minimize: bool,
+}
+
+impl Default for FuzzSpec {
+    fn default() -> Self {
+        FuzzSpec {
+            seed_start: 0,
+            count: 64,
+            cfg: SynthConfig::default(),
+            minimize: false,
+        }
+    }
+}
+
+/// One failing seed, ready to print.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The failing seed.
+    pub seed: u64,
+    /// The first differential check that failed.
+    pub error: String,
+    /// Smallest still-failing configuration and its error, when
+    /// minimization ran and the failure reproduces under shrinking.
+    pub minimized: Option<(SynthConfig, String)>,
+}
+
+impl FuzzFailure {
+    /// The one-line repro command (of the minimized config if present).
+    pub fn repro(&self, base: &SynthConfig) -> String {
+        match &self.minimized {
+            Some((cfg, _)) => repro_command(self.seed, cfg),
+            None => repro_command(self.seed, base),
+        }
+    }
+}
+
+/// Aggregate result of one fuzz window.
+#[derive(Debug, Clone)]
+pub struct FuzzSummary {
+    /// Seeds that passed every check.
+    pub passed: usize,
+    /// Total individual assertions across all passing seeds.
+    pub checks: u64,
+    /// Total simulated cycles across all passing seeds.
+    pub cycles: u64,
+    /// Failing seeds, in seed order.
+    pub failures: Vec<FuzzFailure>,
+    /// Wall-clock of the window in seconds.
+    pub elapsed_s: f64,
+    /// Seeds fully checked per host second (the throughput the
+    /// `BENCH_hotpath.json` probe tracks).
+    pub scenarios_per_sec: f64,
+}
+
+/// Runs a fuzz window, fanning seeds across the sweep worker threads.
+pub fn run_fuzz(spec: &FuzzSpec) -> FuzzSummary {
+    let seeds: Vec<u64> = (0..spec.count as u64)
+        .map(|i| spec.seed_start + i)
+        .collect();
+    let t0 = Instant::now();
+    let results: Vec<Result<SeedOutcome, (u64, String)>> = SweepSpec::over(seeds)
+        .run(|_ctx, &seed| check_seed(seed, &spec.cfg).map_err(|e| (seed, e)));
+    let elapsed = t0.elapsed().as_secs_f64();
+    let mut summary = FuzzSummary {
+        passed: 0,
+        checks: 0,
+        cycles: 0,
+        failures: Vec::new(),
+        elapsed_s: elapsed,
+        scenarios_per_sec: spec.count as f64 / elapsed.max(1e-9),
+    };
+    for r in results {
+        match r {
+            Ok(out) => {
+                summary.passed += 1;
+                summary.checks += out.checks;
+                summary.cycles += out.cycles;
+            }
+            Err((seed, error)) => {
+                // Shrinking re-runs the seed serially; failures are rare,
+                // so the cost sits outside the hot path.
+                let minimized = spec.minimize.then(|| minimize(seed, &spec.cfg)).flatten();
+                summary.failures.push(FuzzFailure {
+                    seed,
+                    error,
+                    minimized,
+                });
+            }
+        }
+    }
+    summary
+}
+
+/// Throughput probe for `BENCH_hotpath.json`: fully-checked fuzz
+/// scenarios per host second over a fixed serial window (thread-count
+/// independent so the number is comparable across hosts and runs).
+pub fn fuzz_scenarios_per_sec() -> f64 {
+    let cfg = SynthConfig::default();
+    let probe_seeds = 12u64;
+    // Warm-up one seed (first-touch allocations), then time the window.
+    check_seed(0, &cfg).expect("probe seed 0 passes");
+    let t0 = Instant::now();
+    for seed in 0..probe_seeds {
+        check_seed(seed, &cfg).expect("probe seeds pass");
+    }
+    probe_seeds as f64 / t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_window_passes_and_counts() {
+        let s = run_fuzz(&FuzzSpec {
+            count: 4,
+            ..FuzzSpec::default()
+        });
+        assert_eq!(s.passed, 4);
+        assert!(s.failures.is_empty());
+        assert!(s.checks > 0 && s.cycles > 0);
+        assert!(s.scenarios_per_sec > 0.0);
+    }
+
+    #[test]
+    fn corpus_replays_clean() {
+        // `axi_pack::differential::replay_corpus` is the single corpus
+        // entry point shared by this CLI and the tier-1 test.
+        let cases = axi_pack::differential::replay_corpus().expect("corpus green");
+        assert!(cases >= 10, "corpus shrank suspiciously");
+    }
+}

@@ -17,6 +17,7 @@
 //! roughly what factor, and where the crossovers sit (see EXPERIMENTS.md).
 
 pub mod bench;
+pub mod cli;
 pub mod contention;
 pub mod emit;
 pub mod experiments;
@@ -24,6 +25,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod figures;
+pub mod fuzz;
 pub mod sweeps;
 pub mod table;
 

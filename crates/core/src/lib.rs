@@ -35,12 +35,16 @@
 // public item must explain what paper structure it models.
 #![deny(missing_docs)]
 
+pub mod differential;
 pub mod report;
 pub mod requestor;
 pub mod system;
 
+pub use differential::{memory_digest, RunProbe};
 pub use report::{RunReport, SystemReport};
-pub use system::{run_kernel, run_system, Requestor, SystemConfig, Topology};
+pub use system::{
+    run_kernel, run_kernel_probed, run_system, run_system_probed, Requestor, SystemConfig, Topology,
+};
 
 // Sweep points run on `simkit::sweep` worker threads: everything a point
 // closure captures or returns must stay `Send + Sync`. Compile-time audit

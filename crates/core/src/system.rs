@@ -15,6 +15,7 @@
 //! become measurable. [`run_kernel`] is the single-requestor convenience
 //! wrapper behind every bar of Fig. 3.
 
+use axi_proto::checker::Monitor;
 use axi_proto::{AxiChannels, AxiMux, BusConfig, LOCAL_ID_BITS, MAX_MANAGERS};
 use banked_mem::{BankConfig, Storage};
 use hwmodel::energy::{Activity, EnergyModel};
@@ -22,6 +23,7 @@ use pack_ctrl::{Adapter, CtrlConfig};
 use vproc::{Engine, EngineStats, SystemKind, VprocConfig};
 use workloads::{Kernel, KernelParams};
 
+use crate::differential::{memory_digest, RunProbe};
 use crate::report::{RunReport, SystemReport};
 
 /// Configuration of one evaluation system.
@@ -276,7 +278,26 @@ fn verify_requestor(kernel: &Kernel, stats: &EngineStats, storage: &Storage) -> 
 pub fn run_kernel(cfg: &SystemConfig, kernel: &Kernel) -> Result<RunReport, String> {
     // Borrow the kernel straight into the single-requestor loop — no
     // Topology allocation or image clone on this hot sweep path.
-    let mut report = run_single(cfg, cfg.kind, kernel)?;
+    let mut report = run_single(cfg, cfg.kind, kernel, None)?;
+    Ok(report.requestors.remove(0))
+}
+
+/// [`run_kernel`] with a [`RunProbe`] attached: every bus handshake is fed
+/// to a protocol [`Monitor`] and the final backing store is digested for
+/// bit-exact differential comparison. Timing is unchanged — a probed run
+/// returns the same report as an unprobed one.
+///
+/// # Errors
+///
+/// Exactly as [`run_kernel`]; protocol violations do *not* error here —
+/// inspect `probe` after the run (see
+/// [`RunProbe::violation_summary`]).
+pub fn run_kernel_probed(
+    cfg: &SystemConfig,
+    kernel: &Kernel,
+    probe: &mut RunProbe,
+) -> Result<RunReport, String> {
+    let mut report = run_single(cfg, cfg.kind, kernel, Some(probe))?;
     Ok(report.requestors.remove(0))
 }
 
@@ -317,6 +338,22 @@ pub fn run_kernel(cfg: &SystemConfig, kernel: &Kernel) -> Result<RunReport, Stri
 /// its scalar reference, if a read-only-stream kernel saw R-payload
 /// mismatches, or if the simulation exceeds `max_cycles`.
 pub fn run_system(topo: &Topology) -> Result<SystemReport, String> {
+    run_system_inner(topo, None)
+}
+
+/// [`run_system`] with a [`RunProbe`] attached: one protocol [`Monitor`]
+/// per bus-attached manager port (ID-width-aware when a mux is present),
+/// one on the shared downstream link below the mux, plus a digest of the
+/// final shared store. Timing is unchanged.
+///
+/// # Errors
+///
+/// Exactly as [`run_system`].
+pub fn run_system_probed(topo: &Topology, probe: &mut RunProbe) -> Result<SystemReport, String> {
+    run_system_inner(topo, Some(probe))
+}
+
+fn run_system_inner(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, String> {
     assert!(!topo.requestors.is_empty(), "a topology needs a requestor");
     assert!(
         topo.requestors
@@ -328,9 +365,9 @@ pub fn run_system(topo: &Topology) -> Result<SystemReport, String> {
     );
     if topo.requestors.len() == 1 {
         let req = &topo.requestors[0];
-        run_single(&topo.system, req.kind, &req.kernel)
+        run_single(&topo.system, req.kind, &req.kernel, probe)
     } else {
-        run_shared(topo)
+        run_shared(topo, probe)
     }
 }
 
@@ -341,9 +378,16 @@ fn run_single(
     cfg: &SystemConfig,
     kind: SystemKind,
     kernel: &Kernel,
+    probe: Option<&mut RunProbe>,
 ) -> Result<SystemReport, String> {
     let mut engine = Engine::new(cfg.vproc, kind, cfg.bus(), kernel.program.clone());
     let mut cycles = 0u64;
+    // IDEAL has no bus to monitor; a probed AXI run gets one full-ID-space
+    // monitor on its single channel bundle.
+    let mut monitor = match (&probe, kind) {
+        (Some(_), SystemKind::Base | SystemKind::Pack) => Some(Monitor::new(cfg.bus())),
+        _ => None,
+    };
     let (storage, adapter_stats) = match kind {
         SystemKind::Ideal => {
             let mut storage = kernel.build_storage();
@@ -366,7 +410,10 @@ fn run_single(
                 engine.tick(Some(&mut ch), adapter.storage_mut());
                 adapter.tick(&mut ch);
                 adapter.end_cycle();
-                ch.end_cycle();
+                match monitor.as_mut() {
+                    Some(mon) => ch.end_cycle_observed(mon),
+                    None => ch.end_cycle(),
+                }
                 cycles += 1;
                 if cycles > cfg.max_cycles {
                     return Err(format!(
@@ -382,6 +429,11 @@ fn run_single(
             (adapter.into_storage(), Some(stats))
         }
     };
+    if let Some(p) = probe {
+        p.monitors = monitor.take().into_iter().collect();
+        p.downstream = None;
+        p.storage_digest = Some(memory_digest(storage.as_bytes()));
+    }
     let stats = engine.stats();
     verify_requestor(kernel, stats, &storage)?;
     let report = build_report(kernel, kind, cfg.bus_bits, cycles, stats, adapter_stats);
@@ -410,7 +462,7 @@ fn run_single(
 /// The N-requestor loop: engines in private windows of one shared
 /// backing store, bus-attached ones funneled through the mux into the
 /// shared adapter.
-fn run_shared(topo: &Topology) -> Result<SystemReport, String> {
+fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, String> {
     let sys = &topo.system;
     let bases = topo.window_bases();
     // Window relocation is zero-copy: `rebased` shares image payloads and
@@ -457,6 +509,21 @@ fn run_shared(topo: &Topology) -> Result<SystemReport, String> {
     let mut mgr: Vec<AxiChannels> = (0..managers).map(|_| AxiChannels::new()).collect();
     let mut down = AxiChannels::new();
     let mut mux = (managers > 1).then(|| AxiMux::new(managers));
+    // Probed runs monitor every manager port (narrow ID space when the
+    // port sits behind the mux) and the shared downstream link.
+    let mut monitors: Vec<Monitor> = match &probe {
+        Some(_) => {
+            let id_bits = if managers > 1 { LOCAL_ID_BITS } else { 8 };
+            (0..managers)
+                .map(|_| Monitor::with_id_bits(sys.bus(), id_bits))
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    let mut down_monitor = match (&probe, &mux) {
+        (Some(_), Some(_)) => Some(Monitor::new(sys.bus())),
+        _ => None,
+    };
 
     let mut cycles = 0u64;
     let mut done_at: Vec<Option<u64>> = vec![None; engines.len()];
@@ -485,9 +552,15 @@ fn run_shared(topo: &Topology) -> Result<SystemReport, String> {
         if managers > 0 {
             adapter.end_cycle();
         }
-        down.end_cycle();
-        for m in mgr.iter_mut() {
-            m.end_cycle();
+        match down_monitor.as_mut() {
+            Some(mon) => down.end_cycle_observed(mon),
+            None => down.end_cycle(),
+        }
+        for (m, ch) in mgr.iter_mut().enumerate() {
+            match monitors.get_mut(m) {
+                Some(mon) => ch.end_cycle_observed(mon),
+                None => ch.end_cycle(),
+            }
         }
         cycles += 1;
         for (i, engine) in engines.iter().enumerate() {
@@ -514,6 +587,11 @@ fn run_shared(topo: &Topology) -> Result<SystemReport, String> {
     let bank_conflicts = adapter.bank_conflicts();
     let bus_beats: u64 = adapter.r_beats();
     let storage = adapter.into_storage();
+    if let Some(p) = probe {
+        p.monitors = monitors;
+        p.downstream = down_monitor.take();
+        p.storage_digest = Some(memory_digest(storage.as_bytes()));
+    }
     let bus_bytes = sys.bus().data_bytes() as u64;
     let mut payload_bytes = 0u64;
     let mut reports = Vec::with_capacity(engines.len());

@@ -1,0 +1,45 @@
+//! Tier-1 replay of the differential-fuzzing regression corpus.
+//!
+//! Every corpus entry (seeds that ever exposed a bug, plus a spread of
+//! generator shapes) runs the *full* differential check on every `cargo
+//! test`: cross-system bit-for-bit agreement with the reference model,
+//! protocol monitors, metamorphic invariants, topology replay, and the
+//! burst-level width fuzz. `figures fuzz --corpus` replays the same list
+//! from the CLI.
+
+use axi_pack::differential::{check_seed, replay_corpus, SEED_CORPUS};
+
+#[test]
+fn corpus_replays_clean() {
+    let n = replay_corpus().unwrap_or_else(|failures| {
+        panic!("corpus cases failed: {failures:#?}");
+    });
+    assert_eq!(n, SEED_CORPUS.len());
+    assert!(n >= 10, "corpus shrank suspiciously");
+}
+
+#[test]
+fn corpus_is_deterministic() {
+    // A corpus entry must expand to the exact same work on every replay —
+    // the property that makes a checked-in seed a regression test at all.
+    for case in SEED_CORPUS.iter().take(3) {
+        let a = check_seed(case.seed, &case.cfg).expect("passes");
+        let b = check_seed(case.seed, &case.cfg).expect("passes");
+        assert_eq!(a.checks, b.checks, "seed {}", case.seed);
+        assert_eq!(a.cycles, b.cycles, "seed {}", case.seed);
+        assert_eq!(a.summary, b.summary, "seed {}", case.seed);
+    }
+}
+
+#[test]
+fn corpus_covers_the_known_bug_seeds() {
+    // Seed 1 found the 64-bit-index converter hang; it must stay pinned.
+    assert!(
+        SEED_CORPUS.iter().any(|c| c.seed == 1),
+        "seed 1 (indirect wide-index hang) must remain in the corpus"
+    );
+    // The CI fuzz-smoke window is seeds 0..64; its endpoints stay pinned
+    // so a corpus replay always intersects the PR gate's window.
+    assert!(SEED_CORPUS.iter().any(|c| c.seed == 0));
+    assert!(SEED_CORPUS.iter().any(|c| c.seed == 63));
+}

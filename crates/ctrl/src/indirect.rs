@@ -103,8 +103,14 @@ struct IdxProgress {
     params: BurstParams,
     /// Index words whose responses have been parsed.
     words_parsed: u32,
+    /// Fetched index bytes not yet assembled into a whole index — needed
+    /// when an index is *wider* than a memory word (e.g. 64-bit indices
+    /// over 32-bit words) and spans several word responses.
+    pending: VecDeque<u8>,
     /// Parsed index values awaiting the element stage.
     parsed: VecDeque<u64>,
+    /// Indices parsed in total (unlike `parsed.len()`, never shrinks).
+    parsed_total: u32,
     /// Indices handed to the element stage so far.
     consumed: u32,
 }
@@ -142,13 +148,20 @@ impl IndexStage {
         self.bursts.push_back(IdxProgress {
             params,
             words_parsed: 0,
+            pending: VecDeque::new(),
             parsed: VecDeque::new(),
+            parsed_total: 0,
             consumed: 0,
         });
     }
 
     /// Offsets extraction: parses up to one bus line of fetched index words
     /// per cycle.
+    ///
+    /// Word responses accumulate into a byte stream and indices are cut
+    /// from it at `idx_size` granularity, so the stage handles indices
+    /// both narrower than a word (several per response) and wider than a
+    /// word (one index spanning several responses) with the same code.
     fn tick_extract(&mut self) {
         let Some(prog) = self
             .bursts
@@ -158,8 +171,11 @@ impl IndexStage {
             return;
         };
         let idx_bytes = prog.params.idx_size.bytes();
-        let per_word = self.word_bytes / idx_bytes;
-        if prog.parsed.len() + self.ports * per_word > self.parse_buf * 2 {
+        // One fetched line yields this many whole indices (at least one
+        // once enough bytes accumulate, even for indices wider than the
+        // line's words).
+        let line_indices = (self.ports * self.word_bytes / idx_bytes).max(1);
+        if prog.parsed.len() + line_indices > self.parse_buf * 2 {
             return; // back-pressure: element stage is behind
         }
         let line_start = prog.words_parsed;
@@ -169,18 +185,23 @@ impl IndexStage {
         if !(0..line_words).all(|l| self.lanes.has_resp(l)) {
             return;
         }
-        let total_idx = prog.params.n_elems as u64;
         for l in 0..line_words {
             let word = self.lanes.pop_resp(l);
-            for i in 0..per_word {
-                let already = prog.words_parsed as u64 * per_word as u64 + i as u64;
-                if already >= total_idx {
-                    break; // padding in the final word
-                }
-                let v = prog.params.idx_size.read_le(&word.data[i * idx_bytes..]);
-                prog.parsed.push_back(v);
-            }
+            prog.pending.extend(&word.data[..self.word_bytes]);
             prog.words_parsed += 1;
+        }
+        while prog.pending.len() >= idx_bytes && prog.parsed_total < prog.params.n_elems {
+            let mut le = [0u8; 8];
+            for (i, b) in prog.pending.drain(..idx_bytes).enumerate() {
+                le[i] = b;
+            }
+            let v = prog.params.idx_size.read_le(&le);
+            prog.parsed.push_back(v);
+            prog.parsed_total += 1;
+        }
+        if prog.words_parsed == prog.params.idx_words {
+            // Padding bytes in the final word carry no index.
+            prog.pending.clear();
         }
     }
 
@@ -755,6 +776,33 @@ mod tests {
         assert_eq!(beats.len(), 2);
         assert_eq!(beats[1].payload_bytes, 3 * 4);
         assert!(beats[1].data[12..].iter().all(|b| *b == 0));
+    }
+
+    #[test]
+    fn indices_wider_than_a_word_span_responses() {
+        // Regression: 64-bit indices over 32-bit memory words used to
+        // parse zero indices per word (`word_bytes / idx_bytes == 0`) and
+        // wedge the burst forever. Found by `figures fuzz` seed 1.
+        let c = cfg();
+        let mut s = Storage::new(1 << 16);
+        for w in 0..(1 << 14) {
+            s.write_u32(w * 4, 0x4000_0000 + w as u32);
+        }
+        let idx64: Vec<u64> = vec![11, 0, 257, 3, 1000, 42];
+        for (i, v) in idx64.iter().enumerate() {
+            s.write(0x8000 + 8 * i as u64, &v.to_le_bytes());
+        }
+        let mut conv = IndirectReadConverter::new(&c, 2);
+        let mut mem = BankedMemory::new(c.bank, s);
+        let ar = ArBeat::packed_indirect(2, 0x8000, 6, ElemSize::B4, IdxSize::B8, 0x0, &c.bus);
+        conv.accept(&ar);
+        let (beats, _) = run_read(&mut conv, &mut mem, 500);
+        assert_eq!(beats.len(), 1);
+        let addrs = element_addresses(&ar, Some(&idx64), &c.bus);
+        for (k, addr) in addrs.iter().enumerate() {
+            let got = u32::from_le_bytes(beats[0].data[4 * k..4 * k + 4].try_into().unwrap());
+            assert_eq!(got, 0x4000_0000 + (addr / 4) as u32, "element {k}");
+        }
     }
 
     #[test]

@@ -172,6 +172,18 @@ impl<T> Fifo<T> {
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.queue.iter()
     }
+
+    /// Iterates over the items pushed *this* cycle (not yet visible to
+    /// `pop`), oldest first.
+    ///
+    /// This is the observation point for protocol monitors: every item
+    /// pushed into the FIFO appears in exactly one cycle's staged set, so
+    /// observing the staged items immediately before [`Fifo::end_cycle`]
+    /// sees each accepted handshake exactly once, in order, without
+    /// perturbing the simulation.
+    pub fn staged(&self) -> impl Iterator<Item = &T> {
+        self.staged.iter()
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +275,21 @@ mod tests {
         let mut f: Fifo<u8> = Fifo::new(1);
         f.push(1);
         f.push(2);
+    }
+
+    #[test]
+    fn staged_sees_each_item_exactly_once() {
+        let mut f: Fifo<u8> = Fifo::new(4);
+        let mut observed = Vec::new();
+        f.push(1);
+        f.push(2);
+        observed.extend(f.staged().copied());
+        f.end_cycle();
+        assert!(f.staged().next().is_none(), "promoted items left staging");
+        f.push(3);
+        observed.extend(f.staged().copied());
+        f.end_cycle();
+        assert_eq!(observed, vec![1, 2, 3]);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod scatter;
 pub mod sparse;
 pub mod spmv;
 pub mod sssp;
+pub mod synth;
 pub mod trmv;
 
 pub use dense::DenseMatrix;

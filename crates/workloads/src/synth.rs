@@ -1,0 +1,874 @@
+//! `synth` — the seeded random-kernel generator behind the differential
+//! fuzzing engine (`axi_pack::differential`, `figures fuzz`).
+//!
+//! Every hand-written benchmark in this crate exercises one access
+//! pattern; the generator here emits *arbitrary* well-formed kernels —
+//! random strides (positive, negative, zero), random index distributions
+//! (uniform, clustered, duplicate-heavy, sequential), mixed load/store
+//! programs with chained compute and reductions — so scenario coverage
+//! grows with fuzzing budget instead of with hand-written kernels.
+//!
+//! A scenario is generated *abstractly* (system-independent), then
+//!
+//! * lowered to a per-[`SystemKind`] [`vproc::Program`] exactly like the
+//!   hand-written kernels are (PACK uses in-memory indexed accesses,
+//!   BASE/IDEAL fetch indices into a scratch register), and
+//! * executed by a host-side **reference model** ([scalar, program-order
+//!   semantics identical to the engine's eager-functional execution) that
+//!   produces the expected final memory image **bit-for-bit**.
+//!
+//! The same seed always produces the same scenario, the same programs and
+//! the same reference memory — `figures fuzz --seed-start N --count 1`
+//! reproduces any failure exactly.
+
+use std::sync::Arc;
+
+use axi_proto::Addr;
+use vproc::{ProgramBuilder, SystemKind, VReg};
+
+use crate::kernel::{f32_bytes, u32_bytes, Check, Kernel, KernelParams, Layout};
+
+/// Stream RNG over the splitmix64 finalizer — the same mixing function
+/// `simkit::sweep::point_seed` uses, so fuzz seeds and sweep seeds share
+/// one reproducibility story. Self-contained (no external RNG crate) and
+/// deterministic across platforms.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the stream for a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "below(0)");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in `lo..=hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(lo <= hi);
+        lo + self.below((hi - lo + 1) as usize) as i64
+    }
+
+    /// `true` with probability `num/den`.
+    pub fn chance(&mut self, num: usize, den: usize) -> bool {
+        self.below(den) < num
+    }
+
+    /// A finite f32 in roughly ±250, quantized so products and sums of a
+    /// whole scenario stay comfortably inside f32 range.
+    fn value(&mut self) -> f32 {
+        (self.range_i64(-2000, 2000) as f32) / 8.0
+    }
+}
+
+/// Generator knobs. Shrinking a failing seed re-generates the *same seed*
+/// with smaller caps — the scenario stays in-family while the program and
+/// element counts halve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// Maximum abstract operations per scenario.
+    pub max_ops: usize,
+    /// Maximum array length in elements (also caps the vector lengths).
+    pub max_elems: usize,
+    /// Allow loads from output arrays (read-after-write traffic; the
+    /// kernel then reports `read_only_streams = false` because timed R
+    /// payloads may legitimately trail the eager functional state).
+    pub allow_read_back: bool,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            max_ops: 24,
+            max_elems: 192,
+            allow_read_back: true,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// The next rung of the shrinking ladder: halves the program length
+    /// first, then the element count; `None` once minimal.
+    pub fn shrunk(&self) -> Option<SynthConfig> {
+        if self.max_ops > 2 {
+            Some(SynthConfig {
+                max_ops: (self.max_ops / 2).max(2),
+                ..*self
+            })
+        } else if self.max_elems > 4 {
+            Some(SynthConfig {
+                max_elems: (self.max_elems / 2).max(4),
+                ..*self
+            })
+        } else if self.allow_read_back {
+            Some(SynthConfig {
+                allow_read_back: false,
+                ..*self
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Role of a scenario array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Load source, planted in the image.
+    Data,
+    /// Store target, zero-initialized.
+    Output,
+    /// Index array (u32 element indices), planted in the image and never
+    /// written.
+    Index,
+    /// Reduction write-back slots.
+    Scalars,
+}
+
+#[derive(Debug, Clone)]
+struct Array {
+    base: Addr,
+    len: usize,
+    role: Role,
+}
+
+/// Access mode of one abstract memory operation.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Unit-stride from element offset `off`.
+    Unit { off: usize },
+    /// Strided from element `start` with element stride `stride`.
+    Strided { start: usize, stride: i32 },
+    /// Indexed through `idx_arr` at element offset `idx_off`.
+    Indexed { idx_arr: usize, idx_off: usize },
+}
+
+/// One abstract (system-independent) scenario operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    SetVl(usize),
+    Scalar(u32),
+    Load {
+        vd: VReg,
+        arr: usize,
+        mode: Mode,
+    },
+    Store {
+        vs: VReg,
+        arr: usize,
+        mode: Mode,
+    },
+    /// `vd = a·vs + b` (covers splat via `vs`-independent a=0).
+    Affine {
+        vd: VReg,
+        vs: VReg,
+        a: f32,
+        b: f32,
+    },
+    Macc {
+        vd: VReg,
+        vs1: VReg,
+        vs2: VReg,
+    },
+    Add {
+        vd: VReg,
+        vs1: VReg,
+        vs2: VReg,
+    },
+    Mul {
+        vd: VReg,
+        vs1: VReg,
+        vs2: VReg,
+    },
+    Min {
+        vd: VReg,
+        vs1: VReg,
+        vs2: VReg,
+    },
+    /// Reduction (`min` or sum) of `vs` into `vd[0]`, scalar-stored to
+    /// `slot` of the scalars array.
+    Reduce {
+        min: bool,
+        vd: VReg,
+        vs: VReg,
+        slot: usize,
+    },
+}
+
+/// Registers the generator assigns data to; everything above is scratch
+/// for the BASE/IDEAL index-fetch lowering.
+const DATA_REGS: u8 = 12;
+/// Scratch register for lowered index fetches.
+const IDX_SCRATCH: VReg = 31;
+
+/// A generated scenario: arrays, abstract program, and derived kernels.
+#[derive(Debug, Clone)]
+struct Scenario {
+    arrays: Vec<Array>,
+    idx_values: Vec<Vec<u32>>,  // per Index array, planted values
+    data_values: Vec<Vec<f32>>, // per Data array, planted values
+    ops: Vec<Op>,
+    storage_size: usize,
+    read_back_used: bool,
+    initial_vl: usize,
+}
+
+/// A generated kernel plus its bit-exact reference result.
+#[derive(Debug, Clone)]
+pub struct SynthKernel {
+    /// The runnable kernel (image, per-system program, tolerance checks).
+    pub kernel: Kernel,
+    /// The reference model's final memory — the *entire* backing store a
+    /// run of `kernel` must reproduce byte-for-byte (differential check).
+    pub final_mem: Arc<[u8]>,
+    /// One-line scenario description for failure reports.
+    pub summary: String,
+}
+
+/// Generates the scenario for `(seed, cfg)` at a given maximum vector
+/// length. Deliberately independent of the system kind so every
+/// [`SystemKind`] lowers the *same* abstract scenario.
+fn generate(seed: u64, cfg: &SynthConfig, max_vl: usize) -> Scenario {
+    let mut rng = SplitMix64::new(seed ^ 0x5EED_F00D_u64);
+    let vl_cap = max_vl.min(cfg.max_elems.max(4));
+    let len = |rng: &mut SplitMix64| vl_cap + rng.below(cfg.max_elems.saturating_sub(vl_cap) + 1);
+
+    let mut layout = Layout::new();
+    let mut arrays = Vec::new();
+    let mut data_values = Vec::new();
+    let n_data = 1 + rng.below(3);
+    for _ in 0..n_data {
+        let l = len(&mut rng);
+        arrays.push(Array {
+            base: layout.alloc_elems(l),
+            len: l,
+            role: Role::Data,
+        });
+        data_values.push((0..l).map(|_| rng.value()).collect());
+    }
+    let n_out = 1 + rng.below(2);
+    for _ in 0..n_out {
+        let l = len(&mut rng);
+        arrays.push(Array {
+            base: layout.alloc_elems(l),
+            len: l,
+            role: Role::Output,
+        });
+    }
+    arrays.push(Array {
+        base: layout.alloc_elems(8),
+        len: 8,
+        role: Role::Scalars,
+    });
+    // Indices must be valid into *any* data/output array a later roll
+    // pairs them with.
+    let idx_bound = arrays
+        .iter()
+        .filter(|a| matches!(a.role, Role::Data | Role::Output))
+        .map(|a| a.len)
+        .min()
+        .expect("at least one array") as u32;
+    let n_idx = 1 + rng.below(2);
+    let mut idx_values = Vec::new();
+    for _ in 0..n_idx {
+        let l = len(&mut rng);
+        let values: Vec<u32> = match rng.below(4) {
+            // Uniform over the valid range.
+            0 => (0..l)
+                .map(|_| rng.below(idx_bound as usize) as u32)
+                .collect(),
+            // Clustered in a small window (bank-conflict pressure).
+            1 => {
+                let window = 1 + rng.below(16) as u32;
+                let center = rng.below(idx_bound as usize) as u32;
+                (0..l)
+                    .map(|_| (center + rng.below(window as usize) as u32) % idx_bound)
+                    .collect()
+            }
+            // Duplicate-heavy: a tiny pool of distinct values.
+            2 => {
+                let pool: Vec<u32> = (0..1 + rng.below(4))
+                    .map(|_| rng.below(idx_bound as usize) as u32)
+                    .collect();
+                (0..l).map(|_| pool[rng.below(pool.len())]).collect()
+            }
+            // Sequential ramp (gather that is secretly contiguous).
+            _ => {
+                let start = rng.below(idx_bound as usize) as u32;
+                (0..l).map(|k| (start + k as u32) % idx_bound).collect()
+            }
+        };
+        arrays.push(Array {
+            base: layout.alloc_elems(l),
+            len: l,
+            role: Role::Index,
+        });
+        idx_values.push(values);
+    }
+
+    // The program: a SetVl first (the engine's initial vl is max_vl, which
+    // may exceed short arrays), then random ops.
+    let mut vl = 1 + rng.below(vl_cap);
+    let mut ops = vec![Op::SetVl(vl)];
+    let mut read_back_used = false;
+    let mut any_store = false;
+    let n_ops = 1 + rng.below(cfg.max_ops);
+    let initial_vl = vl;
+
+    let data_arrays: Vec<usize> = (0..arrays.len())
+        .filter(|&i| arrays[i].role == Role::Data)
+        .collect();
+    let out_arrays: Vec<usize> = (0..arrays.len())
+        .filter(|&i| arrays[i].role == Role::Output)
+        .collect();
+    let index_arrays: Vec<usize> = (0..arrays.len())
+        .filter(|&i| arrays[i].role == Role::Index)
+        .collect();
+    for _ in 0..n_ops {
+        let roll = rng.below(100);
+        if roll < 10 {
+            vl = 1 + rng.below(vl_cap);
+            ops.push(Op::SetVl(vl));
+        } else if roll < 16 {
+            ops.push(Op::Scalar(1 + rng.below(12) as u32));
+        } else if roll < 45 {
+            // Load. Source: a data array, or (read-back) an output array.
+            let arr = if cfg.allow_read_back && rng.chance(1, 4) {
+                read_back_used = true;
+                out_arrays[rng.below(out_arrays.len())]
+            } else {
+                data_arrays[rng.below(data_arrays.len())]
+            };
+            let mode = gen_mode(&mut rng, &arrays, &idx_values, &index_arrays, arr, vl);
+            let vd = rng.below(DATA_REGS as usize) as VReg;
+            ops.push(Op::Load { vd, arr, mode });
+        } else if roll < 68 {
+            // Compute.
+            let vd = rng.below(DATA_REGS as usize) as VReg;
+            let vs1 = rng.below(DATA_REGS as usize) as VReg;
+            let vs2 = rng.below(DATA_REGS as usize) as VReg;
+            ops.push(match rng.below(6) {
+                0 => Op::Add { vd, vs1, vs2 },
+                1 => Op::Mul { vd, vs1, vs2 },
+                2 => Op::Min { vd, vs1, vs2 },
+                3 => Op::Macc { vd, vs1, vs2 },
+                4 => Op::Affine {
+                    vd,
+                    vs: vs1,
+                    a: rng.value(),
+                    b: 0.0,
+                },
+                _ => Op::Affine {
+                    vd,
+                    vs: vs1,
+                    a: 0.0,
+                    b: rng.value(),
+                },
+            });
+        } else if roll < 92 {
+            // Store to an output array.
+            let arr = out_arrays[rng.below(out_arrays.len())];
+            let mode = gen_mode(&mut rng, &arrays, &idx_values, &index_arrays, arr, vl);
+            let vs = rng.below(DATA_REGS as usize) as VReg;
+            ops.push(Op::Store { vs, arr, mode });
+            any_store = true;
+        } else {
+            ops.push(Op::Reduce {
+                min: rng.chance(1, 2),
+                vd: rng.below(DATA_REGS as usize) as VReg,
+                vs: rng.below(DATA_REGS as usize) as VReg,
+                slot: rng.below(8),
+            });
+            any_store = true;
+        }
+    }
+    if !any_store {
+        // Guarantee at least one observable effect.
+        ops.push(Op::Store {
+            vs: 0,
+            arr: out_arrays[0],
+            mode: Mode::Unit { off: 0 },
+        });
+    }
+
+    Scenario {
+        storage_size: layout.storage_size(),
+        arrays,
+        idx_values,
+        data_values,
+        ops,
+        read_back_used,
+        initial_vl,
+    }
+}
+
+/// Rolls an in-bounds access mode for `vl` elements of array `arr`.
+fn gen_mode(
+    rng: &mut SplitMix64,
+    arrays: &[Array],
+    idx_values: &[Vec<u32>],
+    index_arrays: &[usize],
+    arr: usize,
+    vl: usize,
+) -> Mode {
+    let len = arrays[arr].len;
+    debug_assert!(len >= vl);
+    match rng.below(3) {
+        0 => Mode::Unit {
+            off: rng.below(len - vl + 1),
+        },
+        1 => {
+            // Stride such that start + k·stride stays in 0..len for all
+            // k < vl; negatives walk backwards from a high start.
+            let smax = if vl > 1 {
+                ((len - 1) / (vl - 1)).min(6)
+            } else {
+                6
+            };
+            let stride = rng.range_i64(-(smax as i64), smax as i64) as i32;
+            let span = (vl as i64 - 1) * stride.unsigned_abs() as i64;
+            let start = if stride >= 0 {
+                rng.below(len - span as usize)
+            } else {
+                span as usize + rng.below(len - span as usize)
+            };
+            Mode::Strided { start, stride }
+        }
+        _ => {
+            let i = rng.below(index_arrays.len());
+            let idx_arr = index_arrays[i];
+            let idx_len = idx_values[i].len();
+            Mode::Indexed {
+                idx_arr,
+                idx_off: rng.below(idx_len - vl + 1),
+            }
+        }
+    }
+}
+
+/// Lowers the scenario to a program for one system kind, mirroring how
+/// the hand-written kernels express each access pattern.
+fn lower(s: &Scenario, kind: SystemKind) -> vproc::Program {
+    let mut b = ProgramBuilder::new();
+    let addr_of = |arr: usize, elem: usize| s.arrays[arr].base + 4 * elem as Addr;
+    for op in &s.ops {
+        b = match *op {
+            Op::SetVl(vl) => b.set_vl(vl),
+            Op::Scalar(c) => b.scalar(c),
+            Op::Load { vd, arr, mode } => match mode {
+                Mode::Unit { off } => b.vle(vd, addr_of(arr, off)),
+                Mode::Strided { start, stride } => b.vlse(vd, addr_of(arr, start), stride),
+                Mode::Indexed { idx_arr, idx_off } => {
+                    let idx_addr = addr_of(idx_arr, idx_off);
+                    match kind {
+                        SystemKind::Pack => b.vlimxei(vd, idx_addr, s.arrays[arr].base),
+                        _ => b.vle_index(IDX_SCRATCH, idx_addr).vluxei(
+                            vd,
+                            IDX_SCRATCH,
+                            s.arrays[arr].base,
+                        ),
+                    }
+                }
+            },
+            Op::Store { vs, arr, mode } => match mode {
+                Mode::Unit { off } => b.vse(vs, addr_of(arr, off)),
+                Mode::Strided { start, stride } => b.vsse(vs, addr_of(arr, start), stride),
+                Mode::Indexed { idx_arr, idx_off } => {
+                    let idx_addr = addr_of(idx_arr, idx_off);
+                    match kind {
+                        SystemKind::Pack => b.vsimxei(vs, idx_addr, s.arrays[arr].base),
+                        _ => b.vle_index(IDX_SCRATCH, idx_addr).vsuxei(
+                            vs,
+                            IDX_SCRATCH,
+                            s.arrays[arr].base,
+                        ),
+                    }
+                }
+            },
+            Op::Affine { vd, vs, a, b: c } => {
+                if a == 0.0 && c == 0.0 {
+                    b.vmv_vf(vd, 0.0)
+                } else if a == 0.0 {
+                    b.vfadd_vf(vd, c, vs)
+                } else {
+                    b.vfmul_vf(vd, a, vs)
+                }
+            }
+            Op::Macc { vd, vs1, vs2 } => b.vfmacc(vd, vs1, vs2),
+            Op::Add { vd, vs1, vs2 } => b.vfadd(vd, vs1, vs2),
+            Op::Mul { vd, vs1, vs2 } => b.vfmul(vd, vs1, vs2),
+            Op::Min { vd, vs1, vs2 } => b.vfmin(vd, vs1, vs2),
+            Op::Reduce { min, vd, vs, slot } => {
+                let addr = addr_of(
+                    s.arrays
+                        .iter()
+                        .position(|a| a.role == Role::Scalars)
+                        .unwrap(),
+                    slot,
+                );
+                let b2 = if min {
+                    b.vfredmin(vd, vs)
+                } else {
+                    b.vfredsum(vd, vs)
+                };
+                b2.scalar_store_f32(vd, addr)
+            }
+        };
+    }
+    b.build()
+}
+
+/// The host-side reference model: executes the abstract scenario with the
+/// engine's eager-functional semantics (program order, element order
+/// `0..vl`, f32 arithmetic) and returns the final memory image.
+// Indexed `0..vl` loops deliberately mirror `vproc::Engine`'s functional
+// execution statement for statement, so a reviewer can diff the two
+// semantics side by side; iterator rewrites would obscure that.
+#[allow(clippy::needless_range_loop)]
+fn reference(s: &Scenario, image: &[(Addr, Arc<[u8]>)], max_vl: usize) -> Vec<u8> {
+    let mut mem = vec![0u8; s.storage_size];
+    // The reference model starts from the *same* image the simulator
+    // loads — one source of planted bytes, no drift possible.
+    for (addr, bytes) in image {
+        mem[*addr as usize..*addr as usize + bytes.len()].copy_from_slice(bytes);
+    }
+    let mut regs = vec![vec![0f32; max_vl]; 32];
+    let mut vl = max_vl;
+    let rd_f32 = |mem: &[u8], a: Addr| {
+        f32::from_le_bytes(mem[a as usize..a as usize + 4].try_into().expect("4 bytes"))
+    };
+    let rd_u32 = |mem: &[u8], a: Addr| {
+        u32::from_le_bytes(mem[a as usize..a as usize + 4].try_into().expect("4 bytes"))
+    };
+    let wr_f32 = |mem: &mut [u8], a: Addr, v: f32| {
+        mem[a as usize..a as usize + 4].copy_from_slice(&v.to_le_bytes());
+    };
+    let addr_of = |arr: usize, elem: usize| s.arrays[arr].base + 4 * elem as Addr;
+    let elem_addr = |mode: Mode, arr: usize, k: usize, mem: &[u8]| -> Addr {
+        match mode {
+            Mode::Unit { off } => addr_of(arr, off + k),
+            Mode::Strided { start, stride } => {
+                (addr_of(arr, start) as i64 + k as i64 * stride as i64 * 4) as Addr
+            }
+            Mode::Indexed { idx_arr, idx_off } => {
+                let i = rd_u32(mem, addr_of(idx_arr, idx_off + k));
+                s.arrays[arr].base + 4 * i as Addr
+            }
+        }
+    };
+    for op in &s.ops {
+        match *op {
+            Op::SetVl(v) => vl = v,
+            Op::Scalar(_) => {}
+            Op::Load { vd, arr, mode } => {
+                for k in 0..vl {
+                    let a = elem_addr(mode, arr, k, &mem);
+                    regs[vd as usize][k] = rd_f32(&mem, a);
+                }
+            }
+            Op::Store { vs, arr, mode } => {
+                for k in 0..vl {
+                    let a = elem_addr(mode, arr, k, &mem);
+                    let v = regs[vs as usize][k];
+                    wr_f32(&mut mem, a, v);
+                }
+            }
+            Op::Affine { vd, vs, a, b } => {
+                for k in 0..vl {
+                    regs[vd as usize][k] = if a == 0.0 && b == 0.0 {
+                        0.0
+                    } else if a == 0.0 {
+                        b + regs[vs as usize][k]
+                    } else {
+                        a * regs[vs as usize][k]
+                    };
+                }
+            }
+            Op::Macc { vd, vs1, vs2 } => {
+                for k in 0..vl {
+                    regs[vd as usize][k] += regs[vs1 as usize][k] * regs[vs2 as usize][k];
+                }
+            }
+            Op::Add { vd, vs1, vs2 } => {
+                for k in 0..vl {
+                    regs[vd as usize][k] = regs[vs1 as usize][k] + regs[vs2 as usize][k];
+                }
+            }
+            Op::Mul { vd, vs1, vs2 } => {
+                for k in 0..vl {
+                    regs[vd as usize][k] = regs[vs1 as usize][k] * regs[vs2 as usize][k];
+                }
+            }
+            Op::Min { vd, vs1, vs2 } => {
+                for k in 0..vl {
+                    regs[vd as usize][k] = regs[vs1 as usize][k].min(regs[vs2 as usize][k]);
+                }
+            }
+            Op::Reduce { min, vd, vs, slot } => {
+                let mut acc = if min { f32::INFINITY } else { 0.0 };
+                for k in 0..vl {
+                    let v = regs[vs as usize][k];
+                    acc = if min { acc.min(v) } else { acc + v };
+                }
+                regs[vd as usize][0] = acc;
+                let scalars = s
+                    .arrays
+                    .iter()
+                    .position(|a| a.role == Role::Scalars)
+                    .unwrap();
+                wr_f32(&mut mem, addr_of(scalars, slot), acc);
+            }
+        }
+    }
+    mem
+}
+
+/// Assembles the planted data and index arrays as shared image regions —
+/// the single source of initial-memory bytes for both the simulator
+/// ([`Kernel::image`]) and the reference model.
+fn make_image(s: &Scenario) -> Vec<(Addr, Arc<[u8]>)> {
+    let mut image = Vec::new();
+    let mut data_i = 0;
+    let mut idx_i = 0;
+    for a in &s.arrays {
+        match a.role {
+            Role::Data => {
+                image.push((a.base, f32_bytes(&s.data_values[data_i])));
+                data_i += 1;
+            }
+            Role::Index => {
+                image.push((a.base, u32_bytes(&s.idx_values[idx_i])));
+                idx_i += 1;
+            }
+            _ => {}
+        }
+    }
+    image
+}
+
+/// Builds the synthetic kernel for `(seed, cfg)` on the system selected
+/// by `params`, together with its bit-exact reference memory.
+///
+/// Two calls with the same seed and config but different system kinds
+/// produce the *same* scenario (same image, same layout, same reference
+/// memory) with differently-lowered programs — the property the
+/// differential runner checks: all three systems must reproduce the
+/// reference memory byte-for-byte.
+///
+/// # Panics
+///
+/// Panics if `cfg.max_ops` or `cfg.max_elems` is zero.
+pub fn build(seed: u64, cfg: &SynthConfig, params: &KernelParams) -> SynthKernel {
+    build_kinds(seed, cfg, params.max_vl, &[params.kind])
+        .pop()
+        .expect("one kind in, one kernel out")
+}
+
+/// [`build`] for several system kinds at once: the scenario is generated
+/// and the reference model executed a single time, then lowered once per
+/// kind — the shape the cross-system differential runner wants (it runs
+/// every seed on all three systems).
+///
+/// # Panics
+///
+/// Panics if `cfg.max_ops` or `cfg.max_elems` is zero.
+pub fn build_kinds(
+    seed: u64,
+    cfg: &SynthConfig,
+    max_vl: usize,
+    kinds: &[SystemKind],
+) -> Vec<SynthKernel> {
+    assert!(
+        cfg.max_ops > 0 && cfg.max_elems > 0,
+        "degenerate SynthConfig"
+    );
+    let s = generate(seed, cfg, max_vl);
+    let image = make_image(&s);
+    let final_mem: Arc<[u8]> = reference(&s, &image, max_vl).into();
+
+    // Tolerance-based expectations over every written region (outputs and
+    // scalar slots), derived from the reference memory; the differential
+    // runner additionally compares the whole store bit-for-bit.
+    let expected: Vec<Check> = s
+        .arrays
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| matches!(a.role, Role::Output | Role::Scalars))
+        .map(|(i, a)| {
+            let values: Vec<f32> = (0..a.len)
+                .map(|k| {
+                    let at = a.base as usize + 4 * k;
+                    f32::from_le_bytes(final_mem[at..at + 4].try_into().expect("4 bytes"))
+                })
+                .collect();
+            Check {
+                addr: a.base,
+                values: values.into(),
+                label: format!("arr{i}"),
+            }
+        })
+        .collect();
+
+    let (loads, stores) = s.ops.iter().fold((0usize, 0usize), |(l, st), op| match op {
+        Op::Load { .. } => (l + 1, st),
+        Op::Store { .. } | Op::Reduce { .. } => (l, st + 1),
+        _ => (l, st),
+    });
+    let moved: u64 = 4 * (loads + stores) as u64 * s.initial_vl as u64;
+    let summary = format!(
+        "{} ops ({loads} loads, {stores} stores), {} arrays, vl0={}{}",
+        s.ops.len(),
+        s.arrays.len(),
+        s.initial_vl,
+        if s.read_back_used { ", read-back" } else { "" },
+    );
+    kinds
+        .iter()
+        .map(|&kind| SynthKernel {
+            summary: summary.clone(),
+            kernel: Kernel {
+                name: format!("synth-{seed:#x}"),
+                image: image.clone(),
+                storage_size: s.storage_size,
+                program: lower(&s, kind).into(),
+                expected: expected.clone(),
+                read_only_streams: !s.read_back_used,
+                useful_bytes: moved.max(4),
+            },
+            final_mem: final_mem.clone(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vproc::VInsn;
+
+    fn params(kind: SystemKind) -> KernelParams {
+        KernelParams::new(kind, 64)
+    }
+
+    #[test]
+    fn same_seed_same_scenario() {
+        let cfg = SynthConfig::default();
+        let a = build(7, &cfg, &params(SystemKind::Pack));
+        let b = build(7, &cfg, &params(SystemKind::Pack));
+        assert_eq!(a.kernel.program.insns(), b.kernel.program.insns());
+        assert_eq!(a.final_mem, b.final_mem);
+        assert_ne!(
+            build(8, &cfg, &params(SystemKind::Pack)).final_mem,
+            a.final_mem,
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn kinds_share_image_and_reference() {
+        let cfg = SynthConfig::default();
+        for seed in 0..32u64 {
+            let p = build(seed, &cfg, &params(SystemKind::Pack));
+            let b = build(seed, &cfg, &params(SystemKind::Base));
+            let i = build(seed, &cfg, &params(SystemKind::Ideal));
+            assert_eq!(p.final_mem, b.final_mem, "seed {seed}");
+            assert_eq!(p.final_mem, i.final_mem, "seed {seed}");
+            assert_eq!(p.kernel.image, b.kernel.image, "seed {seed}");
+            assert_eq!(p.kernel.storage_size, i.kernel.storage_size, "seed {seed}");
+            // BASE/IDEAL never carry in-memory indexed forms; PACK never
+            // fetches indices into registers.
+            assert!(!b
+                .kernel
+                .program
+                .insns()
+                .iter()
+                .any(|x| matches!(x, VInsn::Vlimxei { .. } | VInsn::Vsimxei { .. })));
+            assert!(!p
+                .kernel
+                .program
+                .insns()
+                .iter()
+                .any(|x| matches!(x, VInsn::Vluxei { .. } | VInsn::Vsuxei { .. })));
+        }
+    }
+
+    #[test]
+    fn reference_verifies_its_own_kernel_checks() {
+        // The kernel's tolerance checks are derived from the reference
+        // memory, so a storage holding exactly the reference must verify.
+        let cfg = SynthConfig::default();
+        for seed in 0..32u64 {
+            let sk = build(seed, &cfg, &params(SystemKind::Base));
+            let mut storage = banked_mem::Storage::new(sk.kernel.storage_size);
+            storage.as_bytes_mut().copy_from_slice(&sk.final_mem);
+            sk.kernel.verify(&storage).expect("reference self-verifies");
+        }
+    }
+
+    #[test]
+    fn generated_addresses_stay_in_bounds() {
+        let cfg = SynthConfig::default();
+        for seed in 0..64u64 {
+            let sk = build(seed, &cfg, &params(SystemKind::Base));
+            let size = sk.kernel.storage_size as u64;
+            for insn in sk.kernel.program.insns() {
+                let ok = |a: Addr| a.is_multiple_of(4) && a + 4 <= size;
+                match *insn {
+                    VInsn::Vle { base, .. } | VInsn::Vse { base, .. } => assert!(ok(base)),
+                    VInsn::Vlse { base, .. } | VInsn::Vsse { base, .. } => assert!(ok(base)),
+                    VInsn::Vluxei { base, .. } | VInsn::Vsuxei { base, .. } => assert!(ok(base)),
+                    VInsn::ScalarStoreF32 { addr, .. } => assert!(ok(addr)),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_ladder_terminates() {
+        let mut cfg = SynthConfig::default();
+        let mut steps = 0;
+        while let Some(next) = cfg.shrunk() {
+            assert!(
+                next.max_ops < cfg.max_ops
+                    || next.max_elems < cfg.max_elems
+                    || (cfg.allow_read_back && !next.allow_read_back),
+                "shrink must make progress"
+            );
+            cfg = next;
+            steps += 1;
+            assert!(steps < 64, "ladder runs away");
+        }
+        assert_eq!(cfg.max_ops, 2);
+        assert!(cfg.max_elems <= 4);
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_spreads() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), c.next_u64());
+        // below() stays in range.
+        for n in 1..50usize {
+            assert!(a.below(n) < n);
+        }
+    }
+}
