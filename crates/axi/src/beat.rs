@@ -199,6 +199,9 @@ impl ArBeat {
         }
     }
 
+    // simcheck: hot-path begin -- per-beat decode and accounting accessors;
+    // pure bit arithmetic on inline payloads.
+
     /// Decodes the AXI-Pack mode, `None` for plain AXI4 bursts.
     #[inline]
     pub fn pack_mode(&self) -> Option<PackMode> {
@@ -258,6 +261,8 @@ impl ArBeat {
             epb
         }
     }
+
+    // simcheck: hot-path end
 }
 
 /// One R (read data) channel beat, carrying real bytes.
@@ -289,6 +294,9 @@ pub struct WBeat {
 }
 
 impl WBeat {
+    // simcheck: hot-path begin -- W-beat construction and strobe queries on
+    // every accepted write handshake; payloads stay inline.
+
     /// A beat with every byte lane enabled.
     pub fn full(data: impl Into<BeatBuf>, last: bool) -> Self {
         let data = data.into();
@@ -310,6 +318,8 @@ impl WBeat {
     pub fn payload_bytes(&self) -> usize {
         self.strb.count_ones() as usize
     }
+
+    // simcheck: hot-path end
 }
 
 /// One B (write response) channel beat.

@@ -42,17 +42,26 @@ pub struct AxiChannels {
     pub b: Fifo<BBeat>,
 }
 
+/// Register depth of every AXI channel FIFO. Two entries make each channel
+/// a full-rate skid buffer; static checkers (the `simcheck` DRC) read this
+/// to verify stall-freedom instead of hard-coding the depth.
+pub const CHANNEL_DEPTH: usize = 2;
+
 impl AxiChannels {
-    /// Creates channel FIFOs of depth 2 (full-rate register slices).
+    /// Creates channel FIFOs of depth [`CHANNEL_DEPTH`] (full-rate register
+    /// slices).
     pub fn new() -> Self {
         AxiChannels {
-            ar: Fifo::new(2),
-            aw: Fifo::new(2),
-            w: Fifo::new(2),
-            r: Fifo::new(2),
-            b: Fifo::new(2),
+            ar: Fifo::new(CHANNEL_DEPTH),
+            aw: Fifo::new(CHANNEL_DEPTH),
+            w: Fifo::new(CHANNEL_DEPTH),
+            r: Fifo::new(CHANNEL_DEPTH),
+            b: Fifo::new(CHANNEL_DEPTH),
         }
     }
+
+    // simcheck: hot-path begin -- ticked once per simulated cycle on every
+    // bus in the system.
 
     /// Advances all channel registers; call once per cycle.
     pub fn end_cycle(&mut self) {
@@ -99,6 +108,8 @@ impl AxiChannels {
             && self.r.is_empty()
             && self.b.is_empty()
     }
+
+    // simcheck: hot-path end
 }
 
 impl Default for AxiChannels {

@@ -36,6 +36,7 @@
 // Public-API documentation is part of this crate's contract: every
 // public item must explain what paper structure it models.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod beat;
 pub mod channels;
@@ -46,7 +47,7 @@ pub mod mux;
 pub mod pack;
 
 pub use beat::{ArBeat, AxiId, BBeat, BeatBuf, Burst, RBeat, Resp, WBeat, MAX_BEAT_BYTES};
-pub use channels::AxiChannels;
+pub use channels::{AxiChannels, CHANNEL_DEPTH};
 pub use config::{BusConfig, ElemSize, IdxSize};
 pub use expand::{beat_layout, element_addresses, split_words, BeatSource, WordRef};
 pub use mux::{AxiMux, LOCAL_ID_BITS, MAX_MANAGERS};

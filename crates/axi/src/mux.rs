@@ -112,6 +112,10 @@ impl AxiMux {
         self.n
     }
 
+    // simcheck: hot-path begin -- ID remapping and the per-cycle arbitration
+    // tick; the W-route deque is the only queue and it is bounded by the
+    // outstanding-write limit, so it reaches steady-state capacity early.
+
     /// Prefixes a manager-local ID with the manager index.
     fn upstream_id(port: usize, id: AxiId) -> AxiId {
         assert!(
@@ -213,6 +217,8 @@ impl AxiMux {
             }
         }
     }
+
+    // simcheck: hot-path end
 
     /// Returns `true` when manager `p` has no outstanding traffic through
     /// the mux: no read burst awaiting its last R beat, no write awaiting

@@ -22,7 +22,7 @@ proptest! {
         prop_assert_eq!(&*buf, payload.as_slice());
         prop_assert_eq!(buf, BeatBuf::from_slice(&payload));
         // The Vec conversion used by test fixtures agrees.
-        let via_vec: BeatBuf = payload.clone().into();
+        let via_vec: BeatBuf = payload.into();
         prop_assert_eq!(buf, via_vec);
     }
 

@@ -28,7 +28,7 @@ use axi_pack_bench::sweeps::{
     kernel_sweep, parse_elem, parse_idx, util_sweep, KernelPoint, KernelSweep, UtilSweep,
     KERNEL_NAMES,
 };
-use axi_pack_bench::{experiments, figures, Scale};
+use axi_pack_bench::{drc, experiments, figures, Scale};
 use simkit::sweep::THREADS_ENV;
 use vproc::SystemKind;
 use workloads::Dataflow;
@@ -48,6 +48,14 @@ fn usage() -> ! {
          \x20 fuzz                     randomized differential engine: every seed runs\n\
          \x20                          random kernels on BASE/PACK/IDEAL and 1/2/4-requestor\n\
          \x20                          topologies against a bit-exact reference model\n\
+         \x20 drc                      static design-rule check (simcheck) of the in-tree\n\
+         \x20                          config grids; exits non-zero on any rule error\n\
+         \n\
+         drc options:\n\
+         \x20 --target NAME            check one grid (paper/bus/contention/corpus;\n\
+         \x20                          default: all)\n\
+         \x20 --rules                  print the rule catalog and exit\n\
+         \x20 --verbose                also print clean-report coverage lines\n\
          \n\
          fuzz options:\n\
          \x20 --seed-start N           first seed (default 0)\n\
@@ -434,6 +442,84 @@ fn cmd_fuzz(c: &Common) {
     ));
 }
 
+/// `figures drc`: statically design-rule check the in-tree config grids
+/// (paper systems, bus sweeps, contention topologies, the fuzz corpus)
+/// and pretty-print one report per topology. Exits non-zero on any
+/// error-severity diagnostic — the CI gate mode.
+fn cmd_drc(c: &Common) {
+    let mut targets: Vec<&'static drc::DrcTarget> = Vec::new();
+    let mut verbose = false;
+    let mut it = c.rest.clone().into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--target" => {
+                let name = it.next().unwrap_or_else(|| usage());
+                match drc::find(&name) {
+                    Some(t) => targets.push(t),
+                    None => fail(&format!(
+                        "unknown drc target {name} (expected one of {})",
+                        drc::TARGETS
+                            .iter()
+                            .map(|t| t.name)
+                            .collect::<Vec<_>>()
+                            .join("/")
+                    )),
+                }
+            }
+            "--rules" => {
+                // The rule catalog, straight from the checker.
+                for rule in axi_pack::Rule::ALL {
+                    println!("{:8} {}", rule.id(), rule.summary());
+                }
+                return;
+            }
+            "--verbose" => verbose = true,
+            other => fail(&format!("unknown flag {other} for `drc`")),
+        }
+    }
+    if targets.is_empty() {
+        targets = drc::TARGETS.iter().collect();
+    }
+    let t0 = Instant::now();
+    let outcomes = drc::check_targets(&targets, c.scale);
+    let mut errors = 0usize;
+    let mut warnings = 0usize;
+    for t in &targets {
+        println!("{} — {}", t.name, t.title);
+        for o in outcomes.iter().filter(|o| o.target == t.name) {
+            let status = if !o.report.is_clean() {
+                "FAIL"
+            } else if o.report.warnings().next().is_some() {
+                "warn"
+            } else {
+                "ok"
+            };
+            println!("  {status:4} {}", o.label);
+            errors += o.report.errors().count();
+            warnings += o.report.warnings().count();
+            for d in &o.report.diagnostics {
+                eprintln!("       {d}");
+            }
+            if verbose && o.report.diagnostics.is_empty() {
+                println!("       {}", o.report);
+            }
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    if errors > 0 {
+        fail(&format!(
+            "{errors} design-rule error(s), {warnings} warning(s) across {} topologies",
+            outcomes.len()
+        ));
+    }
+    println!(
+        "figures drc OK: {} topologies clean across {} target(s), {warnings} warning(s) \
+         ({elapsed:.2} s)",
+        outcomes.len(),
+        targets.len()
+    );
+}
+
 fn split_list(v: &str) -> Vec<String> {
     v.split(',')
         .map(str::trim)
@@ -473,13 +559,13 @@ fn cmd_sweep(c: &Common) {
                 buses = parse_list(val())
                     .iter()
                     .map(|s| s.parse().unwrap_or_else(|_| usage()))
-                    .collect()
+                    .collect();
             }
             "--size" => {
                 sizes = parse_list(val())
                     .iter()
                     .map(|s| s.parse().unwrap_or_else(|_| usage()))
-                    .collect()
+                    .collect();
             }
             "--ew" => ews = parse_list(val()),
             "--idx" => idxs = parse_list(val()),
@@ -487,13 +573,13 @@ fn cmd_sweep(c: &Common) {
                 strides = parse_list(val())
                     .iter()
                     .map(|s| s.parse().unwrap_or_else(|_| usage()))
-                    .collect()
+                    .collect();
             }
             "--banks" => {
                 banks = parse_list(val())
                     .iter()
                     .map(|s| s.parse().unwrap_or_else(|_| usage()))
-                    .collect()
+                    .collect();
             }
             "--bursts" => bursts = val().parse().unwrap_or_else(|_| usage()),
             "--nnz" => fixed.nnz = val().parse().unwrap_or_else(|_| usage()),
@@ -640,12 +726,14 @@ fn main() {
             println!("{:10} ad-hoc cartesian sweep", "sweep");
             println!("{:10} one kernel, full report", "kernel");
             println!("{:10} randomized differential engine", "fuzz");
+            println!("{:10} static design-rule check of the in-tree grids", "drc");
         }
         Dispatch::All => cmd_all(&c),
         Dispatch::Bench => cmd_bench(&c),
         Dispatch::Sweep => cmd_sweep(&c),
         Dispatch::Kernel => cmd_kernel(&c),
         Dispatch::Fuzz => cmd_fuzz(&c),
+        Dispatch::Drc => cmd_drc(&c),
         Dispatch::Figure(fig) => cmd_figure(fig, &c),
         Dispatch::Unknown => {
             eprintln!(

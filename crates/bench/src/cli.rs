@@ -22,6 +22,8 @@ pub enum Dispatch {
     Kernel,
     /// `figures fuzz` — randomized differential engine.
     Fuzz,
+    /// `figures drc` — static design-rule check of the in-tree grids.
+    Drc,
     /// A figure family from the registry (`fig3a` … `contention`).
     Figure(&'static Figure),
     /// Not a subcommand: the caller must print an error and exit
@@ -30,7 +32,7 @@ pub enum Dispatch {
 }
 
 /// Fixed (non-registry) subcommand names, for `list` and completion.
-pub const FIXED_SUBCOMMANDS: &[&str] = &["list", "all", "bench", "sweep", "kernel", "fuzz"];
+pub const FIXED_SUBCOMMANDS: &[&str] = &["list", "all", "bench", "sweep", "kernel", "fuzz", "drc"];
 
 /// Resolves a subcommand name. Never panics; unknown names resolve to
 /// [`Dispatch::Unknown`] so the binary can fail loudly.
@@ -42,6 +44,7 @@ pub fn resolve(name: &str) -> Dispatch {
         "sweep" => Dispatch::Sweep,
         "kernel" => Dispatch::Kernel,
         "fuzz" => Dispatch::Fuzz,
+        "drc" => Dispatch::Drc,
         other => match figures::find(other) {
             Some(fig) => Dispatch::Figure(fig),
             None => Dispatch::Unknown,

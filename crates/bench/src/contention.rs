@@ -64,7 +64,7 @@ pub struct ContentionRow {
 /// The kernel requestor `slot` runs at one grid point. Dataflows follow
 /// the per-system choices of Fig. 3a (gemv row-wise on BASE, column-wise
 /// on PACK); seeds vary per slot so requestors stream different data.
-fn kernel_for_slot(
+pub(crate) fn kernel_for_slot(
     slot: usize,
     mix: Mix,
     kind: SystemKind,

@@ -1,0 +1,206 @@
+//! Static design-rule sweeps for the `figures drc` subcommand.
+//!
+//! Every named target assembles the *same* topologies a figure family or
+//! fuzz corpus would run — paper systems, bus-width sweeps, the
+//! contention grids, the regression corpus — and checks them with the
+//! `simcheck` DRC ([`axi_pack::drc`]) without simulating a cycle. The
+//! subcommand pretty-prints one report line per topology; CI runs
+//! `figures drc --smoke` as a gate, so a rule regression fails the build
+//! in milliseconds instead of wedging a figure run.
+
+use axi_pack::differential::SEED_CORPUS;
+use axi_pack::drc::check_topology;
+use axi_pack::{DrcReport, Requestor, SystemConfig, Topology};
+use vproc::SystemKind;
+use workloads::{gemv, ismt, spmv, synth, CsrMatrix, Dataflow};
+
+use crate::contention::{kernel_for_slot, Mix, REQUESTOR_COUNTS};
+use crate::{Scale, SEED};
+
+/// One named grid of topologies to design-rule check.
+pub struct DrcTarget {
+    /// Subcommand-facing name (`figures drc --target <name>`).
+    pub name: &'static str,
+    /// Human-readable description of the grid.
+    pub title: &'static str,
+    /// Assembles every topology of the grid with a display label.
+    pub build: fn(Scale) -> Vec<(String, Topology)>,
+}
+
+/// The in-tree DRC targets, mirroring what the figure families and the
+/// fuzz corpus actually run.
+pub static TARGETS: &[DrcTarget] = &[
+    DrcTarget {
+        name: "paper",
+        title: "paper evaluation systems (BASE/PACK/IDEAL, representative kernels)",
+        build: build_paper,
+    },
+    DrcTarget {
+        name: "bus",
+        title: "bus-width sweep systems (64/128/256-bit, Fig. 3d/3e)",
+        build: build_bus,
+    },
+    DrcTarget {
+        name: "contention",
+        title: "multi-requestor contention grid (1/2/4 requestors x mixes)",
+        build: build_contention,
+    },
+    DrcTarget {
+        name: "corpus",
+        title: "fuzz regression corpus (every checked-in seed's topology)",
+        build: build_corpus,
+    },
+];
+
+/// Looks a target up by name.
+pub fn find(name: &str) -> Option<&'static DrcTarget> {
+    TARGETS.iter().find(|t| t.name == name)
+}
+
+/// One checked topology of a target grid.
+pub struct DrcOutcome {
+    /// The target the topology came from.
+    pub target: &'static str,
+    /// Which topology of the grid.
+    pub label: String,
+    /// The full rule-suite report.
+    pub report: DrcReport,
+}
+
+/// Assembles and checks every topology of `targets`.
+pub fn check_targets(targets: &[&'static DrcTarget], scale: Scale) -> Vec<DrcOutcome> {
+    targets
+        .iter()
+        .flat_map(|t| {
+            (t.build)(scale)
+                .into_iter()
+                .map(|(label, topo)| DrcOutcome {
+                    target: t.name,
+                    label,
+                    report: check_topology(&topo),
+                })
+        })
+        .collect()
+}
+
+fn dim(scale: Scale) -> usize {
+    match scale {
+        Scale::Smoke => 16,
+        Scale::Paper => 64,
+    }
+}
+
+fn build_paper(scale: Scale) -> Vec<(String, Topology)> {
+    let n = dim(scale);
+    [SystemKind::Base, SystemKind::Pack, SystemKind::Ideal]
+        .into_iter()
+        .flat_map(|kind| {
+            let cfg = SystemConfig::paper(kind);
+            let p = cfg.kernel_params();
+            let m = CsrMatrix::random(n, n, 8.0, SEED);
+            [
+                (
+                    format!("{kind}/ismt"),
+                    Topology::single(&cfg, ismt::build(n, SEED, &p)),
+                ),
+                (
+                    format!("{kind}/gemv"),
+                    Topology::single(&cfg, gemv::build(n, SEED, Dataflow::ColWise, &p)),
+                ),
+                (
+                    format!("{kind}/spmv"),
+                    Topology::single(&cfg, spmv::build(&m, SEED, &p)),
+                ),
+            ]
+        })
+        .collect()
+}
+
+fn build_bus(scale: Scale) -> Vec<(String, Topology)> {
+    let n = dim(scale);
+    [64u32, 128, 256]
+        .into_iter()
+        .flat_map(|bits| {
+            [SystemKind::Base, SystemKind::Pack]
+                .into_iter()
+                .map(move |kind| {
+                    let cfg = SystemConfig::with_bus(kind, bits);
+                    let p = cfg.kernel_params();
+                    (
+                        format!("{kind}/{bits}-bit"),
+                        Topology::single(&cfg, gemv::build(n, SEED, Dataflow::ColWise, &p)),
+                    )
+                })
+        })
+        .collect()
+}
+
+fn build_contention(scale: Scale) -> Vec<(String, Topology)> {
+    let mut out = Vec::new();
+    for n in REQUESTOR_COUNTS {
+        for mix in [Mix::Homogeneous, Mix::StridedIndirect] {
+            if n == 1 && mix == Mix::StridedIndirect {
+                continue;
+            }
+            for kind in [SystemKind::Base, SystemKind::Pack] {
+                let cfg = SystemConfig::with_bus(kind, 256);
+                let p = cfg.kernel_params();
+                let requestors = (0..n)
+                    .map(|slot| Requestor::new(kind, kernel_for_slot(slot, mix, kind, scale, &p)))
+                    .collect();
+                out.push((
+                    format!("{n}x {kind} {mix}"),
+                    Topology::shared_bus(&cfg, requestors),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn build_corpus(_scale: Scale) -> Vec<(String, Topology)> {
+    // The corpus runs at its own fixed generator sizes, not the figure
+    // scale — replay exactly what `figures fuzz --corpus` assembles.
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    SEED_CORPUS
+        .iter()
+        .map(|case| {
+            let sk = synth::build(case.seed, &case.cfg, &cfg.kernel_params());
+            (
+                format!("seed {}", case.seed),
+                Topology::single(&cfg, sk.kernel),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_names_are_unique_and_findable() {
+        for t in TARGETS {
+            assert!(std::ptr::eq(find(t.name).expect("findable"), t));
+        }
+        assert!(find("bogus").is_none());
+    }
+
+    #[test]
+    fn every_in_tree_grid_is_drc_clean_at_smoke_scale() {
+        // The figure-family sweep gate: every topology any in-tree grid
+        // assembles must pass the full rule suite with zero diagnostics.
+        let all: Vec<&'static DrcTarget> = TARGETS.iter().collect();
+        let outcomes = check_targets(&all, Scale::Smoke);
+        assert!(outcomes.len() >= 30, "grids shrank: {}", outcomes.len());
+        for o in &outcomes {
+            assert!(
+                o.report.is_clean() && o.report.diagnostics.is_empty(),
+                "{}/{}: {}",
+                o.target,
+                o.label,
+                o.report
+            );
+        }
+    }
+}

@@ -16,9 +16,13 @@
 //! authors' RTL, so the comparison targets are the *shapes*: who wins, by
 //! roughly what factor, and where the crossovers sit (see EXPERIMENTS.md).
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod bench;
 pub mod cli;
 pub mod contention;
+pub mod drc;
 pub mod emit;
 pub mod experiments;
 pub mod fig3;

@@ -94,7 +94,7 @@ impl KernelPoint {
     /// Builds and runs the point, returning the full report.
     pub fn run(&self) -> Result<RunReport, String> {
         let (cfg, kernel) = self.build()?;
-        run_kernel(&cfg, &kernel)
+        Ok(run_kernel(&cfg, &kernel)?)
     }
 }
 

@@ -200,6 +200,16 @@ pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, St
         (*sys, sk.kernel.clone())
     };
     let topo = Topology::single(&pack_sys, pack_kernel.clone());
+    // Static invariant: every generated topology must be DRC-clean — a
+    // seed the design-rule checker rejects is a generator bug, not a
+    // simulation bug.
+    let drc = crate::drc::check_topology(&topo);
+    if !drc.is_clean() {
+        return Err(format!(
+            "seed {seed}: generated single-requestor topology violates the DRC: {drc}"
+        ));
+    }
+    checks += 1;
     let sys_report = run_system(&topo)
         .map_err(|e| format!("seed {seed}: single-requestor topology failed: {e}"))?;
     if sys_report.requestors[0].cycles != solo_cycles[1] {
@@ -255,6 +265,15 @@ pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, St
             requestors.push(Requestor::new(kind, sk.kernel));
         }
         let topo = Topology::shared_bus(&pack_sys, requestors);
+        // Same static invariant for every generated multi-requestor
+        // topology: the design-rule checker must accept it.
+        let drc = crate::drc::check_topology(&topo);
+        if !drc.is_clean() {
+            return Err(format!(
+                "seed {seed}: generated {n}-requestor topology violates the DRC: {drc}"
+            ));
+        }
+        checks += 1;
         let bases = topo.window_bases();
         let mut probe = RunProbe::default();
         let report = run_system_probed(&topo, &mut probe)
@@ -833,6 +852,25 @@ mod tests {
     #[test]
     fn minimize_returns_none_for_passing_seeds() {
         assert!(minimize(0, &SynthConfig::default()).is_none());
+    }
+
+    #[test]
+    fn every_corpus_case_generates_a_drc_clean_topology() {
+        // Static sweep over the whole regression corpus: each case's
+        // generated kernel must assemble into a design-rule-clean
+        // topology without running a single cycle.
+        for case in SEED_CORPUS {
+            let sys = seed_system(case.seed, SystemKind::Pack);
+            let sk = synth::build(case.seed, &case.cfg, &sys.kernel_params());
+            let topo = Topology::single(&sys, sk.kernel);
+            let report = crate::drc::check_topology(&topo);
+            assert!(
+                report.is_clean(),
+                "corpus seed {} ('{}') is not DRC-clean: {report}",
+                case.seed,
+                case.note
+            );
+        }
     }
 
     #[test]

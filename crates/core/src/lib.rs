@@ -34,16 +34,20 @@
 // Public-API documentation is part of this crate's contract: every
 // public item must explain what paper structure it models.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod differential;
+pub mod drc;
 pub mod report;
 pub mod requestor;
 pub mod system;
 
 pub use differential::{memory_digest, RunProbe};
+pub use drc::{check_single, check_topology, Diagnostic, DrcReport, Rule, Severity};
 pub use report::{RunReport, SystemReport};
 pub use system::{
-    run_kernel, run_kernel_probed, run_system, run_system_probed, Requestor, SystemConfig, Topology,
+    run_kernel, run_kernel_probed, run_system, run_system_probed, Requestor, RunError,
+    SystemConfig, Topology, WINDOW_ALIGN,
 };
 
 // Sweep points run on `simkit::sweep` worker threads: everything a point
@@ -57,4 +61,6 @@ const _: () = {
     assert_thread_safe::<RunReport>();
     assert_thread_safe::<SystemReport>();
     assert_thread_safe::<requestor::SweepConfig>();
+    assert_thread_safe::<RunError>();
+    assert_thread_safe::<DrcReport>();
 };

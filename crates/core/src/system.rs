@@ -24,7 +24,57 @@ use vproc::{Engine, EngineStats, SystemKind, VprocConfig};
 use workloads::{Kernel, KernelParams};
 
 use crate::differential::{memory_digest, RunProbe};
+use crate::drc::{self, DrcReport};
 use crate::report::{RunReport, SystemReport};
+
+/// Why a run refused to start or failed to complete.
+///
+/// The run paths validate every configuration with the static design-rule
+/// checker ([`crate::drc`]) before cycle 0; a rejected configuration
+/// carries its full [`DrcReport`] so the caller sees every violated rule,
+/// not just the first. Failures of a running simulation (functional
+/// divergence, cycle-limit overrun) stay plain strings.
+#[derive(Debug, Clone)]
+pub enum RunError {
+    /// The design-rule check rejected the configuration before cycle 0.
+    Drc(DrcReport),
+    /// The simulation ran and failed: the functional result diverged from
+    /// the scalar reference, or the cycle limit was exceeded.
+    Sim(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Drc(report) => write!(f, "{report}"),
+            RunError::Sim(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<String> for RunError {
+    fn from(msg: String) -> Self {
+        RunError::Sim(msg)
+    }
+}
+
+impl From<RunError> for String {
+    fn from(err: RunError) -> Self {
+        err.to_string()
+    }
+}
+
+impl RunError {
+    /// The DRC report, when this error is a design-rule rejection.
+    pub fn drc_report(&self) -> Option<&DrcReport> {
+        match self {
+            RunError::Drc(report) => Some(report),
+            RunError::Sim(_) => None,
+        }
+    }
+}
 
 /// Configuration of one evaluation system.
 #[derive(Debug, Clone, Copy)]
@@ -113,8 +163,10 @@ impl Requestor {
 
 /// Requestor windows are 4 KiB-aligned so every kernel keeps its internal
 /// 64-byte layout alignment — and therefore its bus-boundary behaviour —
-/// regardless of which window it lands in.
-const WINDOW_ALIGN: u64 = 0x1000;
+/// regardless of which window it lands in. Public so the static
+/// design-rule checker ([`crate::drc`]) verifies alignment against the
+/// same constant the assembly code derives windows from.
+pub const WINDOW_ALIGN: u64 = 0x1000;
 
 /// A complete system: shared bus/memory parameters plus N requestors,
 /// each in its own address-space window (paper §II-A/§V).
@@ -272,10 +324,12 @@ fn verify_requestor(kernel: &Kernel, stats: &EngineStats, storage: &Storage) -> 
 ///
 /// # Errors
 ///
-/// Returns an error if the functional result diverges from the scalar
-/// reference, if the engine observed R-payload mismatches on a kernel with
-/// read-only streams, or if the simulation exceeds `max_cycles`.
-pub fn run_kernel(cfg: &SystemConfig, kernel: &Kernel) -> Result<RunReport, String> {
+/// Returns [`RunError::Drc`] when the static design-rule check rejects
+/// the configuration before cycle 0, and [`RunError::Sim`] if the
+/// functional result diverges from the scalar reference, if the engine
+/// observed R-payload mismatches on a kernel with read-only streams, or
+/// if the simulation exceeds `max_cycles`.
+pub fn run_kernel(cfg: &SystemConfig, kernel: &Kernel) -> Result<RunReport, RunError> {
     // Borrow the kernel straight into the single-requestor loop — no
     // Topology allocation or image clone on this hot sweep path.
     let mut report = run_single(cfg, cfg.kind, kernel, None)?;
@@ -296,7 +350,7 @@ pub fn run_kernel_probed(
     cfg: &SystemConfig,
     kernel: &Kernel,
     probe: &mut RunProbe,
-) -> Result<RunReport, String> {
+) -> Result<RunReport, RunError> {
     let mut report = run_single(cfg, cfg.kind, kernel, Some(probe))?;
     Ok(report.requestors.remove(0))
 }
@@ -334,10 +388,14 @@ pub fn run_kernel_probed(
 ///
 /// # Errors
 ///
-/// Returns an error if any requestor's functional result diverges from
-/// its scalar reference, if a read-only-stream kernel saw R-payload
-/// mismatches, or if the simulation exceeds `max_cycles`.
-pub fn run_system(topo: &Topology) -> Result<SystemReport, String> {
+/// Returns [`RunError::Drc`] when the static design-rule check rejects
+/// the topology before cycle 0 — overlapping or misaligned windows, an
+/// AXI ID space too small for the outstanding-transaction limit, too many
+/// bus-attached requestors, zero-capacity queues — and [`RunError::Sim`]
+/// if any requestor's functional result diverges from its scalar
+/// reference, if a read-only-stream kernel saw R-payload mismatches, or
+/// if the simulation exceeds `max_cycles`.
+pub fn run_system(topo: &Topology) -> Result<SystemReport, RunError> {
     run_system_inner(topo, None)
 }
 
@@ -349,24 +407,25 @@ pub fn run_system(topo: &Topology) -> Result<SystemReport, String> {
 /// # Errors
 ///
 /// Exactly as [`run_system`].
-pub fn run_system_probed(topo: &Topology, probe: &mut RunProbe) -> Result<SystemReport, String> {
+pub fn run_system_probed(topo: &Topology, probe: &mut RunProbe) -> Result<SystemReport, RunError> {
     run_system_inner(topo, Some(probe))
 }
 
-fn run_system_inner(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, String> {
-    assert!(!topo.requestors.is_empty(), "a topology needs a requestor");
-    assert!(
-        topo.requestors
-            .iter()
-            .filter(|r| r.kind != SystemKind::Ideal)
-            .count()
-            <= MAX_MANAGERS,
-        "at most {MAX_MANAGERS} bus-attached requestors per shared bus"
-    );
+fn run_system_inner(
+    topo: &Topology,
+    probe: Option<&mut RunProbe>,
+) -> Result<SystemReport, RunError> {
     if topo.requestors.len() == 1 {
+        // run_single gates itself (it is also the run_kernel hot path).
         let req = &topo.requestors[0];
         run_single(&topo.system, req.kind, &req.kernel, probe)
     } else {
+        // Empty and overfull topologies land here too: DRC-U1 / DRC-I2
+        // reject them with a typed report where asserts used to panic.
+        let report = drc::check_topology(topo);
+        if !report.is_clean() {
+            return Err(RunError::Drc(report));
+        }
         run_shared(topo, probe)
     }
 }
@@ -379,7 +438,11 @@ fn run_single(
     kind: SystemKind,
     kernel: &Kernel,
     probe: Option<&mut RunProbe>,
-) -> Result<SystemReport, String> {
+) -> Result<SystemReport, RunError> {
+    let report = drc::check_single(cfg, kind, kernel);
+    if !report.is_clean() {
+        return Err(RunError::Drc(report));
+    }
     let mut engine = Engine::new(cfg.vproc, kind, cfg.bus(), kernel.program.clone());
     let mut cycles = 0u64;
     // IDEAL has no bus to monitor; a probed AXI run gets one full-ID-space
@@ -395,10 +458,10 @@ fn run_single(
                 engine.tick(None, &mut storage);
                 cycles += 1;
                 if cycles > cfg.max_cycles {
-                    return Err(format!(
+                    return Err(RunError::Sim(format!(
                         "{}: exceeded {} cycles",
                         kernel.name, cfg.max_cycles
-                    ));
+                    )));
                 }
             }
             (storage, None)
@@ -416,10 +479,10 @@ fn run_single(
                 }
                 cycles += 1;
                 if cycles > cfg.max_cycles {
-                    return Err(format!(
+                    return Err(RunError::Sim(format!(
                         "{}: exceeded {} cycles",
                         kernel.name, cfg.max_cycles
-                    ));
+                    )));
                 }
             }
             let stats = (
@@ -462,7 +525,7 @@ fn run_single(
 /// The N-requestor loop: engines in private windows of one shared
 /// backing store, bus-attached ones funneled through the mux into the
 /// shared adapter.
-fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, String> {
+fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, RunError> {
     let sys = &topo.system;
     let bases = topo.window_bases();
     // Window relocation is zero-copy: `rebased` shares image payloads and
@@ -576,11 +639,11 @@ fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemRep
             break;
         }
         if cycles > sys.max_cycles {
-            return Err(format!(
+            return Err(RunError::Sim(format!(
                 "topology of {} requestors: exceeded {} cycles",
                 engines.len(),
                 sys.max_cycles
-            ));
+            )));
         }
     }
     let word_accesses = adapter.word_reads() + adapter.word_writes();
@@ -763,6 +826,56 @@ mod tests {
             .map(|s| Requestor::new(SystemKind::Pack, ismt::build(16, s, &p)))
             .collect();
         let _ = Topology::shared_bus(&cfg, reqs);
+    }
+
+    #[test]
+    fn id_aliasing_behind_the_mux_is_a_hard_drc_error() {
+        // Regression: the mux narrows every engine to LOCAL_ID_BITS local
+        // IDs. An outstanding limit that exceeds that masked space used to
+        // be silently accepted — the allocator would wrap and alias a
+        // live transaction. It is now a typed DRC rejection.
+        let mut cfg = SystemConfig::paper(SystemKind::Pack);
+        cfg.vproc.max_outstanding_loads = 1 << LOCAL_ID_BITS;
+        let p = cfg.kernel_params();
+        let topo = Topology::shared_bus(
+            &cfg,
+            vec![
+                Requestor::new(SystemKind::Pack, ismt::build(16, 1, &p)),
+                Requestor::new(SystemKind::Pack, ismt::build(16, 2, &p)),
+            ],
+        );
+        let err = run_system(&topo).expect_err("aliasing IDs must be rejected");
+        let report = err.drc_report().expect("a DRC rejection, not a sim error");
+        assert!(report.violates(crate::drc::Rule::IdCapacity), "{report}");
+        // Solo, the full 8-bit ID space covers the same limit: the run
+        // is legal and completes.
+        run_kernel(&cfg, &ismt::build(16, 1, &p)).expect("solo run is legal");
+    }
+
+    #[test]
+    fn empty_topology_is_a_typed_error_not_a_panic() {
+        let topo = Topology {
+            system: SystemConfig::paper(SystemKind::Pack),
+            requestors: Vec::new(),
+        };
+        let err = run_system(&topo).expect_err("empty topology rejected");
+        let report = err.drc_report().expect("a DRC rejection");
+        assert!(report.violates(crate::drc::Rule::Unreachable), "{report}");
+        // And the error converts losslessly into the legacy String shape.
+        let msg: String = err.into();
+        assert!(msg.contains("DRC-U1"), "{msg}");
+    }
+
+    #[test]
+    fn zero_depth_queues_are_rejected_before_cycle_zero() {
+        // queue_depth = 0 used to panic inside CtrlConfig::new mid-setup;
+        // the DRC now reports it as a typed diagnostic first.
+        let mut cfg = SystemConfig::paper(SystemKind::Pack);
+        cfg.queue_depth = 0;
+        let k = ismt::build(16, 1, &cfg.kernel_params());
+        let err = run_kernel(&cfg, &k).expect_err("zero-depth queues rejected");
+        let report = err.drc_report().expect("a DRC rejection");
+        assert!(report.violates(crate::drc::Rule::QueueStall), "{report}");
     }
 
     #[test]

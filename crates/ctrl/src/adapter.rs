@@ -70,10 +70,12 @@ pub struct Adapter {
 
 /// Outstanding-transaction capacity of the base converter. Sixteen is
 /// enough for the AR channel (1 accept/cycle) to stay saturated against the
-/// one-cycle bank latency plus arbitration jitter.
-const BASE_TXNS: usize = 16;
-/// Concurrent packed bursts per packed converter.
-const PACKED_BURSTS: usize = 4;
+/// one-cycle bank latency plus arbitration jitter. Public so static
+/// checkers (the `simcheck` DRC) can reason about adapter capacity.
+pub const BASE_TXNS: usize = 16;
+/// Concurrent packed bursts per packed converter (public for the same
+/// introspection reason as [`BASE_TXNS`]).
+pub const PACKED_BURSTS: usize = 4;
 
 impl Adapter {
     /// Creates the endpoint over a backing store.
@@ -107,6 +109,10 @@ impl Adapter {
     pub fn config(&self) -> &CtrlConfig {
         &self.cfg
     }
+
+    // simcheck: hot-path begin -- the controller's per-cycle tick; response
+    // buffers ping-pong and keep their capacity, arbitration vectors live on
+    // the stack.
 
     /// One simulation cycle of adapter work against the channel FIFOs.
     pub fn tick(&mut self, ports: &mut AxiChannels) {
@@ -318,6 +324,8 @@ impl Adapter {
     pub fn end_cycle(&mut self) {
         self.mem.end_cycle_into(&mut self.pending_resps);
     }
+
+    // simcheck: hot-path end
 
     /// Returns `true` when the adapter, converters and memory are all idle.
     pub fn quiescent(&self) -> bool {

@@ -98,6 +98,10 @@ impl BaseConverter {
         }
     }
 
+    // simcheck: hot-path begin -- per-handshake acceptance, W routing, lane
+    // arbitration and beat assembly; transaction queues are bounded by
+    // `max_txns` and reach steady-state capacity within a few bursts.
+
     fn lane_of_word(&self, addr: Addr) -> usize {
         ((addr / self.word_bytes as Addr) % self.ports as Addr) as usize
     }
@@ -433,4 +437,6 @@ impl BaseConverter {
             && self.r_lanes.idle()
             && self.w_lanes.idle()
     }
+
+    // simcheck: hot-path end
 }

@@ -139,6 +139,10 @@ impl IndexStage {
         }
     }
 
+    // simcheck: hot-path begin -- per-cycle index extraction; index bytes
+    // accumulate in per-burst queues that drain every cycle, and the
+    // caller-owned scratch keeps its capacity so planning never allocates.
+
     fn accept(&mut self, params: BurstParams) {
         for w in 0..params.idx_words {
             let lane = (w as usize) % self.ports;
@@ -252,6 +256,8 @@ impl IndexStage {
     fn idle(&self) -> bool {
         self.bursts.is_empty() && self.lanes.idle()
     }
+
+    // simcheck: hot-path end
 }
 
 /// The indirect read converter.
@@ -309,6 +315,9 @@ impl IndirectReadConverter {
             max_bursts,
         }
     }
+
+    // simcheck: hot-path begin -- per-cycle planning tick and beat packing;
+    // queues are bounded by `max_bursts` and the planned-job cap.
 
     /// Returns `true` if another burst can be accepted.
     pub fn can_accept(&self) -> bool {
@@ -448,6 +457,8 @@ impl IndirectReadConverter {
             && self.idx.idle()
             && self.elem_lanes.idle()
     }
+
+    // simcheck: hot-path end
 }
 
 /// The indirect write converter: the read converter with the element
@@ -512,6 +523,10 @@ impl IndirectWriteConverter {
             max_bursts,
         }
     }
+
+    // simcheck: hot-path begin -- per-cycle write planning, beat unpacking
+    // and ack attribution; queues are bounded by `max_bursts` and the
+    // 4-beat W buffer.
 
     /// Returns `true` if another burst can be accepted.
     pub fn can_accept(&self) -> bool {
@@ -695,6 +710,8 @@ impl IndirectWriteConverter {
             && self.idx.idle()
             && self.elem_lanes.idle()
     }
+
+    // simcheck: hot-path end
 }
 
 #[cfg(test)]

@@ -126,6 +126,10 @@ impl LaneSet {
         self.jobs.len()
     }
 
+    // simcheck: hot-path begin -- per-word job queuing, credit-regulated
+    // issue and response delivery; every converter funnels its word traffic
+    // through these methods each cycle.
+
     /// Queues a job on `lane`.
     #[inline]
     pub fn push_job(&mut self, lane: usize, job: LaneJob) {
@@ -200,8 +204,8 @@ impl LaneSet {
     }
 
     /// Returns `true` if every lane in `lanes` has a response available.
-    pub fn all_have_resp(&self, lanes: std::ops::Range<usize>) -> bool {
-        lanes.clone().all(|l| !self.resp[l].is_empty())
+    pub fn all_have_resp(&self, mut lanes: std::ops::Range<usize>) -> bool {
+        lanes.all(|l| !self.resp[l].is_empty())
     }
 
     /// Returns `true` if `lane` has a response available.
@@ -261,6 +265,8 @@ impl LaneSet {
     pub fn any_resp(&self) -> bool {
         self.resp.iter().any(|q| !q.is_empty())
     }
+
+    // simcheck: hot-path end
 
     /// Memory word width in bytes.
     pub fn word_bytes(&self) -> usize {

@@ -35,6 +35,7 @@
 // Public-API documentation is part of this crate's contract: every
 // public item must explain what paper structure it models.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod adapter;
 pub mod base;
@@ -42,7 +43,7 @@ pub mod indirect;
 pub mod lane;
 pub mod strided;
 
-pub use adapter::Adapter;
+pub use adapter::{Adapter, BASE_TXNS, PACKED_BURSTS};
 pub use axi_proto::AxiChannels;
 pub use lane::{ConvId, LaneSet};
 

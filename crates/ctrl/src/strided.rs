@@ -122,6 +122,9 @@ impl StridedReadConverter {
         }
     }
 
+    // simcheck: hot-path begin -- per-burst planning and per-cycle beat
+    // packing; the pack queue is bounded by `max_bursts`.
+
     /// Returns `true` if another burst can be accepted.
     pub fn can_accept(&self) -> bool {
         self.pack_q.len() < self.max_bursts
@@ -207,6 +210,8 @@ impl StridedReadConverter {
     pub fn idle(&self) -> bool {
         self.pack_q.is_empty() && self.lanes.idle()
     }
+
+    // simcheck: hot-path end
 }
 
 /// Per-burst write bookkeeping.
@@ -261,6 +266,9 @@ impl StridedWriteConverter {
             max_bursts,
         }
     }
+
+    // simcheck: hot-path begin -- per-burst planning, beat unpacking and ack
+    // attribution; burst and ref queues are bounded by `max_bursts`.
 
     /// Returns `true` if another burst can be accepted.
     pub fn can_accept(&self) -> bool {
@@ -393,6 +401,8 @@ impl StridedWriteConverter {
     pub fn idle(&self) -> bool {
         self.bursts.is_empty() && self.b_ready.is_empty() && self.lanes.idle()
     }
+
+    // simcheck: hot-path end
 }
 
 #[cfg(test)]

@@ -22,6 +22,9 @@
 //! assert!(kge > 200.0 && kge < 320.0); // paper: 257 kGE at 256 bit
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod area;
 pub mod energy;
 pub mod timing;

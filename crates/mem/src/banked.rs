@@ -186,6 +186,10 @@ impl BankedMemory {
         }
     }
 
+    // simcheck: hot-path begin -- per-cycle issue, arbitration and access;
+    // grant scratch and response vectors are caller- or self-owned and keep
+    // their capacity across cycles.
+
     /// Returns `true` if `port` can accept a request this cycle.
     #[inline]
     pub fn port_free(&self, port: usize) -> bool {
@@ -223,6 +227,7 @@ impl BankedMemory {
     /// Allocates the response vector; per-cycle callers should prefer
     /// [`BankedMemory::end_cycle_into`], which reuses one.
     pub fn end_cycle(&mut self) -> Vec<WordResp> {
+        // simcheck: allow(alloc) -- convenience wrapper; per-cycle run loops call `end_cycle_into` with a reused vector
         let mut responses = Vec::new();
         self.end_cycle_into(&mut responses);
         responses
@@ -335,6 +340,8 @@ impl BankedMemory {
             }
         }
     }
+
+    // simcheck: hot-path end
 
     /// The backing store (for functional checks after a run).
     pub fn storage(&self) -> &Storage {

@@ -26,6 +26,7 @@
 // Public-API documentation is part of this crate's contract: every
 // public item must explain what paper structure it models.
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod banked;
 pub mod map;

@@ -41,6 +41,9 @@ pub struct InlineBuf<const N: usize> {
 }
 
 impl<const N: usize> InlineBuf<N> {
+    // simcheck: hot-path begin -- payload construction and access on every
+    // beat and word; strictly stack/inline, no heap.
+
     /// Creates a buffer of `len` zero bytes.
     ///
     /// # Panics
@@ -72,6 +75,8 @@ impl<const N: usize> InlineBuf<N> {
     pub const fn capacity() -> usize {
         N
     }
+
+    // simcheck: hot-path end
 }
 
 impl<const N: usize> Deref for InlineBuf<N> {

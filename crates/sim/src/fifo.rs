@@ -68,6 +68,9 @@ impl<T> Fifo<T> {
         }
     }
 
+    // simcheck: hot-path begin -- per-cycle handshake methods; both rings
+    // are pre-sized in `new` and must never reallocate.
+
     /// Returns `true` if a `push` this cycle would be accepted.
     ///
     /// Evaluated against the occupancy at the start of the cycle plus any
@@ -134,6 +137,8 @@ impl<T> Fifo<T> {
         );
         self.len_at_cycle_start = self.queue.len();
     }
+
+    // simcheck: hot-path end
 
     /// Number of items currently visible to `pop`.
     #[inline]

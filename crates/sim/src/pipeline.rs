@@ -51,6 +51,9 @@ impl<T> Pipeline<T> {
         }
     }
 
+    // simcheck: hot-path begin -- per-cycle stage shifting; the stage ring
+    // is pre-sized in `new` and rotates in place.
+
     /// Inserts an item into the first stage.
     ///
     /// # Panics
@@ -83,6 +86,8 @@ impl<T> Pipeline<T> {
         }
         out
     }
+
+    // simcheck: hot-path end
 
     /// Number of items currently somewhere in the pipeline.
     #[inline]

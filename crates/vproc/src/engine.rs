@@ -321,6 +321,11 @@ impl Engine {
             && self.ideal_active.is_none()
     }
 
+    // simcheck: hot-path begin -- the engine's per-cycle tick: memory
+    // back-ends, compute lanes and the frontend. The progress scratch is
+    // engine-owned and reused; burst planning (which allocates per issued
+    // memory instruction, not per cycle) lives outside this region.
+
     /// One cycle of engine work. Pass the bus channels for BASE/PACK and
     /// `None` for IDEAL; `storage` is the shared backing store.
     pub fn tick(&mut self, channels: Option<&mut AxiChannels>, storage: &mut Storage) {
@@ -900,6 +905,8 @@ impl Engine {
         }
     }
 
+    // simcheck: hot-path end
+
     // ------------------------------------------------------------------
     // Memory run construction
     // ------------------------------------------------------------------
@@ -1227,6 +1234,9 @@ impl Engine {
     // Retirement
     // ------------------------------------------------------------------
 
+    // simcheck: hot-path begin -- per-cycle retirement sweep over the small
+    // in-flight window; in-place retain, no reallocation.
+
     fn sweep_completed(&mut self) {
         let window = &mut self.window;
         self.order.retain(|uid| match window.get(uid) {
@@ -1238,6 +1248,8 @@ impl Engine {
             None => false,
         });
     }
+
+    // simcheck: hot-path end
 }
 
 #[cfg(test)]

@@ -28,6 +28,9 @@
 //! channel FIFOs — so kernels compute correct results *and* produce
 //! cycle-accurate bus traffic.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod isa;

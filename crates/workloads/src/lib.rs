@@ -24,6 +24,9 @@
 //! When the real inputs are available, [`mtx::read_mtx_file`] loads them
 //! directly from Matrix Market files.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod dense;
 pub mod gemv;
 pub mod ismt;

@@ -1,0 +1,446 @@
+//! `alloclint` — the `simcheck` hot-path allocation lint (analyzer 2).
+//!
+//! The simulator's per-cycle paths are allocation-free by design: beat
+//! payloads are inline buffers, FIFOs are preallocated rings, and run
+//! setup is zero-copy. This tool keeps them that way. Source regions
+//! bracketed by marker comments
+//!
+//! ```text
+//! // simcheck: hot-path begin
+//! ...per-cycle code...
+//! // simcheck: hot-path end
+//! ```
+//!
+//! are scanned for allocation constructs (`Vec::new`, `vec![`,
+//! `with_capacity`, `to_vec`, `Box::new`, `String::from`/`new`,
+//! `to_string`, `format!`, `collect::<Vec`, and `.clone()` — which on
+//! non-`Copy` payload types implies a heap copy). A hit fails the lint
+//! unless the line (or the line above it) carries an explicit opt-out
+//! with a reason:
+//!
+//! ```text
+//! // simcheck: allow(alloc) -- one-time growth on first overflow only
+//! ```
+//!
+//! The scan is deliberately text/token-based, not AST-based: it strips
+//! comments and string literals, then substring-matches the patterns.
+//! That keeps the tool dependency-free (no `syn` in the vendor tree),
+//! fast enough to run on every CI push, and — because markers delimit
+//! small reviewed regions — precise enough in practice. Marker hygiene
+//! is checked too: an `end` without a `begin`, a nested `begin`, or a
+//! region left open at end-of-file is an error.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Marker opening a hot-path region (inside a `//` comment).
+pub const BEGIN_MARKER: &str = "simcheck: hot-path begin";
+/// Marker closing a hot-path region.
+pub const END_MARKER: &str = "simcheck: hot-path end";
+/// Opt-out annotation; must be followed by ` -- <reason>`.
+pub const ALLOW_MARKER: &str = "simcheck: allow(alloc)";
+
+/// The allocation constructs the lint rejects inside hot-path regions.
+pub const PATTERNS: &[&str] = &[
+    "Vec::new",
+    "vec!",
+    "with_capacity",
+    "to_vec(",
+    "Box::new",
+    "String::from",
+    "String::new",
+    "to_string(",
+    "format!",
+    "collect::<Vec",
+    ".clone()",
+];
+
+/// One allocation construct found in a hot-path region without an
+/// opt-out annotation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The file the hit is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Which of [`PATTERNS`] matched.
+    pub pattern: &'static str,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: `{}` in hot-path region: {}",
+            self.file.display(),
+            self.line,
+            self.pattern,
+            self.snippet
+        )
+    }
+}
+
+/// A marker-hygiene problem (unbalanced or malformed markers).
+#[derive(Debug, Clone)]
+pub struct MarkerError {
+    /// The file the problem is in.
+    pub file: PathBuf,
+    /// 1-based line number (end-of-file problems point past the last line).
+    pub line: usize,
+    /// What is wrong.
+    pub message: String,
+}
+
+impl fmt::Display for MarkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.message)
+    }
+}
+
+/// Result of scanning one file or tree.
+#[derive(Debug, Default)]
+pub struct ScanResult {
+    /// Unannotated allocation hits.
+    pub findings: Vec<Finding>,
+    /// Marker-hygiene errors.
+    pub errors: Vec<MarkerError>,
+    /// Number of hot-path regions seen.
+    pub regions: usize,
+    /// Number of files scanned.
+    pub files: usize,
+    /// Number of allow-annotated hits (suppressed findings).
+    pub allowed: usize,
+}
+
+impl ScanResult {
+    /// `true` when nothing failed the lint.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.errors.is_empty()
+    }
+
+    fn merge(&mut self, other: ScanResult) {
+        self.findings.extend(other.findings);
+        self.errors.extend(other.errors);
+        self.regions += other.regions;
+        self.files += other.files;
+        self.allowed += other.allowed;
+    }
+}
+
+/// Carries the only cross-line scanner state: are we inside `/* ... */`?
+#[derive(Clone, Copy, PartialEq)]
+enum LineState {
+    Code,
+    BlockComment,
+}
+
+/// Strips comments and string/char literals from one line, returning the
+/// scannable code text, the comment text, and the state to carry into
+/// the next line. The comment text is where markers live.
+fn split_line(line: &str, state: LineState) -> (String, String, LineState) {
+    let mut code = String::with_capacity(line.len());
+    let mut comment = String::new();
+    let mut chars = line.char_indices().peekable();
+    let mut st = state;
+    while let Some((i, c)) = chars.next() {
+        match st {
+            LineState::BlockComment => {
+                comment.push(c);
+                if c == '*' && matches!(chars.peek(), Some((_, '/'))) {
+                    chars.next();
+                    st = LineState::Code;
+                }
+            }
+            LineState::Code => match c {
+                '/' if matches!(chars.peek(), Some((_, '/'))) => {
+                    // Line comment: everything after it is comment text.
+                    comment.push_str(&line[i + 2..]);
+                    return (code, comment, LineState::Code);
+                }
+                '/' if matches!(chars.peek(), Some((_, '*'))) => {
+                    chars.next();
+                    st = LineState::BlockComment;
+                }
+                '"' => {
+                    // String literal: skip to the unescaped closing quote
+                    // (an unterminated literal would be a raw string or a
+                    // multi-line string; both are absent from the scanned
+                    // tree, and the worst case is over-stripping one line).
+                    while let Some((_, s)) = chars.next() {
+                        match s {
+                            '\\' => {
+                                chars.next();
+                            }
+                            '"' => break,
+                            _ => {}
+                        }
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes within a
+                    // few chars (`'x'`, `'\n'`); a lifetime never closes.
+                    let rest = &line[i + 1..];
+                    let is_char = rest.starts_with('\\')
+                        || rest.chars().nth(1) == Some('\'')
+                        || rest.starts_with('\'');
+                    if is_char {
+                        let mut escaped = false;
+                        for (_, s) in chars.by_ref() {
+                            match s {
+                                '\\' if !escaped => escaped = true,
+                                '\'' if !escaped => break,
+                                _ => escaped = false,
+                            }
+                        }
+                    }
+                    // A lifetime: drop just the quote, keep scanning.
+                }
+                _ => code.push(c),
+            },
+        }
+    }
+    (code, comment, st)
+}
+
+/// Scans one source string. `file` labels findings; no I/O happens here.
+pub fn scan_source(file: &Path, src: &str) -> ScanResult {
+    let mut result = ScanResult {
+        files: 1,
+        ..ScanResult::default()
+    };
+    let mut state = LineState::Code;
+    let mut in_region = false;
+    let mut region_start = 0usize;
+    let mut prev_allow = false;
+    let mut last_line = 0usize;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
+        last_line = lineno;
+        let (code, comment, next_state) = split_line(raw, state);
+        state = next_state;
+
+        if comment.contains(BEGIN_MARKER) {
+            if in_region {
+                result.errors.push(MarkerError {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    message: format!(
+                        "nested `{BEGIN_MARKER}` (region open since line {region_start})"
+                    ),
+                });
+            }
+            in_region = true;
+            region_start = lineno;
+            result.regions += 1;
+            prev_allow = false;
+            continue;
+        }
+        if comment.contains(END_MARKER) {
+            if !in_region {
+                result.errors.push(MarkerError {
+                    file: file.to_path_buf(),
+                    line: lineno,
+                    message: format!("`{END_MARKER}` without a matching begin"),
+                });
+            }
+            in_region = false;
+            prev_allow = false;
+            continue;
+        }
+
+        let allow_here = comment.contains(ALLOW_MARKER);
+        if allow_here && !comment.contains("--") {
+            result.errors.push(MarkerError {
+                file: file.to_path_buf(),
+                line: lineno,
+                message: format!("`{ALLOW_MARKER}` needs a reason: `... -- <why>`"),
+            });
+        }
+        if in_region {
+            let suppressed = allow_here || prev_allow;
+            for pat in PATTERNS {
+                if code.contains(pat) {
+                    if suppressed {
+                        result.allowed += 1;
+                    } else {
+                        result.findings.push(Finding {
+                            file: file.to_path_buf(),
+                            line: lineno,
+                            pattern: pat,
+                            snippet: raw.trim().to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        // A standalone allow comment covers the next line; an allow with
+        // code on the same line covers only that line.
+        prev_allow = allow_here && code.trim().is_empty();
+    }
+    if in_region {
+        result.errors.push(MarkerError {
+            file: file.to_path_buf(),
+            line: last_line + 1,
+            message: format!("hot-path region opened at line {region_start} never closed"),
+        });
+    }
+    result
+}
+
+/// Scans one `.rs` file from disk.
+///
+/// # Errors
+///
+/// Returns the I/O error if the file cannot be read.
+pub fn scan_file(path: &Path) -> std::io::Result<ScanResult> {
+    Ok(scan_source(path, &std::fs::read_to_string(path)?))
+}
+
+/// Recursively scans every `.rs` file under `root` (a file or a
+/// directory), skipping `target/` build output.
+///
+/// # Errors
+///
+/// Returns the first I/O error hit while walking or reading.
+pub fn scan_tree(root: &Path) -> std::io::Result<ScanResult> {
+    let mut result = ScanResult::default();
+    if root.is_file() {
+        result.merge(scan_file(root)?);
+        return Ok(result);
+    }
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<std::io::Result<_>>()?;
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                if path.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                result.merge(scan_file(&path)?);
+            }
+        }
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(src: &str) -> ScanResult {
+        scan_source(Path::new("test.rs"), src)
+    }
+
+    #[test]
+    fn allocation_inside_a_region_is_a_finding() {
+        let r = scan(
+            "// simcheck: hot-path begin\n\
+             let v = Vec::new();\n\
+             // simcheck: hot-path end\n",
+        );
+        assert_eq!(r.findings.len(), 1);
+        assert_eq!(r.findings[0].pattern, "Vec::new");
+        assert_eq!(r.findings[0].line, 2);
+        assert_eq!(r.regions, 1);
+        assert!(!r.is_clean());
+    }
+
+    #[test]
+    fn allocation_outside_regions_is_ignored() {
+        let r = scan("let v = vec![0u8; 64];\nlet b = Box::new(1);\n");
+        assert!(r.is_clean());
+        assert_eq!(r.regions, 0);
+    }
+
+    #[test]
+    fn allow_annotation_suppresses_same_line_and_next_line() {
+        let r = scan(
+            "// simcheck: hot-path begin\n\
+             let a = s.to_vec(); // simcheck: allow(alloc) -- cold error path\n\
+             // simcheck: allow(alloc) -- one-time lazy init\n\
+             let b = Vec::new();\n\
+             let c = Vec::new();\n\
+             // simcheck: hot-path end\n",
+        );
+        assert_eq!(r.allowed, 2);
+        assert_eq!(r.findings.len(), 1, "{:?}", r.findings);
+        assert_eq!(r.findings[0].line, 5, "only the unannotated line fails");
+    }
+
+    #[test]
+    fn allow_without_reason_is_an_error() {
+        let r = scan(
+            "// simcheck: hot-path begin\n\
+             let a = Vec::new(); // simcheck: allow(alloc)\n\
+             // simcheck: hot-path end\n",
+        );
+        assert_eq!(r.errors.len(), 1);
+        assert!(r.errors[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn patterns_in_comments_and_strings_do_not_match() {
+        let r = scan(
+            "// simcheck: hot-path begin\n\
+             // a comment mentioning Vec::new is fine\n\
+             let s = \"vec![literal]\";\n\
+             /* Box::new in a block comment */\n\
+             let lifetime: &'static str = s;\n\
+             // simcheck: hot-path end\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+
+    #[test]
+    fn unbalanced_markers_are_errors() {
+        let open = scan("// simcheck: hot-path begin\nlet x = 1;\n");
+        assert_eq!(open.errors.len(), 1);
+        assert!(open.errors[0].message.contains("never closed"));
+
+        let stray = scan("// simcheck: hot-path end\n");
+        assert_eq!(stray.errors.len(), 1);
+
+        let nested = scan(
+            "// simcheck: hot-path begin\n\
+             // simcheck: hot-path begin\n\
+             // simcheck: hot-path end\n",
+        );
+        assert_eq!(nested.errors.len(), 1);
+        assert!(nested.errors[0].message.contains("nested"));
+    }
+
+    #[test]
+    fn clone_and_collect_are_flagged() {
+        let r = scan(
+            "// simcheck: hot-path begin\n\
+             let a = beat.clone();\n\
+             let b: Vec<_> = it.collect::<Vec<_>>();\n\
+             // simcheck: hot-path end\n",
+        );
+        let pats: Vec<_> = r.findings.iter().map(|f| f.pattern).collect();
+        assert!(pats.contains(&".clone()"), "{pats:?}");
+        assert!(pats.contains(&"collect::<Vec"), "{pats:?}");
+    }
+
+    #[test]
+    fn block_comment_state_carries_across_lines() {
+        let r = scan(
+            "// simcheck: hot-path begin\n\
+             /* multi-line\n\
+             Vec::new() still commented\n\
+             */ let x = 1;\n\
+             // simcheck: hot-path end\n",
+        );
+        assert!(r.is_clean(), "{:?}", r.findings);
+    }
+}

@@ -1,0 +1,69 @@
+//! CLI for the `simcheck` hot-path allocation lint.
+//!
+//! ```sh
+//! alloclint                 # scan crates/ (the default tree)
+//! alloclint crates tools    # scan explicit files or directories
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings or marker errors, 2 usage/I/O.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use alloclint::{scan_tree, ScanResult};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: alloclint [PATH ...]\n\
+             Scans `// simcheck: hot-path begin/end` regions in .rs files for\n\
+             allocation constructs; PATH defaults to `crates`."
+        );
+        return ExitCode::from(2);
+    }
+    let roots: Vec<PathBuf> = if args.is_empty() {
+        vec![PathBuf::from("crates")]
+    } else {
+        args.into_iter().map(PathBuf::from).collect()
+    };
+    let mut total = ScanResult::default();
+    for root in &roots {
+        match scan_tree(root) {
+            Ok(r) => {
+                total.findings.extend(r.findings);
+                total.errors.extend(r.errors);
+                total.regions += r.regions;
+                total.files += r.files;
+                total.allowed += r.allowed;
+            }
+            Err(e) => {
+                eprintln!("alloclint: {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    for e in &total.errors {
+        eprintln!("alloclint: marker error: {e}");
+    }
+    for f in &total.findings {
+        eprintln!("alloclint: {f}");
+    }
+    if !total.is_clean() {
+        eprintln!(
+            "alloclint FAILED: {} finding(s), {} marker error(s) across {} region(s) \
+             in {} file(s)",
+            total.findings.len(),
+            total.errors.len(),
+            total.regions,
+            total.files
+        );
+        return ExitCode::from(1);
+    }
+    println!(
+        "alloclint OK: {} hot-path region(s) in {} file(s) allocation-free \
+         ({} annotated allowance(s))",
+        total.regions, total.files, total.allowed
+    );
+    ExitCode::SUCCESS
+}

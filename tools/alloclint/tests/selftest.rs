@@ -1,0 +1,91 @@
+//! End-to-end self-test: the lint must demonstrably *fail* on a seeded
+//! allocation — a lint that silently passes everything is worse than no
+//! lint. CI runs this with the rest of the test suite.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// A scratch directory unique to this test run.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("alloclint-selftest-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn seeded_allocation_fails_the_binary_and_clean_tree_passes() {
+    let dir = scratch("e2e");
+    fs::write(
+        dir.join("dirty.rs"),
+        "pub fn tick() {\n\
+         // simcheck: hot-path begin\n\
+         let scratch = Vec::new();\n\
+         drop::<Vec<u8>>(scratch);\n\
+         // simcheck: hot-path end\n\
+         }\n",
+    )
+    .expect("write dirty fixture");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_alloclint"))
+        .arg(&dir)
+        .output()
+        .expect("run alloclint");
+    assert!(
+        !out.status.success(),
+        "lint must fail on a seeded Vec::new, got: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("Vec::new"),
+        "stderr names the pattern: {stderr}"
+    );
+    assert!(
+        stderr.contains("dirty.rs:3"),
+        "stderr points at the line: {stderr}"
+    );
+
+    // The same region with an annotated reason passes.
+    fs::write(
+        dir.join("dirty.rs"),
+        "pub fn tick() {\n\
+         // simcheck: hot-path begin\n\
+         // simcheck: allow(alloc) -- self-test fixture, not real hot-path code\n\
+         let scratch = Vec::new();\n\
+         drop::<Vec<u8>>(scratch);\n\
+         // simcheck: hot-path end\n\
+         }\n",
+    )
+    .expect("rewrite fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_alloclint"))
+        .arg(&dir)
+        .output()
+        .expect("run alloclint");
+    assert!(
+        out.status.success(),
+        "annotated allowance must pass: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unclosed_region_fails_the_binary() {
+    let dir = scratch("markers");
+    fs::write(
+        dir.join("open.rs"),
+        "// simcheck: hot-path begin\npub fn f() {}\n",
+    )
+    .expect("write fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_alloclint"))
+        .arg(&dir)
+        .output()
+        .expect("run alloclint");
+    assert!(!out.status.success(), "unbalanced markers must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("never closed"), "{stderr}");
+    let _ = fs::remove_dir_all(&dir);
+}
