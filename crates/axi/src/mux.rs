@@ -242,6 +242,24 @@ impl AxiMux {
             && self.writes_open.iter().all(|&w| w == 0)
     }
 
+    /// Wake status for the event-driven scheduler.
+    ///
+    /// The mux's tick is a pure function of the channel FIFOs around it:
+    /// with every manager port and the downstream port drained *and* no
+    /// burst mid-route, a tick grants nothing and moves nothing (the
+    /// round-robin arbiters do not rotate on an all-idle grant), so the mux
+    /// is [`simkit::sched::Wake::Idle`] and may be skipped. Any open
+    /// transaction or routable beat makes it [`simkit::sched::Wake::Ready`].
+    /// The caller must merge in the surrounding channels' own wakes.
+    #[inline]
+    pub fn wake(&self) -> simkit::sched::Wake {
+        if self.quiescent() {
+            simkit::sched::Wake::Idle
+        } else {
+            simkit::sched::Wake::Ready
+        }
+    }
+
     /// AR requests granted to manager `p` so far.
     pub fn ar_grants(&self, p: usize) -> u64 {
         self.ar_grants[p]

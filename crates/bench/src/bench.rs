@@ -17,17 +17,23 @@
 //! `benches/hotpath.rs`.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
-use axi_pack::{run_kernel, SystemConfig};
-use vproc::SystemKind;
-use workloads::ismt;
+use axi_pack::{run_kernel, SchedMode, SystemConfig};
+use vproc::{ProgramBuilder, SystemKind};
+use workloads::{ismt, Kernel};
 
 use crate::{figures, Scale};
 
 /// Allowed wall-clock regression before `--check` fails (fraction of the
 /// committed baseline: 0.25 = 25 %).
 pub const MAX_REGRESSION: f64 = 0.25;
+
+/// Minimum event-over-lockstep speedup the sparse probe must show for
+/// `--check` to pass. A same-host ratio, so it holds across machines;
+/// the measured value sits well above this floor.
+pub const SPARSE_SPEEDUP_FLOOR: f64 = 3.0;
 
 /// One bench run: per-family wall-clocks plus aggregate metrics.
 #[derive(Debug, Clone)]
@@ -36,12 +42,30 @@ pub struct BenchResult {
     pub families: Vec<(&'static str, f64)>,
     /// Sum of the family wall-clocks (the "smoke suite" time).
     pub total_s: f64,
-    /// Simulated cycles per host second on the throughput probe kernel.
+    /// Simulated cycles per host second on the dense throughput probe
+    /// (PACK ismt, event scheduler).
     pub cycles_per_sec: f64,
+    /// The dense probe forced into lockstep mode — the floor the event
+    /// scheduler must never fall below.
+    pub cycles_per_sec_lockstep: f64,
+    /// Simulated cycles per host second on the sparse/stall-heavy probe
+    /// (a scalar-bound PACK row loop, event scheduler) — the shape
+    /// idle-span fast-forwarding targets.
+    pub sparse_cycles_per_sec: f64,
+    /// The sparse probe in lockstep mode.
+    pub sparse_cycles_per_sec_lockstep: f64,
     /// Fully-checked differential fuzz scenarios per host second
     /// ([`crate::fuzz::fuzz_scenarios_per_sec`]), so generator/runner
     /// throughput is tracked alongside the figure families.
     pub fuzz_scenarios_per_sec: f64,
+}
+
+impl BenchResult {
+    /// Event-over-lockstep simulator throughput on the sparse probe —
+    /// the headline gain of the readiness/wakeup scheduler.
+    pub fn sparse_event_speedup(&self) -> f64 {
+        self.sparse_cycles_per_sec / self.sparse_cycles_per_sec_lockstep
+    }
 }
 
 /// Renders every figure family once at `scale`, timing each, then runs
@@ -60,25 +84,68 @@ pub fn run(scale: Scale) -> BenchResult {
     BenchResult {
         families,
         total_s: total,
-        cycles_per_sec: cycles_per_sec_probe(scale),
+        cycles_per_sec: cycles_per_sec_probe(scale, SchedMode::Event),
+        cycles_per_sec_lockstep: cycles_per_sec_probe(scale, SchedMode::Lockstep),
+        sparse_cycles_per_sec: sparse_cycles_per_sec_probe(scale, SchedMode::Event),
+        sparse_cycles_per_sec_lockstep: sparse_cycles_per_sec_probe(scale, SchedMode::Lockstep),
         fuzz_scenarios_per_sec: crate::fuzz::fuzz_scenarios_per_sec(),
     }
 }
 
-/// Measures simulated cycles per host second on one representative
-/// full-system run (PACK ismt — exercises engine, converters, and banks).
-pub fn cycles_per_sec_probe(scale: Scale) -> f64 {
-    let cfg = SystemConfig::paper(SystemKind::Pack);
-    let kernel = ismt::build(scale.dense_dim(), 1, &cfg.kernel_params());
-    // One warm-up, then time a few repetitions.
-    let warm = run_kernel(&cfg, &kernel).expect("probe kernel verifies");
-    let reps = 3;
+/// Times `kernel` on `cfg`: one warm-up, then a few repetitions, in
+/// simulated cycles per host second.
+fn probe(cfg: &SystemConfig, kernel: &Kernel) -> f64 {
+    let warm = run_kernel(cfg, kernel).expect("probe kernel verifies");
+    // Smoke-scale kernels finish in microseconds; repeat until enough
+    // host time has passed that timer granularity and scheduling noise
+    // wash out of the ratio.
     let t0 = Instant::now();
-    for _ in 0..reps {
-        run_kernel(&cfg, &kernel).expect("probe kernel verifies");
+    let mut reps = 0u64;
+    while reps < 3 || t0.elapsed().as_secs_f64() < 0.05 {
+        run_kernel(cfg, kernel).expect("probe kernel verifies");
+        reps += 1;
     }
-    let dt = t0.elapsed().as_secs_f64();
-    (warm.cycles * reps as u64) as f64 / dt
+    (warm.cycles * reps) as f64 / t0.elapsed().as_secs_f64()
+}
+
+/// Measures simulated cycles per host second on one representative dense
+/// full-system run (PACK ismt — exercises engine, converters, and banks;
+/// the bus is busy nearly every cycle, so `sched` barely matters here).
+pub fn cycles_per_sec_probe(scale: Scale, sched: SchedMode) -> f64 {
+    let mut cfg = SystemConfig::paper(SystemKind::Pack);
+    cfg.sched = sched;
+    probe(
+        &cfg,
+        &ismt::build(scale.dense_dim(), 1, &cfg.kernel_params()),
+    )
+}
+
+/// Measures simulated cycles per host second on the sparse probe: a
+/// scalar-bound row loop (the extreme short-stream regime of the paper's
+/// Fig. 3d/3e, where scalar row bookkeeping dwarfs each row's vector
+/// work). Every row pays a long scalar stall followed by one short load,
+/// so nearly all cycles are provably idle — the shape the event
+/// scheduler fast-forwards.
+pub fn sparse_cycles_per_sec_probe(scale: Scale, sched: SchedMode) -> f64 {
+    let mut cfg = SystemConfig::paper(SystemKind::Pack);
+    cfg.sched = sched;
+    let rows = scale.dense_dim();
+    let mut b = ProgramBuilder::new().set_vl(16);
+    for r in 0..rows {
+        b = b
+            .scalar(256)
+            .vle(1 + (r % 8) as u8, 0x100 * (1 + (r % 16) as u64));
+    }
+    let kernel = Kernel {
+        name: "sparse-row-loop".into(),
+        image: Vec::new(),
+        storage_size: 0x10000,
+        program: Arc::new(b.build()),
+        expected: Vec::new(),
+        read_only_streams: true,
+        useful_bytes: 0,
+    };
+    probe(&cfg, &kernel)
 }
 
 /// Serializes a measurement (plus the preserved pre-PR baseline, if any)
@@ -104,6 +171,30 @@ pub fn to_json(scale: Scale, result: &BenchResult, pre_pr: Option<&str>) -> Stri
     writeln!(w, "  }},").unwrap();
     writeln!(w, "  \"total_s\": {:.4},", result.total_s).unwrap();
     writeln!(w, "  \"cycles_per_sec\": {:.0},", result.cycles_per_sec).unwrap();
+    writeln!(
+        w,
+        "  \"cycles_per_sec_lockstep\": {:.0},",
+        result.cycles_per_sec_lockstep
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "  \"sparse_cycles_per_sec\": {:.0},",
+        result.sparse_cycles_per_sec
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "  \"sparse_cycles_per_sec_lockstep\": {:.0},",
+        result.sparse_cycles_per_sec_lockstep
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "  \"sparse_event_speedup\": {:.2},",
+        result.sparse_event_speedup()
+    )
+    .unwrap();
     writeln!(
         w,
         "  \"fuzz_scenarios_per_sec\": {:.1},",
@@ -165,11 +256,22 @@ mod tests {
             families: vec![("fig3a", 0.07), ("fig5b", 0.92)],
             total_s: 0.99,
             cycles_per_sec: 123456.0,
+            cycles_per_sec_lockstep: 120000.0,
+            sparse_cycles_per_sec: 400000.0,
+            sparse_cycles_per_sec_lockstep: 100000.0,
             fuzz_scenarios_per_sec: 42.5,
         };
         let json = to_json(Scale::Smoke, &r, Some("  \"pre_pr_total_s\": 1.24,"));
         assert_eq!(parse_number(&json, "total_s"), Some(0.99));
         assert_eq!(parse_number(&json, "fuzz_scenarios_per_sec"), Some(42.5));
+        // The exact key must not be confused with its prefixed variants.
+        assert_eq!(parse_number(&json, "cycles_per_sec"), Some(123456.0));
+        assert_eq!(
+            parse_number(&json, "cycles_per_sec_lockstep"),
+            Some(120000.0)
+        );
+        assert_eq!(parse_number(&json, "sparse_cycles_per_sec"), Some(400000.0));
+        assert_eq!(parse_number(&json, "sparse_event_speedup"), Some(4.0));
         assert_eq!(parse_number(&json, "pre_pr_total_s"), Some(1.24));
         let speedup = parse_number(&json, "speedup_vs_pre_pr").unwrap();
         assert!((speedup - 1.24 / 0.99).abs() < 0.01);
@@ -192,6 +294,9 @@ mod tests {
             families: vec![("fig3a", 0.07)],
             total_s: 0.07,
             cycles_per_sec: 1.0,
+            cycles_per_sec_lockstep: 1.0,
+            sparse_cycles_per_sec: 1.0,
+            sparse_cycles_per_sec_lockstep: 1.0,
             fuzz_scenarios_per_sec: 1.0,
         };
         let json = to_json(Scale::Smoke, &r, None);

@@ -68,6 +68,9 @@ fn usage() -> ! {
          \n\
          common options:\n\
          \x20 --smoke                  quick problem sizes (default: paper scale)\n\
+         \x20 --lockstep               tick every component every cycle instead of the\n\
+         \x20                          event-driven scheduler (the differential oracle;\n\
+         \x20                          slower, bit-identical results)\n\
          \x20 --threads N              sweep worker threads (default: {} or all cores)\n\
          \x20 --out DIR                CSV/JSON output directory (default: figures-out)\n\
          \x20 --no-files               print tables only, write nothing\n\
@@ -115,6 +118,9 @@ fn parse_common(args: Vec<String>) -> Common {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => scale = Scale::Smoke,
+            // Process-wide: every run constructed after this point defaults
+            // to lockstep mode (the fuzz oracle still runs both modes).
+            "--lockstep" => axi_pack::set_default_sched_mode(axi_pack::SchedMode::Lockstep),
             "--out" => out_dir = PathBuf::from(it.next().unwrap_or_else(|| usage())),
             "--no-files" => write = false,
             "--threads" => {
@@ -287,8 +293,15 @@ fn cmd_bench(c: &Common) {
     }
     println!("  {:<10} {:>8.3} s", "total", result.total_s);
     println!(
-        "  throughput {:>8.0} simulated cycles/s (PACK ismt probe)",
-        result.cycles_per_sec
+        "  throughput {:>8.0} simulated cycles/s (PACK ismt probe, event; lockstep {:.0})",
+        result.cycles_per_sec, result.cycles_per_sec_lockstep
+    );
+    println!(
+        "  sparse     {:>8.0} simulated cycles/s (PACK scalar-bound row loop, event; lockstep {:.0}, \
+         {:.1}x)",
+        result.sparse_cycles_per_sec,
+        result.sparse_cycles_per_sec_lockstep,
+        result.sparse_event_speedup()
     );
     println!(
         "  fuzz       {:>8.1} differential scenarios/s",
@@ -338,12 +351,48 @@ fn cmd_bench(c: &Common) {
                 limit * 100.0
             ));
         }
+        // The scheduler's gains must not come at lockstep's expense: the
+        // oracle mode's throughput is gated against the committed number
+        // too. The probe runs for well under a second, so its absolute
+        // value is far noisier than total_s — the band here is a
+        // collapse detector (debug build, accidental O(n) in the tick
+        // path), not a drift tracker.
+        let probe_limit = limit.max(0.60);
+        if let Some(base_lockstep) = bench::parse_number(&doc, "cycles_per_sec_lockstep") {
+            let lockstep_ratio = base_lockstep / result.cycles_per_sec_lockstep;
+            if lockstep_ratio > 1.0 + probe_limit {
+                fail(&format!(
+                    "lockstep throughput regressed {:.0}% under the committed baseline \
+                     ({:.0} vs {:.0} cycles/s; limit {:.0}%)",
+                    (lockstep_ratio - 1.0) * 100.0,
+                    result.cycles_per_sec_lockstep,
+                    base_lockstep,
+                    probe_limit * 100.0
+                ));
+            }
+        }
+        // And the headline event-mode gain must still be there. The
+        // speedup is a same-host ratio (event and lockstep probes run on
+        // the same machine in the same process), so instead of chasing a
+        // noisy committed number it is gated against the architectural
+        // floor the scheduler promises.
+        let speedup = result.sparse_event_speedup();
+        if speedup < bench::SPARSE_SPEEDUP_FLOOR {
+            fail(&format!(
+                "sparse event-mode speedup collapsed: {:.1}x, below the {:.0}x floor \
+                 the event scheduler promises",
+                speedup,
+                bench::SPARSE_SPEEDUP_FLOOR
+            ));
+        }
         println!(
-            "figures bench --check OK: {:.3} s vs committed {:.3} s ({:+.0}%, limit +{:.0}%)",
+            "figures bench --check OK: {:.3} s vs committed {:.3} s ({:+.0}%, limit +{:.0}%); \
+             sparse event speedup {:.1}x",
             result.total_s,
             base_total,
             (ratio - 1.0) * 100.0,
-            limit * 100.0
+            limit * 100.0,
+            result.sparse_event_speedup()
         );
         return;
     }

@@ -22,6 +22,12 @@
 //!    element widths (the kernel path is 32-bit only) drive the adapter
 //!    directly; R payloads must match the [`axi_proto::expand`] reference
 //!    expansion and plain writes must land exactly where issued.
+//! 5. **Scheduler oracle** — every solo run and the 2-requestor topology
+//!    are replayed in lockstep mode ([`SchedMode::Lockstep`]); completion
+//!    cycles, memory digests and every [`crate::RunReport`] counter
+//!    (stalls, conflicts, utilizations bit-compared) must be identical to
+//!    the event-driven run, and the lockstep replay must fast-forward
+//!    zero spans.
 //!
 //! A failing seed reports a one-line repro command
 //! ([`repro_command`]); [`minimize`] shrinks it by halving program
@@ -35,8 +41,9 @@ use pack_ctrl::{Adapter, CtrlConfig};
 use vproc::SystemKind;
 use workloads::synth::{self, SplitMix64, SynthConfig, SynthKernel};
 
+use crate::report::RunReport;
 use crate::system::{
-    run_kernel_probed, run_system, run_system_probed, Requestor, SystemConfig, Topology,
+    run_kernel_probed, run_system, run_system_probed, Requestor, SchedMode, SystemConfig, Topology,
 };
 
 /// FNV-1a digest of a memory image — the bit-for-bit comparison the
@@ -51,9 +58,32 @@ pub fn memory_digest(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Scheduler activity of one probed run.
+///
+/// Deliberately kept out of [`crate::RunReport`]: reports must be
+/// bit-identical between event and lockstep modes (that is the oracle's
+/// contract), while skip counts are a property of *how* time advanced.
+/// Lockstep runs report all zeros.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SchedProbe {
+    /// Cycles covered by fast-forwarded idle spans instead of ticks.
+    pub skipped_cycles: u64,
+    /// Number of idle spans fast-forwarded.
+    pub skip_spans: u64,
+}
+
+impl SchedProbe {
+    /// Accounts one fast-forwarded span of `span` cycles.
+    #[inline]
+    pub fn record_span(&mut self, span: u64) {
+        self.skipped_cycles += span;
+        self.skip_spans += 1;
+    }
+}
+
 /// Observation state a probed run fills in: per-manager protocol
-/// monitors, the shared downstream monitor (muxed runs), and a digest of
-/// the final backing store.
+/// monitors, the shared downstream monitor (muxed runs), a digest of
+/// the final backing store, and the scheduler's skip accounting.
 #[derive(Debug, Default)]
 pub struct RunProbe {
     /// One monitor per bus-attached manager port, in port order (empty
@@ -63,6 +93,9 @@ pub struct RunProbe {
     pub downstream: Option<Monitor>,
     /// [`memory_digest`] of the final backing store.
     pub storage_digest: Option<u64>,
+    /// Idle spans the event-driven scheduler fast-forwarded (all zeros in
+    /// lockstep mode).
+    pub sched: SchedProbe,
 }
 
 impl RunProbe {
@@ -148,7 +181,46 @@ fn seed_system(seed: u64, kind: SystemKind) -> SystemConfig {
     sys
 }
 
-/// The kernel-family differential for one seed (checks 1–3 of the
+/// First field on which two [`RunReport`]s diverge between scheduler
+/// modes, or `None` when they are identical. Floating-point fields are
+/// compared by bit pattern — the oracle demands exactness, not
+/// tolerance.
+fn report_divergence(event: &RunReport, lock: &RunReport) -> Option<String> {
+    macro_rules! cmp {
+        ($field:ident) => {
+            if event.$field != lock.$field {
+                return Some(format!(
+                    concat!(stringify!($field), ": {:?} (event) vs {:?} (lockstep)"),
+                    event.$field, lock.$field
+                ));
+            }
+        };
+    }
+    macro_rules! cmp_f64 {
+        ($field:ident) => {
+            if event.$field.to_bits() != lock.$field.to_bits() {
+                return Some(format!(
+                    concat!(stringify!($field), ": {} (event) vs {} (lockstep)"),
+                    event.$field, lock.$field
+                ));
+            }
+        };
+    }
+    cmp!(cycles);
+    cmp_f64!(r_util);
+    cmp_f64!(r_util_no_idx);
+    cmp_f64!(r_busy);
+    cmp!(data_mismatches);
+    cmp!(ar_stall_cycles);
+    cmp!(w_stall_cycles);
+    cmp!(bank_conflicts);
+    cmp!(activity);
+    cmp_f64!(power_mw);
+    cmp_f64!(energy_uj);
+    None
+}
+
+/// The kernel-family differential for one seed (checks 1–3 and 5 of the
 /// [module docs](self)).
 ///
 /// # Errors
@@ -163,10 +235,18 @@ pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, St
     // One generation + one reference-model execution, lowered per kind.
     let kinds = [SystemKind::Base, SystemKind::Pack, SystemKind::Ideal];
     let max_vl = seed_system(seed, SystemKind::Pack).kernel_params().max_vl;
+    // The primary path runs event-driven regardless of the global
+    // `--lockstep` default: check 5 replays it in lockstep anyway, so
+    // both modes are exercised on every seed either way, and pinning the
+    // mode keeps the metamorphic equalities (2a/2b) mode-consistent.
     let built: Vec<(SystemConfig, SynthKernel)> = kinds
         .iter()
         .zip(synth::build_kinds(seed, cfg, max_vl, &kinds))
-        .map(|(&kind, sk)| (seed_system(seed, kind), sk))
+        .map(|(&kind, sk)| {
+            let mut sys = seed_system(seed, kind);
+            sys.sched = SchedMode::Event;
+            (sys, sk)
+        })
         .collect();
     let reference = memory_digest(&built[0].1.final_mem);
     let summary = built[0].1.summary.clone();
@@ -191,6 +271,36 @@ pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, St
         }
         solo_cycles[i] = report.cycles;
         cycles += report.cycles;
+        checks += 3;
+
+        // --- 5. Scheduler oracle: lockstep replay must be identical --
+        let mut lock_sys = *sys;
+        lock_sys.sched = SchedMode::Lockstep;
+        let mut lock_probe = RunProbe::default();
+        let lock_report = run_kernel_probed(&lock_sys, &sk.kernel, &mut lock_probe)
+            .map_err(|e| format!("seed {seed}: lockstep {} run failed: {e}", kinds[i]))?;
+        if lock_probe.sched != SchedProbe::default() {
+            return Err(format!(
+                "seed {seed}: lockstep {} run fast-forwarded {} spans ({} cycles) — \
+                 lockstep mode must never skip",
+                kinds[i], lock_probe.sched.skip_spans, lock_probe.sched.skipped_cycles
+            ));
+        }
+        if lock_probe.storage_digest != probe.storage_digest {
+            return Err(format!(
+                "seed {seed}: {} final memory differs between event and lockstep modes \
+                 ({:#018x?} vs {:#018x?}; scenario: {summary})",
+                kinds[i], probe.storage_digest, lock_probe.storage_digest
+            ));
+        }
+        if let Some(field) = report_divergence(&report, &lock_report) {
+            return Err(format!(
+                "seed {seed}: {} report diverges between event and lockstep modes on \
+                 {field} (scenario: {summary})",
+                kinds[i]
+            ));
+        }
+        cycles += lock_report.cycles;
         checks += 3;
     }
 
@@ -301,6 +411,61 @@ pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, St
         }
         cycles += report.cycles;
         checks += 2 + n as u64;
+
+        // --- 5. Scheduler oracle on the shared fabric (2-requestor
+        // topology only; the solo replays already cover every kind) ----
+        if n == 2 {
+            let mut lock_topo = topo.clone();
+            lock_topo.system.sched = SchedMode::Lockstep;
+            let mut lock_probe = RunProbe::default();
+            let lock_report = run_system_probed(&lock_topo, &mut lock_probe)
+                .map_err(|e| format!("seed {seed}: lockstep {n}-requestor topology failed: {e}"))?;
+            if lock_probe.sched != SchedProbe::default() {
+                return Err(format!(
+                    "seed {seed}: lockstep {n}-requestor topology fast-forwarded {} spans — \
+                     lockstep mode must never skip",
+                    lock_probe.sched.skip_spans
+                ));
+            }
+            if lock_report.cycles != report.cycles {
+                return Err(format!(
+                    "seed {seed}: {n}-requestor completion differs between modes: \
+                     {} (event) vs {} (lockstep) cycles",
+                    report.cycles, lock_report.cycles
+                ));
+            }
+            if lock_probe.storage_digest != probe.storage_digest {
+                return Err(format!(
+                    "seed {seed}: {n}-requestor shared store differs between event and \
+                     lockstep modes"
+                ));
+            }
+            if lock_report.bus_r_busy.to_bits() != report.bus_r_busy.to_bits()
+                || lock_report.bus_r_util.to_bits() != report.bus_r_util.to_bits()
+                || lock_report.bank_conflicts != report.bank_conflicts
+                || lock_report.word_accesses != report.word_accesses
+            {
+                return Err(format!(
+                    "seed {seed}: {n}-requestor bus/memory aggregates differ between \
+                     event and lockstep modes"
+                ));
+            }
+            for (r, (ev, lk)) in report
+                .requestors
+                .iter()
+                .zip(&lock_report.requestors)
+                .enumerate()
+            {
+                if let Some(field) = report_divergence(ev, lk) {
+                    return Err(format!(
+                        "seed {seed}: {n}-requestor topology, requestor {r} report \
+                         diverges between event and lockstep modes on {field}"
+                    ));
+                }
+            }
+            cycles += lock_report.cycles;
+            checks += 4 + n as u64;
+        }
     }
 
     Ok(SeedOutcome {

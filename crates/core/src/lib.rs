@@ -42,12 +42,12 @@ pub mod report;
 pub mod requestor;
 pub mod system;
 
-pub use differential::{memory_digest, RunProbe};
+pub use differential::{memory_digest, RunProbe, SchedProbe};
 pub use drc::{check_single, check_topology, Diagnostic, DrcReport, Rule, Severity};
 pub use report::{RunReport, SystemReport};
 pub use system::{
-    run_kernel, run_kernel_probed, run_system, run_system_probed, Requestor, RunError,
-    SystemConfig, Topology, WINDOW_ALIGN,
+    default_sched_mode, run_kernel, run_kernel_probed, run_system, run_system_probed,
+    set_default_sched_mode, Requestor, RunError, SchedMode, SystemConfig, Topology, WINDOW_ALIGN,
 };
 
 // Sweep points run on `simkit::sweep` worker threads: everything a point

@@ -23,7 +23,7 @@ use pack_ctrl::{Adapter, CtrlConfig};
 use vproc::{Engine, EngineStats, SystemKind, VprocConfig};
 use workloads::{Kernel, KernelParams};
 
-use crate::differential::{memory_digest, RunProbe};
+use crate::differential::{memory_digest, RunProbe, SchedProbe};
 use crate::drc::{self, DrcReport};
 use crate::report::{RunReport, SystemReport};
 
@@ -76,6 +76,61 @@ impl RunError {
     }
 }
 
+/// How the run loops advance simulated time.
+///
+/// Both modes produce bit-identical results — final memory, every
+/// [`RunReport`] counter, and the completion cycle — which the
+/// differential fuzzer asserts on every seed. Event mode is purely a
+/// wall-clock optimization; lockstep is the oracle it is proven against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Readiness/wakeup scheduling: run loops query every component's
+    /// [`simkit::sched::Wake`] at each cycle boundary and fast-forward the
+    /// global cycle counter across spans where all of them are provably
+    /// idle (scalar stalls, reduction tails, memory latency countdowns).
+    #[default]
+    Event,
+    /// Tick every component every cycle — the original scheduler, kept as
+    /// the differential oracle (`figures --lockstep`).
+    Lockstep,
+}
+
+impl std::fmt::Display for SchedMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SchedMode::Event => "event",
+            SchedMode::Lockstep => "lockstep",
+        })
+    }
+}
+
+/// Process-wide default for [`SystemConfig::sched`], flipped once at
+/// startup by the `figures --lockstep` flag. `true` means lockstep.
+static DEFAULT_LOCKSTEP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Sets the process-wide default scheduling mode that newly built
+/// [`SystemConfig`]s pick up.
+///
+/// Intended for CLI entry points (the `figures --lockstep` oracle mode);
+/// tests and library code should set [`SystemConfig::sched`] on the
+/// specific config instead of mutating process state.
+pub fn set_default_sched_mode(mode: SchedMode) {
+    DEFAULT_LOCKSTEP.store(
+        mode == SchedMode::Lockstep,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// The process-wide default scheduling mode (see
+/// [`set_default_sched_mode`]).
+pub fn default_sched_mode() -> SchedMode {
+    if DEFAULT_LOCKSTEP.load(std::sync::atomic::Ordering::Relaxed) {
+        SchedMode::Lockstep
+    } else {
+        SchedMode::Event
+    }
+}
+
 /// Configuration of one evaluation system.
 #[derive(Debug, Clone, Copy)]
 pub struct SystemConfig {
@@ -91,6 +146,9 @@ pub struct SystemConfig {
     pub vproc: VprocConfig,
     /// Safety limit on simulated cycles.
     pub max_cycles: u64,
+    /// Event-driven or lockstep time advancement (results are identical;
+    /// see [`SchedMode`]).
+    pub sched: SchedMode,
 }
 
 impl SystemConfig {
@@ -108,6 +166,7 @@ impl SystemConfig {
             queue_depth: 4,
             vproc: VprocConfig::for_bus_bits(bus_bits),
             max_cycles: 500_000_000,
+            sched: default_sched_mode(),
         }
     }
 
@@ -445,6 +504,8 @@ fn run_single(
     }
     let mut engine = Engine::new(cfg.vproc, kind, cfg.bus(), kernel.program.clone());
     let mut cycles = 0u64;
+    let event = cfg.sched == SchedMode::Event;
+    let mut sched_stats = SchedProbe::default();
     // IDEAL has no bus to monitor; a probed AXI run gets one full-ID-space
     // monitor on its single channel bundle.
     let mut monitor = match (&probe, kind) {
@@ -455,6 +516,21 @@ fn run_single(
         SystemKind::Ideal => {
             let mut storage = kernel.build_storage();
             while !engine.done() {
+                // Event mode: with no bus, the engine's own wake is the
+                // whole story. A sleep span is fast-forwarded in one step;
+                // the cap keeps the max_cycles overrun on a normal tick at
+                // the same cycle as lockstep.
+                if event {
+                    if let simkit::sched::Wake::Sleep(n) = engine.next_wake() {
+                        let span = n.min(cfg.max_cycles.saturating_sub(cycles));
+                        if span > 0 {
+                            engine.fast_forward(span);
+                            cycles += span;
+                            sched_stats.record_span(span);
+                            continue;
+                        }
+                    }
+                }
                 engine.tick(None, &mut storage);
                 cycles += 1;
                 if cycles > cfg.max_cycles {
@@ -470,6 +546,24 @@ fn run_single(
             let mut adapter = Adapter::new(cfg.ctrl(), kernel.build_storage());
             let mut ch = AxiChannels::new();
             while !(engine.done() && adapter.quiescent() && ch.is_empty()) {
+                // Event mode: skip only when the fabric is fully drained —
+                // empty channels and a quiescent adapter mean no beat can
+                // arrive without the engine acting first, so the engine's
+                // sleep span is a whole-system idle span. (A draining
+                // load/store implies beats in flight somewhere, which
+                // fails this gate, so blocked-on-bus waits always tick.)
+                if event && ch.is_empty() && adapter.quiescent() {
+                    if let simkit::sched::Wake::Sleep(n) = engine.next_wake() {
+                        let span = n.min(cfg.max_cycles.saturating_sub(cycles));
+                        if span > 0 {
+                            engine.fast_forward(span);
+                            adapter.skip_idle(span);
+                            cycles += span;
+                            sched_stats.record_span(span);
+                            continue;
+                        }
+                    }
+                }
                 engine.tick(Some(&mut ch), adapter.storage_mut());
                 adapter.tick(&mut ch);
                 adapter.end_cycle();
@@ -496,6 +590,7 @@ fn run_single(
         p.monitors = monitor.take().into_iter().collect();
         p.downstream = None;
         p.storage_digest = Some(memory_digest(storage.as_bytes()));
+        p.sched = sched_stats;
     }
     let stats = engine.stats();
     verify_requestor(kernel, stats, &storage)?;
@@ -590,7 +685,71 @@ fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemRep
 
     let mut cycles = 0u64;
     let mut done_at: Vec<Option<u64>> = vec![None; engines.len()];
+    let mut sched_stats = SchedProbe::default();
+    // Event mode: a wake-condition registry with one component per engine.
+    // The fabric (channels, mux, adapter) is gated separately below — it
+    // is either drained (skippable) or ready, never on a countdown.
+    let mut scheduler = (sys.sched == SchedMode::Event).then(|| {
+        let mut s = simkit::sched::Scheduler::new();
+        let ids: Vec<simkit::sched::CompId> = (0..engines.len())
+            .map(|_| s.add_component("engine", simkit::sched::WakeCond::Countdown))
+            .collect();
+        (s, ids)
+    });
     loop {
+        if let Some((s, ids)) = scheduler.as_mut() {
+            // The skip gate: every channel drained, mux and adapter
+            // quiescent. Then no beat can reach any engine without some
+            // engine acting first, so the engines' merged wake governs the
+            // whole system. (This is exactly the loop's `drained` check.)
+            let fabric_idle = adapter.quiescent()
+                && down.is_empty()
+                && mgr.iter().all(AxiChannels::is_empty)
+                && mux.as_ref().is_none_or(AxiMux::quiescent);
+            if fabric_idle {
+                for (i, engine) in engines.iter().enumerate() {
+                    let wake = if done_at[i].is_some() {
+                        // Finished requestors are not ticked in lockstep
+                        // either; they contribute no deadline.
+                        simkit::sched::Wake::Idle
+                    } else {
+                        engine.next_wake()
+                    };
+                    s.note(ids[i], wake);
+                }
+                // `idle_span` is None when an engine is ready or when no
+                // live engine holds a deadline (a genuine deadlock must
+                // tick normally into the max_cycles error, exactly as
+                // lockstep would).
+                if let Some(n) = s.idle_span() {
+                    let span = n.min(sys.max_cycles.saturating_sub(cycles));
+                    if span > 0 {
+                        for (i, engine) in engines.iter_mut().enumerate() {
+                            if done_at[i].is_none() {
+                                engine.fast_forward(span);
+                            }
+                        }
+                        if managers > 0 {
+                            adapter.skip_idle(span);
+                        }
+                        cycles += span;
+                        s.advance(span);
+                        sched_stats.record_span(span);
+                        for (i, engine) in engines.iter().enumerate() {
+                            if done_at[i].is_none() && engine.done() {
+                                done_at[i] = Some(cycles);
+                            }
+                        }
+                        // `fabric_idle` above is the `drained` condition
+                        // and a skip leaves the fabric untouched.
+                        if done_at.iter().all(Option::is_some) {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
         for (i, engine) in engines.iter_mut().enumerate() {
             // A finished requestor contributes nothing to any channel;
             // not ticking it freezes its stats (cycles, utilization
@@ -654,6 +813,7 @@ fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemRep
         p.monitors = monitors;
         p.downstream = down_monitor.take();
         p.storage_digest = Some(memory_digest(storage.as_bytes()));
+        p.sched = sched_stats;
     }
     let bus_bytes = sys.bus().data_bytes() as u64;
     let mut payload_bytes = 0u64;

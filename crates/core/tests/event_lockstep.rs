@@ -1,0 +1,158 @@
+//! Tier-1 event-vs-lockstep oracle: replays the full fuzz corpus in both
+//! scheduler modes and demands bit-identical results.
+//!
+//! The event-driven scheduler ([`axi_pack::SchedMode::Event`]) may
+//! fast-forward across provably idle spans, but nothing observable is
+//! allowed to change: completion cycles, the final backing store, every
+//! report counter and every utilization ratio must match a lockstep run
+//! exactly. This suite replays every [`SEED_CORPUS`] entry solo on all
+//! three system kinds and as a 2-requestor shared-bus topology, once per
+//! mode, and compares everything.
+
+use axi_pack::differential::SEED_CORPUS;
+use axi_pack::{
+    run_kernel_probed, run_system_probed, Requestor, RunProbe, RunReport, SchedMode, SystemConfig,
+    Topology,
+};
+use vproc::SystemKind;
+use workloads::synth;
+
+const KINDS: [SystemKind; 3] = [SystemKind::Base, SystemKind::Pack, SystemKind::Ideal];
+
+fn system(kind: SystemKind, sched: SchedMode) -> SystemConfig {
+    let mut sys = SystemConfig::with_bus(kind, 128);
+    sys.max_cycles = 20_000_000;
+    sys.sched = sched;
+    sys
+}
+
+/// Panics on the first field where the two reports differ. Floats are
+/// compared by bit pattern: the oracle demands exactness, not tolerance.
+fn assert_reports_identical(ev: &RunReport, lk: &RunReport, ctx: &str) {
+    assert_eq!(ev.cycles, lk.cycles, "{ctx}: cycles");
+    assert_eq!(ev.r_util.to_bits(), lk.r_util.to_bits(), "{ctx}: r_util");
+    assert_eq!(
+        ev.r_util_no_idx.to_bits(),
+        lk.r_util_no_idx.to_bits(),
+        "{ctx}: r_util_no_idx"
+    );
+    assert_eq!(ev.r_busy.to_bits(), lk.r_busy.to_bits(), "{ctx}: r_busy");
+    assert_eq!(
+        ev.data_mismatches, lk.data_mismatches,
+        "{ctx}: data_mismatches"
+    );
+    assert_eq!(
+        ev.ar_stall_cycles, lk.ar_stall_cycles,
+        "{ctx}: ar_stall_cycles"
+    );
+    assert_eq!(
+        ev.w_stall_cycles, lk.w_stall_cycles,
+        "{ctx}: w_stall_cycles"
+    );
+    assert_eq!(
+        ev.bank_conflicts, lk.bank_conflicts,
+        "{ctx}: bank_conflicts"
+    );
+    assert_eq!(ev.activity, lk.activity, "{ctx}: activity");
+    assert_eq!(
+        ev.power_mw.to_bits(),
+        lk.power_mw.to_bits(),
+        "{ctx}: power_mw"
+    );
+    assert_eq!(
+        ev.energy_uj.to_bits(),
+        lk.energy_uj.to_bits(),
+        "{ctx}: energy_uj"
+    );
+}
+
+#[test]
+fn corpus_solo_runs_agree_across_modes() {
+    let max_vl = system(SystemKind::Pack, SchedMode::Event)
+        .kernel_params()
+        .max_vl;
+    let mut skipped = 0u64;
+    for case in SEED_CORPUS {
+        let built = synth::build_kinds(case.seed, &case.cfg, max_vl, &KINDS);
+        for (kind, sk) in KINDS.iter().zip(built) {
+            let ctx = format!("seed {} on {kind}", case.seed);
+            let mut ev_probe = RunProbe::default();
+            let ev = run_kernel_probed(&system(*kind, SchedMode::Event), &sk.kernel, &mut ev_probe)
+                .unwrap_or_else(|e| panic!("{ctx}: event run failed: {e}"));
+            let mut lk_probe = RunProbe::default();
+            let lk = run_kernel_probed(
+                &system(*kind, SchedMode::Lockstep),
+                &sk.kernel,
+                &mut lk_probe,
+            )
+            .unwrap_or_else(|e| panic!("{ctx}: lockstep run failed: {e}"));
+            assert_eq!(
+                lk_probe.sched.skip_spans, 0,
+                "{ctx}: lockstep mode must never fast-forward"
+            );
+            assert_eq!(
+                ev_probe.storage_digest, lk_probe.storage_digest,
+                "{ctx}: final memory differs between modes"
+            );
+            assert_reports_identical(&ev, &lk, &ctx);
+            skipped += ev_probe.sched.skipped_cycles;
+        }
+    }
+    assert!(
+        skipped > 0,
+        "event mode never fast-forwarded across the whole corpus — the scheduler is not engaged"
+    );
+}
+
+#[test]
+fn corpus_topologies_agree_across_modes() {
+    let max_vl = system(SystemKind::Pack, SchedMode::Event)
+        .kernel_params()
+        .max_vl;
+    for case in SEED_CORPUS {
+        let kinds = [SystemKind::Pack, SystemKind::Base];
+        let built = synth::build_kinds(case.seed, &case.cfg, max_vl, &kinds);
+        let requestors: Vec<Requestor> = kinds
+            .iter()
+            .zip(&built)
+            .map(|(&kind, sk)| Requestor::new(kind, sk.kernel.clone()))
+            .collect();
+        let run = |sched: SchedMode| {
+            let topo = Topology::shared_bus(&system(SystemKind::Pack, sched), requestors.clone());
+            let mut probe = RunProbe::default();
+            let report = run_system_probed(&topo, &mut probe)
+                .unwrap_or_else(|e| panic!("seed {} ({sched}): topology failed: {e}", case.seed));
+            (report, probe)
+        };
+        let (ev, ev_probe) = run(SchedMode::Event);
+        let (lk, lk_probe) = run(SchedMode::Lockstep);
+        let ctx = format!("seed {} shared-bus", case.seed);
+        assert_eq!(
+            lk_probe.sched.skip_spans, 0,
+            "{ctx}: lockstep mode must never fast-forward"
+        );
+        assert_eq!(ev.cycles, lk.cycles, "{ctx}: completion cycles");
+        assert_eq!(
+            ev_probe.storage_digest, lk_probe.storage_digest,
+            "{ctx}: shared store differs between modes"
+        );
+        assert_eq!(
+            ev.bus_r_busy.to_bits(),
+            lk.bus_r_busy.to_bits(),
+            "{ctx}: bus_r_busy"
+        );
+        assert_eq!(
+            ev.bus_r_util.to_bits(),
+            lk.bus_r_util.to_bits(),
+            "{ctx}: bus_r_util"
+        );
+        assert_eq!(
+            ev.bank_conflicts, lk.bank_conflicts,
+            "{ctx}: bank_conflicts"
+        );
+        assert_eq!(ev.word_accesses, lk.word_accesses, "{ctx}: word_accesses");
+        for (r, (e, l)) in ev.requestors.iter().zip(&lk.requestors).enumerate() {
+            assert_reports_identical(e, l, &format!("{ctx}, requestor {r}"));
+        }
+    }
+}

@@ -339,6 +339,33 @@ impl Adapter {
             && self.mem.quiescent()
     }
 
+    /// Wake status for the event-driven scheduler: the merge of every
+    /// converter's wake, the response queues and the banked memory. A
+    /// quiescent adapter's tick consumes nothing from the bus-facing
+    /// channels (the caller must still check those separately) and mutates
+    /// only the cycle counter, which [`Adapter::skip_idle`] replays — so a
+    /// quiescent adapter may be skipped; anything in flight needs ticks.
+    #[inline]
+    pub fn next_wake(&self) -> simkit::sched::Wake {
+        if self.quiescent() {
+            simkit::sched::Wake::Idle
+        } else {
+            simkit::sched::Wake::Ready
+        }
+    }
+
+    /// Replays the bookkeeping of `span` idle ticks in one call.
+    ///
+    /// A quiescent adapter's [`Adapter::tick`] + [`Adapter::end_cycle`]
+    /// changes nothing but `cycles`; the event-driven run loops call this
+    /// when they fast-forward so the adapter's cycle statistic stays
+    /// bit-identical to the lockstep oracle.
+    #[inline]
+    pub fn skip_idle(&mut self, span: u64) {
+        debug_assert!(self.quiescent(), "skipping a non-quiescent adapter");
+        self.cycles += span;
+    }
+
     /// The memory's backing store.
     pub fn storage(&self) -> &Storage {
         self.mem.storage()

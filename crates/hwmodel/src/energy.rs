@@ -12,7 +12,7 @@
 //! energy-efficiency gains (5.3× strided, 2.1× indirect).
 
 /// Activity counts extracted from one simulation run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Activity {
     /// Total cycles at 1 GHz.
     pub cycles: u64,

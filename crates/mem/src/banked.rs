@@ -381,6 +381,19 @@ impl BankedMemory {
             && self.ideal_overflow.is_empty()
             && self.ideal_delay.iter().all(Vec::is_empty)
     }
+
+    /// Wake status for the event-driven scheduler: a quiescent memory
+    /// (every bank pipeline drained, no pending port requests) only wakes
+    /// when the controller issues a new word request; anything in flight
+    /// must keep shifting through the bank pipelines each cycle.
+    #[inline]
+    pub fn wake(&self) -> simkit::sched::Wake {
+        if self.quiescent() {
+            simkit::sched::Wake::Idle
+        } else {
+            simkit::sched::Wake::Ready
+        }
+    }
 }
 
 #[cfg(test)]

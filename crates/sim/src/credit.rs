@@ -87,6 +87,15 @@ impl Credit {
     pub fn has_credit(&self) -> bool {
         self.available > 0
     }
+
+    /// Returns `true` if every credit has been returned (nothing in
+    /// flight) — the "credit returned" wake condition is only fully
+    /// satisfied, for quiescence purposes, when the counter is back at its
+    /// maximum.
+    #[inline]
+    pub fn all_returned(&self) -> bool {
+        self.available == self.max
+    }
 }
 
 #[cfg(test)]

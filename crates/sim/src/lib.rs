@@ -18,6 +18,12 @@
 //! that wire them together; each cycle it calls `tick` on every component
 //! (any order) and then [`Fifo::end_cycle`] on every queue.
 //!
+//! Components may additionally report a [`sched::Wake`] at each cycle
+//! boundary; the [`sched`] module turns those reports into provably-safe
+//! idle-span skips so run loops can fast-forward across dead cycles instead
+//! of ticking through them (with the lockstep tick loop retained as the
+//! differential oracle).
+//!
 //! On top of the single-simulation substrate, [`sweep`] provides the
 //! *parallel sweep engine*: [`SweepSpec`] builds cartesian parameter grids
 //! and fans the independent simulation points across worker threads with
@@ -45,6 +51,7 @@ pub mod buf;
 pub mod credit;
 pub mod fifo;
 pub mod pipeline;
+pub mod sched;
 pub mod stats;
 pub mod sweep;
 
@@ -53,6 +60,7 @@ pub use buf::InlineBuf;
 pub use credit::Credit;
 pub use fifo::Fifo;
 pub use pipeline::Pipeline;
+pub use sched::{Scheduler, Wake, WakeCond, WakeHeap};
 pub use stats::{Counter, Histogram, Utilization};
 pub use sweep::{PointCtx, SweepSpec};
 

@@ -105,6 +105,36 @@ impl<T> Pipeline<T> {
     pub fn latency(&self) -> usize {
         self.stages.len()
     }
+
+    /// Cycles until the next in-flight item emerges, if any.
+    ///
+    /// An item in the front stage emerges from the next [`Pipeline::end_cycle`]
+    /// (`next_emerge() == Some(1)`). `None` means the pipeline is drained.
+    #[inline]
+    pub fn next_emerge(&self) -> Option<u64> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        self.stages
+            .iter()
+            .position(Option::is_some)
+            .map(|i| i as u64 + 1)
+    }
+
+    /// Wake status for the event-driven scheduler.
+    ///
+    /// A drained pipeline is [`crate::sched::Wake::Idle`] (the wake
+    /// condition is "pipeline drained" from the consumer's point of view);
+    /// otherwise it must be ticked so stages shift, and the in-flight items
+    /// make it [`crate::sched::Wake::Ready`].
+    #[inline]
+    pub fn wake(&self) -> crate::sched::Wake {
+        if self.in_flight == 0 {
+            crate::sched::Wake::Idle
+        } else {
+            crate::sched::Wake::Ready
+        }
+    }
 }
 
 #[cfg(test)]

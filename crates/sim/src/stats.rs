@@ -118,6 +118,16 @@ impl Utilization {
         self.cycles += 1;
     }
 
+    /// Records `n` consecutive idle cycles in one call.
+    ///
+    /// Used by the event-driven scheduler's fast-forward path, which must
+    /// leave the tracker bit-identical to `n` [`Utilization::record_idle`]
+    /// calls.
+    #[inline]
+    pub fn record_idle_n(&mut self, n: u64) {
+        self.cycles += n;
+    }
+
     /// Total observed cycles.
     #[inline]
     pub fn cycles(&self) -> u64 {

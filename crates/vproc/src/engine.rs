@@ -32,6 +32,7 @@ use std::sync::Arc;
 
 use axi_proto::{Addr, ArBeat, AxiChannels, BeatBuf, BusConfig, ElemSize, IdxSize, WBeat};
 use banked_mem::Storage;
+use simkit::sched::Wake;
 use simkit::Utilization;
 
 use crate::config::{SystemKind, VprocConfig};
@@ -905,6 +906,178 @@ impl Engine {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Event-driven scheduling: wake classification and fast-forward
+    // ------------------------------------------------------------------
+
+    /// A producer's settled progress, [`usize::MAX`] when retired or
+    /// absent (no writer).
+    fn progress_of(&self, uid: u64) -> usize {
+        if uid == NO_WRITER {
+            usize::MAX
+        } else {
+            self.window.get(&uid).map_or(usize::MAX, |e| e.produced)
+        }
+    }
+
+    /// Classifies the engine's wake status at a cycle boundary.
+    ///
+    /// Queried between ticks (settled state). The classification is
+    /// deliberately conservative — anything whose progress depends on bus
+    /// handshakes the engine cannot predict is [`Wake::Ready`] (pending or
+    /// issuing memory runs) or [`Wake::Idle`] (draining runs awaiting R/B
+    /// beats; the bus-side wake decides whether beats can still arrive).
+    /// Only provable countdowns produce [`Wake::Sleep`]: scalar stalls,
+    /// reduction tails, and the IDEAL port's access latency. The contract
+    /// is exact: if this returns `Sleep(n)`, then `n` lockstep ticks would
+    /// perform only the bookkeeping [`Engine::fast_forward`] replays.
+    pub fn next_wake(&self) -> Wake {
+        let mut countdown = u64::MAX;
+        // Memory back-end. A pending or issuing run makes progress (or
+        // contends for the bus) every cycle; draining runs wait on R/B
+        // beats and contribute nothing of their own.
+        if !self.mem_q.is_empty() || self.load_issuing.is_some() || self.store_active.is_some() {
+            return Wake::Ready;
+        }
+        if let Some(run) = &self.ideal_active {
+            if run.latency_left > 0 {
+                countdown = countdown.min(run.latency_left as u64);
+            } else {
+                let avail = match run.src_uid {
+                    Some(uid) if uid != NO_WRITER => self.progress_of(uid),
+                    _ => usize::MAX,
+                };
+                let step = self
+                    .cfg
+                    .lanes
+                    .min(run.total - run.transferred)
+                    .min(avail.saturating_sub(run.transferred));
+                if step > 0 {
+                    return Wake::Ready;
+                }
+                // Blocked on a producer: that producer's own wake governs.
+            }
+        }
+        // Lanes: any compute or reduction that can consume produces work.
+        // Blocked consumers are governed by their producer's wake (checked
+        // in the same pass); load/store window entries by the back-end.
+        for uid in &self.order {
+            let Some(entry) = self.window.get(uid) else {
+                continue;
+            };
+            match &entry.class {
+                Class::Compute { srcs, .. } => {
+                    let avail = srcs
+                        .iter()
+                        .map(|s| self.progress_of(*s))
+                        .min()
+                        .unwrap_or(usize::MAX)
+                        .min(entry.vl);
+                    if avail > entry.produced {
+                        return Wake::Ready;
+                    }
+                }
+                Class::Reduction {
+                    src,
+                    consumed,
+                    tail,
+                } => {
+                    if *consumed < entry.vl {
+                        if self.progress_of(*src).min(entry.vl) > *consumed {
+                            return Wake::Ready;
+                        }
+                    } else if *tail > 0 {
+                        countdown = countdown.min(*tail as u64);
+                    }
+                }
+                Class::Load | Class::Store { .. } => {}
+            }
+        }
+        // Frontend, mirroring `tick_frontend`'s check order: a scalar
+        // stall is a countdown; a full window blocks silently; a scalar
+        // store of a live producer blocks (with a per-tick stall statistic
+        // that `fast_forward` replays); anything else issues.
+        if self.scalar_stall > 0 {
+            countdown = countdown.min(self.scalar_stall as u64);
+        } else if self.window.len() < self.cfg.window {
+            match self.program.insns().get(self.pc) {
+                Some(VInsn::ScalarStoreF32 { vs, .. }) => {
+                    let producer = self.reg_writer[*vs as usize];
+                    if producer == NO_WRITER || !self.window.contains_key(&producer) {
+                        return Wake::Ready;
+                    }
+                }
+                Some(_) => return Wake::Ready,
+                None => {}
+            }
+        }
+        if countdown == u64::MAX {
+            Wake::Idle
+        } else {
+            Wake::Sleep(countdown)
+        }
+    }
+
+    /// Replays the bookkeeping of `span` provably-idle ticks in one call.
+    ///
+    /// Must only be called with `span` no larger than the `n` of a
+    /// [`Wake::Sleep`]`(n)` from [`Engine::next_wake`] (or arbitrarily for
+    /// a [`Wake::Idle`] engine, whose idle ticks have no countdowns to
+    /// expire). The resulting state — statistics included — is
+    /// bit-identical to ticking `span` times, which the lockstep
+    /// differential oracle verifies on every fuzz seed.
+    pub fn fast_forward(&mut self, span: u64) {
+        self.stats.cycles += span;
+        // Both memory back-ends record one idle sample per tracker per
+        // idle tick (AXI: no R beat popped; IDEAL: no transfer).
+        self.stats.r_util.record_idle_n(span);
+        self.stats.r_util_data.record_idle_n(span);
+        // Frontend: a scalar stall decrements and counts every tick; a
+        // scalar store blocked on a live producer counts without state.
+        // The window cannot change before the frontend runs within a tick
+        // (retirement sweeps at tick end), so the pre-span membership
+        // check is valid for the whole span.
+        if self.scalar_stall > 0 {
+            debug_assert!(span <= self.scalar_stall as u64, "slept through a wake");
+            self.scalar_stall -= span as u32;
+            self.stats.scalar_stall_cycles += span;
+        } else if self.window.len() < self.cfg.window {
+            if let Some(VInsn::ScalarStoreF32 { vs, .. }) = self.program.insns().get(self.pc) {
+                let producer = self.reg_writer[*vs as usize];
+                if producer != NO_WRITER && self.window.contains_key(&producer) {
+                    self.stats.scalar_stall_cycles += span;
+                }
+            }
+        }
+        // Reduction tails count down once per tick regardless of the lane
+        // budget (nothing else can be consuming it — the span proof).
+        for i in 0..self.order.len() {
+            let uid = self.order[i];
+            let Some(entry) = self.window.get_mut(&uid) else {
+                continue;
+            };
+            if let Class::Reduction { consumed, tail, .. } = &mut entry.class {
+                if *consumed >= entry.vl && *tail > 0 {
+                    debug_assert!(span <= *tail as u64, "slept through a wake");
+                    *tail -= span as u32;
+                    if *tail == 0 {
+                        entry.produced = entry.vl;
+                    }
+                }
+            }
+        }
+        // IDEAL port access latency.
+        if let Some(run) = self.ideal_active.as_mut() {
+            if run.latency_left > 0 {
+                debug_assert!(span <= run.latency_left as u64, "slept through a wake");
+                run.latency_left -= span as u32;
+            }
+        }
+        // Countdowns that expired at the span's end retire exactly as the
+        // final lockstep tick's sweep would have.
+        self.sweep_completed();
+    }
+
     // simcheck: hot-path end
 
     // ------------------------------------------------------------------
@@ -1656,5 +1829,90 @@ mod tests {
         // Index fetch (16 cycles) + gather (16 cycles) both hit the port.
         assert!(cycles >= 32, "index traffic must cost port time: {cycles}");
         assert!(engine.stats().r_util.payload_bytes() > engine.stats().r_util_data.payload_bytes());
+    }
+
+    #[test]
+    fn next_wake_classifies_frontend_states() {
+        let cfg = VprocConfig::default();
+        // A pending instruction is observable work.
+        let p = ProgramBuilder::new().scalar(11).build();
+        let mut engine = Engine::new(cfg, SystemKind::Ideal, bus(), p);
+        assert_eq!(engine.next_wake(), Wake::Ready);
+        // Issuing the scalar turns the remaining stall into a deadline.
+        let mut storage = patterned_storage();
+        engine.tick(None, &mut storage);
+        assert_eq!(engine.next_wake(), Wake::Sleep(10));
+        // A finished engine has nothing to wake for.
+        let done = Engine::new(cfg, SystemKind::Ideal, bus(), Program::default());
+        assert!(done.done());
+        assert_eq!(done.next_wake(), Wake::Idle);
+    }
+
+    #[test]
+    fn fast_forward_equals_that_many_ticks() {
+        // Two identical engines issue a long scalar; one sleeps through the
+        // stall in a single fast_forward, the other ticks it out. Every
+        // statistic must land bit-identically.
+        let p = || ProgramBuilder::new().scalar(50).build();
+        let cfg = VprocConfig::default();
+        let mut skipper = Engine::new(cfg, SystemKind::Ideal, bus(), p());
+        let mut ticker = Engine::new(cfg, SystemKind::Ideal, bus(), p());
+        let mut storage = patterned_storage();
+        skipper.tick(None, &mut storage);
+        ticker.tick(None, &mut storage);
+        let span = skipper.next_wake().sleep_ticks().expect("stalled");
+        assert_eq!(span, 49);
+        skipper.fast_forward(span);
+        for _ in 0..span {
+            ticker.tick(None, &mut storage);
+        }
+        assert!(skipper.done() && ticker.done(), "both engines must finish");
+        assert_eq!(
+            format!("{:?}", skipper.stats()),
+            format!("{:?}", ticker.stats()),
+            "fast_forward diverged from lockstep ticking"
+        );
+    }
+
+    #[test]
+    fn fast_forward_replays_ideal_latency() {
+        // An IDEAL load spends `ideal_latency` cycles before transferring;
+        // the wake is that countdown and skipping it must match ticking.
+        let p = || {
+            ProgramBuilder::new()
+                .set_vl(8)
+                .vle(1, 0x400)
+                .scalar(40)
+                .build()
+        };
+        let cfg = VprocConfig::default();
+        let mut skipper = Engine::new(cfg, SystemKind::Ideal, bus(), p());
+        let mut ticker = Engine::new(cfg, SystemKind::Ideal, bus(), p());
+        let mut s1 = patterned_storage();
+        let mut s2 = patterned_storage();
+        let mut guard = 0u32;
+        while !(skipper.done() && ticker.done()) {
+            if let Wake::Sleep(span) = skipper.next_wake() {
+                skipper.fast_forward(span);
+                for _ in 0..span {
+                    ticker.tick(None, &mut s2);
+                }
+            } else {
+                if !skipper.done() {
+                    skipper.tick(None, &mut s1);
+                }
+                if !ticker.done() {
+                    ticker.tick(None, &mut s2);
+                }
+            }
+            guard += 1;
+            assert!(guard < 10_000, "lockstep shadow run hung");
+        }
+        assert_eq!(skipper.regs().read_f32(1, 8), ticker.regs().read_f32(1, 8));
+        assert_eq!(
+            format!("{:?}", skipper.stats()),
+            format!("{:?}", ticker.stats()),
+            "fast_forward diverged across load + stall phases"
+        );
     }
 }

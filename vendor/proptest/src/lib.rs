@@ -3,8 +3,9 @@
 //! The build environment has no access to crates.io, so this workspace
 //! vendors a miniature property-testing runner with the API subset its
 //! test suites use: the [`proptest!`] macro, [`Strategy`] over integer
-//! ranges / [`Just`] / tuples / [`collection::vec`] / [`prop_oneof!`],
-//! and the `prop_assert*` / [`prop_assume!`] macros.
+//! ranges / [`Just`] / tuples / [`collection::vec`] / [`prop_oneof!`] /
+//! [`Strategy::prop_map`] / [`Strategy::prop_flat_map`], and the
+//! `prop_assert*` / [`prop_assume!`] macros.
 //!
 //! Differences from upstream, deliberately accepted for a shim:
 //!
@@ -90,6 +91,54 @@ pub trait Strategy {
 
     /// Draws one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps every generated value through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Builds a dependent strategy from every generated value: `f` turns
+    /// the drawn value into the strategy the final value is drawn from.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { strategy: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.strategy.generate(rng)).generate(rng)
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -371,6 +420,19 @@ mod tests {
         #[test]
         fn oneof_covers(tag in prop_oneof![Just(1u8), Just(2), Just(3)]) {
             prop_assert!((1..=3).contains(&tag));
+        }
+
+        /// prop_map transforms and prop_flat_map builds dependent
+        /// strategies (here: a vec whose elements are bounded by a first
+        /// draw).
+        #[test]
+        fn map_and_flat_map_compose(
+            doubled in (0u64..50).prop_map(|x| x * 2),
+            bounded in (1u64..20).prop_flat_map(|hi| crate::collection::vec(0..hi, 1..8)),
+        ) {
+            prop_assert!(doubled % 2 == 0 && doubled < 100);
+            prop_assert!(!bounded.is_empty());
+            prop_assert!(bounded.iter().all(|&e| e < 20));
         }
     }
 
