@@ -1,0 +1,109 @@
+//! End-to-end exercise of the sharded, resumable cache execution protocol
+//! against a real figure family (Fig. 3a at smoke scale).
+//!
+//! One `#[test]` on purpose: the result cache installs into a process-wide
+//! slot, and the default test harness runs `#[test]`s concurrently — two
+//! of these interleaving installs would race. Sequencing the phases inside
+//! one body keeps the global slot single-owner without a custom harness.
+
+use axi_pack::cache::{self, CacheSetup, ShardSpec};
+use axi_pack_bench::{figures, Scale};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmp(tag: &str) -> PathBuf {
+    let p = std::env::temp_dir().join(format!("axi-pack-shard-it-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    p
+}
+
+/// Renders Fig. 3a under the given cache setup and returns the markdown
+/// plus the cache handle (for stats assertions after uninstall).
+fn render(setup: &CacheSetup) -> (String, Arc<axi_pack::RunCache>) {
+    let rc = cache::install(setup);
+    let fig = figures::find("fig3a").expect("fig3a registered");
+    let tables = (fig.render)(Scale::Smoke);
+    cache::uninstall();
+    let md: String = tables.iter().map(|t| t.to_markdown()).collect();
+    (md, rc)
+}
+
+fn sharded(dir: &Path, index: u32, total: u32) -> CacheSetup {
+    let mut s = CacheSetup::new(dir.to_path_buf());
+    s.shard = Some(ShardSpec { index, total });
+    s.manifest_tag = Some("it-fig3a".into());
+    s
+}
+
+#[test]
+fn shard_union_and_resume_reproduce_the_unsharded_tables() {
+    // Phase 1 — baseline: cold compute, then a warm re-render must be
+    // byte-identical with a 100% hit rate.
+    let base_dir = tmp("base");
+    let (cold, rc) = render(&CacheSetup::new(base_dir.clone()));
+    assert!(rc.computed() > 0, "cold run must simulate");
+    assert_eq!(rc.hits(), 0, "cold run cannot hit");
+    let total_points = rc.computed();
+
+    let (warm, rc) = render(&CacheSetup::new(base_dir.clone()));
+    assert_eq!(warm, cold, "warm render must be byte-identical");
+    assert_eq!(rc.computed(), 0, "warm run must not simulate");
+    assert_eq!(rc.hits(), total_points, "warm run must hit every point");
+
+    // Phase 2 — sharding: N shards into one fresh store, each computing
+    // only its keyspace slice; the union then serves an unsharded render
+    // with zero computation and the baseline bytes.
+    let shard_dir = tmp("shards");
+    let total = 3;
+    let mut shard_computed = 0;
+    for i in 0..total {
+        let (_, rc) = render(&sharded(&shard_dir, i, total));
+        shard_computed += rc.computed();
+        assert_eq!(rc.resumed_skips(), 0);
+    }
+    // Later shards may pick earlier shards' results off the shared store
+    // as plain hits, so the union covers the keyspace without recompute.
+    assert!(
+        shard_computed <= total_points,
+        "shards must not redo work: {shard_computed} vs {total_points}"
+    );
+    let (union, rc) = render(&CacheSetup::new(shard_dir.clone()));
+    assert_eq!(union, cold, "shard union must reproduce the baseline");
+    assert_eq!(rc.computed(), 0, "shard union must serve every point");
+
+    // Phase 3 — kill and resume: a budgeted shard dies after 5 points;
+    // the --resume pass skips exactly those 5 via the manifest and
+    // finishes the rest; a final plain render matches the baseline.
+    let res_dir = tmp("resume");
+    let mut killed = sharded(&res_dir, 0, 1);
+    killed.compute_budget = Some(5);
+    let (_, rc) = render(&killed);
+    assert_eq!(rc.computed(), 5, "budget must stop the shard at 5 points");
+    assert!(rc.budget_skips() > 0, "the rest must be deferred");
+
+    let mut resumed = sharded(&res_dir, 0, 1);
+    resumed.resume = true;
+    let (_, rc) = render(&resumed);
+    assert_eq!(
+        rc.resumed_skips(),
+        5,
+        "manifest must skip the 5 done points"
+    );
+    assert_eq!(rc.budget_skips(), 0, "no budget: resume finishes the shard");
+    assert_eq!(rc.computed() + rc.resumed_skips() + rc.hits(), total_points);
+
+    let (finished, rc) = render(&CacheSetup::new(res_dir.clone()));
+    assert_eq!(finished, cold, "resumed store must reproduce the baseline");
+    assert_eq!(rc.computed(), 0);
+
+    // Phase 4 — verification: sampled hits recompute byte-identical.
+    let mut verifying = CacheSetup::new(base_dir.clone());
+    verifying.verify = true;
+    let (_, rc) = render(&verifying);
+    assert!(rc.verified() > 0, "the 1-in-8 sample must catch some hits");
+    assert_eq!(rc.verify_failures(), 0, "stored blobs must match recompute");
+
+    for d in [base_dir, shard_dir, res_dir] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}

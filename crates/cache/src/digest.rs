@@ -1,0 +1,254 @@
+//! The 128-bit content digest every cache key and blob checksum uses.
+//!
+//! This is a **non-cryptographic** digest: two independent 64-bit
+//! multiply-xor lanes (one FNV-1a-shaped, one rotate-multiply with a
+//! MurmurMix constant) folded through a splitmix64-style avalanche
+//! finalizer. 128 bits keeps accidental collisions out of reach for any
+//! realistic sweep grid; adversarial collision resistance is explicitly
+//! a non-goal — the cache only ever feeds results back to the process
+//! that computed them.
+//!
+//! The byte→digest mapping is part of the on-disk cache format. It is
+//! pinned by golden tests; changing it requires bumping the key version
+//! in the layer that builds keys (see `axi_pack::cache::KEY_VERSION`).
+
+use std::fmt;
+
+/// A 128-bit content digest, used both as a cache key and as the
+/// embedded integrity checksum of stored blobs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl Digest {
+    /// Renders the digest as 32 lowercase hex characters (hi then lo).
+    pub fn to_hex(self) -> String {
+        format!("{:016x}{:016x}", self.hi, self.lo)
+    }
+
+    /// Parses a digest from the exact 32-hex-character form produced by
+    /// [`Digest::to_hex`]. Returns `None` for anything else.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        if s.len() != 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return None;
+        }
+        let hi = u64::from_str_radix(&s[..16], 16).ok()?;
+        let lo = u64::from_str_radix(&s[16..], 16).ok()?;
+        Some(Digest { hi, lo })
+    }
+
+    /// Digests a single byte slice in one call.
+    pub fn of_bytes(bytes: &[u8]) -> Digest {
+        let mut w = DigestWriter::new();
+        w.put_bytes(bytes);
+        w.finish()
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({self})")
+    }
+}
+
+/// FNV-1a 64-bit offset basis — seed of lane A.
+const SEED_A: u64 = 0xcbf2_9ce4_8422_2325;
+/// Golden-ratio gamma — seed of lane B.
+const SEED_B: u64 = 0x9e37_79b9_7f4a_7c15;
+/// FNV 64-bit prime — lane A multiplier.
+const MUL_A: u64 = 0x0000_0100_0000_01b3;
+/// MurmurHash3 fmix64 constant — lane B multiplier.
+const MUL_B: u64 = 0xff51_afd7_ed55_8ccd;
+
+/// splitmix64 finalizer: full-avalanche mix of one 64-bit word.
+fn avalanche(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Streaming digest writer.
+///
+/// All typed `put_*` helpers funnel into 64-bit word absorption, so the
+/// digest of a value is determined purely by the sequence of words its
+/// encoder emits. Encoders are responsible for unambiguity (length
+/// prefixes, variant tags); [`DigestWriter::put_bytes`] already
+/// length-prefixes itself.
+#[derive(Debug, Clone)]
+pub struct DigestWriter {
+    a: u64,
+    b: u64,
+}
+
+impl DigestWriter {
+    /// A fresh writer with the pinned lane seeds.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> DigestWriter {
+        DigestWriter {
+            a: SEED_A,
+            b: SEED_B,
+        }
+    }
+
+    fn mix(&mut self, word: u64) {
+        self.a = (self.a ^ word).wrapping_mul(MUL_A);
+        self.b = (self.b.rotate_left(23) ^ word).wrapping_mul(MUL_B);
+    }
+
+    /// Absorbs one u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    /// Absorbs one u8 (widened).
+    pub fn put_u8(&mut self, v: u8) {
+        self.mix(u64::from(v));
+    }
+
+    /// Absorbs one u32 (widened).
+    pub fn put_u32(&mut self, v: u32) {
+        self.mix(u64::from(v));
+    }
+
+    /// Absorbs one usize (widened; platform-independent).
+    pub fn put_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    /// Absorbs one i32 (sign-extended, then reinterpreted).
+    pub fn put_i32(&mut self, v: i32) {
+        self.mix(i64::from(v) as u64);
+    }
+
+    /// Absorbs one bool as 0/1.
+    pub fn put_bool(&mut self, v: bool) {
+        self.mix(u64::from(v));
+    }
+
+    /// Absorbs one f32 by bit pattern (`-0.0 != 0.0`, NaN payloads
+    /// distinct — exactly what a content key wants).
+    pub fn put_f32(&mut self, v: f32) {
+        self.mix(u64::from(v.to_bits()));
+    }
+
+    /// Absorbs one f64 by bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.mix(v.to_bits());
+    }
+
+    /// Absorbs a byte slice, length-prefixed so concatenations cannot
+    /// collide, in 8-byte little-endian words (zero-padded tail).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.mix(bytes.len() as u64);
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(tail));
+        }
+    }
+
+    /// Absorbs a UTF-8 string (length-prefixed bytes).
+    pub fn put_str(&mut self, s: &str) {
+        self.put_bytes(s.as_bytes());
+    }
+
+    /// Finalizes both lanes into a [`Digest`]. Each output word mixes
+    /// both lanes so no single lane collision survives.
+    pub fn finish(&self) -> Digest {
+        let hi = avalanche(self.a ^ self.b.rotate_left(32));
+        let lo = avalanche(self.b.wrapping_add(avalanche(self.a)));
+        Digest { hi, lo }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_round_trips() {
+        let d = Digest::of_bytes(b"axi-pack");
+        assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
+        assert_eq!(d.to_hex().len(), 32);
+    }
+
+    #[test]
+    fn from_hex_rejects_malformed() {
+        assert_eq!(Digest::from_hex(""), None);
+        assert_eq!(Digest::from_hex("zz"), None);
+        let d = Digest::of_bytes(b"x").to_hex();
+        assert_eq!(Digest::from_hex(&d[..31]), None);
+        let bad = format!("g{}", &d[1..]);
+        assert_eq!(Digest::from_hex(&bad), None);
+    }
+
+    #[test]
+    fn length_prefix_separates_concatenations() {
+        let mut w1 = DigestWriter::new();
+        w1.put_bytes(b"ab");
+        w1.put_bytes(b"c");
+        let mut w2 = DigestWriter::new();
+        w2.put_bytes(b"a");
+        w2.put_bytes(b"bc");
+        assert_ne!(w1.finish(), w2.finish());
+    }
+
+    #[test]
+    fn absorbing_empty_input_still_changes_state() {
+        // Typed puts deliberately share one word stream (encoders
+        // domain-separate with tags), but even a zero-length byte
+        // string must perturb the state via its length prefix.
+        let mut w = DigestWriter::new();
+        w.put_bytes(b"");
+        assert_ne!(w.finish(), DigestWriter::new().finish());
+    }
+
+    #[test]
+    fn single_bit_flips_avalanche() {
+        let base = Digest::of_bytes(&[0u8; 16]);
+        for byte in 0..16 {
+            for bit in 0..8 {
+                let mut v = [0u8; 16];
+                v[byte] ^= 1 << bit;
+                let d = Digest::of_bytes(&v);
+                assert_ne!(d, base, "flip {byte}.{bit} collided");
+                // Rough avalanche sanity: at least a quarter of the 128
+                // output bits move for any single input-bit flip.
+                let moved = (d.hi ^ base.hi).count_ones() + (d.lo ^ base.lo).count_ones();
+                assert!(moved >= 32, "flip {byte}.{bit} moved only {moved} bits");
+            }
+        }
+    }
+
+    /// The byte→digest mapping is on-disk format; these pins fail if
+    /// the algorithm drifts. Update them ONLY together with a key
+    /// version bump in the key-building layer.
+    #[test]
+    fn golden_pins() {
+        assert_eq!(
+            DigestWriter::new().finish().to_hex(),
+            Digest {
+                hi: 0x1058_165c_6c6d_2f4d,
+                lo: 0xe587_d3df_f9e9_2ed0
+            }
+            .to_hex()
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! simkit-cache — the content-addressed result cache under the sweep
+//! service.
+//!
+//! This crate is simulator-agnostic plumbing: it maps 128-bit content
+//! [`Digest`]s to byte blobs and knows nothing about what the bytes
+//! mean. The layers compose as
+//!
+//! ```text
+//!   Cache ── get/put ──► Lru (bounded in-memory, byte budget)
+//!     │                        ▲ promote on disk hit
+//!     └──────── miss ──► BlobStore (.axi-pack-cache/ab/cdef…,
+//!                         atomic tmp+rename, checksummed entries)
+//!   Manifest — append-only completion log for sharded/resumable runs
+//! ```
+//!
+//! Key canonicalization (what fields a simulation key digests, in what
+//! order, under which version tag) lives with the types being keyed —
+//! see `axi_pack::cache` — so this crate never grows a dependency on
+//! the model. The one shared contract is [`digest::DigestWriter`]: its
+//! byte→digest mapping is pinned by golden tests and changing it is a
+//! key-format change.
+//!
+//! Failure doctrine: the cache is an accelerator, never a correctness
+//! dependency. Unreadable, truncated, or corrupt blobs read as misses;
+//! an unwritable directory prints **one** warning and the run continues
+//! on recomputation alone.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod digest;
+pub mod lru;
+pub mod manifest;
+pub mod store;
+
+pub use digest::{Digest, DigestWriter};
+pub use lru::Lru;
+pub use manifest::Manifest;
+pub use store::BlobStore;
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default in-memory LRU budget: 64 MiB of payload bytes.
+pub const DEFAULT_MEM_BYTES: usize = 64 << 20;
+
+/// Monotone counters describing one cache's traffic. All relaxed — the
+/// numbers feed status lines, not synchronization.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups served from the in-memory LRU.
+    pub mem_hits: AtomicU64,
+    /// Lookups served from the on-disk store (then promoted to memory).
+    pub disk_hits: AtomicU64,
+    /// Lookups that found nothing and fell through to compute.
+    pub misses: AtomicU64,
+    /// Blobs written (to memory, and to disk when healthy).
+    pub stores: AtomicU64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed)
+            + self.disk_hits.load(Ordering::Relaxed)
+            + self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Total hits (memory + disk).
+    pub fn hits(&self) -> u64 {
+        self.mem_hits.load(Ordering::Relaxed) + self.disk_hits.load(Ordering::Relaxed)
+    }
+}
+
+/// A blob cache: bounded in-memory LRU fronting a content-addressed
+/// on-disk store. Clone-free sharing via interior mutability — wrap in
+/// an `Arc` and hand it to every sweep worker.
+#[derive(Debug)]
+pub struct Cache {
+    store: Option<BlobStore>,
+    lru: Mutex<Lru>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// A cache persisting to `dir` with an in-memory budget of
+    /// `mem_bytes` payload bytes.
+    pub fn new(dir: impl AsRef<Path>, mem_bytes: usize) -> Cache {
+        Cache {
+            store: Some(BlobStore::new(dir.as_ref())),
+            lru: Mutex::new(Lru::new(mem_bytes)),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A memory-only cache (no persistence) — useful for tests and for
+    /// probes that must not touch the user's cache directory.
+    pub fn in_memory(mem_bytes: usize) -> Cache {
+        Cache {
+            store: None,
+            lru: Mutex::new(Lru::new(mem_bytes)),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// This cache's traffic counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// The on-disk root, if this cache persists.
+    pub fn dir(&self) -> Option<&Path> {
+        self.store.as_ref().map(BlobStore::root)
+    }
+
+    /// True once disk IO has failed and the store degraded to
+    /// memory-only operation.
+    pub fn is_degraded(&self) -> bool {
+        self.store.as_ref().is_some_and(BlobStore::is_degraded)
+    }
+
+    /// Looks up `key`: memory first, then disk (promoting a disk hit
+    /// into memory). Counts the lookup in [`CacheStats`].
+    pub fn get(&self, key: Digest) -> Option<Arc<Vec<u8>>> {
+        if let Some(blob) = self.lru.lock().unwrap_or_else(|e| e.into_inner()).get(key) {
+            self.stats.mem_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(blob);
+        }
+        if let Some(bytes) = self.store.as_ref().and_then(|s| s.load(key)) {
+            let blob = Arc::new(bytes);
+            self.lru
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .insert(key, blob.clone());
+            self.stats.disk_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(blob);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `payload` under `key` in memory and (when healthy) on
+    /// disk. Never fails; a degraded store keeps the memory tier.
+    pub fn put(&self, key: Digest, payload: Vec<u8>) {
+        let blob = Arc::new(payload);
+        if let Some(store) = &self.store {
+            store.store(key, &blob);
+        }
+        self.lru
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, blob);
+        self.stats.stores.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::fs;
+
+    #[test]
+    fn disk_hit_promotes_into_memory() {
+        let dir = std::env::temp_dir().join(format!("simkit-cache-lib-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = Digest::of_bytes(b"promote");
+        {
+            let c = Cache::new(&dir, 1 << 20);
+            c.put(key, b"v1".to_vec());
+        }
+        let c = Cache::new(&dir, 1 << 20);
+        assert_eq!(c.get(key).as_deref().map(Vec::as_slice), Some(&b"v1"[..]));
+        assert_eq!(c.stats().disk_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.get(key).as_deref().map(Vec::as_slice), Some(&b"v1"[..]));
+        assert_eq!(c.stats().mem_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(c.stats().lookups(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn memory_only_cache_never_touches_disk() {
+        let c = Cache::in_memory(1 << 16);
+        let key = Digest::of_bytes(b"mem");
+        assert!(c.get(key).is_none());
+        c.put(key, vec![1, 2, 3]);
+        assert_eq!(
+            c.get(key).as_deref().map(Vec::as_slice),
+            Some(&[1u8, 2, 3][..])
+        );
+        assert!(c.dir().is_none());
+        assert!(!c.is_degraded());
+    }
+
+    #[test]
+    fn poisoned_dir_degrades_but_memory_tier_survives() {
+        // Cache dir path is an existing FILE → all disk writes fail.
+        let path =
+            std::env::temp_dir().join(format!("simkit-cache-lib-poison-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&path);
+        fs::write(&path, b"file, not dir").unwrap();
+        let c = Cache::new(&path, 1 << 16);
+        let key = Digest::of_bytes(b"p");
+        c.put(key, b"still served".to_vec());
+        assert!(c.is_degraded());
+        assert_eq!(
+            c.get(key).as_deref().map(Vec::as_slice),
+            Some(&b"still served"[..])
+        );
+        let _ = fs::remove_file(&path);
+    }
+}

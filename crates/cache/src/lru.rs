@@ -1,0 +1,138 @@
+//! The bounded in-memory LRU fronting the disk store.
+//!
+//! Values are `Arc<Vec<u8>>` blobs; the budget is total payload bytes
+//! (an entry's map/btree overhead is ignored — blobs dominate). Hits
+//! refresh recency; inserting past the budget evicts least-recently
+//! used entries until the new entry fits. A single blob larger than
+//! the whole budget is refused rather than evicting everything.
+//!
+//! Recency is a monotone logical clock: `map` holds the blob and its
+//! last-touch stamp, `order` mirrors stamps → keys so eviction pops the
+//! stalest entry in `O(log n)`.
+
+use crate::digest::Digest;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A byte-bounded least-recently-used blob map.
+#[derive(Debug)]
+pub struct Lru {
+    max_bytes: usize,
+    bytes: usize,
+    clock: u64,
+    map: HashMap<Digest, (Arc<Vec<u8>>, u64)>,
+    order: BTreeMap<u64, Digest>,
+}
+
+impl Lru {
+    /// An empty LRU holding at most `max_bytes` of payload.
+    pub fn new(max_bytes: usize) -> Lru {
+        Lru {
+            max_bytes,
+            bytes: 0,
+            clock: 0,
+            map: HashMap::new(),
+            order: BTreeMap::new(),
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total resident payload bytes.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: Digest) -> Option<Arc<Vec<u8>>> {
+        let (blob, stamp) = self.map.get_mut(&key)?;
+        let old = *stamp;
+        self.clock += 1;
+        *stamp = self.clock;
+        let blob = blob.clone();
+        self.order.remove(&old);
+        self.order.insert(self.clock, key);
+        Some(blob)
+    }
+
+    /// Inserts `blob` under `key` as most-recently used, evicting LRU
+    /// entries until it fits. A blob larger than the whole budget is
+    /// not admitted (and does not disturb residents). Re-inserting an
+    /// existing key replaces its blob and refreshes recency.
+    pub fn insert(&mut self, key: Digest, blob: Arc<Vec<u8>>) {
+        if blob.len() > self.max_bytes {
+            return;
+        }
+        if let Some((old_blob, old_stamp)) = self.map.remove(&key) {
+            self.bytes -= old_blob.len();
+            self.order.remove(&old_stamp);
+        }
+        while self.bytes + blob.len() > self.max_bytes {
+            let (&stale, &victim) = self.order.iter().next().expect("bytes>0 implies entries");
+            let (victim_blob, _) = self.map.remove(&victim).expect("order and map agree");
+            self.bytes -= victim_blob.len();
+            self.order.remove(&stale);
+        }
+        self.clock += 1;
+        self.bytes += blob.len();
+        self.map.insert(key, (blob, self.clock));
+        self.order.insert(self.clock, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(n: u8) -> Digest {
+        Digest::of_bytes(&[n])
+    }
+
+    fn blob(len: usize) -> Arc<Vec<u8>> {
+        Arc::new(vec![0xabu8; len])
+    }
+
+    #[test]
+    fn evicts_least_recently_used_first() {
+        let mut lru = Lru::new(30);
+        lru.insert(k(1), blob(10));
+        lru.insert(k(2), blob(10));
+        lru.insert(k(3), blob(10));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(lru.get(k(1)).is_some());
+        lru.insert(k(4), blob(10));
+        assert!(lru.get(k(2)).is_none());
+        assert!(lru.get(k(1)).is_some());
+        assert!(lru.get(k(3)).is_some());
+        assert!(lru.get(k(4)).is_some());
+        assert_eq!(lru.bytes(), 30);
+    }
+
+    #[test]
+    fn oversized_blob_is_refused_without_evicting() {
+        let mut lru = Lru::new(16);
+        lru.insert(k(1), blob(8));
+        lru.insert(k(2), blob(64));
+        assert!(lru.get(k(2)).is_none());
+        assert!(lru.get(k(1)).is_some());
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn reinsert_replaces_and_rebalances_bytes() {
+        let mut lru = Lru::new(20);
+        lru.insert(k(1), blob(10));
+        lru.insert(k(1), blob(4));
+        assert_eq!(lru.bytes(), 4);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.get(k(1)).unwrap().len(), 4);
+    }
+}

@@ -1,0 +1,124 @@
+//! Append-only completion manifests for sharded, resumable sweeps.
+//!
+//! A manifest is one text file, one digest (32 hex chars) per line.
+//! A shard appends a key the moment its result is computed and stored,
+//! so a killed shard leaves a prefix of its completed work on disk;
+//! `--resume` loads the manifest and skips those keys outright. Lines
+//! that fail to parse (torn final line of a killed writer) are ignored
+//! on load — the worst case is recomputing one point.
+//!
+//! Like the blob store, manifest IO never fails a run: the first write
+//! error prints one warning and later appends become silent no-ops
+//! (checkpointing degrades; the cache itself still works).
+
+use crate::digest::Digest;
+use std::collections::HashSet;
+use std::fs::{self, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// An append-only set of completed cache keys backed by one file.
+#[derive(Debug)]
+pub struct Manifest {
+    path: PathBuf,
+    writer: Mutex<()>,
+    degraded: AtomicBool,
+}
+
+impl Manifest {
+    /// A manifest at `path`; the file is created on first append.
+    pub fn new(path: impl Into<PathBuf>) -> Manifest {
+        Manifest {
+            path: path.into(),
+            writer: Mutex::new(()),
+            degraded: AtomicBool::new(false),
+        }
+    }
+
+    /// The manifest's backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Loads the set of completed keys. A missing file is an empty
+    /// manifest; malformed lines are skipped.
+    pub fn load(&self) -> HashSet<Digest> {
+        let Ok(text) = fs::read_to_string(&self.path) else {
+            return HashSet::new();
+        };
+        text.lines()
+            .filter_map(|l| Digest::from_hex(l.trim()))
+            .collect()
+    }
+
+    /// Appends one completed key (a single line, flushed immediately).
+    pub fn append(&self, key: Digest) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let _guard = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let res = (|| -> std::io::Result<()> {
+            if let Some(dir) = self.path.parent() {
+                fs::create_dir_all(dir)?;
+            }
+            let mut f = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&self.path)?;
+            writeln!(f, "{}", key.to_hex())?;
+            f.sync_data()
+        })();
+        if let Err(err) = res {
+            if !self.degraded.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warning: shard manifest {} is unwritable ({err}); \
+                     checkpointing disabled for this run",
+                    self.path.display()
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_accumulate_and_survive_torn_tail() {
+        let path =
+            std::env::temp_dir().join(format!("simkit-cache-manifest-{}", std::process::id()));
+        let _ = fs::remove_file(&path);
+        let m = Manifest::new(&path);
+        assert!(m.load().is_empty());
+        let a = Digest::of_bytes(b"a");
+        let b = Digest::of_bytes(b"b");
+        m.append(a);
+        m.append(b);
+        m.append(a); // duplicate appends are fine — load() is a set
+        assert_eq!(m.load(), [a, b].into_iter().collect());
+
+        // Simulate a writer killed mid-line: the torn tail is ignored.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"deadbeef").unwrap();
+        drop(f);
+        assert_eq!(m.load(), [a, b].into_iter().collect());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unwritable_manifest_degrades_quietly() {
+        // Parent path is a file, so create_dir_all fails even as root.
+        let parent =
+            std::env::temp_dir().join(format!("simkit-cache-manifest-ro-{}", std::process::id()));
+        let _ = fs::remove_file(&parent);
+        fs::write(&parent, b"not a dir").unwrap();
+        let m = Manifest::new(parent.join("m.txt"));
+        m.append(Digest::of_bytes(b"x"));
+        m.append(Digest::of_bytes(b"y"));
+        assert!(m.load().is_empty());
+        let _ = fs::remove_file(&parent);
+    }
+}

@@ -1,0 +1,235 @@
+//! The content-addressed on-disk blob store.
+//!
+//! Layout is git-object-style: `<root>/<first 2 hex chars>/<remaining
+//! 30 hex chars>`. Every file carries a fixed header (magic, format
+//! version, payload length) and a trailing digest **of the payload**,
+//! so truncation, bit rot, or a half-written file is detected on read
+//! and treated as a miss — the caller silently recomputes. Writes go
+//! through a temp file in the same directory followed by an atomic
+//! rename, so concurrent writers and killed processes can never leave
+//! a torn entry at its final path.
+//!
+//! IO failures never propagate: the store degrades. The first failure
+//! prints exactly one `warning:` line on stderr; after that the store
+//! stops attempting writes and every operation quietly behaves as a
+//! miss. A read-only or unwritable cache directory therefore costs one
+//! warning and falls back to recomputation, never a failed run.
+
+use crate::digest::{Digest, DigestWriter};
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// File magic: "AXi-Pack Cache".
+const MAGIC: &[u8; 4] = b"AXPC";
+/// On-disk container format version. Bump on any layout change; old
+/// entries then read as misses and are rewritten.
+pub const FORMAT_VERSION: u16 = 1;
+/// Header bytes before the payload: magic + version + payload length.
+const HEADER_LEN: usize = 4 + 2 + 8;
+/// Trailing checksum bytes: payload digest hi + lo, little-endian.
+const TRAILER_LEN: usize = 16;
+
+/// A content-addressed blob store rooted at one directory.
+#[derive(Debug)]
+pub struct BlobStore {
+    root: PathBuf,
+    degraded: AtomicBool,
+    tmp_counter: AtomicU64,
+}
+
+impl BlobStore {
+    /// Opens (lazily — no IO happens here) a store rooted at `root`.
+    /// The directory is created on first write.
+    pub fn new(root: impl Into<PathBuf>) -> BlobStore {
+        BlobStore {
+            root: root.into(),
+            degraded: AtomicBool::new(false),
+            tmp_counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// True once an IO failure has switched the store into
+    /// recompute-only degradation.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Final path of a key's blob.
+    fn blob_path(&self, key: Digest) -> PathBuf {
+        let hex = key.to_hex();
+        self.root.join(&hex[..2]).join(&hex[2..])
+    }
+
+    /// Loads the payload stored under `key`, or `None` on any miss:
+    /// absent, unreadable, wrong magic/version, truncated, or failing
+    /// the embedded payload digest. Corruption is deliberately silent —
+    /// the entry will simply be recomputed and rewritten.
+    pub fn load(&self, key: Digest) -> Option<Vec<u8>> {
+        let raw = fs::read(self.blob_path(key)).ok()?;
+        if raw.len() < HEADER_LEN + TRAILER_LEN || &raw[..4] != MAGIC {
+            return None;
+        }
+        let version = u16::from_le_bytes(raw[4..6].try_into().unwrap());
+        if version != FORMAT_VERSION {
+            return None;
+        }
+        let len = u64::from_le_bytes(raw[6..14].try_into().unwrap()) as usize;
+        if raw.len() != HEADER_LEN + len + TRAILER_LEN {
+            return None;
+        }
+        let payload = &raw[HEADER_LEN..HEADER_LEN + len];
+        let mut w = DigestWriter::new();
+        w.put_bytes(payload);
+        let sum = w.finish();
+        let hi = u64::from_le_bytes(
+            raw[HEADER_LEN + len..HEADER_LEN + len + 8]
+                .try_into()
+                .unwrap(),
+        );
+        let lo = u64::from_le_bytes(raw[HEADER_LEN + len + 8..].try_into().unwrap());
+        if sum.hi != hi || sum.lo != lo {
+            return None;
+        }
+        Some(payload.to_vec())
+    }
+
+    /// Stores `payload` under `key` atomically (temp file + rename).
+    /// Returns true if the blob landed on disk. Failures degrade the
+    /// store (one warning, then silence) instead of erroring.
+    pub fn store(&self, key: Digest, payload: &[u8]) -> bool {
+        if self.is_degraded() {
+            return false;
+        }
+        match self.try_store(key, payload) {
+            Ok(()) => true,
+            Err(err) => {
+                self.degrade(&err);
+                false
+            }
+        }
+    }
+
+    fn try_store(&self, key: Digest, payload: &[u8]) -> std::io::Result<()> {
+        let path = self.blob_path(key);
+        let dir = path.parent().expect("blob path has a parent");
+        fs::create_dir_all(dir)?;
+        // Unique temp name per (process, in-process write) so two
+        // threads racing on the same key never interleave into one
+        // temp file; rename is atomic either way.
+        let n = self.tmp_counter.fetch_add(1, Ordering::Relaxed);
+        let tmp = dir.join(format!(".tmp-{}-{}", std::process::id(), n));
+        let mut w = DigestWriter::new();
+        w.put_bytes(payload);
+        let sum = w.finish();
+        let res = (|| {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(MAGIC)?;
+            f.write_all(&FORMAT_VERSION.to_le_bytes())?;
+            f.write_all(&(payload.len() as u64).to_le_bytes())?;
+            f.write_all(payload)?;
+            f.write_all(&sum.hi.to_le_bytes())?;
+            f.write_all(&sum.lo.to_le_bytes())?;
+            f.sync_data()?;
+            drop(f);
+            fs::rename(&tmp, &path)
+        })();
+        if res.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        res
+    }
+
+    /// Switches into degraded mode, emitting the single warning if this
+    /// is the first failure.
+    fn degrade(&self, err: &std::io::Error) {
+        if !self.degraded.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "warning: result cache at {} is unwritable ({err}); \
+                 continuing without persistence (results recomputed)",
+                self.root.display()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("simkit-cache-store-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn round_trips_a_blob() {
+        let root = tmp_root("rt");
+        let store = BlobStore::new(&root);
+        let key = Digest::of_bytes(b"key");
+        assert_eq!(store.load(key), None);
+        assert!(store.store(key, b"hello blob"));
+        assert_eq!(store.load(key).as_deref(), Some(&b"hello blob"[..]));
+        assert!(!store.is_degraded());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_and_corrupt_entries_read_as_miss() {
+        let root = tmp_root("corrupt");
+        let store = BlobStore::new(&root);
+        let key = Digest::of_bytes(b"poison");
+        assert!(store.store(key, b"payload payload payload"));
+        let path = store.blob_path(key);
+
+        // Truncation.
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert_eq!(store.load(key), None);
+
+        // Payload bit flip (length intact, checksum wrong).
+        let mut flipped = full.clone();
+        flipped[HEADER_LEN + 1] ^= 0x40;
+        fs::write(&path, &flipped).unwrap();
+        assert_eq!(store.load(key), None);
+
+        // Wrong version.
+        let mut old = full.clone();
+        old[4] = 0xfe;
+        fs::write(&path, &old).unwrap();
+        assert_eq!(store.load(key), None);
+
+        // Restore and it reads again — corruption handling is stateless.
+        fs::write(&path, &full).unwrap();
+        assert_eq!(
+            store.load(key).as_deref(),
+            Some(&b"payload payload payload"[..])
+        );
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unwritable_root_degrades_quietly() {
+        // Point the root at a regular FILE: create_dir_all fails even
+        // for root-privileged test runners (unlike permission bits).
+        let root = tmp_root("ro");
+        fs::create_dir_all(root.parent().unwrap()).ok();
+        fs::write(&root, b"i am a file, not a directory").unwrap();
+        let store = BlobStore::new(&root);
+        let key = Digest::of_bytes(b"k");
+        assert!(!store.store(key, b"v"));
+        assert!(store.is_degraded());
+        // Second store is a silent no-op, not a second warning or panic.
+        assert!(!store.store(key, b"v"));
+        assert_eq!(store.load(key), None);
+        let _ = fs::remove_file(&root);
+    }
+}

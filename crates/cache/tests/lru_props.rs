@@ -1,0 +1,110 @@
+//! Property test: the byte-bounded LRU agrees with a brute-force
+//! reference model under random get/insert interleavings.
+//!
+//! The model keeps a recency-ordered `Vec` and replays the documented
+//! policy literally: hits refresh recency, inserts evict from the stale
+//! end until the budget holds, oversized blobs are refused. After every
+//! operation the real LRU must agree on membership, blob contents, and
+//! total resident bytes.
+
+use proptest::prelude::*;
+use simkit_cache::{Digest, Lru};
+use std::sync::Arc;
+
+/// One random LRU operation over a small key universe.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Get { key: u8 },
+    Insert { key: u8, len: usize },
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0u8..12).prop_map(|key| Op::Get { key }),
+        (0u8..12, 0usize..40).prop_map(|(key, len)| Op::Insert { key, len }),
+    ];
+    proptest::collection::vec(op, 1..200)
+}
+
+/// Recency-ordered reference: index 0 is least-recently used.
+struct Model {
+    max_bytes: usize,
+    entries: Vec<(Digest, usize)>,
+}
+
+impl Model {
+    fn bytes(&self) -> usize {
+        self.entries.iter().map(|&(_, len)| len).sum()
+    }
+
+    fn get(&mut self, key: Digest) -> Option<usize> {
+        let pos = self.entries.iter().position(|&(k, _)| k == key)?;
+        let e = self.entries.remove(pos);
+        self.entries.push(e);
+        Some(e.1)
+    }
+
+    fn insert(&mut self, key: Digest, len: usize) {
+        if len > self.max_bytes {
+            return;
+        }
+        if let Some(pos) = self.entries.iter().position(|&(k, _)| k == key) {
+            self.entries.remove(pos);
+        }
+        while self.bytes() + len > self.max_bytes {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, len));
+    }
+}
+
+/// Deterministic blob for (key, len) so content equality is checkable.
+fn blob(key: u8, len: usize) -> Arc<Vec<u8>> {
+    Arc::new((0..len).map(|i| key ^ (i as u8)).collect())
+}
+
+proptest! {
+    #[test]
+    fn lru_matches_reference_model(
+        max_bytes in 1usize..120,
+        script in ops(),
+    ) {
+        let mut lru = Lru::new(max_bytes);
+        let mut model = Model { max_bytes, entries: Vec::new() };
+        // Remember the len last inserted per key so hits can verify
+        // contents, not just membership.
+        let mut last_len = [0usize; 12];
+        for op in script {
+            match op {
+                Op::Get { key } => {
+                    let d = Digest::of_bytes(&[key]);
+                    let got = lru.get(d);
+                    let want = model.get(d);
+                    prop_assert_eq!(got.as_ref().map(|b| b.len()), want);
+                    if let Some(b) = got {
+                        prop_assert_eq!(&*b, &*blob(key, last_len[key as usize]));
+                    }
+                }
+                Op::Insert { key, len } => {
+                    let d = Digest::of_bytes(&[key]);
+                    lru.insert(d, blob(key, len));
+                    model.insert(d, len);
+                    if len <= max_bytes {
+                        last_len[key as usize] = len;
+                    }
+                }
+            }
+            prop_assert_eq!(lru.len(), model.entries.len());
+            prop_assert_eq!(lru.bytes(), model.bytes());
+            prop_assert!(lru.bytes() <= max_bytes);
+            // Membership agrees for every key in the universe. Probe
+            // via the model to avoid disturbing recency asymmetrically:
+            // both sides refresh on hit, so checking the model's member
+            // set through `get` keeps them in lockstep.
+            for (k, _) in model.entries.clone() {
+                prop_assert!(lru.get(k).is_some());
+                model.get(k);
+            }
+        }
+    }
+}

@@ -36,12 +36,14 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod differential;
 pub mod drc;
 pub mod report;
 pub mod requestor;
 pub mod system;
 
+pub use cache::{CacheSetup, RunCache, ShardSpec};
 pub use differential::{memory_digest, RunProbe, SchedProbe};
 pub use drc::{check_single, check_topology, Diagnostic, DrcReport, Rule, Severity};
 pub use report::{RunReport, SystemReport};
@@ -63,4 +65,6 @@ const _: () = {
     assert_thread_safe::<requestor::SweepConfig>();
     assert_thread_safe::<RunError>();
     assert_thread_safe::<DrcReport>();
+    // The installed result cache is shared across the same workers.
+    assert_thread_safe::<RunCache>();
 };

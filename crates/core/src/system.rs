@@ -489,10 +489,34 @@ fn run_system_inner(
     }
 }
 
+/// Cache gate in front of [`run_single_uncached`]. Probed runs NEVER
+/// consult the cache: a [`RunProbe`] captures bus-level event streams
+/// reports don't carry, and the differential oracle must re-execute
+/// runs independently, not read back its own answers. Unprobed runs
+/// with an installed [`crate::cache::RunCache`] are served by key.
+fn run_single(
+    cfg: &SystemConfig,
+    kind: SystemKind,
+    kernel: &Kernel,
+    probe: Option<&mut RunProbe>,
+) -> Result<SystemReport, RunError> {
+    if probe.is_none() {
+        if let Some(rc) = crate::cache::active() {
+            let key = crate::cache::single_run_key(cfg, kind, kernel);
+            return rc.run_report(
+                key,
+                || crate::cache::placeholder_single(cfg, kind, kernel),
+                || run_single_uncached(cfg, kind, kernel, None),
+            );
+        }
+    }
+    run_single_uncached(cfg, kind, kernel, probe)
+}
+
 /// The classic one-requestor loop — kept as a dedicated path so a
 /// 1-requestor [`Topology`] reproduces the historical `run_kernel`
 /// cycle-for-cycle (no mux hop, no window offset).
-fn run_single(
+fn run_single_uncached(
     cfg: &SystemConfig,
     kind: SystemKind,
     kernel: &Kernel,
@@ -617,10 +641,29 @@ fn run_single(
     })
 }
 
+/// Cache gate in front of [`run_shared_uncached`]; same doctrine as
+/// [`run_single`] — probed topology runs always re-execute.
+fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, RunError> {
+    if probe.is_none() {
+        if let Some(rc) = crate::cache::active() {
+            let key = crate::cache::topology_key(topo);
+            return rc.run_report(
+                key,
+                || crate::cache::placeholder_topology(topo),
+                || run_shared_uncached(topo, None),
+            );
+        }
+    }
+    run_shared_uncached(topo, probe)
+}
+
 /// The N-requestor loop: engines in private windows of one shared
 /// backing store, bus-attached ones funneled through the mux into the
 /// shared adapter.
-fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, RunError> {
+fn run_shared_uncached(
+    topo: &Topology,
+    probe: Option<&mut RunProbe>,
+) -> Result<SystemReport, RunError> {
     let sys = &topo.system;
     let bases = topo.window_bases();
     // Window relocation is zero-copy: `rebased` shares image payloads and

@@ -1,0 +1,98 @@
+//! Golden pins for the result-cache key canon.
+//!
+//! The content-addressed store survives across commits, so key digests are
+//! an on-disk compatibility surface: if any of these pins move, old cache
+//! entries silently become unreachable (stale entries are never *served* —
+//! they just rot). That is sometimes the right call — an encoder bug, a
+//! semantic change to what a key must capture — but it must be a *decision*:
+//! bump `KEY_VERSION` (which moves every pin at once) and update the pins
+//! here in the same commit. A pin moving without a `KEY_VERSION` bump means
+//! the encoder drifted by accident.
+
+use axi_pack::cache::{indirect_key, single_run_key, strided_avg_key, topology_key};
+use axi_pack::requestor::SweepConfig;
+use axi_pack::{Requestor, SystemConfig, Topology};
+use axi_proto::{ElemSize, IdxSize};
+use vproc::SystemKind;
+use workloads::sparse::CsrMatrix;
+use workloads::{gemv, spmv, Dataflow};
+
+/// The fixture kernel: small deterministic GEMV, seed 7.
+fn fixture_gemv(cfg: &SystemConfig) -> workloads::Kernel {
+    gemv::build(8, 7, Dataflow::ColWise, &cfg.kernel_params())
+}
+
+#[test]
+fn single_run_keys_are_pinned() {
+    let cases = [
+        (SystemKind::Base, "d2859859caf48a3ad634b80c9edc1eb2"),
+        (SystemKind::Pack, "559a09f01fd48c68e156ba0ea5c1eed2"),
+        (SystemKind::Ideal, "8cbb453d40ab11b1b8b003c02494b9de"),
+    ];
+    for (kind, pin) in cases {
+        let cfg = SystemConfig::paper(kind);
+        let key = single_run_key(&cfg, kind, &fixture_gemv(&cfg));
+        assert_eq!(
+            key.to_hex(),
+            pin,
+            "single-run key for {kind:?} moved — bump KEY_VERSION if intentional"
+        );
+    }
+}
+
+#[test]
+fn topology_key_is_pinned() {
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let mut topo = Topology::single(&cfg, fixture_gemv(&cfg));
+    let m = CsrMatrix::random(16, 16, 4.0, 3);
+    topo.requestors.push(Requestor {
+        kind: SystemKind::Base,
+        kernel: spmv::build(&m, 5, &cfg.kernel_params()),
+    });
+    assert_eq!(
+        topology_key(&topo).to_hex(),
+        "686babbd2528d851c9a70a545a3bedd9",
+        "topology key moved — bump KEY_VERSION if intentional"
+    );
+}
+
+#[test]
+fn utilization_keys_are_pinned() {
+    let sweep = SweepConfig::default();
+    assert_eq!(
+        strided_avg_key(&sweep, ElemSize::B2).to_hex(),
+        "8aa55475f9fc7d7c38a580678b921efa",
+        "strided-avg key moved — bump KEY_VERSION if intentional"
+    );
+    assert_eq!(
+        indirect_key(&sweep, ElemSize::B4, IdxSize::B2, 11).to_hex(),
+        "89da7c67f4e5b6d5b0d474f7154df2e4",
+        "indirect key moved — bump KEY_VERSION if intentional"
+    );
+}
+
+#[test]
+fn keys_separate_what_must_be_separate() {
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let kernel = fixture_gemv(&cfg);
+    let base = single_run_key(&cfg, SystemKind::Pack, &kernel);
+
+    // A different kernel seed is a different workload image.
+    let reseeded = gemv::build(8, 8, Dataflow::ColWise, &cfg.kernel_params());
+    assert_ne!(base, single_run_key(&cfg, SystemKind::Pack, &reseeded));
+
+    // The backend kind is part of the key even with identical configs.
+    assert_ne!(base, single_run_key(&cfg, SystemKind::Base, &kernel));
+
+    // A config knob that changes timing (queue depth) must move the key.
+    let mut deeper = cfg;
+    deeper.queue_depth += 1;
+    assert_ne!(base, single_run_key(&deeper, SystemKind::Pack, &kernel));
+
+    // The sweep seed separates indirect-utilization points.
+    let sweep = SweepConfig::default();
+    assert_ne!(
+        indirect_key(&sweep, ElemSize::B4, IdxSize::B2, 11),
+        indirect_key(&sweep, ElemSize::B4, IdxSize::B2, 12)
+    );
+}
