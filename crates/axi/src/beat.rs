@@ -49,13 +49,45 @@ pub enum Burst {
 }
 
 /// AXI response code.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+///
+/// Ordered by severity (`Okay < Slverr < Decerr`) so burst-sticky error
+/// tracking can use [`Resp::worst`]: once a burst has seen an error, later
+/// beats of the same burst never report a *better* response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub enum Resp {
     /// Normal success.
     #[default]
     Okay,
-    /// Slave error (e.g. access out of backing-store range).
+    /// Slave error — the slave was addressed correctly but failed the
+    /// access (injected transient/persistent bank faults land here).
+    /// Potentially recoverable by retrying the access.
     Slverr,
+    /// Decode error — no slave at that address (out-of-window accesses).
+    /// Never recoverable; retrying cannot help.
+    Decerr,
+}
+
+impl Resp {
+    /// The more severe of two responses.
+    #[inline]
+    pub fn worst(self, other: Resp) -> Resp {
+        self.max(other)
+    }
+
+    /// Short uppercase name (`"OKAY"`, `"SLVERR"`, `"DECERR"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Resp::Okay => "OKAY",
+            Resp::Slverr => "SLVERR",
+            Resp::Decerr => "DECERR",
+        }
+    }
+}
+
+impl std::fmt::Display for Resp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Maximum beats in one AXI4 INCR burst.

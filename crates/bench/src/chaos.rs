@@ -1,0 +1,119 @@
+//! `figures chaos` — the CLI face of the fault-injection engine.
+//!
+//! Fans a window of seeds across the sweep workers; each seed is an
+//! independent [`axi_pack::chaos::check_chaos_seed`] run that replays
+//! the differential kernel family under a deterministic transient fault
+//! plan in both scheduler modes. CI runs a small window on every PR
+//! (`chaos-smoke`); the regression corpus replays under faults with
+//! `--corpus`.
+
+use std::time::Instant;
+
+use axi_pack::chaos::{chaos_repro_command, check_chaos_seed, ChaosOutcome};
+use simkit::SweepSpec;
+use workloads::synth::SynthConfig;
+
+/// What to chaos-test: a seed window plus generator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosSpec {
+    /// First seed of the window.
+    pub seed_start: u64,
+    /// Number of consecutive seeds.
+    pub count: usize,
+    /// Generator configuration every seed runs at.
+    pub cfg: SynthConfig,
+}
+
+impl Default for ChaosSpec {
+    fn default() -> Self {
+        ChaosSpec {
+            seed_start: 0,
+            count: 64,
+            cfg: SynthConfig::default(),
+        }
+    }
+}
+
+/// Aggregate result of one chaos window.
+#[derive(Debug, Clone)]
+pub struct ChaosSummary {
+    /// Seeds that upheld the full chaos contract.
+    pub passed: usize,
+    /// Total individual assertions across all passing seeds.
+    pub checks: u64,
+    /// Total simulated cycles across all passing seeds.
+    pub cycles: u64,
+    /// Faulted runs that recovered bit-identically.
+    pub recovered: u64,
+    /// Faulted runs that ended in a typed AXI abort.
+    pub aborted: u64,
+    /// Faulted runs that ended in a typed hang report.
+    pub hung: u64,
+    /// Total faults injected across all recovered runs.
+    pub injected_faults: u64,
+    /// Total retry rounds the adapters spent absorbing them.
+    pub fault_retries: u64,
+    /// Failing seeds as `(seed, error, repro)`, in seed order.
+    pub failures: Vec<(u64, String, String)>,
+    /// Wall-clock of the window in seconds.
+    pub elapsed_s: f64,
+}
+
+/// Runs a chaos window, fanning seeds across the sweep worker threads.
+pub fn run_chaos(spec: &ChaosSpec) -> ChaosSummary {
+    let seeds: Vec<u64> = (0..spec.count as u64)
+        .map(|i| spec.seed_start + i)
+        .collect();
+    let t0 = Instant::now();
+    let results: Vec<Result<ChaosOutcome, (u64, String)>> = SweepSpec::over(seeds)
+        .run(|_ctx, &seed| check_chaos_seed(seed, &spec.cfg).map_err(|e| (seed, e)));
+    let mut summary = ChaosSummary {
+        passed: 0,
+        checks: 0,
+        cycles: 0,
+        recovered: 0,
+        aborted: 0,
+        hung: 0,
+        injected_faults: 0,
+        fault_retries: 0,
+        failures: Vec::new(),
+        elapsed_s: t0.elapsed().as_secs_f64(),
+    };
+    for r in results {
+        match r {
+            Ok(out) => {
+                summary.passed += 1;
+                summary.checks += out.checks;
+                summary.cycles += out.cycles;
+                summary.recovered += out.recovered;
+                summary.aborted += out.aborted;
+                summary.hung += out.hung;
+                summary.injected_faults += out.injected_faults;
+                summary.fault_retries += out.fault_retries;
+            }
+            Err((seed, error)) => {
+                let repro = chaos_repro_command(seed);
+                summary.failures.push((seed, error, repro));
+            }
+        }
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_window_passes_and_classifies() {
+        let s = run_chaos(&ChaosSpec {
+            count: 4,
+            ..ChaosSpec::default()
+        });
+        assert_eq!(s.passed, 4);
+        assert!(s.failures.is_empty());
+        assert!(s.checks > 0 && s.cycles > 0);
+        // Three faulted scenarios per seed (two solo kinds + topology).
+        assert_eq!(s.recovered + s.aborted + s.hung, 12);
+    }
+}

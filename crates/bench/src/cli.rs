@@ -22,6 +22,8 @@ pub enum Dispatch {
     Kernel,
     /// `figures fuzz` — randomized differential engine.
     Fuzz,
+    /// `figures chaos` — differential fuzzing under injected faults.
+    Chaos,
     /// `figures drc` — static design-rule check of the in-tree grids.
     Drc,
     /// A figure family from the registry (`fig3a` … `contention`).
@@ -32,7 +34,9 @@ pub enum Dispatch {
 }
 
 /// Fixed (non-registry) subcommand names, for `list` and completion.
-pub const FIXED_SUBCOMMANDS: &[&str] = &["list", "all", "bench", "sweep", "kernel", "fuzz", "drc"];
+pub const FIXED_SUBCOMMANDS: &[&str] = &[
+    "list", "all", "bench", "sweep", "kernel", "fuzz", "chaos", "drc",
+];
 
 /// Resolves a subcommand name. Never panics; unknown names resolve to
 /// [`Dispatch::Unknown`] so the binary can fail loudly.
@@ -44,6 +48,7 @@ pub fn resolve(name: &str) -> Dispatch {
         "sweep" => Dispatch::Sweep,
         "kernel" => Dispatch::Kernel,
         "fuzz" => Dispatch::Fuzz,
+        "chaos" => Dispatch::Chaos,
         "drc" => Dispatch::Drc,
         other => match figures::find(other) {
             Some(fig) => Dispatch::Figure(fig),

@@ -20,6 +20,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bench;
+pub mod chaos;
 pub mod cli;
 pub mod contention;
 pub mod drc;

@@ -44,7 +44,7 @@
 //! shards fills the same store a single unsharded run would, which a
 //! warm unsharded pass then serves byte-identically.
 
-use crate::report::{RunReport, SystemReport};
+use crate::report::{RequestorOutcome, RunReport, SystemReport};
 use crate::requestor::SweepConfig;
 use crate::system::{SystemConfig, Topology};
 use axi_proto::{Addr, ElemSize, IdxSize};
@@ -67,7 +67,8 @@ pub const KEY_VERSION: u32 = 1;
 
 /// Version tag leading every stored value blob. Bump on codec layout
 /// changes; stale blobs fail decoding and are recomputed in place.
-pub const VALUE_VERSION: u32 = 1;
+/// (v2: [`RunReport`] gained `injected_faults`/`fault_retries`.)
+pub const VALUE_VERSION: u32 = 2;
 
 /// Environment variable naming the default cache directory.
 pub const ENV_CACHE_DIR: &str = "AXI_PACK_CACHE";
@@ -449,6 +450,8 @@ fn encode_run_report(w: &mut ByteWriter, r: &RunReport) {
     w.u8(u8::from(a.has_pack_adapter));
     w.f64(r.power_mw);
     w.f64(r.energy_uj);
+    w.u64(r.injected_faults);
+    w.u64(r.fault_retries);
 }
 
 fn decode_run_report(r: &mut ByteReader<'_>) -> Option<RunReport> {
@@ -475,6 +478,8 @@ fn decode_run_report(r: &mut ByteReader<'_>) -> Option<RunReport> {
         },
         power_mw: r.f64()?,
         energy_uj: r.f64()?,
+        injected_faults: r.u64()?,
+        fault_retries: r.u64()?,
     })
 }
 
@@ -523,6 +528,9 @@ pub fn decode_system_report(buf: &[u8]) -> Option<SystemReport> {
     if !r.done() {
         return None;
     }
+    // Outcomes are not encoded: fault-injected runs bypass the cache
+    // entirely, so every cached report is all-Completed by construction.
+    let outcomes = vec![RequestorOutcome::Completed; n];
     Some(SystemReport {
         cycles,
         requestors,
@@ -530,6 +538,7 @@ pub fn decode_system_report(buf: &[u8]) -> Option<SystemReport> {
         bus_r_util,
         bank_conflicts,
         word_accesses,
+        outcomes,
     })
 }
 
@@ -583,6 +592,8 @@ fn placeholder_run_report(kernel: &str, kind: SystemKind, bus_bits: u32) -> RunR
         },
         power_mw: 0.0,
         energy_uj: 0.0,
+        injected_faults: 0,
+        fault_retries: 0,
     }
 }
 
@@ -598,6 +609,7 @@ pub fn placeholder_single(cfg: &SystemConfig, kind: SystemKind, kernel: &Kernel)
         bus_r_util: 0.0,
         bank_conflicts: 0,
         word_accesses: 0,
+        outcomes: vec![RequestorOutcome::Completed],
     }
 }
 
@@ -614,6 +626,11 @@ pub fn placeholder_topology(topo: &Topology) -> SystemReport {
         bus_r_util: 0.0,
         bank_conflicts: 0,
         word_accesses: 0,
+        outcomes: topo
+            .requestors
+            .iter()
+            .map(|_| RequestorOutcome::Completed)
+            .collect(),
     }
 }
 
@@ -989,6 +1006,7 @@ mod tests {
             bus_r_util: f64::from_bits(0x3fe5_5555_5555_5555),
             bank_conflicts: 7,
             word_accesses: 99,
+            outcomes: vec![RequestorOutcome::Completed],
         };
         let blob = encode_system_report(&sys);
         let back = decode_system_report(&blob).expect("decode");
@@ -1085,6 +1103,7 @@ mod tests {
                         bus_r_util: 0.25,
                         bank_conflicts: 1,
                         word_accesses: 2,
+                        outcomes: vec![],
                     })
                 },
             );
@@ -1117,6 +1136,7 @@ mod tests {
                         bus_r_util: 0.0,
                         bank_conflicts: 0,
                         word_accesses: 0,
+                        outcomes: vec![],
                     })
                 },
             );

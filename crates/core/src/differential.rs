@@ -170,7 +170,7 @@ pub fn check_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, String> {
 /// System parameters a seed's kernel family runs under (shared by every
 /// kind and topology of that seed, so the differential is apples to
 /// apples).
-fn seed_system(seed: u64, kind: SystemKind) -> SystemConfig {
+pub(crate) fn seed_system(seed: u64, kind: SystemKind) -> SystemConfig {
     let mut rng = SplitMix64::new(seed ^ 0xD1FF_7E57_0000_0001);
     let bus_bits = [64u32, 128, 256][rng.below(3)];
     let mut sys = SystemConfig::with_bus(kind, bus_bits);
@@ -185,7 +185,7 @@ fn seed_system(seed: u64, kind: SystemKind) -> SystemConfig {
 /// modes, or `None` when they are identical. Floating-point fields are
 /// compared by bit pattern — the oracle demands exactness, not
 /// tolerance.
-fn report_divergence(event: &RunReport, lock: &RunReport) -> Option<String> {
+pub(crate) fn report_divergence(event: &RunReport, lock: &RunReport) -> Option<String> {
     macro_rules! cmp {
         ($field:ident) => {
             if event.$field != lock.$field {
@@ -217,6 +217,8 @@ fn report_divergence(event: &RunReport, lock: &RunReport) -> Option<String> {
     cmp!(activity);
     cmp_f64!(power_mw);
     cmp_f64!(energy_uj);
+    cmp!(injected_faults);
+    cmp!(fault_retries);
     None
 }
 
@@ -227,6 +229,18 @@ fn report_divergence(event: &RunReport, lock: &RunReport) -> Option<String> {
 ///
 /// See [`check_seed`].
 pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, String> {
+    check_kernel_seed_watched(seed, cfg, 0)
+}
+
+/// [`check_kernel_seed`] with an explicit progress-watchdog window on
+/// every run (0 = disabled). The shrink ladder uses a tight window so a
+/// hanging rung fails in tens of thousands of cycles instead of riding
+/// the full `max_cycles` ceiling.
+fn check_kernel_seed_watched(
+    seed: u64,
+    cfg: &SynthConfig,
+    watchdog: u64,
+) -> Result<SeedOutcome, String> {
     let mut rng = SplitMix64::new(seed ^ 0xD1FF_7E57_0000_0002);
     let mut checks = 0u64;
     let mut cycles = 0u64;
@@ -245,6 +259,7 @@ pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, St
         .map(|(&kind, sk)| {
             let mut sys = seed_system(seed, kind);
             sys.sched = SchedMode::Event;
+            sys.watchdog = watchdog;
             (sys, sk)
         })
         .collect();
@@ -476,15 +491,36 @@ pub fn check_kernel_seed(seed: u64, cfg: &SynthConfig) -> Result<SeedOutcome, St
     })
 }
 
+/// Watchdog window the shrink ladder applies once a seed is known to
+/// hang: any fuzz-sized kernel that makes zero datapath progress for
+/// this many cycles is wedged for good (legitimate stalls are orders of
+/// magnitude shorter), so each hanging rung aborts here instead of
+/// burning the full `max_cycles` ceiling.
+const SHRINK_WATCHDOG: u64 = 50_000;
+
 /// Shrinks a failing kernel seed: re-runs the same seed down the
 /// [`SynthConfig::shrunk`] ladder (halving program length, then element
 /// count) and returns the smallest configuration that still fails,
 /// together with its failure message. Returns `None` if the seed does
 /// not fail at `cfg` in the first place.
+///
+/// When the original failure is a hang (a [`crate::RunError::Hang`]
+/// "exceeded N cycles" report), every rung below it runs with a
+/// 50 k-cycle progress watchdog (`SHRINK_WATCHDOG`) so the ladder descends
+/// in seconds rather than re-simulating each hang to the cycle ceiling.
 pub fn minimize(seed: u64, cfg: &SynthConfig) -> Option<(SynthConfig, String)> {
-    let mut failing = (*cfg, check_kernel_seed(seed, cfg).err()?);
+    let first = check_kernel_seed(seed, cfg).err()?;
+    // Hang detection by message shape: a ceiling overrun says
+    // "exceeded {limit} cycles"; a watchdog detection says
+    // "no progress for {window} cycles".
+    let watchdog = if first.contains("exceeded") || first.contains("no progress for") {
+        SHRINK_WATCHDOG
+    } else {
+        0
+    };
+    let mut failing = (*cfg, first);
     while let Some(next) = failing.0.shrunk() {
-        match check_kernel_seed(seed, &next) {
+        match check_kernel_seed_watched(seed, &next, watchdog) {
             Err(e) => failing = (next, e),
             Ok(_) => break,
         }

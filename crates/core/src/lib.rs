@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod differential;
 pub mod drc;
 pub mod report;
@@ -44,6 +45,7 @@ pub mod requestor;
 pub mod system;
 
 pub use cache::{CacheSetup, RunCache, ShardSpec};
+pub use chaos::{check_chaos_seed, ChaosOutcome};
 pub use differential::{memory_digest, RunProbe, SchedProbe};
 pub use drc::{check_single, check_topology, Diagnostic, DrcReport, Rule, Severity};
 pub use report::{RunReport, SystemReport};

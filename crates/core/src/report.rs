@@ -5,6 +5,7 @@
 //! Fig. 4c charges.
 
 use hwmodel::energy::Activity;
+use simkit::fault::FaultReport;
 use vproc::SystemKind;
 
 /// The outcome of one kernel run on one system.
@@ -49,6 +50,12 @@ pub struct RunReport {
     pub power_mw: f64,
     /// Total energy in µJ.
     pub energy_uj: f64,
+    /// Faults injected by an installed [`simkit::fault::FaultSpec`]
+    /// (bank and decode errors; zero when no plan is installed).
+    pub injected_faults: u64,
+    /// Transient-error retries the adapter spent recovering (zero when no
+    /// plan is installed or nothing faulted).
+    pub fault_retries: u64,
 }
 
 impl RunReport {
@@ -79,6 +86,36 @@ impl RunReport {
     }
 }
 
+/// Per-requestor completion status of a multi-requestor run.
+///
+/// A faulting requestor is *isolated*: its abort is recorded here while
+/// healthy requestors still finish and verify. Single-requestor runs
+/// never produce `Faulted` — they return [`crate::RunError::Axi`]
+/// instead.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestorOutcome {
+    /// The requestor completed and its functional result verified.
+    Completed,
+    /// The requestor aborted on an unrecoverable AXI fault; its
+    /// [`RunReport`] entry still carries the cycles it ran.
+    Faulted(FaultReport),
+}
+
+impl RequestorOutcome {
+    /// `true` for [`RequestorOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RequestorOutcome::Completed)
+    }
+
+    /// The fault report, when this requestor aborted.
+    pub fn fault(&self) -> Option<&FaultReport> {
+        match self {
+            RequestorOutcome::Completed => None,
+            RequestorOutcome::Faulted(f) => Some(f),
+        }
+    }
+}
+
 /// The outcome of one system run: per-requestor reports plus the
 /// aggregate view of the shared bus and memory.
 ///
@@ -104,6 +141,9 @@ pub struct SystemReport {
     pub bank_conflicts: u64,
     /// Word accesses issued to the shared banks.
     pub word_accesses: u64,
+    /// Per-requestor completion status, index-aligned with `requestors`.
+    /// All `Completed` on fault-free runs.
+    pub outcomes: Vec<RequestorOutcome>,
 }
 
 impl SystemReport {
@@ -129,6 +169,19 @@ impl SystemReport {
             .iter()
             .min_by_key(|r| r.cycles)
             .expect("at least one requestor")
+    }
+
+    /// `true` when every requestor completed (no isolated faults).
+    pub fn all_completed(&self) -> bool {
+        self.outcomes.iter().all(RequestorOutcome::is_completed)
+    }
+
+    /// The faulted requestors as `(index, report)` pairs.
+    pub fn faulted(&self) -> impl Iterator<Item = (usize, &FaultReport)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.fault().map(|f| (i, f)))
     }
 }
 
@@ -171,6 +224,8 @@ mod tests {
             },
             power_mw: 200.0,
             energy_uj: energy,
+            injected_faults: 0,
+            fault_retries: 0,
         }
     }
 
@@ -199,8 +254,11 @@ mod tests {
             bus_r_util: 0.4,
             bank_conflicts: 3,
             word_accesses: 10,
+            outcomes: vec![RequestorOutcome::Completed; 2],
         };
         assert_eq!(sys.slowest().kernel, "b");
+        assert!(sys.all_completed());
+        assert_eq!(sys.faulted().count(), 0);
         assert_eq!(sys.fastest().kernel, "a");
     }
 

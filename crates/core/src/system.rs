@@ -17,30 +17,43 @@
 
 use axi_proto::checker::Monitor;
 use axi_proto::{AxiChannels, AxiMux, BusConfig, LOCAL_ID_BITS, MAX_MANAGERS};
-use banked_mem::{BankConfig, Storage};
+use banked_mem::{BankConfig, Storage, WordFault};
 use hwmodel::energy::{Activity, EnergyModel};
 use pack_ctrl::{Adapter, CtrlConfig};
-use vproc::{Engine, EngineStats, SystemKind, VprocConfig};
+use simkit::fault::{site, FaultReport, FaultSpec, HangComponent, HangReport};
+use vproc::{BusFault, Engine, EngineStats, SystemKind, VprocConfig};
 use workloads::{Kernel, KernelParams};
 
 use crate::differential::{memory_digest, RunProbe, SchedProbe};
 use crate::drc::{self, DrcReport};
-use crate::report::{RunReport, SystemReport};
+use crate::report::{RequestorOutcome, RunReport, SystemReport};
 
 /// Why a run refused to start or failed to complete.
 ///
 /// The run paths validate every configuration with the static design-rule
 /// checker ([`crate::drc`]) before cycle 0; a rejected configuration
 /// carries its full [`DrcReport`] so the caller sees every violated rule,
-/// not just the first. Failures of a running simulation (functional
-/// divergence, cycle-limit overrun) stay plain strings.
+/// not just the first. Running-simulation failures are typed too:
+/// an unrecoverable injected AXI fault aborts with a [`FaultReport`]
+/// naming the site and retry history, and a stalled or over-budget run
+/// aborts with a [`HangReport`] naming the stalled dependency chain.
+/// Only functional divergence from the scalar reference stays a plain
+/// string.
 #[derive(Debug, Clone)]
 pub enum RunError {
     /// The design-rule check rejected the configuration before cycle 0.
     Drc(DrcReport),
-    /// The simulation ran and failed: the functional result diverged from
-    /// the scalar reference, or the cycle limit was exceeded.
+    /// The simulation ran and the functional result diverged from the
+    /// scalar reference.
     Sim(String),
+    /// A requestor aborted on an unrecoverable AXI fault: the adapter's
+    /// retry budget was exhausted, or a decode error (never retryable)
+    /// reached the requestor.
+    Axi(FaultReport),
+    /// The run hung: the progress watchdog saw no real-work counter move
+    /// for a whole window, or the hard `max_cycles` budget ran out. Boxed
+    /// — the forensics snapshot is large and errors travel by value.
+    Hang(Box<HangReport>),
 }
 
 impl std::fmt::Display for RunError {
@@ -48,6 +61,8 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Drc(report) => write!(f, "{report}"),
             RunError::Sim(msg) => f.write_str(msg),
+            RunError::Axi(report) => write!(f, "{report}"),
+            RunError::Hang(report) => write!(f, "{report}"),
         }
     }
 }
@@ -71,7 +86,23 @@ impl RunError {
     pub fn drc_report(&self) -> Option<&DrcReport> {
         match self {
             RunError::Drc(report) => Some(report),
-            RunError::Sim(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The fault report, when this error is an AXI fault abort.
+    pub fn fault_report(&self) -> Option<&FaultReport> {
+        match self {
+            RunError::Axi(report) => Some(report),
+            _ => None,
+        }
+    }
+
+    /// The hang forensics, when this error is a hang.
+    pub fn hang_report(&self) -> Option<&HangReport> {
+        match self {
+            RunError::Hang(report) => Some(report),
+            _ => None,
         }
     }
 }
@@ -149,6 +180,16 @@ pub struct SystemConfig {
     /// Event-driven or lockstep time advancement (results are identical;
     /// see [`SchedMode`]).
     pub sched: SchedMode,
+    /// Deterministic fault injection, `None` (the default) for clean
+    /// runs. Installing a spec arms the bank, decode and mux grant sites
+    /// and the adapter's bounded retry recovery; runs with a spec
+    /// installed always bypass the result cache.
+    pub fault: Option<FaultSpec>,
+    /// Progress-watchdog window in cycles (0 disables it): when no
+    /// real-work counter advances for a whole window the run aborts with
+    /// [`RunError::Hang`] instead of spinning to `max_cycles`. Excluded
+    /// from cache keys — a report-invariant knob like `sched`.
+    pub watchdog: u64,
 }
 
 impl SystemConfig {
@@ -167,6 +208,8 @@ impl SystemConfig {
             vproc: VprocConfig::for_bus_bits(bus_bits),
             max_cycles: 500_000_000,
             sched: default_sched_mode(),
+            fault: None,
+            watchdog: 0,
         }
     }
 
@@ -315,9 +358,11 @@ fn build_report(
     cycles: u64,
     stats: &EngineStats,
     adapter_stats: Option<(u64, u64)>,
+    fault_stats: (u64, u64),
 ) -> RunReport {
     let (word_accesses, bank_conflicts) =
         adapter_stats.unwrap_or((stats.load_elems + stats.store_elems, 0));
+    let (injected_faults, fault_retries) = fault_stats;
     let activity = Activity {
         cycles,
         lane_elems: stats.lane_elems,
@@ -342,6 +387,153 @@ fn build_report(
         activity,
         power_mw: EnergyModel::default().power_mw(&activity),
         energy_uj: EnergyModel::default().energy_uj(&activity),
+        injected_faults,
+        fault_retries,
+    }
+}
+
+/// Real-work progress signature of one engine: advances whenever the
+/// engine issues, computes, moves data, or burns a *programmed* scalar
+/// stall. Deliberately excludes injected stall classes (bank-delay
+/// spikes, mux grant storms) so a fault-stalled system reads as making
+/// no progress and the watchdog can name it.
+fn engine_progress(stats: &EngineStats) -> u64 {
+    stats.issued
+        + stats.lane_elems
+        + stats.load_elems
+        + stats.store_elems
+        + stats.w_beats
+        + stats.scalar_stall_cycles
+}
+
+/// Progress watchdog: fires when the caller-computed signature stays
+/// flat for a whole window. A window of 0 disables it.
+struct Watchdog {
+    window: u64,
+    last_sig: u64,
+    last_change: u64,
+}
+
+impl Watchdog {
+    fn new(window: u64) -> Self {
+        Watchdog {
+            window,
+            last_sig: 0,
+            last_change: 0,
+        }
+    }
+
+    /// Accounts the signature at `cycles`; `true` means no progress for
+    /// a full window — abort with hang forensics.
+    #[inline]
+    fn expired(&mut self, cycles: u64, sig: u64) -> bool {
+        if self.window == 0 {
+            return false;
+        }
+        if sig != self.last_sig {
+            self.last_sig = sig;
+            self.last_change = cycles;
+            return false;
+        }
+        cycles.saturating_sub(self.last_change) >= self.window
+    }
+}
+
+/// Snapshot of one [`AxiChannels`] bundle for hang forensics.
+fn channels_component(name: &str, ch: &AxiChannels) -> HangComponent {
+    HangComponent {
+        name: name.to_string(),
+        state: format!(
+            "ar {} aw {} w {} r {} b {}",
+            ch.ar.len(),
+            ch.aw.len(),
+            ch.w.len(),
+            ch.r.len(),
+            ch.b.len()
+        ),
+        busy: !ch.is_empty(),
+    }
+}
+
+/// Builds the [`RunError::Hang`] for a run: the dependency-ordered
+/// component snapshots plus the computed suspect (the *deepest* busy
+/// component — the thing everything upstream is waiting on).
+fn hang_error(
+    subject: String,
+    cycle: u64,
+    limit: u64,
+    no_progress: bool,
+    components: Vec<HangComponent>,
+) -> RunError {
+    let suspect = components.iter().rev().find(|c| c.busy).map_or_else(
+        || "none (all components idle)".to_string(),
+        |c| c.name.clone(),
+    );
+    RunError::Hang(Box::new(HangReport {
+        cycle,
+        limit,
+        no_progress,
+        subject,
+        components,
+        suspect,
+    }))
+}
+
+/// The adapter-side fault evidence, snapshotted before the adapter is
+/// consumed for its storage.
+struct AdapterFaultSnap {
+    first_surfaced: Option<(u64, bool, WordFault)>,
+    retries_spent: u64,
+    retry_budget: u32,
+    injected: u64,
+}
+
+impl AdapterFaultSnap {
+    fn of(adapter: &Adapter) -> Self {
+        AdapterFaultSnap {
+            first_surfaced: adapter.first_surfaced_fault(),
+            retries_spent: adapter.fault_retries(),
+            retry_budget: adapter.retry_budget(),
+            injected: adapter.injected_faults(),
+        }
+    }
+}
+
+/// Builds the typed abort for a requestor whose bus traffic carried an
+/// unrecoverable error response. The word-level anchor (site, address)
+/// comes from the adapter's first unabsorbed fault; the burst-level
+/// anchor (AXI id, direction, response class) from the requestor's own
+/// first errored beat.
+fn fault_abort(
+    requestor: usize,
+    bus_fault: BusFault,
+    axi_id: u8,
+    spec: Option<&FaultSpec>,
+    snap: &AdapterFaultSnap,
+) -> FaultReport {
+    let (word_addr, _, fault) =
+        snap.first_surfaced
+            .unwrap_or((0, bus_fault.is_write, WordFault::Slave));
+    let site = match fault {
+        WordFault::Decode => site::DECODE.0,
+        WordFault::Slave => {
+            if spec.is_some_and(|s| s.persistent_bank) {
+                site::BANK_PERSISTENT.0
+            } else {
+                site::BANK_ACCESS.0
+            }
+        }
+    };
+    FaultReport {
+        site,
+        requestor,
+        axi_id,
+        resp: bus_fault.resp,
+        is_write: bus_fault.is_write,
+        word_addr,
+        retries_spent: snap.retries_spent,
+        retry_budget: snap.retry_budget,
+        injected_faults: snap.injected,
     }
 }
 
@@ -500,7 +692,10 @@ fn run_single(
     kernel: &Kernel,
     probe: Option<&mut RunProbe>,
 ) -> Result<SystemReport, RunError> {
-    if probe.is_none() {
+    // Fault-injected runs also bypass the cache: their reports depend on
+    // the FaultSpec, which is deliberately not part of the key canon
+    // (chaos runs are cheap and never feed figures).
+    if probe.is_none() && cfg.fault.is_none() {
         if let Some(rc) = crate::cache::active() {
             let key = crate::cache::single_run_key(cfg, kind, kernel);
             return rc.run_report(
@@ -536,7 +731,8 @@ fn run_single_uncached(
         (Some(_), SystemKind::Base | SystemKind::Pack) => Some(Monitor::new(cfg.bus())),
         _ => None,
     };
-    let (storage, adapter_stats) = match kind {
+    let mut watchdog = Watchdog::new(cfg.watchdog);
+    let (storage, adapter_stats, fault_counters) = match kind {
         SystemKind::Ideal => {
             let mut storage = kernel.build_storage();
             while !engine.done() {
@@ -557,17 +753,28 @@ fn run_single_uncached(
                 }
                 engine.tick(None, &mut storage);
                 cycles += 1;
-                if cycles > cfg.max_cycles {
-                    return Err(RunError::Sim(format!(
-                        "{}: exceeded {} cycles",
-                        kernel.name, cfg.max_cycles
-                    )));
+                let hung = cycles > cfg.max_cycles;
+                if hung || watchdog.expired(cycles, engine_progress(engine.stats())) {
+                    return Err(hang_error(
+                        kernel.name.clone(),
+                        cycles,
+                        if hung { cfg.max_cycles } else { cfg.watchdog },
+                        !hung,
+                        vec![HangComponent {
+                            name: "engine".into(),
+                            state: engine.describe_state(),
+                            busy: !engine.done(),
+                        }],
+                    ));
                 }
             }
-            (storage, None)
+            (storage, None, None)
         }
         SystemKind::Base | SystemKind::Pack => {
             let mut adapter = Adapter::new(cfg.ctrl(), kernel.build_storage());
+            if let Some(spec) = cfg.fault.as_ref() {
+                adapter.install_faults(spec);
+            }
             let mut ch = AxiChannels::new();
             while !(engine.done() && adapter.quiescent() && ch.is_empty()) {
                 // Event mode: skip only when the fabric is fully drained —
@@ -596,18 +803,52 @@ fn run_single_uncached(
                     None => ch.end_cycle(),
                 }
                 cycles += 1;
-                if cycles > cfg.max_cycles {
-                    return Err(RunError::Sim(format!(
-                        "{}: exceeded {} cycles",
-                        kernel.name, cfg.max_cycles
-                    )));
+                let hung = cycles > cfg.max_cycles;
+                let sig = engine_progress(engine.stats())
+                    + adapter.word_reads()
+                    + adapter.word_writes()
+                    + adapter.fault_retries();
+                if hung || watchdog.expired(cycles, sig) {
+                    return Err(hang_error(
+                        kernel.name.clone(),
+                        cycles,
+                        if hung { cfg.max_cycles } else { cfg.watchdog },
+                        !hung,
+                        vec![
+                            HangComponent {
+                                name: "engine".into(),
+                                state: engine.describe_state(),
+                                busy: !engine.done(),
+                            },
+                            channels_component("channels", &ch),
+                            HangComponent {
+                                name: "adapter".into(),
+                                state: adapter.describe_state(),
+                                busy: !adapter.quiescent(),
+                            },
+                        ],
+                    ));
                 }
+            }
+            // An error response that reached the requestor is a typed
+            // abort — checked before functional verification, because the
+            // eager-functional model's architectural state is correct
+            // even when the timed bus traffic was not.
+            if let Some(bf) = engine.first_fault() {
+                return Err(RunError::Axi(fault_abort(
+                    0,
+                    bf,
+                    bf.axi_id,
+                    cfg.fault.as_ref(),
+                    &AdapterFaultSnap::of(&adapter),
+                )));
             }
             let stats = (
                 adapter.word_reads() + adapter.word_writes(),
                 adapter.bank_conflicts(),
             );
-            (adapter.into_storage(), Some(stats))
+            let faults = (adapter.injected_faults(), adapter.fault_retries());
+            (adapter.into_storage(), Some(stats), Some(faults))
         }
     };
     if let Some(p) = probe {
@@ -618,7 +859,16 @@ fn run_single_uncached(
     }
     let stats = engine.stats();
     verify_requestor(kernel, stats, &storage)?;
-    let report = build_report(kernel, kind, cfg.bus_bits, cycles, stats, adapter_stats);
+    let fault_stats = fault_counters.unwrap_or((0, 0));
+    let report = build_report(
+        kernel,
+        kind,
+        cfg.bus_bits,
+        cycles,
+        stats,
+        adapter_stats,
+        fault_stats,
+    );
     let (word_accesses, bank_conflicts) = (
         report.activity.word_accesses,
         adapter_stats.map_or(0, |(_, c)| c),
@@ -638,13 +888,14 @@ fn run_single_uncached(
         bank_conflicts,
         word_accesses,
         requestors: vec![report],
+        outcomes: vec![RequestorOutcome::Completed],
     })
 }
 
 /// Cache gate in front of [`run_shared_uncached`]; same doctrine as
 /// [`run_single`] — probed topology runs always re-execute.
 fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemReport, RunError> {
-    if probe.is_none() {
+    if probe.is_none() && topo.system.fault.is_none() {
         if let Some(rc) = crate::cache::active() {
             let key = crate::cache::topology_key(topo);
             return rc.run_report(
@@ -710,6 +961,12 @@ fn run_shared_uncached(
     let mut mgr: Vec<AxiChannels> = (0..managers).map(|_| AxiChannels::new()).collect();
     let mut down = AxiChannels::new();
     let mut mux = (managers > 1).then(|| AxiMux::new(managers));
+    if let Some(spec) = sys.fault.as_ref() {
+        adapter.install_faults(spec);
+        if let Some(mux) = mux.as_mut() {
+            mux.install_faults(spec);
+        }
+    }
     // Probed runs monitor every manager port (narrow ID space when the
     // port sits behind the mux) and the shared downstream link.
     let mut monitors: Vec<Monitor> = match &probe {
@@ -729,6 +986,7 @@ fn run_shared_uncached(
     let mut cycles = 0u64;
     let mut done_at: Vec<Option<u64>> = vec![None; engines.len()];
     let mut sched_stats = SchedProbe::default();
+    let mut watchdog = Watchdog::new(sys.watchdog);
     // Event mode: a wake-condition registry with one component per engine.
     // The fabric (channels, mux, adapter) is gated separately below — it
     // is either drained (skippable) or ready, never on a countdown.
@@ -840,17 +1098,55 @@ fn run_shared_uncached(
         if done_at.iter().all(Option::is_some) && drained {
             break;
         }
-        if cycles > sys.max_cycles {
-            return Err(RunError::Sim(format!(
-                "topology of {} requestors: exceeded {} cycles",
-                engines.len(),
-                sys.max_cycles
-            )));
+        let hung = cycles > sys.max_cycles;
+        let sig = engines
+            .iter()
+            .map(|e| engine_progress(e.stats()))
+            .sum::<u64>()
+            + adapter.word_reads()
+            + adapter.word_writes()
+            + adapter.fault_retries();
+        if hung || watchdog.expired(cycles, sig) {
+            let mut components: Vec<HangComponent> = engines
+                .iter()
+                .enumerate()
+                .map(|(i, e)| HangComponent {
+                    name: format!("requestor {i} engine"),
+                    state: e.describe_state(),
+                    busy: done_at[i].is_none(),
+                })
+                .collect();
+            for (m, ch) in mgr.iter().enumerate() {
+                components.push(channels_component(&format!("manager {m} channels"), ch));
+            }
+            if let Some(mux) = mux.as_ref() {
+                components.push(HangComponent {
+                    name: "mux".into(),
+                    state: mux.describe_state(),
+                    busy: !mux.quiescent() || mux.storm_active(),
+                });
+                components.push(channels_component("downstream channels", &down));
+            }
+            if managers > 0 {
+                components.push(HangComponent {
+                    name: "adapter".into(),
+                    state: adapter.describe_state(),
+                    busy: !adapter.quiescent(),
+                });
+            }
+            return Err(hang_error(
+                format!("topology of {} requestors", engines.len()),
+                cycles,
+                if hung { sys.max_cycles } else { sys.watchdog },
+                !hung,
+                components,
+            ));
         }
     }
     let word_accesses = adapter.word_reads() + adapter.word_writes();
     let bank_conflicts = adapter.bank_conflicts();
     let bus_beats: u64 = adapter.r_beats();
+    let adapter_faults = AdapterFaultSnap::of(&adapter);
     let storage = adapter.into_storage();
     if let Some(p) = probe {
         p.monitors = monitors;
@@ -861,10 +1157,34 @@ fn run_shared_uncached(
     let bus_bytes = sys.bus().data_bytes() as u64;
     let mut payload_bytes = 0u64;
     let mut reports = Vec::with_capacity(engines.len());
+    let mut outcomes = Vec::with_capacity(engines.len());
     for (i, engine) in engines.iter().enumerate() {
         let stats = engine.stats();
-        verify_requestor(&kernels[i], stats, &storage)
-            .map_err(|e| format!("requestor {i}: {e}"))?;
+        // A faulting requestor is isolated: its abort is recorded as a
+        // per-requestor outcome (functional verification is meaningless
+        // for it), while healthy requestors still verify normally.
+        match engine.first_fault() {
+            Some(bf) => {
+                // Report the ID as the shared endpoint saw it: behind a
+                // mux the manager index rides the top prefix bits.
+                let axi_id = match (slots[i], managers > 1) {
+                    (Some(m), true) => ((m as u8) << LOCAL_ID_BITS) | bf.axi_id,
+                    _ => bf.axi_id,
+                };
+                outcomes.push(RequestorOutcome::Faulted(fault_abort(
+                    i,
+                    bf,
+                    axi_id,
+                    sys.fault.as_ref(),
+                    &adapter_faults,
+                )));
+            }
+            None => {
+                verify_requestor(&kernels[i], stats, &storage)
+                    .map_err(|e| format!("requestor {i}: {e}"))?;
+                outcomes.push(RequestorOutcome::Completed);
+            }
+        }
         if kinds[i] != SystemKind::Ideal {
             payload_bytes += stats.r_util.payload_bytes();
         }
@@ -875,6 +1195,7 @@ fn run_shared_uncached(
             done_at[i].expect("loop exits only when all done"),
             stats,
             None,
+            (0, 0),
         ));
     }
     Ok(SystemReport {
@@ -884,6 +1205,7 @@ fn run_shared_uncached(
         bus_r_util: payload_bytes as f64 / (cycles * bus_bytes) as f64,
         bank_conflicts,
         word_accesses,
+        outcomes,
     })
 }
 

@@ -1,0 +1,135 @@
+//! Tier-1 replay of the regression corpus **under injected faults**,
+//! plus hang-forensics checks.
+//!
+//! Every fuzz corpus entry re-runs through the chaos engine on every
+//! `cargo test`: the differential kernel family under a deterministic
+//! transient fault plan, in both scheduler modes, each run required to
+//! recover bit-identically or return a typed fault/hang report.
+//! `figures chaos --corpus` replays the same list from the CLI.
+//!
+//! The hang tests pin the forensics contract: a deliberately wedged
+//! datapath must produce a [`axi_pack::RunError::Hang`] whose computed
+//! suspect names the component that actually stalled.
+
+use axi_pack::chaos::{check_chaos_seed, replay_chaos_corpus};
+use axi_pack::differential::SEED_CORPUS;
+use axi_pack::{run_kernel, run_system, Requestor, SystemConfig, Topology};
+use simkit::fault::FaultSpec;
+use vproc::SystemKind;
+use workloads::ismt;
+use workloads::synth::SynthConfig;
+
+#[test]
+fn corpus_replays_clean_under_faults() {
+    let n = replay_chaos_corpus().unwrap_or_else(|failures| {
+        panic!("chaos corpus cases failed: {failures:#?}");
+    });
+    assert_eq!(n, SEED_CORPUS.len());
+    assert!(n >= 10, "corpus shrank suspiciously");
+}
+
+#[test]
+fn chaos_checks_are_deterministic() {
+    // A chaos seed must expand to the exact same faults and the exact
+    // same classification on every replay — the property that makes a
+    // failing chaos seed reproducible from its one-line repro command.
+    for seed in [2u64, 3] {
+        let cfg = SynthConfig::default();
+        let a = check_chaos_seed(seed, &cfg).expect("passes");
+        let b = check_chaos_seed(seed, &cfg).expect("passes");
+        assert_eq!(a.checks, b.checks, "seed {seed}");
+        assert_eq!(a.cycles, b.cycles, "seed {seed}");
+        assert_eq!(
+            (a.recovered, a.aborted, a.hung),
+            (b.recovered, b.aborted, b.hung),
+            "seed {seed}"
+        );
+        assert_eq!(a.injected_faults, b.injected_faults, "seed {seed}");
+        assert_eq!(a.fault_retries, b.fault_retries, "seed {seed}");
+    }
+}
+
+#[test]
+fn permanent_bank_delay_hang_names_the_adapter() {
+    // A latency spike that never ends starves every converter; the
+    // progress watchdog must fire and the forensics must point at the
+    // adapter (the deepest busy component), not the engine that is
+    // merely waiting on it.
+    let mut cfg = SystemConfig::paper(SystemKind::Pack);
+    cfg.watchdog = 5_000;
+    let mut spec = FaultSpec::silent(1);
+    spec.bank_delay_period = 1;
+    spec.bank_delay_len = u32::MAX;
+    cfg.fault = Some(spec);
+    let kernel = ismt::build(16, 7, &cfg.kernel_params());
+    let err = run_kernel(&cfg, &kernel).expect_err("a permanently stalled memory must hang");
+    let hang = err.hang_report().expect("typed hang report, not a string");
+    assert!(
+        hang.no_progress,
+        "the watchdog, not the cycle ceiling, fired"
+    );
+    assert_eq!(hang.limit, 5_000);
+    assert_eq!(hang.suspect, "adapter", "forensics:\n{hang}");
+    assert!(
+        hang.busy_components().count() >= 2,
+        "the engine waiting on the adapter must also show busy:\n{hang}"
+    );
+    // The rendered report keeps enough state to triage from a log line.
+    let text = err.to_string();
+    assert!(text.contains("suspect: adapter"), "{text}");
+    assert!(text.contains("latency spike"), "{text}");
+}
+
+#[test]
+fn permanent_grant_storm_hang_names_the_mux() {
+    // A storm that never lifts wedges arbitration: requests pile up in
+    // the manager channels while the adapter below drains and goes
+    // idle. The deepest busy component — the suspect — is the mux.
+    let base = SystemConfig::paper(SystemKind::Pack);
+    let mut spec = FaultSpec::silent(2);
+    spec.grant_storm_period = 1;
+    spec.grant_storm_len = u32::MAX;
+    let kernels = [
+        ismt::build(16, 7, &base.kernel_params()),
+        ismt::build(16, 5, &base.kernel_params()),
+    ];
+    let mut topo = Topology::shared_bus(
+        &base,
+        kernels
+            .into_iter()
+            .map(|k| Requestor::new(SystemKind::Pack, k))
+            .collect(),
+    );
+    topo.system.watchdog = 5_000;
+    topo.system.fault = Some(spec);
+    let err = run_system(&topo).expect_err("a permanently stormed mux must hang");
+    let hang = err.hang_report().expect("typed hang report, not a string");
+    assert!(
+        hang.no_progress,
+        "the watchdog, not the cycle ceiling, fired"
+    );
+    assert_eq!(hang.suspect, "mux", "forensics:\n{hang}");
+    assert!(
+        hang.components.iter().any(|c| c.name.contains("engine")),
+        "per-requestor engine snapshots must be present:\n{hang}"
+    );
+    assert!(
+        err.to_string().contains("storm suppression"),
+        "the mux state must show the active storm: {err}"
+    );
+}
+
+#[test]
+fn watchdog_stays_out_of_clean_runs() {
+    // An armed watchdog on a healthy run must change nothing: same
+    // cycles, same result, no typed error.
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let kernel = ismt::build(16, 7, &cfg.kernel_params());
+    let clean = run_kernel(&cfg, &kernel).expect("clean run");
+    let mut watched = cfg;
+    watched.watchdog = 5_000;
+    let report = run_kernel(&watched, &kernel).expect("watchdog must not fire");
+    assert_eq!(report.cycles, clean.cycles);
+    assert_eq!(report.injected_faults, 0);
+    assert_eq!(report.fault_retries, 0);
+}

@@ -3,13 +3,14 @@
 
 use std::collections::VecDeque;
 
-use axi_proto::{AxiChannels, BBeat, PackMode, Resp};
+use axi_proto::{AxiChannels, BBeat, PackMode};
 use banked_mem::{BankedMemory, Storage, WordResp};
+use simkit::fault::FaultSpec;
 use simkit::{Histogram, RoundRobin};
 
 use crate::base::BaseConverter;
 use crate::indirect::{IndirectReadConverter, IndirectWriteConverter};
-use crate::lane::ConvId;
+use crate::lane::{ConvId, RetryCtl};
 use crate::strided::{StridedReadConverter, StridedWriteConverter};
 use crate::CtrlConfig;
 
@@ -51,6 +52,9 @@ pub struct Adapter {
     b_arb: RoundRobin,
     /// W routing: (consumer, beats remaining) per accepted AW, in order.
     w_route: VecDeque<(WConsumer, u32)>,
+    /// Adapter-wide transient-retry budget shared by every converter lane
+    /// (armed by [`Adapter::install_faults`]; zero otherwise).
+    retry: RetryCtl,
     /// Responses produced by the memory at the previous cycle boundary.
     pending_resps: Vec<WordResp>,
     /// Second response buffer ping-ponged with `pending_resps`, so the
@@ -92,6 +96,7 @@ impl Adapter {
             r_arb: RoundRobin::new(3),
             b_arb: RoundRobin::new(3),
             w_route: VecDeque::new(),
+            retry: RetryCtl::new(0),
             pending_resps: Vec::new(),
             resp_scratch: Vec::new(),
             cfg,
@@ -110,6 +115,14 @@ impl Adapter {
         &self.cfg
     }
 
+    /// Installs deterministic fault injection: the banked memory arms its
+    /// bank-error and latency-spike schedules, and the converters get a
+    /// shared retry budget of `spec.retry_budget` transient re-issues.
+    pub fn install_faults(&mut self, spec: &FaultSpec) {
+        self.mem.install_faults(spec);
+        self.retry = RetryCtl::new(spec.retry_budget);
+    }
+
     // simcheck: hot-path begin -- the controller's per-cycle tick; response
     // buffers ping-pong and keep their capacity, arbitration vectors live on
     // the stack.
@@ -125,11 +138,15 @@ impl Adapter {
         for i in 0..self.resp_scratch.len() {
             let resp = self.resp_scratch[i];
             match ConvId::from_tag(resp.tag) {
-                ConvId::Base => self.base.deliver(resp),
-                ConvId::StridedR => self.strided_r.deliver(resp),
-                ConvId::StridedW => self.strided_w.deliver(resp),
-                ConvId::IndirRIdx | ConvId::IndirRElem => self.indirect_r.deliver(resp),
-                ConvId::IndirWIdx | ConvId::IndirWElem => self.indirect_w.deliver(resp),
+                ConvId::Base => self.base.deliver(resp, &mut self.retry),
+                ConvId::StridedR => self.strided_r.deliver(resp, &mut self.retry),
+                ConvId::StridedW => self.strided_w.deliver(resp, &mut self.retry),
+                ConvId::IndirRIdx | ConvId::IndirRElem => {
+                    self.indirect_r.deliver(resp, &mut self.retry);
+                }
+                ConvId::IndirWIdx | ConvId::IndirWElem => {
+                    self.indirect_w.deliver(resp, &mut self.retry);
+                }
             }
         }
         self.resp_scratch.clear();
@@ -292,17 +309,14 @@ impl Adapter {
                 self.indirect_w.has_b(),
             ];
             if let Some(w) = self.b_arb.grant(&avail) {
-                let id = match w {
+                let (id, resp) = match w {
                     0 => self.base.pop_b(),
                     1 => self.strided_w.pop_b(),
                     2 => self.indirect_w.pop_b(),
                     _ => unreachable!(),
                 }
                 .expect("readiness was probed");
-                ports.b.push(BBeat {
-                    id,
-                    resp: Resp::Okay,
-                });
+                ports.b.push(BBeat { id, resp });
             }
         }
     }
@@ -404,6 +418,59 @@ impl Adapter {
     /// Cumulative bank-conflict serialization events in the memory.
     pub fn bank_conflicts(&self) -> u64 {
         self.mem.conflict_stall_events()
+    }
+
+    /// Total faults injected by the memory (bank errors, decode errors and
+    /// latency-spike stalls count separately; this sums the error classes).
+    pub fn injected_faults(&self) -> u64 {
+        self.mem.injected_faults() + self.mem.decode_faults()
+    }
+
+    /// Transient retries spent from the adapter-wide budget.
+    pub fn fault_retries(&self) -> u64 {
+        self.retry.spent()
+    }
+
+    /// The configured transient-retry budget (0 when no faults installed).
+    pub fn retry_budget(&self) -> u32 {
+        self.retry.budget()
+    }
+
+    /// The first fault recovery could not absorb, if any:
+    /// `(word_addr, is_write, fault)`.
+    pub fn first_surfaced_fault(&self) -> Option<(u64, bool, banked_mem::WordFault)> {
+        self.retry.first_surfaced()
+    }
+
+    /// One-line state snapshot for hang forensics: which converters are
+    /// mid-burst, how many W-route entries and undelivered responses are
+    /// pending, and what the banked memory reports.
+    pub fn describe_state(&self) -> String {
+        let mut busy = Vec::new();
+        if !self.base.idle() {
+            busy.push("base");
+        }
+        if !self.strided_r.idle() {
+            busy.push("strided-r");
+        }
+        if !self.strided_w.idle() {
+            busy.push("strided-w");
+        }
+        if !self.indirect_r.idle() {
+            busy.push("indirect-r");
+        }
+        if !self.indirect_w.idle() {
+            busy.push("indirect-w");
+        }
+        format!(
+            "busy converters [{}], {} W routes pending, {} responses undelivered, retries {}/{}; mem: {}",
+            busy.join(", "),
+            self.w_route.len(),
+            self.pending_resps.len(),
+            self.retry.spent(),
+            self.retry.budget(),
+            self.mem.describe_state(),
+        )
     }
 
     /// Cycles ticked so far.

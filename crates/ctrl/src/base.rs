@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use axi_proto::{Addr, ArBeat, AxiId, BeatBuf, BusConfig, RBeat, Resp, WBeat};
 use banked_mem::WordReq;
 
-use crate::lane::{ConvId, LaneJob, LaneSet};
+use crate::lane::{fault_resp, ConvId, LaneJob, LaneSet, RetryCtl};
 use crate::CtrlConfig;
 
 /// How a read transaction's beats are assembled.
@@ -42,6 +42,9 @@ enum RKind {
 struct RTxn {
     id: AxiId,
     kind: RKind,
+    /// Worst response seen so far — sticky, so beat responses never "heal"
+    /// within a burst.
+    resp: Resp,
 }
 
 #[derive(Debug)]
@@ -54,6 +57,8 @@ struct WTxn {
     w_beats_left: u32,
     /// Narrow write: (lane, lane_off, word_off, bytes); `None` = full-width.
     narrow: Option<(usize, usize, usize, usize)>,
+    /// Worst write-ack response seen so far, reported on B.
+    resp: Resp,
 }
 
 /// The base AXI4 read/write converter.
@@ -74,7 +79,7 @@ pub struct BaseConverter {
     w_seq_next: u64,
     max_txns: usize,
     /// Completed-write responses ready for B, in order.
-    b_ready: VecDeque<AxiId>,
+    b_ready: VecDeque<(AxiId, Resp)>,
 }
 
 impl BaseConverter {
@@ -142,6 +147,7 @@ impl BaseConverter {
                     beats: ar.beats,
                     done_beats: 0,
                 },
+                resp: Resp::Okay,
             });
         } else {
             assert_eq!(ar.beats, 1, "narrow bursts are modeled single-beat");
@@ -166,6 +172,7 @@ impl BaseConverter {
                     word_off,
                     bytes: ebytes,
                 },
+                resp: Resp::Okay,
             });
         }
     }
@@ -213,6 +220,7 @@ impl BaseConverter {
                 acked: 0,
                 w_beats_left: aw.beats,
                 narrow: None,
+                resp: Resp::Okay,
             });
         } else {
             assert_eq!(aw.beats, 1, "narrow bursts are modeled single-beat");
@@ -237,6 +245,7 @@ impl BaseConverter {
                     word_off,
                     ebytes,
                 )),
+                resp: Resp::Okay,
             });
         }
     }
@@ -315,22 +324,23 @@ impl BaseConverter {
         }
         for lane in 0..self.ports {
             while self.w_lanes.take_local_ack(lane) {
-                self.attribute_ack(lane);
+                self.attribute_ack(lane, Resp::Okay);
             }
         }
     }
 
-    fn attribute_ack(&mut self, lane: usize) {
+    fn attribute_ack(&mut self, lane: usize, resp: Resp) {
         let seq = self.w_refs[lane]
             .pop_front()
             .expect("ack without planned write job");
         let idx = (seq - self.w_seq_head) as usize;
         let txn = &mut self.w_txns[idx];
         txn.acked += 1;
+        txn.resp = txn.resp.worst(resp);
         // Retire any leading fully-acked transactions in order.
         while let Some(front) = self.w_txns.front() {
             if front.acked == front.total_words && front.w_beats_left == 0 {
-                self.b_ready.push_back(front.id);
+                self.b_ready.push_back((front.id, front.resp));
                 self.w_txns.pop_front();
                 self.w_seq_head += 1;
             } else {
@@ -339,16 +349,19 @@ impl BaseConverter {
         }
     }
 
-    /// Delivers a memory response.
-    pub fn deliver(&mut self, resp: banked_mem::WordResp) {
+    /// Delivers a memory response; `ctl` bounds transient-fault retries.
+    pub fn deliver(&mut self, resp: banked_mem::WordResp, ctl: &mut RetryCtl) {
         if resp.is_write {
             let lane = resp.port;
-            // Return the credit and attribute the ack.
-            self.w_lanes.deliver(resp);
-            let _ = self.w_lanes.pop_resp(lane); // write acks carry no data
-            self.attribute_ack(lane);
+            // Return the credit and attribute the ack. A retried or held
+            // response may release zero or several acks at once.
+            self.w_lanes.deliver(resp, ctl);
+            while self.w_lanes.has_resp(lane) {
+                let r = self.w_lanes.pop_resp(lane); // write acks carry no data
+                self.attribute_ack(lane, fault_resp(r.fault));
+            }
         } else {
-            self.r_lanes.deliver(resp);
+            self.r_lanes.deliver(resp, ctl);
         }
     }
 
@@ -378,11 +391,14 @@ impl BaseConverter {
                     return None;
                 }
                 let mut data = BeatBuf::zeroed(bus_bytes);
+                let mut resp = txn.resp;
                 for lane in 0..self.ports {
                     let word = self.r_lanes.pop_resp(lane);
+                    resp = resp.worst(fault_resp(word.fault));
                     data[lane * self.word_bytes..(lane + 1) * self.word_bytes]
                         .copy_from_slice(&word.data);
                 }
+                txn.resp = resp;
                 *done_beats += 1;
                 let last = *done_beats == *beats;
                 let id = txn.id;
@@ -394,7 +410,7 @@ impl BaseConverter {
                     data,
                     payload_bytes: bus_bytes,
                     last,
-                    resp: Resp::Okay,
+                    resp,
                 })
             }
             RKind::Narrow {
@@ -407,6 +423,7 @@ impl BaseConverter {
                     return None;
                 }
                 let word = self.r_lanes.pop_resp(*lane);
+                let resp = txn.resp.worst(fault_resp(word.fault));
                 let mut data = BeatBuf::zeroed(bus_bytes);
                 data[*lane_off..*lane_off + *bytes]
                     .copy_from_slice(&word.data[*word_off..*word_off + *bytes]);
@@ -418,14 +435,15 @@ impl BaseConverter {
                     data,
                     payload_bytes: payload,
                     last: true,
-                    resp: Resp::Okay,
+                    resp,
                 })
             }
         }
     }
 
-    /// Produces the next B response if a write transaction completed.
-    pub fn pop_b(&mut self) -> Option<AxiId> {
+    /// Produces the next B response (id and worst ack response) if a write
+    /// transaction completed.
+    pub fn pop_b(&mut self) -> Option<(AxiId, Resp)> {
         self.b_ready.pop_front()
     }
 

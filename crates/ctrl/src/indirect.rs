@@ -21,7 +21,7 @@ use axi_proto::{Addr, ArBeat, AxiId, BeatBuf, BusConfig, IdxSize, PackMode, RBea
 use banked_mem::{WordReq, WordResp};
 use simkit::RoundRobin;
 
-use crate::lane::{ConvId, LaneJob, LaneSet};
+use crate::lane::{fault_resp, ConvId, LaneJob, LaneSet, RetryCtl};
 use crate::{CtrlConfig, StagePolicy};
 
 /// Decoded per-burst parameters shared by the read and write sides.
@@ -113,6 +113,9 @@ struct IdxProgress {
     parsed_total: u32,
     /// Indices handed to the element stage so far.
     consumed: u32,
+    /// Worst response across the burst's index fetches — sticky, because a
+    /// corrupted index taints every element planned from that point on.
+    resp: Resp,
 }
 
 /// The shared index stage: plans contiguous index-word fetches and parses
@@ -156,6 +159,7 @@ impl IndexStage {
             parsed: VecDeque::new(),
             parsed_total: 0,
             consumed: 0,
+            resp: Resp::Okay,
         });
     }
 
@@ -191,6 +195,7 @@ impl IndexStage {
         }
         for l in 0..line_words {
             let word = self.lanes.pop_resp(l);
+            prog.resp = prog.resp.worst(fault_resp(word.fault));
             prog.pending.extend(&word.data[..self.word_bytes]);
             prog.words_parsed += 1;
         }
@@ -211,27 +216,27 @@ impl IndexStage {
 
     /// Pops `want` indices for the element stage's next beat into the
     /// caller's scratch vector (cleared first), from the oldest burst
-    /// with unconsumed indices. Returns `false` — and takes nothing — if
-    /// fewer than `want` indices are parsed. The scratch keeps its
-    /// capacity across beats, so the per-beat path never allocates.
-    fn take_indices_into(&mut self, want: usize, out: &mut Vec<u64>) -> bool {
-        let Some(prog) = self
+    /// with unconsumed indices. Returns `None` — and takes nothing — if
+    /// fewer than `want` indices are parsed; otherwise the burst's worst
+    /// index-fetch response so far, so the planner can taint the beat. The
+    /// scratch keeps its capacity across beats, so the per-beat path never
+    /// allocates.
+    fn take_indices_into(&mut self, want: usize, out: &mut Vec<u64>) -> Option<Resp> {
+        let prog = self
             .bursts
             .iter_mut()
-            .find(|p| p.consumed < p.params.n_elems)
-        else {
-            return false;
-        };
+            .find(|p| p.consumed < p.params.n_elems)?;
         if prog.parsed.len() < want {
-            return false;
+            return None;
         }
         prog.consumed += want as u32;
         out.clear();
         out.extend(prog.parsed.drain(..want));
+        let resp = prog.resp;
         if prog.consumed == prog.params.n_elems && prog.words_parsed == prog.params.idx_words {
             self.bursts.pop_front();
         }
-        true
+        Some(resp)
     }
 
     /// Returns `true` if any index-word fetch is planned at all.
@@ -249,8 +254,8 @@ impl IndexStage {
         self.lanes.pop_request(lane)
     }
 
-    fn deliver(&mut self, resp: WordResp) {
-        self.lanes.deliver(resp);
+    fn deliver(&mut self, resp: WordResp, ctl: &mut RetryCtl) {
+        self.lanes.deliver(resp, ctl);
     }
 
     fn idle(&self) -> bool {
@@ -277,6 +282,9 @@ pub struct IndirectReadConverter {
     plan_q: VecDeque<PlanState>,
     /// Per-beat index scratch, reused so planning never allocates.
     idx_scratch: Vec<u64>,
+    /// Worst response of the burst currently being packed — sticky across
+    /// its beats, reset when the last beat pops.
+    burst_resp: Resp,
     max_bursts: usize,
 }
 
@@ -291,6 +299,8 @@ struct PackEntry {
     id: AxiId,
     lanes_used: usize,
     last: bool,
+    /// Worst index-fetch response at planning time.
+    resp: Resp,
 }
 
 impl IndirectReadConverter {
@@ -312,6 +322,7 @@ impl IndirectReadConverter {
             pack_q: VecDeque::new(),
             plan_q: VecDeque::new(),
             idx_scratch: Vec::new(),
+            burst_resp: Resp::Okay,
             max_bursts,
         }
     }
@@ -354,9 +365,9 @@ impl IndirectReadConverter {
         };
         let p = plan.params;
         let want = p.beat_elems(plan.beats_planned);
-        if !self.idx.take_indices_into(want, &mut self.idx_scratch) {
+        let Some(idx_resp) = self.idx.take_indices_into(want, &mut self.idx_scratch) else {
             return;
-        }
+        };
         for e in 0..want {
             let elem_addr = p.elem_base + (self.idx_scratch[e] << p.elem_shift);
             for w in 0..p.wpe {
@@ -375,6 +386,7 @@ impl IndirectReadConverter {
             id: p.id,
             lanes_used: want * p.wpe,
             last,
+            resp: idx_resp,
         });
         if last {
             self.plan_q.pop_front();
@@ -411,11 +423,12 @@ impl IndirectReadConverter {
         }
     }
 
-    /// Delivers a word response to the right stage.
-    pub fn deliver(&mut self, resp: WordResp) {
+    /// Delivers a word response to the right stage; `ctl` bounds
+    /// transient-fault retries.
+    pub fn deliver(&mut self, resp: WordResp, ctl: &mut RetryCtl) {
         match ConvId::from_tag(resp.tag) {
-            ConvId::IndirRIdx => self.idx.deliver(resp),
-            ConvId::IndirRElem => self.elem_lanes.deliver(resp),
+            ConvId::IndirRIdx => self.idx.deliver(resp, ctl),
+            ConvId::IndirRElem => self.elem_lanes.deliver(resp, ctl),
             other => panic!("indirect read converter got {other:?} response"),
         }
     }
@@ -436,17 +449,23 @@ impl IndirectReadConverter {
             return None;
         }
         let mut data = BeatBuf::zeroed(self.bus.data_bytes());
+        self.burst_resp = self.burst_resp.worst(entry.resp);
         for lane in 0..entry.lanes_used {
             let word = self.elem_lanes.pop_resp(lane);
+            self.burst_resp = self.burst_resp.worst(fault_resp(word.fault));
             data[lane * self.word_bytes..(lane + 1) * self.word_bytes].copy_from_slice(&word.data);
         }
         self.pack_q.pop_front();
+        let resp = self.burst_resp;
+        if entry.last {
+            self.burst_resp = Resp::Okay;
+        }
         Some(RBeat {
             id: entry.id,
             data,
             payload_bytes: entry.lanes_used * self.word_bytes,
             last: entry.last,
-            resp: Resp::Okay,
+            resp,
         })
     }
 
@@ -493,7 +512,7 @@ pub struct IndirectWriteConverter {
     refs: Vec<VecDeque<u64>>,
     seq_head: u64,
     seq_next: u64,
-    b_ready: VecDeque<AxiId>,
+    b_ready: VecDeque<(AxiId, Resp)>,
     max_bursts: usize,
 }
 
@@ -505,6 +524,8 @@ struct WAck {
     acked: u64,
     /// All W beats of the burst consumed.
     data_done: bool,
+    /// Worst response across index fetches and element write acks.
+    resp: Resp,
 }
 
 impl IndirectWriteConverter {
@@ -556,6 +577,7 @@ impl IndirectWriteConverter {
             planned_words: 0,
             acked: 0,
             data_done: false,
+            resp: Resp::Okay,
         });
         self.plan_q.push_back(PlanState {
             params,
@@ -593,9 +615,9 @@ impl IndirectWriteConverter {
         };
         let p = plan.params;
         let want = p.beat_elems(plan.beats_planned);
-        if !self.idx.take_indices_into(want, &mut self.idx_scratch) {
+        let Some(idx_resp) = self.idx.take_indices_into(want, &mut self.idx_scratch) else {
             return;
-        }
+        };
         let w = self.w_buf.pop_front().expect("checked nonempty");
         // The front plan entry is the oldest not-fully-planned burst.
         let seq = self.seq_next - self.plan_q.len() as u64;
@@ -619,6 +641,7 @@ impl IndirectWriteConverter {
         }
         let ack_idx = (seq - self.seq_head) as usize;
         self.acks[ack_idx].planned_words += (want * p.wpe) as u64;
+        self.acks[ack_idx].resp = self.acks[ack_idx].resp.worst(idx_resp);
         let plan = self.plan_q.front_mut().expect("still present");
         plan.beats_planned += 1;
         if plan.beats_planned == p.beats {
@@ -664,21 +687,22 @@ impl IndirectWriteConverter {
         }
         for lane in 0..self.ports {
             while self.elem_lanes.take_local_ack(lane) {
-                self.attribute_ack(lane);
+                self.attribute_ack(lane, Resp::Okay);
             }
         }
     }
 
-    fn attribute_ack(&mut self, lane: usize) {
+    fn attribute_ack(&mut self, lane: usize, resp: Resp) {
         let seq = self.refs[lane]
             .pop_front()
             .expect("write ack without planned job");
         let idx = (seq - self.seq_head) as usize;
         self.acks[idx].acked += 1;
+        self.acks[idx].resp = self.acks[idx].resp.worst(resp);
         while let Some(front) = self.acks.front() {
             if front.data_done && front.acked == front.total_words {
                 debug_assert_eq!(front.planned_words, front.total_words);
-                self.b_ready.push_back(front.id);
+                self.b_ready.push_back((front.id, front.resp));
                 self.acks.pop_front();
                 self.seq_head += 1;
             } else {
@@ -687,16 +711,20 @@ impl IndirectWriteConverter {
         }
     }
 
-    /// Delivers a word response to the right stage.
-    pub fn deliver(&mut self, resp: WordResp) {
+    /// Delivers a word response to the right stage; `ctl` bounds
+    /// transient-fault retries. A retried or held element ack may release
+    /// zero or several acks at once.
+    pub fn deliver(&mut self, resp: WordResp, ctl: &mut RetryCtl) {
         match ConvId::from_tag(resp.tag) {
-            ConvId::IndirWIdx => self.idx.deliver(resp),
+            ConvId::IndirWIdx => self.idx.deliver(resp, ctl),
             ConvId::IndirWElem => {
                 debug_assert!(resp.is_write);
                 let lane = resp.port;
-                self.elem_lanes.deliver(resp);
-                let _ = self.elem_lanes.pop_resp(lane);
-                self.attribute_ack(lane);
+                self.elem_lanes.deliver(resp, ctl);
+                while self.elem_lanes.has_resp(lane) {
+                    let r = self.elem_lanes.pop_resp(lane);
+                    self.attribute_ack(lane, fault_resp(r.fault));
+                }
             }
             other => panic!("indirect write converter got {other:?} response"),
         }
@@ -707,8 +735,9 @@ impl IndirectWriteConverter {
         !self.b_ready.is_empty()
     }
 
-    /// Produces the next B response for a completed burst.
-    pub fn pop_b(&mut self) -> Option<AxiId> {
+    /// Produces the next B response (id and worst ack response) for a
+    /// completed burst.
+    pub fn pop_b(&mut self) -> Option<(AxiId, Resp)> {
         self.b_ready.pop_front()
     }
 
@@ -761,6 +790,7 @@ mod tests {
         mem: &mut BankedMemory,
         max_cycles: usize,
     ) -> (Vec<RBeat>, usize) {
+        let mut ctl = RetryCtl::new(0);
         let mut beats = Vec::new();
         for cycle in 0..max_cycles {
             conv.tick();
@@ -774,7 +804,7 @@ mod tests {
                 beats.push(r);
             }
             for resp in mem.end_cycle() {
-                conv.deliver(resp);
+                conv.deliver(resp, &mut ctl);
             }
             if conv.idle() {
                 return (beats, cycle + 1);
@@ -900,6 +930,7 @@ mod tests {
         w_beats: &mut VecDeque<WBeat>,
         max_cycles: usize,
     ) -> Vec<AxiId> {
+        let mut ctl = RetryCtl::new(0);
         let mut bs = Vec::new();
         for _ in 0..max_cycles {
             conv.drain_local_acks();
@@ -915,11 +946,11 @@ mod tests {
                     assert!(mem.try_issue(req));
                 }
             }
-            if let Some(id) = conv.pop_b() {
+            if let Some((id, _)) = conv.pop_b() {
                 bs.push(id);
             }
             for resp in mem.end_cycle() {
-                conv.deliver(resp);
+                conv.deliver(resp, &mut ctl);
             }
             if conv.idle() && w_beats.is_empty() {
                 return bs;

@@ -8,12 +8,105 @@
 //! * a **request regulator** ([`simkit::Credit`]) bounding in-flight words
 //!   per lane to the decoupling-queue depth, so responses can never
 //!   overflow.
+//!
+//! The lane layer is also where **transient-fault recovery** lives: a word
+//! response carrying [`banked_mem::WordFault::Slave`] is re-issued to the
+//! front of its lane's address queue (spending one unit of the adapter-wide
+//! [`RetryCtl`] budget), and later-issued responses that arrive before the
+//! retried word are *held* so the decoupling queue keeps its planned word
+//! order. Decode faults are never retried — the address cannot become valid.
 
 use std::collections::VecDeque;
 
-use axi_proto::Addr;
-use banked_mem::{WordBuf, WordOp, WordReq, WordResp};
+use axi_proto::{Addr, Resp};
+use banked_mem::{WordBuf, WordFault, WordOp, WordReq, WordResp};
 use simkit::Credit;
+
+/// Maps a word-level fault tag onto the AXI response it produces on the
+/// bus: a bank error is a slave error, an out-of-window address a decode
+/// error.
+#[inline]
+pub fn fault_resp(fault: Option<WordFault>) -> Resp {
+    match fault {
+        None => Resp::Okay,
+        Some(WordFault::Slave) => Resp::Slverr,
+        Some(WordFault::Decode) => Resp::Decerr,
+    }
+}
+
+/// The adapter-wide transient-retry budget, shared by every converter lane.
+///
+/// Each re-issue of a slave-faulted word spends one unit. When the budget
+/// is exhausted, further faults are accepted as errors and surface on the
+/// bus as SLVERR beats — the recovery doctrine is *bounded*, so a
+/// persistently failing bank cannot spin the controller forever.
+#[derive(Debug)]
+pub struct RetryCtl {
+    budget: u32,
+    spent: u64,
+    /// First faulted word response that recovery could not absorb
+    /// (word address, is-write, fault kind) — the forensic anchor for the
+    /// requestor's typed abort report.
+    first_surfaced: Option<(u64, bool, WordFault)>,
+}
+
+impl RetryCtl {
+    /// Creates a budget of `budget` retries (0 disables recovery).
+    pub fn new(budget: u32) -> Self {
+        RetryCtl {
+            budget,
+            spent: 0,
+            first_surfaced: None,
+        }
+    }
+
+    /// Spends one retry if the budget allows, returning whether it did.
+    #[inline]
+    pub fn try_spend(&mut self) -> bool {
+        if self.spent < self.budget as u64 {
+            self.spent += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Retries spent so far.
+    pub fn spent(&self) -> u64 {
+        self.spent
+    }
+
+    /// The configured budget.
+    pub fn budget(&self) -> u32 {
+        self.budget
+    }
+
+    /// The first fault that surfaced past recovery, if any:
+    /// `(word_addr, is_write, fault)`.
+    pub fn first_surfaced(&self) -> Option<(u64, bool, WordFault)> {
+        self.first_surfaced
+    }
+
+    /// Records a faulted response that is being accepted as an error.
+    fn note_surfaced(&mut self, resp: &WordResp) {
+        if self.first_surfaced.is_none() {
+            if let Some(fault) = resp.fault {
+                self.first_surfaced = Some((resp.word_addr, resp.is_write, fault));
+            }
+        }
+    }
+}
+
+/// Per-lane recovery state while a retried word is outstanding.
+#[derive(Debug)]
+struct RetryLane {
+    /// Responses still in flight that were issued *before* the retry and
+    /// therefore arrive ahead of the retried word's response.
+    displace_left: u32,
+    /// Displaced responses parked until the retried word's response
+    /// arrives, preserving planned word order in the decoupling queue.
+    held: VecDeque<WordResp>,
+}
 
 /// Identifies which converter (and internal stage) a word request belongs
 /// to, so the adapter can route responses back. Encoded into the low bits of
@@ -100,6 +193,12 @@ pub struct LaneSet {
     resp: Vec<VecDeque<WordResp>>,
     /// Request regulators, per lane.
     credits: Vec<Credit>,
+    /// Issued requests whose responses have not yet been delivered, per
+    /// lane (unlike `credits`, excludes responses parked in queues).
+    awaiting: Vec<u32>,
+    /// Transient-fault recovery state, per lane (`None` on the fault-free
+    /// path).
+    retry: Vec<Option<RetryLane>>,
     /// Planned jobs across all lanes, maintained incrementally so the
     /// adapter's per-cycle activity gating is O(1).
     total_jobs: usize,
@@ -115,6 +214,8 @@ impl LaneSet {
             jobs: (0..ports).map(|_| VecDeque::new()).collect(),
             resp: (0..ports).map(|_| VecDeque::new()).collect(),
             credits: (0..ports).map(|_| Credit::new(depth)).collect(),
+            awaiting: vec![0; ports],
+            retry: (0..ports).map(|_| None).collect(),
             total_jobs: 0,
             id,
             word_bytes,
@@ -185,6 +286,7 @@ impl LaneSet {
         assert!(self.credits[lane].take(), "wants() guaranteed a credit");
         let job = self.jobs[lane].pop_front().expect("wants() checked front");
         self.total_jobs -= 1;
+        self.awaiting[lane] += 1;
         let (addr, op) = match job {
             LaneJob::Read { addr } => (addr, WordOp::Read),
             LaneJob::Write { addr, data, strb } => (addr, WordOp::Write { data, strb }),
@@ -198,9 +300,19 @@ impl LaneSet {
         })
     }
 
-    /// Delivers a word response into the lane's decoupling queue.
-    pub fn deliver(&mut self, resp: WordResp) {
-        self.resp[resp.port].push_back(resp);
+    /// Delivers a word response into the lane's decoupling queue,
+    /// transparently re-issuing slave-faulted words while `ctl` has budget.
+    ///
+    /// On the fault-free path this is a single branch on top of the queue
+    /// push; all recovery work lives in the cold `deliver_faulted` path.
+    #[inline]
+    pub fn deliver(&mut self, resp: WordResp, ctl: &mut RetryCtl) {
+        self.awaiting[resp.port] -= 1;
+        if self.retry[resp.port].is_none() && resp.fault.is_none() {
+            self.resp[resp.port].push_back(resp);
+            return;
+        }
+        self.deliver_faulted(resp, ctl);
     }
 
     /// Returns `true` if every lane in `lanes` has a response available.
@@ -251,6 +363,7 @@ impl LaneSet {
         self.jobs.iter().all(VecDeque::is_empty)
             && self.resp.iter().all(VecDeque::is_empty)
             && self.credits.iter().all(|c| c.in_flight() == 0)
+            && self.retry.iter().all(Option::is_none)
     }
 
     /// Total planned jobs across lanes (for back-pressure and activity
@@ -267,6 +380,95 @@ impl LaneSet {
     }
 
     // simcheck: hot-path end
+
+    /// The recovery path of [`LaneSet::deliver`]: runs only when a fault
+    /// plan is injecting errors, so it may allocate and branch freely.
+    ///
+    /// Ordering invariant: per-port responses arrive in issue order, and a
+    /// retried word is re-issued at the *front* of its lane's address
+    /// queue, so exactly `displace_left` (= requests in flight at re-issue
+    /// time) responses arrive before the retried word's. Those are parked
+    /// in `held` and drained behind the retried word, restoring planned
+    /// word order. Held responses that are themselves slave-faulted start
+    /// their own retry round from the drain loop, so recovery nests.
+    #[cold]
+    fn deliver_faulted(&mut self, resp: WordResp, ctl: &mut RetryCtl) {
+        let lane = resp.port;
+        if let Some(rt) = self.retry[lane].as_mut() {
+            if rt.displace_left > 0 {
+                rt.displace_left -= 1;
+                rt.held.push_back(resp);
+                return;
+            }
+            // The retried word's own response.
+            if resp.fault == Some(WordFault::Slave) && ctl.try_spend() {
+                self.reissue(lane, &resp);
+                return;
+            }
+            ctl.note_surfaced(&resp);
+            self.resp[lane].push_back(resp);
+            self.settle(lane, ctl);
+            return;
+        }
+        // First fault on an unencumbered lane.
+        if resp.fault == Some(WordFault::Slave) && ctl.try_spend() {
+            self.retry[lane] = Some(RetryLane {
+                displace_left: 0,
+                held: VecDeque::new(),
+            });
+            self.reissue(lane, &resp);
+            return;
+        }
+        // Decode faults and budget-exhausted slave faults are accepted as
+        // errors; the fault tag rides the response into the beat packers.
+        ctl.note_surfaced(&resp);
+        self.resp[lane].push_back(resp);
+    }
+
+    /// Re-queues the faulted word at the front of `lane`'s address queue,
+    /// returning its credit (the re-issue takes a fresh one) and arming the
+    /// displacement counter.
+    fn reissue(&mut self, lane: usize, resp: &WordResp) {
+        self.credits[lane].put();
+        let job = if resp.is_write {
+            LaneJob::Write {
+                addr: resp.word_addr,
+                data: resp.data,
+                strb: resp.strb,
+            }
+        } else {
+            LaneJob::Read {
+                addr: resp.word_addr,
+            }
+        };
+        self.jobs[lane].push_front(job);
+        self.total_jobs += 1;
+        let rt = self.retry[lane].as_mut().expect("retry state armed");
+        rt.displace_left = self.awaiting[lane];
+    }
+
+    /// Drains held responses behind a just-accepted retried word. A held
+    /// response that is itself slave-faulted (and in budget) starts a new
+    /// retry round with the remaining held responses kept parked behind it.
+    fn settle(&mut self, lane: usize, ctl: &mut RetryCtl) {
+        loop {
+            let rt = self.retry[lane].as_mut().expect("settle with retry state");
+            match rt.held.pop_front() {
+                None => {
+                    self.retry[lane] = None;
+                    return;
+                }
+                Some(r) if r.fault == Some(WordFault::Slave) && ctl.try_spend() => {
+                    self.reissue(lane, &r);
+                    return;
+                }
+                Some(r) => {
+                    ctl.note_surfaced(&r);
+                    self.resp[lane].push_back(r);
+                }
+            }
+        }
+    }
 
     /// Memory word width in bytes.
     pub fn word_bytes(&self) -> usize {
@@ -285,6 +487,16 @@ mod tests {
             data: WordBuf::zeroed(4),
             is_write: false,
             tag,
+            fault: None,
+            strb: 0,
+        }
+    }
+
+    fn faulted(port: usize, tag: u64, addr: u64) -> WordResp {
+        WordResp {
+            word_addr: addr,
+            fault: Some(WordFault::Slave),
+            ..resp(port, tag)
         }
     }
 
@@ -315,7 +527,7 @@ mod tests {
         assert!(!lanes.wants(0));
         assert_eq!(lanes.pop_request(0), None);
         // A response returns a credit.
-        lanes.deliver(resp(0, ConvId::StridedR.tag()));
+        lanes.deliver(resp(0, ConvId::StridedR.tag()), &mut RetryCtl::new(0));
         lanes.pop_resp(0);
         assert!(lanes.wants(0));
     }
@@ -355,10 +567,121 @@ mod tests {
         lanes.push_job(0, LaneJob::Read { addr: 0 });
         let _ = lanes.pop_request(0);
         assert!(!lanes.idle()); // word still in flight
-        lanes.deliver(resp(0, 0));
+        lanes.deliver(resp(0, 0), &mut RetryCtl::new(0));
         assert!(!lanes.idle()); // response not yet drained
         lanes.pop_resp(0);
         assert!(lanes.idle());
+    }
+
+    #[test]
+    fn slave_fault_is_reissued_within_budget() {
+        let mut ctl = RetryCtl::new(4);
+        let mut lanes = LaneSet::new(1, 4, ConvId::StridedR, 4);
+        lanes.push_job(0, LaneJob::Read { addr: 0x40 });
+        let req = lanes.pop_request(0).expect("issuable");
+        assert_eq!(req.word_addr, 0x40);
+        // The memory faults the word: the lane re-queues it silently.
+        lanes.deliver(faulted(0, ConvId::StridedR.tag(), 0x40), &mut ctl);
+        assert!(!lanes.has_resp(0), "faulted word must not surface");
+        assert_eq!(ctl.spent(), 1);
+        let retry = lanes.pop_request(0).expect("retry re-issued");
+        assert_eq!(retry.word_addr, 0x40);
+        // The retry succeeds and surfaces clean.
+        lanes.deliver(resp(0, ConvId::StridedR.tag()), &mut ctl);
+        let r = lanes.pop_resp(0);
+        assert_eq!(r.fault, None);
+        assert!(lanes.idle());
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_the_fault() {
+        let mut ctl = RetryCtl::new(0);
+        let mut lanes = LaneSet::new(1, 4, ConvId::Base, 4);
+        lanes.push_job(0, LaneJob::Read { addr: 0x10 });
+        let _ = lanes.pop_request(0);
+        lanes.deliver(faulted(0, 0, 0x10), &mut ctl);
+        let r = lanes.pop_resp(0);
+        assert_eq!(r.fault, Some(WordFault::Slave));
+        assert!(lanes.idle());
+    }
+
+    #[test]
+    fn displaced_responses_keep_planned_order() {
+        // Three reads in flight on one lane; the first faults. The second
+        // and third responses arrive before the retried first and must be
+        // held, so the decoupling queue still pops in planned order.
+        let mut ctl = RetryCtl::new(4);
+        let mut lanes = LaneSet::new(1, 4, ConvId::Base, 4);
+        for addr in [0x10u64, 0x20, 0x30] {
+            lanes.push_job(0, LaneJob::Read { addr });
+        }
+        for _ in 0..3 {
+            lanes.pop_request(0).expect("issuable");
+        }
+        lanes.deliver(faulted(0, 0, 0x10), &mut ctl);
+        let retry = lanes.pop_request(0).expect("retry re-issued");
+        assert_eq!(retry.word_addr, 0x10);
+        // Responses for 0x20 and 0x30 land before the retried 0x10.
+        lanes.deliver(
+            WordResp {
+                word_addr: 0x20,
+                ..resp(0, 0)
+            },
+            &mut ctl,
+        );
+        lanes.deliver(
+            WordResp {
+                word_addr: 0x30,
+                ..resp(0, 0)
+            },
+            &mut ctl,
+        );
+        assert!(!lanes.has_resp(0), "displaced responses stay held");
+        lanes.deliver(
+            WordResp {
+                word_addr: 0x10,
+                ..resp(0, 0)
+            },
+            &mut ctl,
+        );
+        let order: Vec<u64> = (0..3).map(|_| lanes.pop_resp(0).word_addr).collect();
+        assert_eq!(order, vec![0x10, 0x20, 0x30]);
+        assert!(lanes.idle());
+    }
+
+    #[test]
+    fn faulted_write_retries_verbatim() {
+        let mut ctl = RetryCtl::new(4);
+        let mut lanes = LaneSet::new(1, 4, ConvId::StridedW, 4);
+        lanes.push_job(
+            0,
+            LaneJob::Write {
+                addr: 0x8,
+                data: WordBuf::from_slice(&[1, 2, 3, 4]),
+                strb: 0b0101,
+            },
+        );
+        let _ = lanes.pop_request(0);
+        lanes.deliver(
+            WordResp {
+                word_addr: 0x8,
+                data: WordBuf::from_slice(&[1, 2, 3, 4]),
+                is_write: true,
+                strb: 0b0101,
+                fault: Some(WordFault::Slave),
+                ..resp(0, ConvId::StridedW.tag())
+            },
+            &mut ctl,
+        );
+        let retry = lanes.pop_request(0).expect("write retry re-issued");
+        assert_eq!(retry.word_addr, 0x8);
+        match retry.op {
+            WordOp::Write { data, strb } => {
+                assert_eq!(&data[..4], &[1, 2, 3, 4]);
+                assert_eq!(strb, 0b0101);
+            }
+            WordOp::Read => panic!("write retried as read"),
+        }
     }
 
     #[test]

@@ -45,7 +45,7 @@ pub mod strided;
 
 pub use adapter::{Adapter, BASE_TXNS, PACKED_BURSTS};
 pub use axi_proto::AxiChannels;
-pub use lane::{ConvId, LaneSet};
+pub use lane::{ConvId, LaneSet, RetryCtl};
 
 use axi_proto::BusConfig;
 use banked_mem::BankConfig;

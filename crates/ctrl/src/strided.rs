@@ -13,7 +13,7 @@ use std::collections::VecDeque;
 use axi_proto::{Addr, ArBeat, AxiId, BeatBuf, BusConfig, PackMode, RBeat, Resp, WBeat};
 use banked_mem::{WordReq, WordResp};
 
-use crate::lane::{ConvId, LaneJob, LaneSet};
+use crate::lane::{fault_resp, ConvId, LaneJob, LaneSet, RetryCtl};
 use crate::CtrlConfig;
 
 /// Calls `f(beat, lane, addr)` for every word of a packed strided burst,
@@ -72,6 +72,9 @@ struct PackMeta {
     done: u32,
     /// Lanes carrying valid data in the last beat.
     tail_lanes: usize,
+    /// Worst response seen so far — sticky, so beat responses never
+    /// "heal" within a burst.
+    resp: Resp,
 }
 
 impl PackMeta {
@@ -141,6 +144,7 @@ impl StridedReadConverter {
             beats: ar.beats,
             done: 0,
             tail_lanes: tail_lanes(ar, self.word_bytes, self.ports),
+            resp: Resp::Okay,
         });
     }
 
@@ -162,9 +166,10 @@ impl StridedReadConverter {
         self.lanes.pop_request(lane)
     }
 
-    /// Delivers a word response into the decoupling queues.
-    pub fn deliver(&mut self, resp: WordResp) {
-        self.lanes.deliver(resp);
+    /// Delivers a word response into the decoupling queues; `ctl` bounds
+    /// transient-fault retries.
+    pub fn deliver(&mut self, resp: WordResp, ctl: &mut RetryCtl) {
+        self.lanes.deliver(resp, ctl);
     }
 
     /// Returns `true` if [`StridedReadConverter::pop_r`] would produce a beat.
@@ -186,10 +191,13 @@ impl StridedReadConverter {
             return None;
         }
         let mut data = BeatBuf::zeroed(bus_bytes);
+        let mut resp = meta.resp;
         for lane in 0..lanes_used {
             let word = self.lanes.pop_resp(lane);
+            resp = resp.worst(fault_resp(word.fault));
             data[lane * self.word_bytes..(lane + 1) * self.word_bytes].copy_from_slice(&word.data);
         }
+        meta.resp = resp;
         meta.done += 1;
         let last = meta.done == meta.beats;
         let id = meta.id;
@@ -202,7 +210,7 @@ impl StridedReadConverter {
             data,
             payload_bytes: payload,
             last,
-            resp: Resp::Okay,
+            resp,
         })
     }
 
@@ -238,6 +246,8 @@ struct WMeta {
     beats: u32,
     beats_filled: u32,
     tail_lanes: usize,
+    /// Worst write-ack response seen so far, reported on B.
+    resp: Resp,
 }
 
 /// The strided write converter — the read converter's datapath reversed.
@@ -252,7 +262,7 @@ pub struct StridedWriteConverter {
     refs: Vec<VecDeque<u64>>,
     seq_head: u64,
     seq_next: u64,
-    b_ready: VecDeque<AxiId>,
+    b_ready: VecDeque<(AxiId, Resp)>,
     max_bursts: usize,
 }
 
@@ -308,6 +318,7 @@ impl StridedWriteConverter {
             beats: aw.beats,
             beats_filled: 0,
             tail_lanes: tail_lanes(aw, self.word_bytes, self.ports),
+            resp: Resp::Okay,
         });
     }
 
@@ -367,20 +378,21 @@ impl StridedWriteConverter {
         }
         for lane in 0..self.ports {
             while self.lanes.take_local_ack(lane) {
-                self.attribute_ack(lane);
+                self.attribute_ack(lane, Resp::Okay);
             }
         }
     }
 
-    fn attribute_ack(&mut self, lane: usize) {
+    fn attribute_ack(&mut self, lane: usize, resp: Resp) {
         let seq = self.refs[lane]
             .pop_front()
             .expect("write ack without planned job");
         let idx = (seq - self.seq_head) as usize;
         self.bursts[idx].acked += 1;
+        self.bursts[idx].resp = self.bursts[idx].resp.worst(resp);
         while let Some(front) = self.bursts.front() {
             if front.acked == front.total_words && front.w_left == 0 {
-                self.b_ready.push_back(front.id);
+                self.b_ready.push_back((front.id, front.resp));
                 self.bursts.pop_front();
                 self.seq_head += 1;
             } else {
@@ -389,13 +401,17 @@ impl StridedWriteConverter {
         }
     }
 
-    /// Delivers a write ack from memory.
-    pub fn deliver(&mut self, resp: WordResp) {
+    /// Delivers a write ack from memory; `ctl` bounds transient-fault
+    /// retries. A retried or held response may release zero or several
+    /// acks at once.
+    pub fn deliver(&mut self, resp: WordResp, ctl: &mut RetryCtl) {
         debug_assert!(resp.is_write, "strided write converter got read data");
         let lane = resp.port;
-        self.lanes.deliver(resp);
-        let _ = self.lanes.pop_resp(lane);
-        self.attribute_ack(lane);
+        self.lanes.deliver(resp, ctl);
+        while self.lanes.has_resp(lane) {
+            let r = self.lanes.pop_resp(lane);
+            self.attribute_ack(lane, fault_resp(r.fault));
+        }
     }
 
     /// Returns `true` if a B response is pending.
@@ -403,8 +419,9 @@ impl StridedWriteConverter {
         !self.b_ready.is_empty()
     }
 
-    /// Produces the next B response for a completed burst.
-    pub fn pop_b(&mut self) -> Option<AxiId> {
+    /// Produces the next B response (id and worst ack response) for a
+    /// completed burst.
+    pub fn pop_b(&mut self) -> Option<(AxiId, Resp)> {
         self.b_ready.pop_front()
     }
 
@@ -452,6 +469,7 @@ mod tests {
         mem: &mut BankedMemory,
         max_cycles: usize,
     ) -> (Vec<RBeat>, usize) {
+        let mut ctl = RetryCtl::new(0);
         let mut beats = Vec::new();
         for cycle in 0..max_cycles {
             for lane in 0..8 {
@@ -464,7 +482,7 @@ mod tests {
                 beats.push(r);
             }
             for resp in mem.end_cycle() {
-                conv.deliver(resp);
+                conv.deliver(resp, &mut ctl);
             }
             if conv.idle() {
                 return (beats, cycle + 1);
@@ -593,6 +611,7 @@ mod tests {
         w_beats: &mut VecDeque<WBeat>,
         max_cycles: usize,
     ) -> usize {
+        let mut ctl = RetryCtl::new(0);
         for cycle in 0..max_cycles {
             conv.drain_local_acks();
             if conv.needs_w() {
@@ -608,7 +627,7 @@ mod tests {
             }
             let _ = conv.pop_b();
             for resp in mem.end_cycle() {
-                conv.deliver(resp);
+                conv.deliver(resp, &mut ctl);
             }
             if conv.idle() && w_beats.is_empty() {
                 return cycle + 1;
@@ -678,6 +697,7 @@ mod tests {
         let aw = ArBeat::packed_strided(9, 0x0, 8, ElemSize::B4, 1, &c.bus);
         conv.accept(&aw);
         let mut w_beats = VecDeque::from([WBeat::full(vec![7u8; 32], true)]);
+        let mut ctl = RetryCtl::new(0);
         let mut bs = Vec::new();
         for _ in 0..100 {
             conv.drain_local_acks();
@@ -692,11 +712,12 @@ mod tests {
                     assert!(mem.try_issue(req));
                 }
             }
-            if let Some(id) = conv.pop_b() {
+            if let Some((id, resp)) = conv.pop_b() {
+                assert_eq!(resp, Resp::Okay);
                 bs.push(id);
             }
             for resp in mem.end_cycle() {
-                conv.deliver(resp);
+                conv.deliver(resp, &mut ctl);
             }
         }
         assert_eq!(bs, vec![AxiId(9)]);

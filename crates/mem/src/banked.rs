@@ -5,6 +5,7 @@
 //! utilization curves of Fig. 5a/5b.
 
 use axi_proto::Addr;
+use simkit::fault::{site, FaultSpec, SiteSchedule};
 use simkit::{Pipeline, RoundRobin};
 
 use crate::map::BankMap;
@@ -88,6 +89,18 @@ pub struct WordReq {
     pub tag: u64,
 }
 
+/// Failure class of a word access, mapping onto AXI response codes at the
+/// adapter boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordFault {
+    /// The bank failed the access (injected transient or persistent bank
+    /// error → SLVERR upstream). Retrying the access may succeed.
+    Slave,
+    /// The address decodes to no storage (past the end of the backing
+    /// store → DECERR upstream). Retrying can never succeed.
+    Decode,
+}
+
 /// A completed word access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WordResp {
@@ -96,11 +109,43 @@ pub struct WordResp {
     /// Word-aligned byte address.
     pub word_addr: Addr,
     /// Word data for reads; the written data echoed back for writes.
+    /// Zeroed for faulted reads.
     pub data: WordBuf,
     /// `true` for writes (an ack), `false` for reads.
     pub is_write: bool,
     /// The requestor tag.
     pub tag: u64,
+    /// `Some` when the access failed: a faulted read returns no data and a
+    /// faulted write does **not** commit, so a successful retry converges
+    /// on exactly the fault-free result.
+    pub fault: Option<WordFault>,
+    /// Byte-enable strobe of the original request (0 for reads), echoed
+    /// back so a faulted write can be re-issued verbatim by the retry
+    /// machinery.
+    pub strb: u32,
+}
+
+/// Fault-injection state for one [`BankedMemory`]: the per-site schedules
+/// expanded from a [`FaultSpec`]. All decisions are keyed on access/grant
+/// ordinals, never cycles, so injected runs replay identically under
+/// event-driven and lockstep scheduling.
+#[derive(Debug, Clone)]
+struct BankFaults {
+    /// Transient access errors: consulted once per completed word access.
+    access: SiteSchedule,
+    /// Latency spikes: consulted once per grant round with pending work.
+    delay: SiteSchedule,
+    delay_len: u32,
+    /// Remaining stalled grant rounds of the current spike.
+    spike_left: u32,
+    /// Persistently-failing bank: every access it serves from
+    /// `persistent_from` (an access ordinal) onward faults.
+    persistent_bank: Option<usize>,
+    persistent_from: u64,
+    /// Total faults injected (transient + persistent).
+    injected: u64,
+    /// Grant rounds stalled by latency spikes.
+    spike_stalls: u64,
 }
 
 /// A banked, word-interleaved memory with exact conflict modeling.
@@ -147,6 +192,12 @@ pub struct BankedMemory {
     total_accesses: u64,
     conflict_stall_events: u64,
     cycles: u64,
+    /// Installed fault-injection schedules; `None` (the default) keeps
+    /// every hook to a single branch on the fault-free hot path.
+    faults: Option<BankFaults>,
+    /// Out-of-window accesses that raised [`WordFault::Decode`] (counted
+    /// whether or not a fault plan is installed).
+    decode_faults: u64,
 }
 
 impl BankedMemory {
@@ -183,7 +234,34 @@ impl BankedMemory {
             total_accesses: 0,
             conflict_stall_events: 0,
             cycles: 0,
+            faults: None,
+            decode_faults: 0,
         }
+    }
+
+    /// Installs fault-injection schedules derived from `spec`. The
+    /// persistently-failing bank (if enabled) and its onset ordinal are
+    /// drawn deterministically from the spec's seed.
+    pub fn install_faults(&mut self, spec: &FaultSpec) {
+        let mut persistent = spec.schedule(site::BANK_PERSISTENT, 0);
+        let (persistent_bank, persistent_from) = if spec.persistent_bank {
+            (
+                Some((persistent.draw() % self.cfg.banks as u64) as usize),
+                1 + persistent.draw() % 4096,
+            )
+        } else {
+            (None, 0)
+        };
+        self.faults = Some(BankFaults {
+            access: spec.schedule(site::BANK_ACCESS, spec.bank_error_period),
+            delay: spec.schedule(site::BANK_DELAY, spec.bank_delay_period),
+            delay_len: spec.bank_delay_len,
+            spike_left: 0,
+            persistent_bank,
+            persistent_from,
+            injected: 0,
+            spike_stalls: 0,
+        });
     }
 
     // simcheck: hot-path begin -- per-cycle issue, arbitration and access;
@@ -259,14 +337,32 @@ impl BankedMemory {
                     self.wants_scratch[b] |= 1 << p;
                 }
             }
+            // Latency-spike site: consulted once per grant round that has
+            // pending work. While a spike is active no bank grants anything
+            // and the stalled requests keep the memory non-quiescent, so
+            // neither scheduling mode can skip past the spike — the stall
+            // is ordinal-keyed and mode-independent.
+            let mut spiked = false;
+            if !self.dirty_banks.is_empty() {
+                if let Some(f) = self.faults.as_mut() {
+                    if f.spike_left == 0 && f.delay.fires() {
+                        f.spike_left = f.delay_len;
+                    }
+                    if f.spike_left > 0 {
+                        f.spike_left -= 1;
+                        f.spike_stalls += 1;
+                        spiked = true;
+                    }
+                }
+            }
             for i in 0..self.dirty_banks.len() {
                 let b = self.dirty_banks[i];
                 let want = self.wants_scratch[b];
                 let contenders = want.count_ones();
-                if contenders > 1 {
+                if contenders > 1 && !spiked {
                     self.conflict_stall_events += (contenders - 1) as u64;
                 }
-                if self.banks[b].can_insert() {
+                if !spiked && self.banks[b].can_insert() {
                     if let Some(p) = self.arbs[b].grant_mask(want) {
                         let req = self.pending[p].take().expect("granted port has request");
                         self.banks[b].insert(req);
@@ -286,9 +382,14 @@ impl BankedMemory {
                 continue;
             }
             if let Some(req) = bank.end_cycle() {
+                let ordinal = self.total_accesses;
                 responses.push(Self::access(
                     &mut self.storage,
+                    &self.map,
                     self.cfg.word_bytes,
+                    &mut self.faults,
+                    &mut self.decode_faults,
+                    ordinal,
                     req,
                     commit,
                 ));
@@ -301,9 +402,14 @@ impl BankedMemory {
                 .push_back(std::mem::take(&mut self.ideal_overflow));
             if self.ideal_delay.len() >= self.cfg.latency.max(1) {
                 for req in self.ideal_delay.pop_front().expect("nonempty") {
+                    let ordinal = self.total_accesses;
                     responses.push(Self::access(
                         &mut self.storage,
+                        &self.map,
                         self.cfg.word_bytes,
+                        &mut self.faults,
+                        &mut self.decode_faults,
+                        ordinal,
                         req,
                         commit,
                     ));
@@ -313,21 +419,58 @@ impl BankedMemory {
         }
     }
 
-    fn access(storage: &mut Storage, word_bytes: usize, req: WordReq, commit: bool) -> WordResp {
+    /// Performs one word access, first deciding its fault class:
+    /// out-of-window addresses always raise [`WordFault::Decode`]
+    /// (plan or no plan — replacing what used to be a slice panic), and
+    /// installed schedules may raise [`WordFault::Slave`]. A faulted read
+    /// returns zeroed data; a faulted write does not commit.
+    #[allow(clippy::too_many_arguments)]
+    fn access(
+        storage: &mut Storage,
+        map: &BankMap,
+        word_bytes: usize,
+        faults: &mut Option<BankFaults>,
+        decode_faults: &mut u64,
+        ordinal: u64,
+        req: WordReq,
+        commit: bool,
+    ) -> WordResp {
+        let oob = req.word_addr as usize + word_bytes > storage.len();
+        let mut fault = if oob {
+            *decode_faults += 1;
+            Some(WordFault::Decode)
+        } else {
+            None
+        };
+        if let Some(f) = faults.as_mut() {
+            // The transient stream is consulted on *every* access so its
+            // ordinals stay aligned whatever other fault class fires.
+            let transient = f.access.fires();
+            let persistent = f.persistent_bank == Some(map.bank_of(req.word_addr))
+                && ordinal >= f.persistent_from;
+            if fault.is_none() && (transient || persistent) {
+                fault = Some(WordFault::Slave);
+                f.injected += 1;
+            }
+        }
         match req.op {
             WordOp::Read => {
                 let mut data = WordBuf::zeroed(word_bytes);
-                storage.read(req.word_addr, &mut data);
+                if fault.is_none() {
+                    storage.read(req.word_addr, &mut data);
+                }
                 WordResp {
                     port: req.port,
                     word_addr: req.word_addr,
                     data,
                     is_write: false,
                     tag: req.tag,
+                    fault,
+                    strb: 0,
                 }
             }
             WordOp::Write { data, strb } => {
-                if commit {
+                if commit && fault.is_none() {
                     storage.write_masked(req.word_addr, &data, strb as u128);
                 }
                 WordResp {
@@ -336,6 +479,8 @@ impl BankedMemory {
                     data,
                     is_write: true,
                     tag: req.tag,
+                    fault,
+                    strb,
                 }
             }
         }
@@ -372,6 +517,39 @@ impl BankedMemory {
     /// measure of serialization lost to bank conflicts.
     pub fn conflict_stall_events(&self) -> u64 {
         self.conflict_stall_events
+    }
+
+    /// Faults injected by installed schedules (transient + persistent
+    /// bank errors; excludes decode faults).
+    pub fn injected_faults(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.injected)
+    }
+
+    /// Grant rounds stalled by injected latency spikes.
+    pub fn spike_stalls(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.spike_stalls)
+    }
+
+    /// Out-of-window accesses that raised [`WordFault::Decode`].
+    pub fn decode_faults(&self) -> u64 {
+        self.decode_faults
+    }
+
+    /// Hang-forensics snapshot: pending port requests, in-flight bank
+    /// accesses, and whether a latency spike is currently suppressing
+    /// grants.
+    pub fn describe_state(&self) -> String {
+        let pending = self.pending.iter().filter(|p| p.is_some()).count();
+        let in_flight = self.banks.iter().filter(|b| !b.is_empty()).count();
+        let spike = self.faults.as_ref().map_or(0, |f| f.spike_left);
+        if spike > 0 {
+            format!(
+                "{pending} pending port reqs, {in_flight} banks busy, \
+                 latency spike suppressing grants for {spike} more rounds"
+            )
+        } else {
+            format!("{pending} pending port reqs, {in_flight} banks busy")
+        }
     }
 
     /// Returns `true` when no request is pending or in flight.
@@ -610,5 +788,135 @@ mod tests {
             op: WordOp::Read,
             tag: 0,
         });
+    }
+
+    #[test]
+    fn transient_bank_faults_zero_data_and_count() {
+        let mut m = mem(8);
+        let mut spec = FaultSpec::silent(42);
+        spec.bank_error_period = 3;
+        m.install_faults(&spec);
+        let mut responses = Vec::new();
+        // Words 1.. hold their own nonzero index, so zeroed data is
+        // unambiguously the fault's doing.
+        for w in 1..=64u64 {
+            assert!(m.try_issue(WordReq {
+                port: 0,
+                word_addr: w * 4,
+                op: WordOp::Read,
+                tag: w,
+            }));
+            responses.extend(run_until_quiescent(&mut m, 100));
+        }
+        let faulted: Vec<&WordResp> = responses
+            .iter()
+            .filter(|r| r.fault == Some(WordFault::Slave))
+            .collect();
+        assert!(
+            !faulted.is_empty(),
+            "a mean-3 transient schedule must fire within 64 accesses"
+        );
+        assert_eq!(m.injected_faults(), faulted.len() as u64);
+        for r in &faulted {
+            assert!(
+                r.data.iter().all(|&b| b == 0),
+                "faulted reads must return zeroed data"
+            );
+        }
+        assert!(
+            responses
+                .iter()
+                .any(|r| r.fault.is_none() && r.data.iter().any(|&b| b != 0)),
+            "clean responses still carry real data"
+        );
+    }
+
+    #[test]
+    fn persistent_bank_fails_every_access_after_onset() {
+        let mut m = mem(2);
+        let mut spec = FaultSpec::silent(3);
+        spec.persistent_bank = true;
+        m.install_faults(&spec);
+        let mut responses = Vec::new();
+        // The onset ordinal is drawn in [1, 4096]; 5000 serialized reads
+        // are guaranteed to cross it.
+        for w in 0..5000u64 {
+            assert!(m.try_issue(WordReq {
+                port: 0,
+                word_addr: (w % 64) * 4,
+                op: WordOp::Read,
+                tag: w,
+            }));
+            responses.extend(run_until_quiescent(&mut m, 100));
+        }
+        let mut failed_bank = None;
+        let mut healed = 0u64;
+        for r in &responses {
+            let bank = (r.word_addr / 4) % 2;
+            match (r.fault, failed_bank) {
+                (Some(WordFault::Slave), None) => failed_bank = Some(bank),
+                (Some(WordFault::Slave), Some(b)) => {
+                    assert_eq!(bank, b, "persistent faults must stay on one bank");
+                }
+                (None, Some(b)) if bank == b => healed += 1,
+                _ => {}
+            }
+        }
+        assert!(
+            failed_bank.is_some(),
+            "the persistent onset must land within 5000 accesses"
+        );
+        assert_eq!(
+            healed, 0,
+            "after onset, every access to the failed bank must fault"
+        );
+    }
+
+    #[test]
+    fn delay_spikes_stall_grants_but_lose_nothing() {
+        let mut m = mem(8);
+        let mut spec = FaultSpec::silent(7);
+        spec.bank_delay_period = 2;
+        spec.bank_delay_len = 4;
+        m.install_faults(&spec);
+        let mut served = 0usize;
+        for w in 0..32u64 {
+            assert!(m.try_issue(WordReq {
+                port: 0,
+                word_addr: w * 4,
+                op: WordOp::Read,
+                tag: w,
+            }));
+            let resps = run_until_quiescent(&mut m, 200);
+            assert!(resps.iter().all(|r| r.fault.is_none()));
+            served += resps.len();
+        }
+        assert_eq!(served, 32, "delay spikes must not drop requests");
+        assert!(
+            m.spike_stalls() > 0,
+            "a mean-2 delay schedule must stall some grant rounds"
+        );
+        assert_eq!(
+            m.injected_faults(),
+            0,
+            "the delay site stalls; it never corrupts"
+        );
+    }
+
+    #[test]
+    fn out_of_window_access_raises_decode_fault_without_a_plan() {
+        let mut m = mem(8);
+        // One word past the end of the 64 KiB backing store.
+        assert!(m.try_issue(WordReq {
+            port: 0,
+            word_addr: 1 << 16,
+            op: WordOp::Read,
+            tag: 9,
+        }));
+        let resps = run_until_quiescent(&mut m, 100);
+        assert_eq!(resps.len(), 1);
+        assert_eq!(resps[0].fault, Some(WordFault::Decode));
+        assert_eq!(m.decode_faults(), 1);
+        assert_eq!(m.injected_faults(), 0);
     }
 }

@@ -32,6 +32,8 @@ pub mod banked;
 pub mod map;
 pub mod storage;
 
-pub use banked::{BankConfig, BankedMemory, WordBuf, WordOp, WordReq, WordResp, MAX_WORD_BYTES};
+pub use banked::{
+    BankConfig, BankedMemory, WordBuf, WordFault, WordOp, WordReq, WordResp, MAX_WORD_BYTES,
+};
 pub use map::{is_prime, BankMap};
 pub use storage::Storage;

@@ -49,6 +49,7 @@
 pub mod arbiter;
 pub mod buf;
 pub mod credit;
+pub mod fault;
 pub mod fifo;
 pub mod pipeline;
 pub mod sched;
@@ -58,6 +59,7 @@ pub mod sweep;
 pub use arbiter::RoundRobin;
 pub use buf::InlineBuf;
 pub use credit::Credit;
+pub use fault::{FaultReport, FaultSpec, HangComponent, HangReport, SiteSchedule};
 pub use fifo::Fifo;
 pub use pipeline::Pipeline;
 pub use sched::{Scheduler, Wake, WakeCond, WakeHeap};

@@ -30,7 +30,7 @@ use std::collections::{HashMap, VecDeque};
 use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Arc;
 
-use axi_proto::{Addr, ArBeat, AxiChannels, BeatBuf, BusConfig, ElemSize, IdxSize, WBeat};
+use axi_proto::{Addr, ArBeat, AxiChannels, BeatBuf, BusConfig, ElemSize, IdxSize, Resp, WBeat};
 use banked_mem::Storage;
 use simkit::sched::Wake;
 use simkit::Utilization;
@@ -93,6 +93,22 @@ impl EngineStats {
             scalar_stall_cycles: 0,
         }
     }
+}
+
+/// The first error response this engine observed on the bus.
+///
+/// An errored beat means the data the requestor consumed is suspect, so
+/// the run harness aborts the requestor with a typed fault report once the
+/// bus drains; the engine itself keeps accounting beats normally so the
+/// drain always completes (errors must never wedge the pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusFault {
+    /// AXI transaction id that carried the error.
+    pub axi_id: u8,
+    /// `true` when the error arrived on the B (write response) channel.
+    pub is_write: bool,
+    /// Response class name, `"SLVERR"` or `"DECERR"`.
+    pub resp: &'static str,
 }
 
 /// Timing class of an in-flight instruction.
@@ -217,6 +233,8 @@ pub struct Engine {
     /// back-to-back operations.
     ideal_last_active: u64,
     stats: EngineStats,
+    /// First error response seen on R or B, if any.
+    first_fault: Option<BusFault>,
     /// Start-of-cycle producer-progress snapshot, reused every cycle so
     /// chaining never allocates (uid → produced, in issue order).
     progress_scratch: Vec<(u64, usize)>,
@@ -292,6 +310,7 @@ impl Engine {
             ideal_active: None,
             ideal_last_active: 0,
             stats: EngineStats::new(bus_bytes),
+            first_fault: None,
             progress_scratch: Vec::new(),
             cfg,
             kind,
@@ -307,6 +326,27 @@ impl Engine {
     /// The architectural register file.
     pub fn regs(&self) -> &RegFile {
         &self.regs
+    }
+
+    /// The first error response this engine saw on the bus, if any.
+    pub fn first_fault(&self) -> Option<BusFault> {
+        self.first_fault
+    }
+
+    /// One-line state snapshot for hang forensics: issue cursor, in-flight
+    /// window, and VLSU occupancy.
+    pub fn describe_state(&self) -> String {
+        format!(
+            "pc {}/{}, {} in window, {} mem ops queued, load issuing: {}, {} loads draining,              store active: {}, {} stores awaiting B",
+            self.pc,
+            self.program.len(),
+            self.window.len(),
+            self.mem_q.len(),
+            self.load_issuing.is_some(),
+            self.loads_draining.len(),
+            self.store_active.is_some(),
+            self.stores_draining.len(),
+        )
     }
 
     /// Returns `true` when the program has fully executed and drained.
@@ -366,6 +406,13 @@ impl Engine {
         }
         // B channel.
         if let Some(b) = ch.b.pop() {
+            if b.resp != Resp::Okay && self.first_fault.is_none() {
+                self.first_fault = Some(BusFault {
+                    axi_id: b.id.0,
+                    is_write: true,
+                    resp: b.resp.name(),
+                });
+            }
             let run = self
                 .store_active
                 .as_mut()
@@ -471,7 +518,17 @@ impl Engine {
         let lane_off = run.lane_offs.pop_front().expect("planned with beat_elems");
         let lo = run.received_elems * 4;
         let expected = &run.expected[lo..lo + elems * 4];
-        if beat.data[lane_off..lane_off + elems * 4] != *expected {
+        if beat.resp != Resp::Okay {
+            // Errored beats carry no trustworthy payload; the fault record,
+            // not a mismatch count, is what reaches the user.
+            if self.first_fault.is_none() {
+                self.first_fault = Some(BusFault {
+                    axi_id: beat.id.0,
+                    is_write: false,
+                    resp: beat.resp.name(),
+                });
+            }
+        } else if beat.data[lane_off..lane_off + elems * 4] != *expected {
             self.stats.data_mismatches += 1;
         }
         run.received_elems += elems;
