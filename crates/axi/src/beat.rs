@@ -26,9 +26,12 @@ pub type BeatBuf = simkit::InlineBuf<MAX_BEAT_BYTES>;
 /// AXI transaction identifier.
 ///
 /// Transactions with the same ID must stay ordered; different IDs may
-/// interleave. The simulated systems use a small fixed ID space.
+/// interleave. The simulated systems use a small fixed ID space; the
+/// carrier is 16 bits wide so a cascade of ID-prefixing muxes (see
+/// [`crate::AxiMux::cascade`]) can stack per-level manager prefixes above
+/// the engine-local bits without overflowing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct AxiId(pub u8);
+pub struct AxiId(pub u16);
 
 impl std::fmt::Display for AxiId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -133,7 +136,7 @@ impl ArBeat {
             "AXI4 burst length must be 1..=256 beats, got {beats}"
         );
         ArBeat {
-            id: AxiId(id),
+            id: AxiId(id.into()),
             addr,
             beats,
             size: ElemSize::from_bytes(bus.data_bytes()).expect("bus width is a valid AxSIZE"),
@@ -149,7 +152,7 @@ impl ArBeat {
     /// accesses — the access pattern whose inefficiency motivates AXI-Pack.
     pub fn narrow(id: u8, addr: Addr, size: ElemSize) -> Self {
         ArBeat {
-            id: AxiId(id),
+            id: AxiId(id.into()),
             addr,
             beats: 1,
             size,
@@ -184,7 +187,7 @@ impl ArBeat {
             "packed burst of {beats} beats exceeds the AXI4 maximum"
         );
         ArBeat {
-            id: AxiId(id),
+            id: AxiId(id.into()),
             addr,
             beats,
             size,
@@ -217,7 +220,7 @@ impl ArBeat {
             "packed burst of {beats} beats exceeds the AXI4 maximum"
         );
         ArBeat {
-            id: AxiId(id),
+            id: AxiId(id.into()),
             addr: idx_addr,
             beats,
             size,

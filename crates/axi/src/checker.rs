@@ -118,7 +118,7 @@ struct OpenBurst {
 #[derive(Debug)]
 pub struct Monitor {
     bus: BusConfig,
-    /// ID-space width of the monitored port, in bits (≤ 8).
+    /// ID-space width of the monitored port, in bits (≤ 16).
     id_bits: u32,
     /// Outstanding read bursts, per ID, in issue order.
     reads: Vec<VecDeque<OpenBurst>>,
@@ -132,31 +132,29 @@ pub struct Monitor {
     w_beats: u64,
 }
 
-/// Number of distinct IDs the monitor tracks.
-const ID_SPACE: usize = 256;
-
 impl Monitor {
     /// Creates a monitor for a bus of the given width, with the full
-    /// 8-bit ID space (a subordinate-side port).
+    /// 8-bit ID space (a subordinate-side port of a flat topology).
     pub fn new(bus: BusConfig) -> Self {
         Monitor::with_id_bits(bus, 8)
     }
 
-    /// Creates a monitor whose port only carries `id_bits`-bit transaction
-    /// IDs — the manager-side port of an [`crate::AxiMux`], whose prefix
-    /// scheme needs manager-local IDs to fit
-    /// [`crate::mux::LOCAL_ID_BITS`]. Requests with wider IDs are recorded
-    /// as [`Violation::IdOutOfRange`].
+    /// Creates a monitor whose port carries `id_bits`-bit transaction
+    /// IDs — the manager-side port of an [`crate::AxiMux`] restricts its
+    /// managers to [`crate::mux::LOCAL_ID_BITS`]-bit local IDs, while a
+    /// fabric root port carries the stacked per-level prefixes on top
+    /// (up to [`crate::mux::ID_BITS`] total). Requests with wider IDs are
+    /// recorded as [`Violation::IdOutOfRange`] and not tracked further.
     ///
     /// # Panics
     ///
-    /// Panics unless `1 <= id_bits <= 8`.
+    /// Panics unless `1 <= id_bits <= 16`.
     pub fn with_id_bits(bus: BusConfig, id_bits: u32) -> Self {
-        assert!((1..=8).contains(&id_bits), "ID width must be 1..=8 bits");
+        assert!((1..=16).contains(&id_bits), "ID width must be 1..=16 bits");
         Monitor {
             bus,
             id_bits,
-            reads: (0..ID_SPACE).map(|_| VecDeque::new()).collect(),
+            reads: (0..1usize << id_bits).map(|_| VecDeque::new()).collect(),
             writes: VecDeque::new(),
             awaiting_b: VecDeque::new(),
             violations: Vec::new(),
@@ -165,19 +163,25 @@ impl Monitor {
         }
     }
 
-    /// Flags a request ID exceeding the port's ID space.
-    fn check_id_width(&mut self, id: AxiId) {
-        if self.id_bits < 8 && (id.0 >> self.id_bits) != 0 {
+    /// Flags a request ID exceeding the port's ID space; returns whether
+    /// the ID fits (and is therefore safe to index the tracking tables).
+    fn check_id_width(&mut self, id: AxiId) -> bool {
+        if (u32::from(id.0) >> self.id_bits) != 0 {
             self.violations.push(Violation::IdOutOfRange {
                 id,
                 id_bits: self.id_bits,
             });
+            false
+        } else {
+            true
         }
     }
 
     /// Records an accepted AR handshake.
     pub fn observe_ar(&mut self, ar: &ArBeat) {
-        self.check_id_width(ar.id);
+        if !self.check_id_width(ar.id) {
+            return;
+        }
         self.reads[ar.id.0 as usize].push_back(OpenBurst {
             id: ar.id,
             beats_left: ar.beats,
@@ -204,7 +208,10 @@ impl Monitor {
                 got: r.data.len(),
             });
         }
-        let queue = &mut self.reads[r.id.0 as usize];
+        let Some(queue) = self.reads.get_mut(r.id.0 as usize) else {
+            self.violations.push(Violation::OrphanRBeat(r.id));
+            return;
+        };
         let Some(open) = queue.front_mut() else {
             self.violations.push(Violation::OrphanRBeat(r.id));
             return;
@@ -298,7 +305,7 @@ mod tests {
         BusConfig::new(64)
     }
 
-    fn rbeat(id: u8, last: bool) -> RBeat {
+    fn rbeat(id: u16, last: bool) -> RBeat {
         RBeat {
             id: AxiId(id),
             data: BeatBuf::zeroed(8),

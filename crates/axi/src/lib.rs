@@ -50,7 +50,7 @@ pub use beat::{ArBeat, AxiId, BBeat, BeatBuf, Burst, RBeat, Resp, WBeat, MAX_BEA
 pub use channels::{AxiChannels, CHANNEL_DEPTH};
 pub use config::{BusConfig, ElemSize, IdxSize};
 pub use expand::{beat_layout, element_addresses, split_words, BeatSource, WordRef};
-pub use mux::{AxiMux, LOCAL_ID_BITS, MAX_MANAGERS};
+pub use mux::{AxiMux, ID_BITS, LOCAL_ID_BITS, MAX_FAN_IN, MAX_MANAGERS};
 pub use pack::PackMode;
 
 /// A byte address in the simulated physical address space.

@@ -39,15 +39,20 @@ use std::collections::VecDeque;
 use crate::beat::AxiId;
 use crate::channels::AxiChannels;
 
-/// Maximum managers one mux supports (2 ID bits).
+/// Maximum managers a *flat* (non-cascaded) mux supports (2 ID bits).
 pub const MAX_MANAGERS: usize = 4;
-/// Bits of the ID space left to each manager: the mux prefixes the two
+/// Maximum fan-in of one level of a cascaded mux tree (3 ID-prefix bits).
+/// Sized so the per-cycle arbitration scratch stays on the stack.
+pub const MAX_FAN_IN: usize = 8;
+/// Bits of the ID space left to each manager: the mux prefixes the
 /// manager-index bits above them, so manager-local transaction IDs must
 /// stay below `1 << LOCAL_ID_BITS`. Engines sitting behind a mux restrict
-/// their ID allocators to this width.
+/// their ID allocators to this width. Cascaded levels stack further
+/// prefix bits above this (see [`AxiMux::cascade`]).
 pub const LOCAL_ID_BITS: u32 = 6;
-/// Mask of the manager-local ID bits.
-const LOCAL_MASK: u8 = (1 << LOCAL_ID_BITS) - 1;
+/// Total ID bits an [`crate::AxiId`] can carry: the budget every mux
+/// tree's stacked prefixes plus the engine-local bits must fit into.
+pub const ID_BITS: u32 = 16;
 
 /// Installed grant-delay fault state (see [`AxiMux::install_faults`]).
 ///
@@ -87,6 +92,9 @@ struct MuxFaults {
 #[derive(Debug)]
 pub struct AxiMux {
     n: usize,
+    /// ID bits below this mux's manager prefix: manager-local IDs must fit
+    /// `shift` bits, and the prefix occupies the bits at and above it.
+    shift: u32,
     ar_arb: RoundRobin,
     aw_arb: RoundRobin,
     /// W routing: (manager, beats remaining) per accepted AW, in order.
@@ -100,13 +108,18 @@ pub struct AxiMux {
     /// Cycles a manager had an AR ready but was not granted (downstream
     /// back-pressure or a lost arbitration round).
     ar_lost: Vec<u64>,
+    /// R beats routed back upstream through this mux — the per-level
+    /// occupancy measure the fabric reports aggregate.
+    r_routed: u64,
     /// Installed grant-delay storms; `None` (the default) keeps the fault
     /// hooks to one branch per arbitration round.
     faults: Option<MuxFaults>,
 }
 
 impl AxiMux {
-    /// Creates a mux over `n` manager ports.
+    /// Creates a flat mux over `n` manager ports whose managers are
+    /// engines with [`LOCAL_ID_BITS`]-bit local IDs — the single-level
+    /// topology every pre-fabric system uses.
     ///
     /// # Panics
     ///
@@ -116,8 +129,34 @@ impl AxiMux {
             (1..=MAX_MANAGERS).contains(&n),
             "mux supports 1..=4 managers, got {n}"
         );
+        Self::cascade(n, LOCAL_ID_BITS)
+    }
+
+    /// Creates one level of a cascaded mux tree: `n` manager ports whose
+    /// IDs already occupy `shift` bits (engine-local bits plus any
+    /// lower-level prefixes). This level stacks its own manager-index
+    /// prefix at bit `shift`, so its downstream IDs occupy
+    /// `shift + ceil(log2(n))` bits; a parent level is constructed with
+    /// that wider shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= n <= MAX_FAN_IN` and the prefixed IDs fit the
+    /// [`ID_BITS`]-bit carrier.
+    pub fn cascade(n: usize, shift: u32) -> Self {
+        assert!(
+            (1..=MAX_FAN_IN).contains(&n),
+            "mux level supports 1..={MAX_FAN_IN} managers, got {n}"
+        );
+        let prefix_bits = (n.max(2) - 1).ilog2() + 1;
+        assert!(
+            shift + prefix_bits <= ID_BITS,
+            "mux level at shift {shift} with {n} managers overflows the \
+             {ID_BITS}-bit ID space"
+        );
         AxiMux {
             n,
+            shift,
             ar_arb: RoundRobin::new(n),
             aw_arb: RoundRobin::new(n),
             w_route: VecDeque::new(),
@@ -125,6 +164,7 @@ impl AxiMux {
             writes_open: vec![0; n],
             ar_grants: vec![0; n],
             ar_lost: vec![0; n],
+            r_routed: 0,
             faults: None,
         }
     }
@@ -150,24 +190,40 @@ impl AxiMux {
         self.n
     }
 
+    /// ID bits below this level's manager prefix (see [`AxiMux::cascade`]).
+    pub fn shift(&self) -> u32 {
+        self.shift
+    }
+
     // simcheck: hot-path begin -- ID remapping and the per-cycle arbitration
     // tick; the W-route deque is the only queue and it is bounded by the
     // outstanding-write limit, so it reaches steady-state capacity early.
 
-    /// Prefixes a manager-local ID with the manager index.
-    fn upstream_id(port: usize, id: AxiId) -> AxiId {
+    /// Prefixes a manager-local ID with the manager index above `shift`
+    /// bits. Public so fabric plumbing (fault attribution, endpoint-ID
+    /// reconstruction) can reproduce the mapping a mux path applies.
+    pub fn prefix_id(shift: u32, port: usize, id: AxiId) -> AxiId {
         assert!(
-            id.0 & !LOCAL_MASK == 0,
-            "manager IDs must fit {} bits, got {}",
-            LOCAL_ID_BITS,
+            id.0 >> shift == 0,
+            "manager IDs must fit {shift} bits, got {}",
             id.0
         );
-        AxiId((port as u8) << LOCAL_ID_BITS | id.0)
+        AxiId((port as u16) << shift | id.0)
+    }
+
+    /// Splits a downstream ID back into (manager, local ID) at `shift`.
+    pub fn split_id(shift: u32, id: AxiId) -> (usize, AxiId) {
+        ((id.0 >> shift) as usize, AxiId(id.0 & ((1 << shift) - 1)))
+    }
+
+    /// Prefixes a manager-local ID with the manager index.
+    fn upstream_id(&self, port: usize, id: AxiId) -> AxiId {
+        Self::prefix_id(self.shift, port, id)
     }
 
     /// Splits a downstream ID back into (manager, local ID).
-    fn downstream_id(id: AxiId) -> (usize, AxiId) {
-        ((id.0 >> LOCAL_ID_BITS) as usize, AxiId(id.0 & LOCAL_MASK))
+    fn downstream_id(&self, id: AxiId) -> (usize, AxiId) {
+        Self::split_id(self.shift, id)
     }
 
     /// One cycle of multiplexer work.
@@ -179,8 +235,8 @@ impl AxiMux {
     pub fn tick(&mut self, managers: &mut [AxiChannels], down: &mut AxiChannels) {
         assert_eq!(managers.len(), self.n, "manager port count mismatch");
         // AR: round-robin one request. The request vectors live on the
-        // stack (at most MAX_MANAGERS ports) — no per-cycle allocation.
-        let mut wants = [false; MAX_MANAGERS];
+        // stack (at most MAX_FAN_IN ports) — no per-cycle allocation.
+        let mut wants = [false; MAX_FAN_IN];
         for (p, m) in managers.iter().enumerate() {
             wants[p] = m.ar.can_pop();
         }
@@ -211,14 +267,14 @@ impl AxiMux {
         }
         if let Some(p) = granted {
             let mut ar = managers[p].ar.pop().expect("granted manager has AR");
-            ar.id = Self::upstream_id(p, ar.id);
+            ar.id = self.upstream_id(p, ar.id);
             self.reads_open[p] += 1;
             self.ar_grants[p] += 1;
             down.ar.push(ar);
         }
         // AW: round-robin one request; record the W route.
         {
-            let mut wants = [false; MAX_MANAGERS];
+            let mut wants = [false; MAX_FAN_IN];
             for (p, m) in managers.iter().enumerate() {
                 wants[p] = m.aw.can_pop();
             }
@@ -240,7 +296,7 @@ impl AxiMux {
                 // fall through: no AW grant this round
             } else if let Some(p) = self.aw_arb.grant(&wants[..self.n]) {
                 let mut aw = managers[p].aw.pop().expect("granted manager has AW");
-                aw.id = Self::upstream_id(p, aw.id);
+                aw.id = self.upstream_id(p, aw.id);
                 self.w_route.push_back((p, aw.beats));
                 self.writes_open[p] += 1;
                 down.aw.push(aw);
@@ -260,7 +316,7 @@ impl AxiMux {
         }
         // R: route by ID prefix (peek first so back-pressure propagates).
         if let Some(r) = down.r.peek() {
-            let (p, local) = Self::downstream_id(r.id);
+            let (p, local) = self.downstream_id(r.id);
             assert!(p < self.n, "R beat for unknown manager {p}");
             if managers[p].r.can_push() {
                 let mut r = down.r.pop().expect("peeked");
@@ -269,12 +325,13 @@ impl AxiMux {
                     debug_assert!(self.reads_open[p] > 0, "last R without open read");
                     self.reads_open[p] = self.reads_open[p].saturating_sub(1);
                 }
+                self.r_routed += 1;
                 managers[p].r.push(r);
             }
         }
         // B: route by ID prefix.
         if let Some(b) = down.b.peek() {
-            let (p, local) = Self::downstream_id(b.id);
+            let (p, local) = self.downstream_id(b.id);
             assert!(p < self.n, "B beat for unknown manager {p}");
             if managers[p].b.can_push() {
                 let mut b = down.b.pop().expect("peeked");
@@ -339,6 +396,16 @@ impl AxiMux {
         self.ar_lost[p]
     }
 
+    /// Total AR requests forwarded downstream across all managers.
+    pub fn ar_forwarded(&self) -> u64 {
+        self.ar_grants.iter().sum()
+    }
+
+    /// Total R beats routed back upstream across all managers.
+    pub fn r_forwarded(&self) -> u64 {
+        self.r_routed
+    }
+
     /// True while an injected grant storm is actively suppressing
     /// arbitration — hang forensics must treat a storming mux as busy
     /// even when no burst is mid-route.
@@ -386,17 +453,46 @@ mod tests {
     #[test]
     fn id_mapping_roundtrips() {
         for p in 0..4 {
-            for id in [0u8, 1, 33, 63] {
-                let up = AxiMux::upstream_id(p, AxiId(id));
-                assert_eq!(AxiMux::downstream_id(up), (p, AxiId(id)));
+            for id in [0u16, 1, 33, 63] {
+                let up = AxiMux::prefix_id(LOCAL_ID_BITS, p, AxiId(id));
+                assert_eq!(AxiMux::split_id(LOCAL_ID_BITS, up), (p, AxiId(id)));
             }
         }
     }
 
     #[test]
+    fn cascaded_prefixes_stack_above_lower_levels() {
+        // A level-1 mux at shift 8 prefixes above a level-0 prefix at
+        // shift 6: both split back out in reverse order.
+        let lvl0 = AxiMux::prefix_id(LOCAL_ID_BITS, 3, AxiId(17));
+        let lvl1 = AxiMux::prefix_id(8, 5, lvl0);
+        let (p1, rest) = AxiMux::split_id(8, lvl1);
+        assert_eq!(p1, 5);
+        assert_eq!(AxiMux::split_id(LOCAL_ID_BITS, rest), (3, AxiId(17)));
+    }
+
+    #[test]
+    fn cascade_levels_report_their_shift() {
+        assert_eq!(AxiMux::new(4).shift(), LOCAL_ID_BITS);
+        assert_eq!(AxiMux::cascade(8, 9).shift(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn cascade_rejects_id_space_overflow() {
+        let _ = AxiMux::cascade(8, 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "mux level supports")]
+    fn cascade_rejects_excess_fan_in() {
+        let _ = AxiMux::cascade(MAX_FAN_IN + 1, LOCAL_ID_BITS);
+    }
+
+    #[test]
     #[should_panic(expected = "must fit")]
     fn oversized_manager_id_rejected() {
-        let _ = AxiMux::upstream_id(0, AxiId(64));
+        let _ = AxiMux::prefix_id(LOCAL_ID_BITS, 0, AxiId(64));
     }
 
     #[test]
@@ -415,7 +511,7 @@ mod tests {
                 }
             }
             if let Some(ar) = down.ar.pop() {
-                order.push(AxiMux::downstream_id(ar.id).0);
+                order.push(AxiMux::split_id(LOCAL_ID_BITS, ar.id).0);
             }
             mux.tick(&mut mgrs, &mut down);
             for m in mgrs.iter_mut() {
@@ -450,7 +546,7 @@ mod tests {
                 }
             }
             if let Some(ar) = down.ar.pop() {
-                order.push(AxiMux::downstream_id(ar.id).0);
+                order.push(AxiMux::split_id(LOCAL_ID_BITS, ar.id).0);
             }
             mux.tick(&mut mgrs, &mut down);
             for m in mgrs.iter_mut() {
@@ -557,7 +653,7 @@ mod tests {
         assert!(!mux.manager_quiescent(0));
         // Return the Bs; the mux books full quiescence per manager.
         down.b.push(BBeat {
-            id: AxiMux::upstream_id(0, AxiId(1)),
+            id: AxiMux::prefix_id(LOCAL_ID_BITS, 0, AxiId(1)),
             resp: Resp::Okay,
         });
         down.end_cycle();
@@ -568,7 +664,7 @@ mod tests {
         assert!(mux.manager_quiescent(0));
         assert!(!mux.manager_quiescent(1));
         down.b.push(BBeat {
-            id: AxiMux::upstream_id(1, AxiId(2)),
+            id: AxiMux::prefix_id(LOCAL_ID_BITS, 1, AxiId(2)),
             resp: Resp::Okay,
         });
         down.end_cycle();
@@ -601,14 +697,14 @@ mod tests {
             down.end_cycle();
         }
         down.r.push(RBeat {
-            id: AxiMux::upstream_id(2, AxiId(5)),
+            id: AxiMux::prefix_id(LOCAL_ID_BITS, 2, AxiId(5)),
             data: BeatBuf::zeroed(32),
             payload_bytes: 32,
             last: true,
             resp: Resp::Okay,
         });
         down.b.push(BBeat {
-            id: AxiMux::upstream_id(1, AxiId(9)),
+            id: AxiMux::prefix_id(LOCAL_ID_BITS, 1, AxiId(9)),
             resp: Resp::Okay,
         });
         down.end_cycle();
@@ -636,7 +732,7 @@ mod tests {
         down.end_cycle();
         let got = down.ar.pop().expect("forwarded");
         assert_eq!(got.user, user, "pack semantics must survive the mux");
-        assert_eq!(AxiMux::downstream_id(got.id), (1, AxiId(3)));
+        assert_eq!(AxiMux::split_id(LOCAL_ID_BITS, got.id), (1, AxiId(3)));
         // The burst is open until its last R beat returns.
         assert!(!mux.manager_quiescent(1));
         assert!(mux.manager_quiescent(0));

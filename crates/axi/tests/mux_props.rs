@@ -29,7 +29,7 @@ struct OpenRead {
 /// model subordinate that serves open bursts in random interleavings with
 /// random stalls. Returns, per manager, the received beats as
 /// `(local id, downstream id, last)` in arrival order.
-fn run_read_traffic(schedules: &[Vec<ReadReq>], seed: u64) -> Vec<Vec<(u8, u8, bool)>> {
+fn run_read_traffic(schedules: &[Vec<ReadReq>], seed: u64) -> Vec<Vec<(u16, u8, bool)>> {
     let n = schedules.len();
     let bus = bus();
     let mut rng = StdRng::seed_from_u64(seed);
@@ -50,7 +50,7 @@ fn run_read_traffic(schedules: &[Vec<ReadReq>], seed: u64) -> Vec<Vec<(u8, u8, b
         .map(|s| s.iter().map(|(_, b)| *b as u64).sum())
         .collect();
     let mut open: Vec<OpenRead> = Vec::new();
-    let mut received: Vec<Vec<(u8, u8, bool)>> = vec![Vec::new(); n];
+    let mut received: Vec<Vec<(u16, u8, bool)>> = vec![Vec::new(); n];
 
     for cycle in 0..20_000u64 {
         // Managers issue their next request and drain responses.
@@ -88,7 +88,7 @@ fn run_read_traffic(schedules: &[Vec<ReadReq>], seed: u64) -> Vec<Vec<(u8, u8, b
                 id: open[i].id,
                 // Tag the payload with the downstream ID so routing is
                 // provable end to end.
-                data: vec![open[i].id.0; bus.data_bytes()].into(),
+                data: vec![open[i].id.0 as u8; bus.data_bytes()].into(),
                 payload_bytes: bus.data_bytes(),
                 last: open[i].beats_left == 0,
                 resp: Resp::Okay,
@@ -150,8 +150,8 @@ proptest! {
         for (p, beats) in received.iter().enumerate() {
             for &(local, down_id, _) in beats {
                 prop_assert_eq!(
-                    down_id,
-                    (p as u8) << LOCAL_ID_BITS | local,
+                    u16::from(down_id),
+                    (p as u16) << LOCAL_ID_BITS | local,
                     "manager {} received a beat issued by another manager",
                     p
                 );
@@ -239,7 +239,7 @@ proptest! {
         let expected_b: Vec<usize> = schedules.iter().map(Vec::len).collect();
         let mut got_b = vec![0usize; n];
         // Subordinate state: accepted AWs in order, beats outstanding.
-        let mut w_route: VecDeque<(u8, u32)> = VecDeque::new();
+        let mut w_route: VecDeque<(u16, u32)> = VecDeque::new();
         let mut b_queue: VecDeque<AxiId> = VecDeque::new();
         for cycle in 0..20_000u64 {
             for (p, m) in mgrs.iter_mut().enumerate() {
@@ -265,7 +265,7 @@ proptest! {
                     .front_mut()
                     .ok_or_else(|| TestCaseError::fail("W beat before any AW"))?;
                 // The beat's manager tag must match the front AW's prefix.
-                prop_assert_eq!(w.data[0], *down_id >> LOCAL_ID_BITS, "W beat misrouted");
+                prop_assert_eq!(u16::from(w.data[0]), *down_id >> LOCAL_ID_BITS, "W beat misrouted");
                 *beats_left -= 1;
                 prop_assert_eq!(w.last, *beats_left == 0, "bad W last flag");
                 if *beats_left == 0 {

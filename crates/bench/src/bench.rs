@@ -90,6 +90,11 @@ pub struct BenchResult {
     /// watchdog on the dense probe ([`fault_overhead_probe`]): 0.01 =
     /// the hooks cost 1 % of the fault-free throughput. Clamped at 0.
     pub fault_overhead: f64,
+    /// Wall-clock of one 128-requestor PACK gemv run on the hierarchical
+    /// fabric ([`scale_128_probe`]) — the deepest topology the fabric
+    /// builds, timing mux cascades, channel interleaving and the
+    /// row-buffer model together.
+    pub scale_128_requestors_s: f64,
 }
 
 impl BenchResult {
@@ -131,7 +136,40 @@ pub fn run(scale: Scale) -> BenchResult {
         cache_cold_s,
         cache_warm_s,
         fault_overhead: fault_overhead_probe(scale),
+        scale_128_requestors_s: scale_128_probe(scale),
     }
+}
+
+/// Times one 128-requestor PACK point end to end (topology build +
+/// fabric run), uncached: the figure-family loop above amortizes the
+/// whole scale sweep into one number, while this probe isolates the
+/// single deepest point — 128 leaves through a 3-level arity-4 mux
+/// cascade onto four row-buffered channels.
+pub fn scale_128_probe(scale: Scale) -> f64 {
+    use axi_pack::{run_system, Requestor, Topology};
+    use workloads::{gemv, Dataflow};
+    let mut cfg = SystemConfig::with_bus(SystemKind::Pack, 256);
+    cfg.max_cycles = 40_000_000;
+    let params = cfg.kernel_params();
+    let t0 = Instant::now();
+    let requestors = (0..128).map(|slot| {
+        Requestor::new(
+            SystemKind::Pack,
+            gemv::build(
+                scale.scale_dim(),
+                crate::SEED + slot as u64,
+                Dataflow::ColWise,
+                &params,
+            ),
+        )
+    });
+    let topo = Topology::builder(&cfg)
+        .requestors(requestors)
+        .fabric(crate::scale::fabric_for(128))
+        .build()
+        .expect("128-requestor probe is DRC-clean");
+    run_system(&topo).expect("128-requestor probe verifies");
+    t0.elapsed().as_secs_f64()
 }
 
 /// Measures what the robustness layer costs when it is *not* in use:
@@ -299,6 +337,12 @@ pub fn to_json(scale: Scale, result: &BenchResult, pre_pr: Option<&str>) -> Stri
     writeln!(w, "  \"fault_overhead\": {:.4},", result.fault_overhead).unwrap();
     writeln!(
         w,
+        "  \"scale_128_requestors_s\": {:.4},",
+        result.scale_128_requestors_s
+    )
+    .unwrap();
+    writeln!(
+        w,
         "  \"cache_warm_speedup\": {:.1},",
         result.cache_warm_speedup()
     )
@@ -365,6 +409,7 @@ mod tests {
             cache_cold_s: 0.08,
             cache_warm_s: 0.002,
             fault_overhead: 0.012,
+            scale_128_requestors_s: 0.31,
         };
         let json = to_json(Scale::Smoke, &r, Some("  \"pre_pr_total_s\": 1.24,"));
         assert_eq!(parse_number(&json, "total_s"), Some(0.99));
@@ -372,6 +417,7 @@ mod tests {
         assert_eq!(parse_number(&json, "cache_cold_s"), Some(0.08));
         assert_eq!(parse_number(&json, "cache_warm_s"), Some(0.002));
         assert_eq!(parse_number(&json, "fault_overhead"), Some(0.012));
+        assert_eq!(parse_number(&json, "scale_128_requestors_s"), Some(0.31));
         assert_eq!(parse_number(&json, "cache_warm_speedup"), Some(40.0));
         // The exact key must not be confused with its prefixed variants.
         assert_eq!(parse_number(&json, "cycles_per_sec"), Some(123456.0));
@@ -410,6 +456,7 @@ mod tests {
             cache_cold_s: 1.0,
             cache_warm_s: 1.0,
             fault_overhead: 0.0,
+            scale_128_requestors_s: 1.0,
         };
         let json = to_json(Scale::Smoke, &r, None);
         assert_eq!(parse_string(&json, "scale").as_deref(), Some("Smoke"));

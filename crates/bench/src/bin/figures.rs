@@ -58,7 +58,7 @@ fn usage() -> ! {
          \x20                          fault/hang report — never wedge, never panic\n\
          \n\
          drc options:\n\
-         \x20 --target NAME            check one grid (paper/bus/contention/corpus;\n\
+         \x20 --target NAME            check one grid (paper/bus/contention/corpus/scale;\n\
          \x20                          default: all)\n\
          \x20 --rules                  print the rule catalog and exit\n\
          \x20 --verbose                also print clean-report coverage lines\n\
@@ -509,6 +509,10 @@ fn cmd_bench(c: &Common) {
         "  fault      {:>8.1} % overhead of armed-silent fault hooks on the dense probe",
         result.fault_overhead * 100.0
     );
+    println!(
+        "  scale128   {:>8.4} s for one 128-requestor point on the hierarchical fabric",
+        result.scale_128_requestors_s
+    );
     let committed = std::fs::read_to_string(&baseline).ok();
     // Wall-clocks from different scales must never be compared (or the
     // pre-PR section mixed across scales).
@@ -587,6 +591,22 @@ fn cmd_bench(c: &Common) {
                     (fuzz_ratio - 1.0) * 100.0,
                     result.fuzz_scenarios_per_sec,
                     base_fuzz,
+                    probe_limit * 100.0
+                ));
+            }
+        }
+        // The deepest fabric point is a short probe too: same widened
+        // band, so a regression in the mux cascade, the channel
+        // interleave, or the row-buffer model fails loudly.
+        if let Some(base_scale128) = bench::parse_number(&doc, "scale_128_requestors_s") {
+            let scale_ratio = result.scale_128_requestors_s / base_scale128;
+            if scale_ratio > 1.0 + probe_limit {
+                fail(&format!(
+                    "128-requestor fabric point regressed {:.0}% over the committed \
+                     baseline ({:.4} s vs {:.4} s; limit {:.0}%)",
+                    (scale_ratio - 1.0) * 100.0,
+                    result.scale_128_requestors_s,
+                    base_scale128,
                     probe_limit * 100.0
                 ));
             }

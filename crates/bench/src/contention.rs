@@ -106,10 +106,12 @@ pub fn contention(scale: Scale) -> Vec<ContentionRow> {
             let cfg = SystemConfig::with_bus(kind, 256);
             let params = cfg.kernel_params();
             let requestors = (0..n)
-                .map(|slot| Requestor::new(kind, kernel_for_slot(slot, mix, kind, scale, &params)))
-                .collect();
-            let report = run_system(&Topology::shared_bus(&cfg, requestors))
-                .expect("contention point verifies");
+                .map(|slot| Requestor::new(kind, kernel_for_slot(slot, mix, kind, scale, &params)));
+            let topo = Topology::builder(&cfg)
+                .requestors(requestors)
+                .build()
+                .expect("contention point is DRC-clean");
+            let report = run_system(&topo).expect("contention point verifies");
             ContentionRow {
                 requestors: n,
                 mix,

@@ -10,9 +10,9 @@
 
 use axi_pack::differential::SEED_CORPUS;
 use axi_pack::drc::check_topology;
-use axi_pack::{DrcReport, Requestor, SystemConfig, Topology};
+use axi_pack::{DrcReport, FabricSpec, Requestor, SystemConfig, Topology};
 use vproc::SystemKind;
-use workloads::{gemv, ismt, spmv, synth, CsrMatrix, Dataflow};
+use workloads::{gemv, ismt, spmv, synth, CsrMatrix, Dataflow, Kernel};
 
 use crate::contention::{kernel_for_slot, Mix, REQUESTOR_COUNTS};
 use crate::{Scale, SEED};
@@ -49,6 +49,11 @@ pub static TARGETS: &[DrcTarget] = &[
         name: "corpus",
         title: "fuzz regression corpus (every checked-in seed's topology)",
         build: build_corpus,
+    },
+    DrcTarget {
+        name: "scale",
+        title: "hierarchical-fabric scale grid (1..128 requestors on the mux tree)",
+        build: build_scale,
     },
 ];
 
@@ -90,6 +95,23 @@ fn dim(scale: Scale) -> usize {
     }
 }
 
+/// Assembles a topology literal *without* the builder's DRC gate: the
+/// whole point of `figures drc` is to hand [`check_topology`] the raw
+/// topology and pretty-print whatever the rule suite finds, so a rule
+/// regression shows up as a report line, not a panic inside `build()`.
+fn raw(cfg: &SystemConfig, requestors: Vec<Requestor>) -> Topology {
+    Topology {
+        system: *cfg,
+        requestors,
+        fabric: FabricSpec::default(),
+    }
+}
+
+/// Single-requestor literal on the flat fabric, `cfg.kind` running `kernel`.
+fn raw_single(cfg: &SystemConfig, kernel: Kernel) -> Topology {
+    raw(cfg, vec![Requestor::new(cfg.kind, kernel)])
+}
+
 fn build_paper(scale: Scale) -> Vec<(String, Topology)> {
     let n = dim(scale);
     [SystemKind::Base, SystemKind::Pack, SystemKind::Ideal]
@@ -101,15 +123,15 @@ fn build_paper(scale: Scale) -> Vec<(String, Topology)> {
             [
                 (
                     format!("{kind}/ismt"),
-                    Topology::single(&cfg, ismt::build(n, SEED, &p)),
+                    raw_single(&cfg, ismt::build(n, SEED, &p)),
                 ),
                 (
                     format!("{kind}/gemv"),
-                    Topology::single(&cfg, gemv::build(n, SEED, Dataflow::ColWise, &p)),
+                    raw_single(&cfg, gemv::build(n, SEED, Dataflow::ColWise, &p)),
                 ),
                 (
                     format!("{kind}/spmv"),
-                    Topology::single(&cfg, spmv::build(&m, SEED, &p)),
+                    raw_single(&cfg, spmv::build(&m, SEED, &p)),
                 ),
             ]
         })
@@ -128,7 +150,7 @@ fn build_bus(scale: Scale) -> Vec<(String, Topology)> {
                     let p = cfg.kernel_params();
                     (
                         format!("{kind}/{bits}-bit"),
-                        Topology::single(&cfg, gemv::build(n, SEED, Dataflow::ColWise, &p)),
+                        raw_single(&cfg, gemv::build(n, SEED, Dataflow::ColWise, &p)),
                     )
                 })
         })
@@ -148,14 +170,44 @@ fn build_contention(scale: Scale) -> Vec<(String, Topology)> {
                 let requestors = (0..n)
                     .map(|slot| Requestor::new(kind, kernel_for_slot(slot, mix, kind, scale, &p)))
                     .collect();
-                out.push((
-                    format!("{n}x {kind} {mix}"),
-                    Topology::shared_bus(&cfg, requestors),
-                ));
+                out.push((format!("{n}x {kind} {mix}"), raw(&cfg, requestors)));
             }
         }
     }
     out
+}
+
+fn build_scale(scale: Scale) -> Vec<(String, Topology)> {
+    // The scale family's fabric policy (arity-4 tree, interleaved
+    // channels, row buffers) at every requestor count, with the fabric
+    // attached to the literal directly — same raw-topology discipline as
+    // the other grids.
+    crate::scale::REQUESTOR_COUNTS
+        .into_iter()
+        .flat_map(|n| {
+            [SystemKind::Base, SystemKind::Pack]
+                .into_iter()
+                .map(move |kind| {
+                    let cfg = SystemConfig::with_bus(kind, 256);
+                    let p = cfg.kernel_params();
+                    let dataflow = match kind {
+                        SystemKind::Base => Dataflow::RowWise,
+                        _ => Dataflow::ColWise,
+                    };
+                    let requestors = (0..n)
+                        .map(|slot| {
+                            Requestor::new(
+                                kind,
+                                gemv::build(scale.scale_dim(), SEED + slot as u64, dataflow, &p),
+                            )
+                        })
+                        .collect();
+                    let mut topo = raw(&cfg, requestors);
+                    topo.fabric = crate::scale::fabric_for(n);
+                    (format!("{n}x {kind} tree(4)"), topo)
+                })
+        })
+        .collect()
 }
 
 fn build_corpus(_scale: Scale) -> Vec<(String, Topology)> {
@@ -166,10 +218,7 @@ fn build_corpus(_scale: Scale) -> Vec<(String, Topology)> {
         .iter()
         .map(|case| {
             let sk = synth::build(case.seed, &case.cfg, &cfg.kernel_params());
-            (
-                format!("seed {}", case.seed),
-                Topology::single(&cfg, sk.kernel),
-            )
+            (format!("seed {}", case.seed), raw_single(&cfg, sk.kernel))
         })
         .collect()
 }

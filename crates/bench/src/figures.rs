@@ -13,6 +13,7 @@ use crate::fig3::{
 };
 use crate::fig4::{energy_row, fig4a, fig4b};
 use crate::fig5::{fig5a, fig5b, fig5c, IndirectUtilPoint, StridedUtilPoint, BANK_COUNTS};
+use crate::scale::{saturation, scale_points, SaturationRow, ScaleRow};
 use crate::table::{f, pct};
 use crate::Scale;
 
@@ -341,6 +342,76 @@ pub fn contention_table(rows: &[ContentionRow]) -> Table {
     )
 }
 
+/// Scale table: the raw 1→128 fabric sweep, both kinds.
+pub fn scale_table(rows: &[ScaleRow]) -> Table {
+    let rows = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.requestors.to_string(),
+                r.kind.to_string(),
+                r.cycles.to_string(),
+                r.slowest.to_string(),
+                r.fastest.to_string(),
+                f(r.r_beats_per_cycle, 2),
+                r.bank_conflicts.to_string(),
+                r.levels.to_string(),
+            ]
+        })
+        .collect();
+    Table::new(
+        &[
+            "requestors",
+            "system",
+            "cycles",
+            "slowest req",
+            "fastest req",
+            "R beats/cyc",
+            "bank conflicts",
+            "mux levels",
+        ],
+        rows,
+    )
+}
+
+/// Saturation table: PACK vs. BASE per count, with both curves
+/// normalized against `n ×` their solo run (same convention as the
+/// contention table's `vs n×solo` column).
+pub fn saturation_table(sat: &[SaturationRow]) -> Table {
+    let rows = sat
+        .iter()
+        .map(|r| {
+            vec![
+                r.requestors.to_string(),
+                r.base_cycles.to_string(),
+                r.pack_cycles.to_string(),
+                f(r.speedup, 2),
+                f(r.base_vs_nsolo, 2),
+                f(r.pack_vs_nsolo, 2),
+            ]
+        })
+        .collect();
+    Table::new(
+        &[
+            "requestors",
+            "base cyc",
+            "pack cyc",
+            "pack speedup",
+            "base vs n×solo",
+            "pack vs n×solo",
+        ],
+        rows,
+    )
+}
+
+/// The two scale-family tables from one sweep (the registry entry and
+/// `EXPERIMENTS.md` share this so the sweep never runs twice).
+pub fn scale_tables(scale: Scale) -> Vec<Table> {
+    let rows = scale_points(scale);
+    let sat = saturation(&rows);
+    vec![scale_table(&rows), saturation_table(&sat)]
+}
+
 /// One figure family of the registry.
 #[derive(Debug)]
 pub struct Figure {
@@ -418,6 +489,11 @@ pub static FIGURES: &[Figure] = &[
         name: "contention",
         title: "Contention — 1/2/4 requestors sharing one bus (§II-A/§V)",
         render: |scale| vec![contention_table(&contention(scale))],
+    },
+    Figure {
+        name: "scale",
+        title: "Scale — 1→128 requestors on the hierarchical fabric",
+        render: scale_tables,
     },
 ];
 

@@ -31,6 +31,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod figures;
 pub mod fuzz;
+pub mod scale;
 pub mod sweeps;
 pub mod table;
 
@@ -129,6 +130,15 @@ impl Scale {
         match self {
             Scale::Smoke => 6.0,
             Scale::Paper => 48.0,
+        }
+    }
+
+    /// Dense dimension of the scale family's gemv requestors (small —
+    /// up to 128 copies ride one hierarchical fabric per point).
+    pub fn scale_dim(&self) -> usize {
+        match self {
+            Scale::Smoke => 24,
+            Scale::Paper => 64,
         }
     }
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example shared_bus
 //! ```
 
-use axi_pack::{run_system, Requestor, SystemConfig, Topology};
+use axi_pack::{run_system, SystemConfig, Topology};
 use vproc::SystemKind;
 use workloads::{gemv, spmv, CsrMatrix, Dataflow};
 
@@ -16,13 +16,11 @@ fn main() {
     let params = cfg.kernel_params();
     let strided = gemv::build(64, 7, Dataflow::ColWise, &params);
     let indirect = spmv::build(&CsrMatrix::random(48, 64, 9.0, 5), 3, &params);
-    let topo = Topology::shared_bus(
-        &cfg,
-        vec![
-            Requestor::new(SystemKind::Pack, strided),
-            Requestor::new(SystemKind::Pack, indirect),
-        ],
-    );
+    let topo = Topology::builder(&cfg)
+        .requestor(SystemKind::Pack, strided)
+        .requestor(SystemKind::Pack, indirect)
+        .build()
+        .expect("two-requestor topology is DRC-clean");
     let report = run_system(&topo).expect("both requestors verify");
     println!("two requestors shared one AXI-Pack endpoint:");
     for r in &report.requestors {

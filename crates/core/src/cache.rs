@@ -44,7 +44,7 @@
 //! shards fills the same store a single unsharded run would, which a
 //! warm unsharded pass then serves byte-identically.
 
-use crate::report::{RequestorOutcome, RunReport, SystemReport};
+use crate::report::{LevelOccupancy, RequestorOutcome, RunReport, SystemReport};
 use crate::requestor::SweepConfig;
 use crate::system::{SystemConfig, Topology};
 use axi_proto::{Addr, ElemSize, IdxSize};
@@ -63,12 +63,16 @@ use workloads::Kernel;
 /// encoding below changes meaning, whenever simulated semantics change
 /// in a way old reports no longer reflect, or whenever the digest
 /// algorithm itself moves — old entries then simply stop matching.
-pub const KEY_VERSION: u32 = 1;
+/// (v2: topology keys gained the fabric shape — channels, arity,
+/// row-buffer timing — so hierarchical-fabric runs never collide with
+/// the flat runs of the same requestor set.)
+pub const KEY_VERSION: u32 = 2;
 
 /// Version tag leading every stored value blob. Bump on codec layout
 /// changes; stale blobs fail decoding and are recomputed in place.
-/// (v2: [`RunReport`] gained `injected_faults`/`fault_retries`.)
-pub const VALUE_VERSION: u32 = 2;
+/// (v2: [`RunReport`] gained `injected_faults`/`fault_retries`;
+/// v3: [`SystemReport`] gained per-level fabric occupancy.)
+pub const VALUE_VERSION: u32 = 3;
 
 /// Environment variable naming the default cache directory.
 pub const ENV_CACHE_DIR: &str = "AXI_PACK_CACHE";
@@ -308,11 +312,16 @@ pub fn single_run_key(cfg: &SystemConfig, kind: SystemKind, kernel: &Kernel) -> 
     w.finish()
 }
 
-/// Key of a shared-bus topology run: the shared [`SystemConfig`] plus
-/// every requestor's `(SystemKind, Kernel)` in position order.
+/// Key of a topology run: the shared [`SystemConfig`], the fabric shape
+/// (channel count, mux arity, row-buffer timing), plus every requestor's
+/// `(SystemKind, Kernel)` in position order.
 pub fn topology_key(topo: &Topology) -> Digest {
     let mut w = key_writer("axi-pack.run.topology");
     put_system_config(&mut w, &topo.system);
+    w.put_usize(topo.fabric.channels);
+    w.put_usize(topo.fabric.arity);
+    w.put_usize(topo.fabric.row_words);
+    w.put_usize(topo.fabric.row_miss_penalty);
     w.put_usize(topo.requestors.len());
     for r in &topo.requestors {
         w.put_u8(kind_tag(r.kind));
@@ -499,6 +508,13 @@ pub fn encode_system_report(rep: &SystemReport) -> Vec<u8> {
     for r in &rep.requestors {
         encode_run_report(&mut w, r);
     }
+    w.u32(rep.levels.len() as u32);
+    for l in &rep.levels {
+        w.u32(l.level);
+        w.u32(l.muxes);
+        w.u64(l.ar_beats);
+        w.u64(l.r_beats);
+    }
     w.buf
 }
 
@@ -525,6 +541,21 @@ pub fn decode_system_report(buf: &[u8]) -> Option<SystemReport> {
     for _ in 0..n {
         requestors.push(decode_run_report(&mut r)?);
     }
+    let nl = r.u32()? as usize;
+    // A mux tree over <= 4096 requestors never exceeds a dozen levels;
+    // same defense-in-depth cap as the requestor count above.
+    if nl > 64 {
+        return None;
+    }
+    let mut levels = Vec::with_capacity(nl);
+    for _ in 0..nl {
+        levels.push(LevelOccupancy {
+            level: r.u32()?,
+            muxes: r.u32()?,
+            ar_beats: r.u64()?,
+            r_beats: r.u64()?,
+        });
+    }
     if !r.done() {
         return None;
     }
@@ -539,6 +570,7 @@ pub fn decode_system_report(buf: &[u8]) -> Option<SystemReport> {
         bank_conflicts,
         word_accesses,
         outcomes,
+        levels,
     })
 }
 
@@ -610,6 +642,7 @@ pub fn placeholder_single(cfg: &SystemConfig, kind: SystemKind, kernel: &Kernel)
         bank_conflicts: 0,
         word_accesses: 0,
         outcomes: vec![RequestorOutcome::Completed],
+        levels: Vec::new(),
     }
 }
 
@@ -631,6 +664,7 @@ pub fn placeholder_topology(topo: &Topology) -> SystemReport {
             .iter()
             .map(|_| RequestorOutcome::Completed)
             .collect(),
+        levels: Vec::new(),
     }
 }
 
@@ -1007,6 +1041,12 @@ mod tests {
             bank_conflicts: 7,
             word_accesses: 99,
             outcomes: vec![RequestorOutcome::Completed],
+            levels: vec![LevelOccupancy {
+                level: 0,
+                muxes: 3,
+                ar_beats: 17,
+                r_beats: 170,
+            }],
         };
         let blob = encode_system_report(&sys);
         let back = decode_system_report(&blob).expect("decode");
@@ -1026,10 +1066,13 @@ mod tests {
             assert_eq!(decode_f64(&blob).unwrap().to_bits(), v.to_bits());
         }
         assert_eq!(decode_f64(b"junk"), None);
+        let cfg = SystemConfig::paper(SystemKind::Base);
+        let topo = Topology::builder(&cfg)
+            .requestor(cfg.kind, small_kernel())
+            .build()
+            .expect("DRC-clean");
         assert_eq!(
-            decode_f64(&encode_system_report(&placeholder_topology(
-                &Topology::single(&SystemConfig::paper(SystemKind::Base), small_kernel())
-            ))),
+            decode_f64(&encode_system_report(&placeholder_topology(&topo))),
             None
         );
     }
@@ -1104,6 +1147,7 @@ mod tests {
                         bank_conflicts: 1,
                         word_accesses: 2,
                         outcomes: vec![],
+                        levels: vec![],
                     })
                 },
             );
@@ -1137,6 +1181,7 @@ mod tests {
                         bank_conflicts: 0,
                         word_accesses: 0,
                         outcomes: vec![],
+                        levels: vec![],
                     })
                 },
             );

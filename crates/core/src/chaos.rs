@@ -255,10 +255,13 @@ pub fn check_chaos_seed(seed: u64, cfg: &SynthConfig) -> Result<ChaosOutcome, St
         refs.push(sk.final_mem.clone());
         requestors.push(Requestor::new(kind, sk.kernel));
     }
-    let mut topo = Topology::shared_bus(&pack_sys, requestors);
+    let mut topo = Topology::builder(&pack_sys)
+        .requestors(requestors)
+        .build()
+        .map_err(|e| format!("seed {seed}: generated chaos topology violates the DRC: {e}"))?;
 
     // Fault-free composed reference.
-    let bases = topo.window_bases();
+    let bases = topo.placement().window_bases;
     let total = bases
         .iter()
         .zip(&refs)

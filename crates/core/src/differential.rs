@@ -91,6 +91,9 @@ pub struct RunProbe {
     pub monitors: Vec<Monitor>,
     /// Monitor on the shared link below the mux; `None` without a mux.
     pub downstream: Option<Monitor>,
+    /// One monitor per memory channel on the root link of its mux tree
+    /// (hierarchical-fabric runs only; empty on the flat path).
+    pub roots: Vec<Monitor>,
     /// [`memory_digest`] of the final backing store.
     pub storage_digest: Option<u64>,
     /// Idle spans the event-driven scheduler fast-forwarded (all zeros in
@@ -108,7 +111,13 @@ impl RunProbe {
             .iter()
             .enumerate()
             .map(|(i, m)| (format!("manager {i}"), m))
-            .chain(self.downstream.iter().map(|m| ("downstream".into(), m)));
+            .chain(self.downstream.iter().map(|m| ("downstream".into(), m)))
+            .chain(
+                self.roots
+                    .iter()
+                    .enumerate()
+                    .map(|(c, m)| (format!("channel {c} root"), m)),
+            );
         for (side, mon) in sides {
             for v in mon.violations() {
                 out.push(format!("{side}: {v}"));
@@ -324,16 +333,15 @@ fn check_kernel_seed_watched(
         let (sys, sk) = &built[1];
         (*sys, sk.kernel.clone())
     };
-    let topo = Topology::single(&pack_sys, pack_kernel.clone());
     // Static invariant: every generated topology must be DRC-clean — a
-    // seed the design-rule checker rejects is a generator bug, not a
-    // simulation bug.
-    let drc = crate::drc::check_topology(&topo);
-    if !drc.is_clean() {
-        return Err(format!(
-            "seed {seed}: generated single-requestor topology violates the DRC: {drc}"
-        ));
-    }
+    // seed the builder's design-rule gate rejects is a generator bug,
+    // not a simulation bug.
+    let topo = Topology::builder(&pack_sys)
+        .requestor(pack_sys.kind, pack_kernel.clone())
+        .build()
+        .map_err(|e| {
+            format!("seed {seed}: generated single-requestor topology violates the DRC: {e}")
+        })?;
     checks += 1;
     let sys_report = run_system(&topo)
         .map_err(|e| format!("seed {seed}: single-requestor topology failed: {e}"))?;
@@ -389,15 +397,14 @@ fn check_kernel_seed_watched(
             refs.push(sk.final_mem.clone());
             requestors.push(Requestor::new(kind, sk.kernel));
         }
-        let topo = Topology::shared_bus(&pack_sys, requestors);
         // Same static invariant for every generated multi-requestor
-        // topology: the design-rule checker must accept it.
-        let drc = crate::drc::check_topology(&topo);
-        if !drc.is_clean() {
-            return Err(format!(
-                "seed {seed}: generated {n}-requestor topology violates the DRC: {drc}"
-            ));
-        }
+        // topology: the builder's design-rule gate must accept it.
+        let topo = Topology::builder(&pack_sys)
+            .requestors(requestors)
+            .build()
+            .map_err(|e| {
+                format!("seed {seed}: generated {n}-requestor topology violates the DRC: {e}")
+            })?;
         checks += 1;
         let bases = topo.window_bases();
         let mut probe = RunProbe::default();
@@ -459,6 +466,7 @@ fn check_kernel_seed_watched(
                 || lock_report.bus_r_util.to_bits() != report.bus_r_util.to_bits()
                 || lock_report.bank_conflicts != report.bank_conflicts
                 || lock_report.word_accesses != report.word_accesses
+                || lock_report.levels != report.levels
             {
                 return Err(format!(
                     "seed {seed}: {n}-requestor bus/memory aggregates differ between \
@@ -740,6 +748,8 @@ pub fn check_burst_seed(seed: u64) -> Result<SeedOutcome, String> {
         ports: 0,
         conflict_free: false,
         commit_writes: true,
+        row_words: 0,
+        row_miss_penalty: 0,
     };
     let mut adapter = Adapter::new(CtrlConfig::new(bus, bank, queue_depth), storage);
     let mut ch = AxiChannels::new();
@@ -1063,13 +1073,15 @@ mod tests {
         for case in SEED_CORPUS {
             let sys = seed_system(case.seed, SystemKind::Pack);
             let sk = synth::build(case.seed, &case.cfg, &sys.kernel_params());
-            let topo = Topology::single(&sys, sk.kernel);
-            let report = crate::drc::check_topology(&topo);
+            let topo = Topology::builder(&sys)
+                .requestor(sys.kind, sk.kernel)
+                .build();
             assert!(
-                report.is_clean(),
-                "corpus seed {} ('{}') is not DRC-clean: {report}",
+                topo.is_ok(),
+                "corpus seed {} ('{}') is not DRC-clean: {}",
                 case.seed,
-                case.note
+                case.note,
+                topo.err().map(|e| e.to_string()).unwrap_or_default()
             );
         }
     }

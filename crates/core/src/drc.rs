@@ -30,13 +30,13 @@
 
 use std::fmt;
 
-use axi_proto::{CHANNEL_DEPTH, LOCAL_ID_BITS, MAX_MANAGERS};
-use banked_mem::MAX_WORD_BYTES;
+use axi_proto::{CHANNEL_DEPTH, ID_BITS, LOCAL_ID_BITS, MAX_FAN_IN};
+use banked_mem::{ChannelMap, MAX_WORD_BYTES};
 use pack_ctrl::{BASE_TXNS, PACKED_BURSTS};
 use vproc::SystemKind;
 use workloads::Kernel;
 
-use crate::system::{SystemConfig, Topology, WINDOW_ALIGN};
+use crate::system::{FabricSpec, SystemConfig, Topology, WINDOW_ALIGN};
 
 // ---------------------------------------------------------------------
 // Rules and diagnostics
@@ -54,10 +54,13 @@ pub enum Rule {
     /// store, and contain its kernel's image and expected-output regions.
     WindowBounds,
     /// `DRC-I1` — the effective AXI ID space must cover the engine's
-    /// outstanding-transaction limit (ID masking aliases on overflow).
+    /// outstanding-transaction limit (ID masking aliases on overflow),
+    /// and the deepest mux tree's stacked ID-prefix fields must fit the
+    /// bus's [`ID_BITS`]-bit ID on top of the leaf-local width.
     IdCapacity,
-    /// `DRC-I2` — at most [`MAX_MANAGERS`] bus-attached requestors share
-    /// one mux (2 ID-prefix bits).
+    /// `DRC-I2` — the fabric's per-level mux fan-in (arity) must be
+    /// between 2 and [`MAX_FAN_IN`]: below 2 a tree never converges,
+    /// above it a level overflows its port budget.
     ManagerOverflow,
     /// `DRC-Q1` — queues and channel FIFOs must have stall-free capacity.
     QueueStall,
@@ -72,11 +75,14 @@ pub enum Rule {
     /// `DRC-V1` — vector-processor and bus shape parameters must be in
     /// the ranges the engine supports.
     VprocShape,
+    /// `DRC-F1` — the fabric's channel ranges must be disjoint, point at
+    /// existing channels, and leave no channel unreachable.
+    FabricRange,
 }
 
 impl Rule {
     /// Every rule of the catalog, in ID order.
-    pub const ALL: [Rule; 10] = [
+    pub const ALL: [Rule; 11] = [
         Rule::WindowAlign,
         Rule::WindowOverlap,
         Rule::WindowBounds,
@@ -87,6 +93,7 @@ impl Rule {
         Rule::BankPorts,
         Rule::Unreachable,
         Rule::VprocShape,
+        Rule::FabricRange,
     ];
 
     /// The stable rule ID (`DRC-W1` … `DRC-V1`).
@@ -102,6 +109,7 @@ impl Rule {
             Rule::BankPorts => "DRC-B1",
             Rule::Unreachable => "DRC-U1",
             Rule::VprocShape => "DRC-V1",
+            Rule::FabricRange => "DRC-F1",
         }
     }
 
@@ -112,12 +120,13 @@ impl Rule {
             Rule::WindowOverlap => "requestor windows are disjoint",
             Rule::WindowBounds => "kernel images fit inside their windows",
             Rule::IdCapacity => "AXI ID space covers the outstanding-transaction limit",
-            Rule::ManagerOverflow => "at most 4 bus-attached requestors per shared bus",
+            Rule::ManagerOverflow => "mux fan-in per fabric level is between 2 and 8",
             Rule::QueueStall => "queues and channel FIFOs have stall-free capacity",
             Rule::CreditCycle => "the back-pressure wait-for graph is deadlock-free",
             Rule::BankPorts => "bank, word and port counts are consistent",
             Rule::Unreachable => "every component is reachable from a requestor",
             Rule::VprocShape => "vector-processor and bus parameters are supported",
+            Rule::FabricRange => "fabric ranges are disjoint and every channel reachable",
         }
     }
 }
@@ -471,6 +480,21 @@ pub struct SystemModel {
     pub max_cycles: u64,
     /// Total backing-store size covering every window.
     pub storage_bytes: usize,
+    /// Memory channels of the fabric, as configured (1 is the classic
+    /// flat shared endpoint; 0 is a `DRC-F1` error).
+    pub fabric_channels: usize,
+    /// Manager fan-in of one mux level of the fabric.
+    pub fabric_arity: usize,
+    /// ID-prefix bits each mux level stacks onto a transaction ID.
+    pub level_bits: u32,
+    /// Mux-tree depth of the channel with the most bus-attached
+    /// requestors (0 when no channel needs a mux).
+    pub fabric_depth: u32,
+    /// The fabric's address-to-channel decoder.
+    pub channel_map: ChannelMap,
+    /// Owning memory channel of each requestor's window, in requestor
+    /// order.
+    pub channel_of: Vec<usize>,
     /// One window per requestor, in requestor order.
     pub windows: Vec<WindowModel>,
     /// One engine per requestor, in requestor order.
@@ -513,18 +537,57 @@ pub fn extract(topo: &Topology) -> SystemModel {
         .iter()
         .map(|r| (r.kind, &r.kernel))
         .collect();
-    build_model(&topo.system, &reqs, &topo.window_bases())
+    let placement = topo.placement();
+    build_model(
+        &topo.system,
+        &reqs,
+        &placement.window_bases,
+        topo.fabric,
+        placement.channels,
+        placement.channel_of,
+    )
 }
 
 /// [`extract`] for the classic single-requestor system, without building
 /// a [`Topology`] (the `run_kernel` hot path stays allocation-lean).
 pub fn extract_single(cfg: &SystemConfig, kind: SystemKind, kernel: &Kernel) -> SystemModel {
-    build_model(cfg, &[(kind, kernel)], &[0])
+    let map = ChannelMap::interleaved(&[(0, kernel.storage_size as u64)], 1);
+    build_model(
+        cfg,
+        &[(kind, kernel)],
+        &[0],
+        FabricSpec::default(),
+        map,
+        vec![0],
+    )
 }
 
-fn build_model(sys: &SystemConfig, reqs: &[(SystemKind, &Kernel)], bases: &[u64]) -> SystemModel {
-    let managers = reqs.iter().filter(|(k, _)| *k != SystemKind::Ideal).count();
-    let behind_mux = managers > 1;
+fn build_model(
+    sys: &SystemConfig,
+    reqs: &[(SystemKind, &Kernel)],
+    bases: &[u64],
+    fabric: FabricSpec,
+    channel_map: ChannelMap,
+    channel_of: Vec<usize>,
+) -> SystemModel {
+    let nch = fabric.channels.max(1);
+    // Bus-attached (and total) member counts per channel: a requestor is
+    // narrowed to manager-local IDs only when it shares *its channel's*
+    // mux tree with another bus-attached requestor.
+    let mut bus_members = vec![0usize; nch];
+    let mut members = vec![0usize; nch];
+    for (i, (kind, _)) in reqs.iter().enumerate() {
+        let c = channel_of.get(i).copied().unwrap_or(0).min(nch - 1);
+        members[c] += 1;
+        if *kind != SystemKind::Ideal {
+            bus_members[c] += 1;
+        }
+    }
+    let fabric_depth = bus_members
+        .iter()
+        .map(|&m| fabric.depth_for(m))
+        .max()
+        .unwrap_or(0) as u32;
 
     let windows: Vec<WindowModel> = reqs
         .iter()
@@ -544,9 +607,12 @@ fn build_model(sys: &SystemConfig, reqs: &[(SystemKind, &Kernel)], bases: &[u64]
             path: format!("requestor[{i}].engine"),
             kind: *kind,
             configured_id_bits: sys.vproc.axi_id_bits,
-            // run_shared narrows bus-attached engines behind the mux to
-            // the manager-local ID width.
-            effective_id_bits: if *kind != SystemKind::Ideal && behind_mux {
+            // The run loops narrow a bus-attached engine to the
+            // manager-local ID width when it shares its channel's mux
+            // tree with another bus-attached requestor.
+            effective_id_bits: if *kind != SystemKind::Ideal
+                && bus_members[channel_of.get(i).copied().unwrap_or(0).min(nch - 1)] > 1
+            {
                 LOCAL_ID_BITS
             } else {
                 sys.vproc.axi_id_bits
@@ -569,50 +635,79 @@ fn build_model(sys: &SystemConfig, reqs: &[(SystemKind, &Kernel)], bases: &[u64]
     // back-pressured end to end; the response path terminates in the
     // engine's drain side, which pops R/B every cycle regardless of the
     // engine's own issue state — that unconditional sink is what makes
-    // the in-tree systems deadlock-free.
+    // the in-tree systems deadlock-free. Each channel is an independent
+    // memory + adapter + mux-tree stack; the single-channel case keeps
+    // the historical unprefixed node names.
     let mut graph = ComponentGraph::new();
     let mut engine_nodes = Vec::with_capacity(reqs.len());
-    let memory = graph.add_node("memory.banks");
-    let (adapter, mux_req, mux_resp) = if managers > 0 {
-        let adapter = graph.add_node("adapter");
-        graph.add_edge(adapter, memory, EdgeKind::Conditional);
-        if behind_mux {
-            let mux_req = graph.add_node("mux.request");
-            let mux_resp = graph.add_node("mux.response");
-            let down_req = graph.add_node("bus.downstream.request");
-            let down_resp = graph.add_node("bus.downstream.response");
-            graph.add_edge(mux_req, down_req, EdgeKind::Conditional);
-            graph.add_edge(down_req, adapter, EdgeKind::Conditional);
-            graph.add_edge(adapter, down_resp, EdgeKind::Conditional);
-            graph.add_edge(down_resp, mux_resp, EdgeKind::Conditional);
-            (adapter, Some(mux_req), Some(mux_resp))
-        } else {
-            (adapter, None, None)
+    struct ChanNodes {
+        memory: usize,
+        adapter: usize,
+        mux: Option<(usize, usize)>,
+    }
+    let mut chans: Vec<Option<ChanNodes>> = Vec::with_capacity(nch);
+    for c in 0..nch {
+        // Empty channels get no hardware (DRC-F1 reports them as
+        // unreachable) — except the classic single-channel system, which
+        // always has its memory node, even with no requestors.
+        if nch > 1 && members[c] == 0 {
+            chans.push(None);
+            continue;
         }
-    } else {
-        (usize::MAX, None, None)
-    };
+        let prefix = if nch == 1 {
+            String::new()
+        } else {
+            format!("ch{c}.")
+        };
+        let memory = graph.add_node(format!("{prefix}memory.banks"));
+        let (adapter, mux) = if bus_members[c] > 0 {
+            let adapter = graph.add_node(format!("{prefix}adapter"));
+            graph.add_edge(adapter, memory, EdgeKind::Conditional);
+            if bus_members[c] > 1 {
+                let mux_req = graph.add_node(format!("{prefix}mux.request"));
+                let mux_resp = graph.add_node(format!("{prefix}mux.response"));
+                let down_req = graph.add_node(format!("{prefix}bus.downstream.request"));
+                let down_resp = graph.add_node(format!("{prefix}bus.downstream.response"));
+                graph.add_edge(mux_req, down_req, EdgeKind::Conditional);
+                graph.add_edge(down_req, adapter, EdgeKind::Conditional);
+                graph.add_edge(adapter, down_resp, EdgeKind::Conditional);
+                graph.add_edge(down_resp, mux_resp, EdgeKind::Conditional);
+                (adapter, Some((mux_req, mux_resp)))
+            } else {
+                (adapter, None)
+            }
+        } else {
+            (usize::MAX, None)
+        };
+        chans.push(Some(ChanNodes {
+            memory,
+            adapter,
+            mux,
+        }));
+    }
     for (i, (kind, _)) in reqs.iter().enumerate() {
         let issue = graph.add_node(format!("requestor[{i}].engine.issue"));
         engine_nodes.push(issue);
+        let c = channel_of.get(i).copied().unwrap_or(0).min(nch - 1);
+        let Some(chan) = &chans[c] else { continue };
         if *kind == SystemKind::Ideal {
-            // Per-lane ports into the shared store: fixed latency,
+            // Per-lane ports into the channel's store: fixed latency,
             // always drains — no response path to model.
-            graph.add_edge(issue, memory, EdgeKind::Unconditional);
+            graph.add_edge(issue, chan.memory, EdgeKind::Unconditional);
             continue;
         }
         let drain = graph.add_node(format!("requestor[{i}].engine.drain"));
         let req_ch = graph.add_node(format!("requestor[{i}].axi.request"));
         let resp_ch = graph.add_node(format!("requestor[{i}].axi.response"));
         graph.add_edge(issue, req_ch, EdgeKind::Conditional);
-        match (mux_req, mux_resp) {
-            (Some(mq), Some(mr)) => {
+        match chan.mux {
+            Some((mq, mr)) => {
                 graph.add_edge(req_ch, mq, EdgeKind::Conditional);
                 graph.add_edge(mr, resp_ch, EdgeKind::Conditional);
             }
-            _ => {
-                graph.add_edge(req_ch, adapter, EdgeKind::Conditional);
-                graph.add_edge(adapter, resp_ch, EdgeKind::Conditional);
+            None => {
+                graph.add_edge(req_ch, chan.adapter, EdgeKind::Conditional);
+                graph.add_edge(chan.adapter, resp_ch, EdgeKind::Conditional);
             }
         }
         // The engine pops R/B every cycle: the response channel always
@@ -630,6 +725,12 @@ fn build_model(sys: &SystemConfig, reqs: &[(SystemKind, &Kernel)], bases: &[u64]
         packed_burst_slots: PACKED_BURSTS,
         max_cycles: sys.max_cycles,
         storage_bytes,
+        fabric_channels: fabric.channels,
+        fabric_arity: fabric.arity,
+        level_bits: fabric.level_bits(),
+        fabric_depth,
+        channel_map,
+        channel_of,
         windows,
         engines,
         graph,
@@ -654,6 +755,7 @@ pub fn check_model(model: &SystemModel) -> DrcReport {
     check_banks(model, &mut report);
     check_reachability(model, &mut report);
     check_vproc_shape(model, &mut report);
+    check_fabric(model, &mut report);
     report
 }
 
@@ -788,18 +890,101 @@ fn check_ids(model: &SystemModel, report: &mut DrcReport) {
             );
         }
     }
-    let managers = model.engines.iter().filter(|e| e.bus_attached()).count();
-    if managers > MAX_MANAGERS {
+    let arity = model.fabric_arity;
+    if !(2..=MAX_FAN_IN).contains(&arity) {
         report.push(
             Rule::ManagerOverflow,
             Severity::Error,
-            "mux",
+            "fabric",
             format!(
-                "{managers} bus-attached requestors exceed the mux's \
-                 {MAX_MANAGERS} manager ports (2 ID-prefix bits)"
+                "mux fan-in (arity) of {arity} is outside the supported \
+                 2..={MAX_FAN_IN}: below 2 a tree never converges, above \
+                 it a level overflows its port budget"
             ),
-            "split the topology across buses or make some requestors IDEAL",
+            "pick a per-level fan-in between 2 and 8",
         );
+    }
+    // Per-level ID budget: every mux level of the deepest tree stacks
+    // level_bits of port prefix onto the leaf-local ID; the total must
+    // still fit the bus's transaction-ID field.
+    let total_bits = LOCAL_ID_BITS + model.fabric_depth * model.level_bits;
+    if model.fabric_depth > 0 && total_bits > ID_BITS {
+        report.push(
+            Rule::IdCapacity,
+            Severity::Error,
+            "fabric",
+            format!(
+                "a {}-level mux tree needs {} ID bits ({} leaf-local + \
+                 {} levels x {} prefix bits), past the {ID_BITS}-bit \
+                 transaction ID",
+                model.fabric_depth, total_bits, LOCAL_ID_BITS, model.fabric_depth, model.level_bits
+            ),
+            "spread requestors over more channels or raise the arity to \
+             shrink the tree",
+        );
+    }
+}
+
+/// `DRC-F1`: every address the fabric accepts routes to exactly one,
+/// existing, reachable channel.
+fn check_fabric(model: &SystemModel, report: &mut DrcReport) {
+    if model.fabric_channels == 0 {
+        report.push(
+            Rule::FabricRange,
+            Severity::Error,
+            "fabric",
+            "channel count is 0: no address can route anywhere".into(),
+            "a fabric needs at least one memory channel",
+        );
+    }
+    if let Some((a, b)) = model.channel_map.overlapping() {
+        report.push(
+            Rule::FabricRange,
+            Severity::Error,
+            format!("fabric.ch{}", b.channel),
+            format!(
+                "range [{:#x}, {:#x}) of channel {} overlaps \
+                 [{:#x}, {:#x}) of channel {}",
+                b.base,
+                b.end(),
+                b.channel,
+                a.base,
+                a.end(),
+                a.channel
+            ),
+            "fabric ranges must be disjoint so every address routes to \
+             exactly one channel",
+        );
+    }
+    if let Some(r) = model.channel_map.out_of_range() {
+        report.push(
+            Rule::FabricRange,
+            Severity::Error,
+            format!("fabric.ch{}", r.channel),
+            format!(
+                "range [{:#x}, {:#x}) claims channel {}, but the fabric \
+                 has only {}",
+                r.base,
+                r.end(),
+                r.channel,
+                model.channel_map.channels()
+            ),
+            "point every range at an existing channel",
+        );
+    }
+    // An empty topology has no windows at all; DRC-U1 already owns that
+    // failure, so only flag dead channels when there is something routed.
+    if !model.windows.is_empty() {
+        if let Some(c) = model.channel_map.unreachable() {
+            report.push(
+                Rule::FabricRange,
+                Severity::Error,
+                format!("fabric.ch{c}"),
+                format!("no address range routes to channel {c}: dead hardware"),
+                "interleave at least one window onto every channel, or \
+                 drop the channel",
+            );
+        }
     }
 }
 
@@ -1076,14 +1261,18 @@ mod tests {
     // --- one deliberately broken fixture per rule of the catalog ------
 
     fn pack_pair_topology(cfg: &SystemConfig) -> Topology {
+        // A literal, not the builder: several fixtures below doctor the
+        // config into states build() would reject, then assert the DRC
+        // is what rejects them.
         let p = cfg.kernel_params();
-        Topology::shared_bus(
-            cfg,
-            vec![
+        Topology {
+            system: *cfg,
+            requestors: vec![
                 crate::Requestor::new(SystemKind::Pack, ismt::build(16, 1, &p)),
                 crate::Requestor::new(SystemKind::Pack, ismt::build(16, 2, &p)),
             ],
-        )
+            fabric: FabricSpec::default(),
+        }
     }
 
     #[test]
@@ -1122,18 +1311,77 @@ mod tests {
     }
 
     #[test]
-    fn i2_too_many_bus_attached_requestors_is_an_error() {
+    fn i2_fan_in_outside_the_supported_range_is_an_error() {
         let cfg = SystemConfig::paper(SystemKind::Pack);
+        for arity in [0, 1, MAX_FAN_IN + 1] {
+            let mut topo = pack_pair_topology(&cfg);
+            topo.fabric.arity = arity;
+            let report = check_topology(&topo);
+            assert!(
+                report.violates(Rule::ManagerOverflow),
+                "arity {arity}: {report}"
+            );
+        }
+        // Five bus-attached requestors — once a flat-mux overflow — now
+        // cascade legally through a two-level tree.
         let p = cfg.kernel_params();
-        // Construct directly — Topology::shared_bus would panic first.
         let topo = Topology {
             system: cfg,
             requestors: (0..5)
                 .map(|s| crate::Requestor::new(SystemKind::Pack, ismt::build(16, s, &p)))
                 .collect(),
+            fabric: FabricSpec::default(),
         };
         let report = check_topology(&topo);
-        assert!(report.violates(Rule::ManagerOverflow), "{report}");
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn i1_a_tree_too_deep_for_the_id_field_is_an_error() {
+        // Doctored: 6 leaf-local bits + 6 levels x 2 prefix bits = 18,
+        // past the 16-bit transaction ID. (Reaching this with real
+        // requestors needs > 4^5 of them; the model is the fixture.)
+        let mut model = paper_model();
+        model.fabric_depth = 6;
+        model.level_bits = 2;
+        let report = check_model(&model);
+        assert!(report.violates(Rule::IdCapacity), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn f1_malformed_channel_maps_are_errors() {
+        use banked_mem::ChannelRange;
+        // Zero channels can route nothing.
+        let cfg = SystemConfig::paper(SystemKind::Pack);
+        let mut topo = pack_pair_topology(&cfg);
+        topo.fabric.channels = 0;
+        let report = check_topology(&topo);
+        assert!(report.violates(Rule::FabricRange), "{report}");
+
+        // Overlapping ranges double-route an address.
+        let mut model = paper_model();
+        model.channel_map = ChannelMap::new(
+            1,
+            vec![
+                ChannelRange {
+                    base: 0x0,
+                    size: 0x2000,
+                    channel: 0,
+                },
+                ChannelRange {
+                    base: 0x1000,
+                    size: 0x1000,
+                    channel: 0,
+                },
+            ],
+        );
+        assert!(check_model(&model).violates(Rule::FabricRange));
+
+        // A channel no range routes to is dead hardware.
+        let mut model = paper_model();
+        model.channel_map = ChannelMap::interleaved(&[(0x0, 0x1000)], 2);
+        assert!(check_model(&model).violates(Rule::FabricRange));
     }
 
     #[test]
@@ -1205,6 +1453,7 @@ mod tests {
         let topo = Topology {
             system: SystemConfig::paper(SystemKind::Pack),
             requestors: Vec::new(),
+            fabric: FabricSpec::default(),
         };
         let report = check_topology(&topo);
         assert!(report.violates(Rule::Unreachable), "{report}");

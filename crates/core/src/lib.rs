@@ -14,11 +14,13 @@
 //! utilization and energy.
 //!
 //! Multi-requestor systems (paper §II-A/§V) are first-class: a
-//! [`Topology`] places N requestors — each with its own kernel,
-//! [`vproc::SystemKind`] and private address-space window — on one shared
-//! AXI(-Pack) endpoint through an ID-remapping mux, and [`run_system`]
-//! measures them together (contention, arbitration fairness, shared-bank
-//! conflicts).
+//! [`Topology`] — assembled panic-free through [`TopologyBuilder`] —
+//! places N requestors, each with its own kernel, [`vproc::SystemKind`]
+//! and private address-space window, on a hierarchical fabric
+//! ([`FabricSpec`]): cascaded ID-prefix mux trees funnel up to 128
+//! requestors onto address-interleaved memory channels, and
+//! [`run_system`] measures them together (contention, arbitration
+//! fairness, shared-bank conflicts, per-level fabric occupancy).
 //!
 //! ```
 //! use axi_pack::{SystemConfig, run_kernel};
@@ -40,6 +42,7 @@ pub mod cache;
 pub mod chaos;
 pub mod differential;
 pub mod drc;
+pub mod prelude;
 pub mod report;
 pub mod requestor;
 pub mod system;
@@ -48,10 +51,11 @@ pub use cache::{CacheSetup, RunCache, ShardSpec};
 pub use chaos::{check_chaos_seed, ChaosOutcome};
 pub use differential::{memory_digest, RunProbe, SchedProbe};
 pub use drc::{check_single, check_topology, Diagnostic, DrcReport, Rule, Severity};
-pub use report::{RunReport, SystemReport};
+pub use report::{LevelOccupancy, RunReport, SystemReport};
 pub use system::{
     default_sched_mode, run_kernel, run_kernel_probed, run_system, run_system_probed,
-    set_default_sched_mode, Requestor, RunError, SchedMode, SystemConfig, Topology, WINDOW_ALIGN,
+    set_default_sched_mode, FabricSpec, Placement, Requestor, RunError, SchedMode, SystemConfig,
+    Topology, TopologyBuilder, WINDOW_ALIGN,
 };
 
 // Sweep points run on `simkit::sweep` worker threads: everything a point
@@ -67,6 +71,10 @@ const _: () = {
     assert_thread_safe::<requestor::SweepConfig>();
     assert_thread_safe::<RunError>();
     assert_thread_safe::<DrcReport>();
+    assert_thread_safe::<FabricSpec>();
+    assert_thread_safe::<Placement>();
+    assert_thread_safe::<TopologyBuilder>();
+    assert_thread_safe::<LevelOccupancy>();
     // The installed result cache is shared across the same workers.
     assert_thread_safe::<RunCache>();
 };

@@ -1,0 +1,30 @@
+//! One-stop imports for driving the simulator.
+//!
+//! Everything a typical caller needs to build a system and run a kernel
+//! — the run entry points (plain and probed), the panic-free topology
+//! builder, the fabric shape, and the unified [`RunError`] every one of
+//! them returns — in a single glob:
+//!
+//! ```
+//! use axi_pack::prelude::*;
+//! use vproc::SystemKind;
+//! use workloads::ismt;
+//!
+//! let cfg = SystemConfig::paper(SystemKind::Pack);
+//! let kernel = ismt::build(16, 7, &cfg.kernel_params());
+//! let report = run_kernel(&cfg, &kernel).expect("kernel verifies");
+//! assert!(report.cycles > 0);
+//!
+//! let topo = Topology::builder(&cfg)
+//!     .requestor(SystemKind::Pack, ismt::build(16, 1, &cfg.kernel_params()))
+//!     .build()
+//!     .expect("DRC-clean");
+//! assert!(run_system(&topo).is_ok());
+//! ```
+
+pub use crate::differential::RunProbe;
+pub use crate::report::{LevelOccupancy, RequestorOutcome, RunReport, SystemReport};
+pub use crate::system::{
+    run_kernel, run_kernel_probed, run_system, run_system_probed, FabricSpec, Placement, Requestor,
+    RunError, SchedMode, SystemConfig, Topology, TopologyBuilder,
+};

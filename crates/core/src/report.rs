@@ -116,6 +116,21 @@ impl RequestorOutcome {
     }
 }
 
+/// Aggregate occupancy of one mux level of the hierarchical fabric,
+/// summed across every channel's tree (level 0 is the leaf level; the
+/// flat single-mux system reports exactly one level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelOccupancy {
+    /// Level index, 0 at the leaves.
+    pub level: u32,
+    /// Muxes instantiated at this level across all channels.
+    pub muxes: u32,
+    /// AR requests forwarded downstream through this level.
+    pub ar_beats: u64,
+    /// R beats routed back upstream through this level.
+    pub r_beats: u64,
+}
+
 /// The outcome of one system run: per-requestor reports plus the
 /// aggregate view of the shared bus and memory.
 ///
@@ -144,6 +159,9 @@ pub struct SystemReport {
     /// Per-requestor completion status, index-aligned with `requestors`.
     /// All `Completed` on fault-free runs.
     pub outcomes: Vec<RequestorOutcome>,
+    /// Per-level fabric occupancy, leaf level first. Empty for
+    /// single-requestor and all-IDEAL runs (no mux anywhere).
+    pub levels: Vec<LevelOccupancy>,
 }
 
 impl SystemReport {
@@ -255,6 +273,12 @@ mod tests {
             bank_conflicts: 3,
             word_accesses: 10,
             outcomes: vec![RequestorOutcome::Completed; 2],
+            levels: vec![LevelOccupancy {
+                level: 0,
+                muxes: 1,
+                ar_beats: 5,
+                r_beats: 9,
+            }],
         };
         assert_eq!(sys.slowest().kernel, "b");
         assert!(sys.all_completed());

@@ -55,6 +55,8 @@ fn adapter(cfg: &SweepConfig, storage_bytes: usize) -> (Adapter, AxiChannels) {
         ports: 0,
         conflict_free: cfg.conflict_free,
         commit_writes: true,
+        row_words: 0,
+        row_miss_penalty: 0,
     };
     let mut ctrl = CtrlConfig::new(BusConfig::new(cfg.bus_bits), bank, cfg.queue_depth);
     ctrl.stage_policy = cfg.stage_policy;

@@ -8,16 +8,28 @@
 //! configuration plus N requestors, each with its own [`SystemKind`],
 //! kernel, and private address-space window of the shared backing store.
 //! [`run_system`] ticks all N engines; with two or more bus-attached
-//! requestors they share the single [`pack_ctrl::Adapter`] through an
-//! ID-remapping [`axi_proto::AxiMux`] — the multi-requestor configuration
+//! requestors they share a [`pack_ctrl::Adapter`] through ID-remapping
+//! [`axi_proto::AxiMux`] levels — the multi-requestor configuration
 //! the paper sketches in §II-A/§V, which is where bus contention,
 //! arbitration fairness, and cross-requestor bank-conflict amplification
 //! become measurable. [`run_kernel`] is the single-requestor convenience
 //! wrapper behind every bar of Fig. 3.
+//!
+//! Topologies are built with [`TopologyBuilder`] (via
+//! [`Topology::builder`]), which validates through the static design-rule
+//! checker and returns typed [`RunError::Drc`] diagnostics instead of
+//! panicking. A [`FabricSpec`] scales the interconnect past the flat
+//! four-port mux: bus-attached requestors cascade through a tree of mux
+//! levels (fan-in [`FabricSpec::arity`] per level, one ID-prefix field
+//! per level), and requestor windows interleave round-robin across
+//! [`FabricSpec::channels`] independent memory channels, each with its
+//! own adapter and optionally a DRAM-style row-buffer timing model.
 
 use axi_proto::checker::Monitor;
-use axi_proto::{AxiChannels, AxiMux, BusConfig, LOCAL_ID_BITS, MAX_MANAGERS};
-use banked_mem::{BankConfig, Storage, WordFault};
+use axi_proto::{
+    AxiChannels, AxiId, AxiMux, BusConfig, ID_BITS, LOCAL_ID_BITS, MAX_FAN_IN, MAX_MANAGERS,
+};
+use banked_mem::{BankConfig, ChannelMap, Storage, WordFault};
 use hwmodel::energy::{Activity, EnergyModel};
 use pack_ctrl::{Adapter, CtrlConfig};
 use simkit::fault::{site, FaultReport, FaultSpec, HangComponent, HangReport};
@@ -26,7 +38,7 @@ use workloads::{Kernel, KernelParams};
 
 use crate::differential::{memory_digest, RunProbe, SchedProbe};
 use crate::drc::{self, DrcReport};
-use crate::report::{RequestorOutcome, RunReport, SystemReport};
+use crate::report::{LevelOccupancy, RequestorOutcome, RunReport, SystemReport};
 
 /// Why a run refused to start or failed to complete.
 ///
@@ -238,8 +250,19 @@ impl SystemConfig {
             // Eager-functional execution is the source of truth for
             // memory contents; timed writes keep timing only.
             commit_writes: false,
+            row_words: 0,
+            row_miss_penalty: 0,
         };
         CtrlConfig::new(self.bus(), bank, self.queue_depth)
+    }
+
+    /// Controller config for one channel of a fabric: the flat [`Self::ctrl`]
+    /// banks plus the fabric's row-buffer timing model.
+    fn ctrl_for(&self, fabric: &FabricSpec) -> CtrlConfig {
+        let mut cfg = self.ctrl();
+        cfg.bank.row_words = fabric.row_words;
+        cfg.bank.row_miss_penalty = fabric.row_miss_penalty;
+        cfg
     }
 }
 
@@ -270,8 +293,115 @@ impl Requestor {
 /// same constant the assembly code derives windows from.
 pub const WINDOW_ALIGN: u64 = 0x1000;
 
+/// Shape of the memory-side fabric of a [`Topology`]: how many
+/// interleaved memory channels back the requestors, the manager fan-in
+/// of each cascaded mux level, and the DRAM-style row-buffer timing of
+/// each channel's banks.
+///
+/// The default ([`FabricSpec::flat`]) is the pre-fabric system — one
+/// channel, one flat mux of up to [`MAX_MANAGERS`] ports, no row-buffer
+/// model — and runs byte-identically to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricSpec {
+    /// Independent memory channels, each with its own adapter and banked
+    /// store behind it. Requestor windows interleave across channels
+    /// round-robin by window index (window *i* on channel
+    /// `i % channels`).
+    pub channels: usize,
+    /// Manager fan-in of one mux level (2..=[`MAX_FAN_IN`]). A channel
+    /// with more bus-attached requestors than this cascades them through
+    /// a tree of levels, each stacking its own ID-prefix field.
+    pub arity: usize,
+    /// Words per bank row: a channel access outside a bank's open row
+    /// pays [`FabricSpec::row_miss_penalty`]. 0 disables the model.
+    pub row_words: usize,
+    /// Extra cycles a row-buffer miss costs (activate + precharge).
+    pub row_miss_penalty: usize,
+}
+
+impl Default for FabricSpec {
+    fn default() -> Self {
+        FabricSpec::flat()
+    }
+}
+
+impl FabricSpec {
+    /// The pre-fabric shape: one channel, one flat mux, SRAM-flat banks.
+    pub fn flat() -> Self {
+        FabricSpec {
+            channels: 1,
+            arity: MAX_MANAGERS,
+            row_words: 0,
+            row_miss_penalty: 0,
+        }
+    }
+
+    /// A cascaded mux tree with the given per-level fan-in.
+    pub fn tree(arity: usize) -> Self {
+        FabricSpec {
+            arity,
+            ..FabricSpec::flat()
+        }
+    }
+
+    /// Same fabric, interleaved across `channels` memory channels.
+    pub fn with_channels(self, channels: usize) -> Self {
+        FabricSpec { channels, ..self }
+    }
+
+    /// Same fabric, with a DRAM-style row-buffer model on every bank.
+    pub fn with_row_buffer(self, row_words: usize, row_miss_penalty: usize) -> Self {
+        FabricSpec {
+            row_words,
+            row_miss_penalty,
+            ..self
+        }
+    }
+
+    /// ID-prefix bits one mux level of this fabric occupies.
+    pub(crate) fn level_bits(&self) -> u32 {
+        (self.arity.max(2) - 1).ilog2() + 1
+    }
+
+    /// Mux levels needed to funnel `managers` ports into one — 0 when a
+    /// single port (or none) needs no mux at all. Arities below 2 never
+    /// converge; they are reported as a DRC error and treated as flat
+    /// here so the walk terminates.
+    pub(crate) fn depth_for(&self, managers: usize) -> usize {
+        let arity = self.arity.max(2);
+        let mut width = managers;
+        let mut depth = 0;
+        while width > 1 {
+            width = width.div_ceil(arity);
+            depth += 1;
+        }
+        depth
+    }
+}
+
+/// Physical placement of a [`Topology`]: every requestor's address
+/// window, the decoder interleaving those windows across memory
+/// channels, and each requestor's owning channel. The one authoritative
+/// geometry answer shared by the run loops, the DRC and the cache-key
+/// canon — none of them re-derive windows or channel routing ad hoc.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// Window base address per requestor (4 KiB-aligned, disjoint,
+    /// requestor 0 at address 0).
+    pub window_bases: Vec<u64>,
+    /// Window size in bytes per requestor (its kernel's storage size).
+    pub window_sizes: Vec<u64>,
+    /// Address-range decoder mapping every window onto its channel.
+    pub channels: ChannelMap,
+    /// Owning memory channel per requestor.
+    pub channel_of: Vec<usize>,
+    /// Total backing-store bytes covering every window.
+    pub storage_bytes: usize,
+}
+
 /// A complete system: shared bus/memory parameters plus N requestors,
-/// each in its own address-space window (paper §II-A/§V).
+/// each in its own address-space window (paper §II-A/§V), connected
+/// through the fabric a [`FabricSpec`] describes.
 ///
 /// Requestor 0's window starts at address 0, so a single-requestor
 /// topology is *exactly* the classic [`run_kernel`] system — same
@@ -284,14 +414,28 @@ pub struct Topology {
     pub system: SystemConfig,
     /// The requestors sharing the system, in manager-port order.
     pub requestors: Vec<Requestor>,
+    /// Interconnect and memory-channel shape. The default is the flat
+    /// pre-fabric system.
+    pub fabric: FabricSpec,
 }
 
 impl Topology {
+    /// Starts a [`TopologyBuilder`] over the given system parameters —
+    /// the panic-free way to assemble a topology.
+    pub fn builder(cfg: &SystemConfig) -> TopologyBuilder {
+        TopologyBuilder::new(cfg)
+    }
+
     /// The classic single-requestor system: `cfg.kind` running `kernel`.
+    #[deprecated(
+        note = "use Topology::builder(cfg).requestor(cfg.kind, kernel).build() — \
+                it validates through the DRC and returns typed diagnostics"
+    )]
     pub fn single(cfg: &SystemConfig, kernel: Kernel) -> Self {
         Topology {
             system: *cfg,
             requestors: vec![Requestor::new(cfg.kind, kernel)],
+            fabric: FabricSpec::default(),
         }
     }
 
@@ -301,9 +445,15 @@ impl Topology {
     /// # Panics
     ///
     /// Panics on an empty requestor list, or when more than four
-    /// *bus-attached* (BASE/PACK) requestors are given — the mux's 2
-    /// ID-prefix bits. IDEAL requestors use per-lane ports and do not
-    /// count against the manager limit.
+    /// *bus-attached* (BASE/PACK) requestors are given — the flat mux's
+    /// 2 ID-prefix bits. IDEAL requestors use per-lane ports and do not
+    /// count against the manager limit. [`TopologyBuilder`] has neither
+    /// panic (empty topologies come back as typed DRC errors, and larger
+    /// requestor counts cascade through a mux tree).
+    #[deprecated(
+        note = "use Topology::builder — it returns typed diagnostics instead of \
+                panicking and scales past four requestors via the mux-tree fabric"
+    )]
     pub fn shared_bus(cfg: &SystemConfig, requestors: Vec<Requestor>) -> Self {
         assert!(!requestors.is_empty(), "a topology needs a requestor");
         let bus_attached = requestors
@@ -317,6 +467,7 @@ impl Topology {
         Topology {
             system: *cfg,
             requestors,
+            fabric: FabricSpec::default(),
         }
     }
 
@@ -332,15 +483,157 @@ impl Topology {
         bases
     }
 
-    /// Total backing-store size covering every window.
-    fn storage_bytes(&self) -> usize {
-        let bases = self.window_bases();
-        self.requestors
+    /// The full physical placement: windows, channel interleave, and the
+    /// backing-store size. Never panics — degenerate fabrics (zero
+    /// channels, empty requestor lists) produce a degenerate placement
+    /// the DRC then diagnoses.
+    pub fn placement(&self) -> Placement {
+        let window_bases = self.window_bases();
+        let window_sizes: Vec<u64> = self
+            .requestors
             .iter()
-            .zip(&bases)
+            .map(|r| r.kernel.storage_size as u64)
+            .collect();
+        let windows: Vec<(u64, u64)> = window_bases
+            .iter()
+            .copied()
+            .zip(window_sizes.iter().copied())
+            .collect();
+        let channels = ChannelMap::interleaved(&windows, self.fabric.channels);
+        let nch = self.fabric.channels.max(1);
+        let channel_of = (0..self.requestors.len()).map(|i| i % nch).collect();
+        let storage_bytes = self
+            .requestors
+            .iter()
+            .zip(&window_bases)
             .map(|(r, &b)| b as usize + r.kernel.storage_size)
             .max()
-            .expect("at least one requestor")
+            .unwrap_or(0);
+        Placement {
+            window_bases,
+            window_sizes,
+            channels,
+            channel_of,
+            storage_bytes,
+        }
+    }
+
+    /// Total backing-store size covering every window.
+    fn storage_bytes(&self) -> usize {
+        self.placement().storage_bytes
+    }
+}
+
+/// Panic-free [`Topology`] assembly: collect requestors and fabric
+/// knobs, then [`TopologyBuilder::build`] validates the whole
+/// configuration through the static design-rule checker and returns
+/// either a run-ready topology or the full typed [`DrcReport`].
+///
+/// # Examples
+///
+/// ```
+/// use axi_pack::{FabricSpec, SystemConfig, Topology};
+/// use vproc::SystemKind;
+/// use workloads::ismt;
+///
+/// let cfg = SystemConfig::paper(SystemKind::Pack);
+/// let p = cfg.kernel_params();
+/// let topo = Topology::builder(&cfg)
+///     .requestor(SystemKind::Pack, ismt::build(16, 1, &p))
+///     .requestor(SystemKind::Pack, ismt::build(16, 2, &p))
+///     .fabric(FabricSpec::tree(2))
+///     .build()
+///     .expect("DRC-clean");
+/// assert_eq!(topo.requestors.len(), 2);
+///
+/// // Errors are typed, not panics: an empty topology is DRC-U1.
+/// let err = Topology::builder(&cfg).build().expect_err("rejected");
+/// assert!(err.drc_report().is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyBuilder {
+    system: SystemConfig,
+    requestors: Vec<Requestor>,
+    fabric: FabricSpec,
+}
+
+impl TopologyBuilder {
+    /// Starts a builder over the given system parameters with the flat
+    /// default fabric and no requestors.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        TopologyBuilder {
+            system: *cfg,
+            requestors: Vec::new(),
+            fabric: FabricSpec::default(),
+        }
+    }
+
+    /// Appends one requestor (window order is append order).
+    pub fn requestor(mut self, kind: SystemKind, kernel: Kernel) -> Self {
+        self.requestors.push(Requestor::new(kind, kernel));
+        self
+    }
+
+    /// Appends every requestor of an iterator.
+    pub fn requestors(mut self, reqs: impl IntoIterator<Item = Requestor>) -> Self {
+        self.requestors.extend(reqs);
+        self
+    }
+
+    /// Replaces the whole fabric shape.
+    pub fn fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = fabric;
+        self
+    }
+
+    /// Sets the memory-channel count (windows interleave round-robin).
+    pub fn channels(mut self, channels: usize) -> Self {
+        self.fabric.channels = channels;
+        self
+    }
+
+    /// Sets the per-level mux fan-in.
+    pub fn arity(mut self, arity: usize) -> Self {
+        self.fabric.arity = arity;
+        self
+    }
+
+    /// Enables the DRAM-style row-buffer model on every channel's banks.
+    pub fn row_buffer(mut self, row_words: usize, row_miss_penalty: usize) -> Self {
+        self.fabric.row_words = row_words;
+        self.fabric.row_miss_penalty = row_miss_penalty;
+        self
+    }
+
+    /// Validates the assembled topology through the DRC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Drc`] with every violated rule — empty
+    /// topologies (DRC-U1), fabric arities outside `2..=MAX_FAN_IN`
+    /// (DRC-I2), dead or overlapping channel ranges (DRC-F1), ID spaces
+    /// too small for the mux-tree prefixes (DRC-I1), zero-capacity
+    /// queues, misaligned windows, and the rest of the rule book. This
+    /// method never panics.
+    pub fn build(self) -> Result<Topology, RunError> {
+        let topo = Topology {
+            system: self.system,
+            requestors: self.requestors,
+            fabric: self.fabric,
+        };
+        let report = if topo.requestors.len() == 1 {
+            // A single requestor never enters the fabric — run paths use
+            // the classic solo loop — so the solo rule set applies.
+            let r = &topo.requestors[0];
+            drc::check_single(&topo.system, r.kind, &r.kernel)
+        } else {
+            drc::check_topology(&topo)
+        };
+        if report.is_clean() {
+            Ok(topo)
+        } else {
+            Err(RunError::Drc(report))
+        }
     }
 }
 
@@ -507,7 +800,7 @@ impl AdapterFaultSnap {
 fn fault_abort(
     requestor: usize,
     bus_fault: BusFault,
-    axi_id: u8,
+    axi_id: u16,
     spec: Option<&FaultSpec>,
     snap: &AdapterFaultSnap,
 ) -> FaultReport {
@@ -619,19 +912,17 @@ pub fn run_kernel_probed(
 /// # Examples
 ///
 /// ```
-/// use axi_pack::{run_system, Requestor, SystemConfig, Topology};
+/// use axi_pack::{run_system, SystemConfig, Topology};
 /// use vproc::SystemKind;
 /// use workloads::{gemv, Dataflow};
 ///
 /// let cfg = SystemConfig::paper(SystemKind::Pack);
 /// let mk = |seed| gemv::build(24, seed, Dataflow::ColWise, &cfg.kernel_params());
-/// let topo = Topology::shared_bus(
-///     &cfg,
-///     vec![
-///         Requestor::new(SystemKind::Pack, mk(1)),
-///         Requestor::new(SystemKind::Pack, mk(2)),
-///     ],
-/// );
+/// let topo = Topology::builder(&cfg)
+///     .requestor(SystemKind::Pack, mk(1))
+///     .requestor(SystemKind::Pack, mk(2))
+///     .build()
+///     .expect("DRC-clean");
 /// let report = run_system(&topo).expect("both requestors verify");
 /// assert_eq!(report.requestors.len(), 2);
 /// assert!(report.cycles >= report.slowest().cycles);
@@ -666,8 +957,13 @@ fn run_system_inner(
     topo: &Topology,
     probe: Option<&mut RunProbe>,
 ) -> Result<SystemReport, RunError> {
-    if topo.requestors.len() == 1 {
+    if topo.requestors.len() == 1 && uses_flat_path(topo) {
         // run_single gates itself (it is also the run_kernel hot path).
+        // Only flat-fabric solos take it: a 1-requestor topology that
+        // asks for row-buffer timing (or several channels) must run the
+        // fabric path, or the solo baseline of a scaling sweep would
+        // silently measure a different memory model than every other
+        // point.
         let req = &topo.requestors[0];
         run_single(&topo.system, req.kind, &req.kernel, probe)
     } else {
@@ -889,6 +1185,7 @@ fn run_single_uncached(
         word_accesses,
         requestors: vec![report],
         outcomes: vec![RequestorOutcome::Completed],
+        levels: Vec::new(),
     })
 }
 
@@ -908,13 +1205,35 @@ fn run_shared(topo: &Topology, probe: Option<&mut RunProbe>) -> Result<SystemRep
     run_shared_uncached(topo, probe)
 }
 
+/// `true` when a topology runs on the classic flat path: one memory
+/// channel, no row-buffer model, and few enough bus-attached requestors
+/// for a single mux. Such topologies reproduce the pre-fabric runs
+/// byte-for-byte; everything else takes [`run_fabric_uncached`].
+fn uses_flat_path(topo: &Topology) -> bool {
+    let managers = topo
+        .requestors
+        .iter()
+        .filter(|r| r.kind != SystemKind::Ideal)
+        .count();
+    topo.fabric.channels == 1
+        && topo.fabric.row_words == 0
+        && managers <= MAX_MANAGERS
+        && managers <= topo.fabric.arity
+}
+
 /// The N-requestor loop: engines in private windows of one shared
 /// backing store, bus-attached ones funneled through the mux into the
-/// shared adapter.
+/// shared adapter. Topologies whose fabric needs cascaded mux levels,
+/// several memory channels, or row-buffer timing branch off to
+/// [`run_fabric_uncached`]; flat ones keep the historical loop (and its
+/// byte-identical reports) below.
 fn run_shared_uncached(
     topo: &Topology,
     probe: Option<&mut RunProbe>,
 ) -> Result<SystemReport, RunError> {
+    if !uses_flat_path(topo) {
+        return run_fabric_uncached(topo, probe);
+    }
     let sys = &topo.system;
     let bases = topo.window_bases();
     // Window relocation is zero-copy: `rebased` shares image payloads and
@@ -1168,7 +1487,7 @@ fn run_shared_uncached(
                 // Report the ID as the shared endpoint saw it: behind a
                 // mux the manager index rides the top prefix bits.
                 let axi_id = match (slots[i], managers > 1) {
-                    (Some(m), true) => ((m as u8) << LOCAL_ID_BITS) | bf.axi_id,
+                    (Some(m), true) => AxiMux::prefix_id(LOCAL_ID_BITS, m, AxiId(bf.axi_id)).0,
                     _ => bf.axi_id,
                 };
                 outcomes.push(RequestorOutcome::Faulted(fault_abort(
@@ -1206,6 +1525,515 @@ fn run_shared_uncached(
         bank_conflicts,
         word_accesses,
         outcomes,
+        levels: mux
+            .as_ref()
+            .map(|m| {
+                vec![LevelOccupancy {
+                    level: 0,
+                    muxes: 1,
+                    ar_beats: m.ar_forwarded(),
+                    r_beats: m.r_forwarded(),
+                }]
+            })
+            .unwrap_or_default(),
+    })
+}
+
+/// One memory channel of the hierarchical fabric: a cascaded tree of
+/// round-robin muxes funneling the channel's bus-attached requestors
+/// into its own near-memory adapter, which owns the channel's copy of
+/// the backing store (only this channel's windows are live in it).
+struct ChannelHw {
+    /// Requestor index of every leaf port, in port order.
+    members: Vec<usize>,
+    /// Leaf bundles, one per member; engines tick directly into these.
+    leaves: Vec<AxiChannels>,
+    /// Mux levels bottom-up; `levels[l][k]` drains into `links[l][k]`.
+    /// The last level always holds exactly one mux — the tree root.
+    levels: Vec<Vec<AxiMux>>,
+    links: Vec<Vec<AxiChannels>>,
+    adapter: Adapter,
+    arity: usize,
+    /// Monitors on the leaf bundles (probed runs only), one per member.
+    leaf_monitors: Vec<Monitor>,
+    /// Monitor on the root link below the tree — probed runs with two or
+    /// more members only; a single member's leaf *is* the root link.
+    root_monitor: Option<Monitor>,
+}
+
+impl ChannelHw {
+    fn new(
+        sys: &SystemConfig,
+        fabric: &FabricSpec,
+        members: Vec<usize>,
+        storage: Storage,
+        probed: bool,
+    ) -> Self {
+        // The DRC rejects arities outside 2..=MAX_FAN_IN before any run
+        // reaches this point; the clamp keeps construction panic-free
+        // for direct callers of the uncached internals.
+        let arity = fabric.arity.clamp(2, MAX_FAN_IN);
+        let level_bits = fabric.level_bits();
+        let leaves: Vec<AxiChannels> = (0..members.len()).map(|_| AxiChannels::new()).collect();
+        let mut levels: Vec<Vec<AxiMux>> = Vec::new();
+        let mut links: Vec<Vec<AxiChannels>> = Vec::new();
+        let mut width = members.len();
+        let mut shift = LOCAL_ID_BITS;
+        while width > 1 {
+            let groups = width.div_ceil(arity);
+            levels.push(
+                (0..groups)
+                    .map(|k| AxiMux::cascade((width - k * arity).min(arity), shift))
+                    .collect(),
+            );
+            links.push((0..groups).map(|_| AxiChannels::new()).collect());
+            width = groups;
+            shift += level_bits;
+        }
+        let mut adapter = Adapter::new(sys.ctrl_for(fabric), storage);
+        if let Some(spec) = sys.fault.as_ref() {
+            adapter.install_faults(spec);
+            for mux in levels.iter_mut().flatten() {
+                mux.install_faults(spec);
+            }
+        }
+        let leaf_monitors: Vec<Monitor> = if probed {
+            let id_bits = if members.len() > 1 { LOCAL_ID_BITS } else { 8 };
+            members
+                .iter()
+                .map(|_| Monitor::with_id_bits(sys.bus(), id_bits))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // Below the root every level's prefix has been stacked on, so
+        // the root link carries the channel's full ID width.
+        let root_monitor = (probed && !levels.is_empty())
+            .then(|| Monitor::with_id_bits(sys.bus(), shift.min(ID_BITS)));
+        ChannelHw {
+            members,
+            leaves,
+            levels,
+            links,
+            adapter,
+            arity,
+            leaf_monitors,
+            root_monitor,
+        }
+    }
+
+    /// One cycle: each mux level bottom-up, then the adapter on the root
+    /// link. The FIFO register stages make every hop visible only at the
+    /// cycle boundary, so each level adds one cycle of honest latency in
+    /// both directions.
+    fn tick(&mut self) {
+        for l in 0..self.levels.len() {
+            if l == 0 {
+                for (k, mux) in self.levels[0].iter_mut().enumerate() {
+                    let lo = k * self.arity;
+                    let hi = (lo + self.arity).min(self.leaves.len());
+                    mux.tick(&mut self.leaves[lo..hi], &mut self.links[0][k]);
+                }
+            } else {
+                let (lower, upper) = self.links.split_at_mut(l);
+                let ups = &mut lower[l - 1];
+                for (k, mux) in self.levels[l].iter_mut().enumerate() {
+                    let lo = k * self.arity;
+                    let hi = (lo + self.arity).min(ups.len());
+                    mux.tick(&mut ups[lo..hi], &mut upper[0][k]);
+                }
+            }
+        }
+        if self.members.is_empty() {
+            // An all-IDEAL channel has no bus hardware to tick; its
+            // adapter merely owns the storage.
+            return;
+        }
+        match self.links.last_mut() {
+            Some(root) => self.adapter.tick(&mut root[0]),
+            None => self.adapter.tick(&mut self.leaves[0]),
+        }
+        self.adapter.end_cycle();
+    }
+
+    /// Cycle-boundary register stage for every bundle in the channel,
+    /// feeding the probe monitors where attached.
+    fn end_cycle(&mut self) {
+        for (j, ch) in self.leaves.iter_mut().enumerate() {
+            match self.leaf_monitors.get_mut(j) {
+                Some(mon) => ch.end_cycle_observed(mon),
+                None => ch.end_cycle(),
+            }
+        }
+        let last = self.links.len();
+        for (l, row) in self.links.iter_mut().enumerate() {
+            for ch in row.iter_mut() {
+                match self.root_monitor.as_mut() {
+                    Some(mon) if l + 1 == last => ch.end_cycle_observed(mon),
+                    _ => ch.end_cycle(),
+                }
+            }
+        }
+    }
+
+    /// All bundles empty, all muxes and the adapter quiescent — nothing
+    /// in flight anywhere in the channel.
+    fn drained(&self) -> bool {
+        self.adapter.quiescent()
+            && self.leaves.iter().all(AxiChannels::is_empty)
+            && self.links.iter().flatten().all(AxiChannels::is_empty)
+            && self.levels.iter().flatten().all(AxiMux::quiescent)
+    }
+
+    /// Appends this channel's component snapshots for hang forensics, in
+    /// dependency order (leaves, then levels bottom-up, then adapter).
+    fn hang_components(&self, c: usize, out: &mut Vec<HangComponent>) {
+        for (j, ch) in self.leaves.iter().enumerate() {
+            out.push(channels_component(
+                &format!("ch{c} requestor {} leaf channels", self.members[j]),
+                ch,
+            ));
+        }
+        for (l, row) in self.levels.iter().enumerate() {
+            for (k, mux) in row.iter().enumerate() {
+                out.push(HangComponent {
+                    name: format!("ch{c} level {l} mux {k}"),
+                    state: mux.describe_state(),
+                    busy: !mux.quiescent() || mux.storm_active(),
+                });
+            }
+            for (k, ch) in self.links[l].iter().enumerate() {
+                out.push(channels_component(&format!("ch{c} level {l} link {k}"), ch));
+            }
+        }
+        if !self.members.is_empty() {
+            out.push(HangComponent {
+                name: format!("ch{c} adapter"),
+                state: self.adapter.describe_state(),
+                busy: !self.adapter.quiescent(),
+            });
+        }
+    }
+}
+
+/// The hierarchical-fabric loop: per-channel adapters behind cascaded
+/// mux trees, windows interleaved across the channels, engines in
+/// private windows. Flat topologies never come here (see
+/// [`uses_flat_path`] — they keep the historical loop byte-for-byte);
+/// this path generalizes the same loop shape to any requestor count the
+/// 16-bit ID space can carry.
+fn run_fabric_uncached(
+    topo: &Topology,
+    probe: Option<&mut RunProbe>,
+) -> Result<SystemReport, RunError> {
+    let sys = &topo.system;
+    let fabric = &topo.fabric;
+    let placement = topo.placement();
+    let bases = &placement.window_bases;
+    let kernels: Vec<Kernel> = topo
+        .requestors
+        .iter()
+        .zip(bases)
+        .map(|(r, &b)| r.kernel.rebased(b))
+        .collect();
+    let kinds: Vec<SystemKind> = topo.requestors.iter().map(|r| r.kind).collect();
+    let nch = fabric.channels.max(1);
+    // Channel membership: requestor i lives on channel `channel_of[i]`;
+    // bus-attached ones additionally occupy a leaf port of that
+    // channel's mux tree, in requestor order.
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); nch];
+    // (channel, leaf port) of every bus-attached engine.
+    let mut slots: Vec<Option<(usize, usize)>> = Vec::with_capacity(kinds.len());
+    for (i, &kind) in kinds.iter().enumerate() {
+        let c = placement.channel_of[i];
+        if kind == SystemKind::Ideal {
+            slots.push(None);
+        } else {
+            slots.push(Some((c, members[c].len())));
+            members[c].push(i);
+        }
+    }
+    let probed = probe.is_some();
+    let mut storages: Vec<Storage> = (0..nch)
+        .map(|_| Storage::new(placement.storage_bytes))
+        .collect();
+    for (i, k) in kernels.iter().enumerate() {
+        k.apply_image(&mut storages[placement.channel_of[i]]);
+    }
+    let mut channels_hw: Vec<ChannelHw> = members
+        .into_iter()
+        .zip(storages)
+        .map(|(m, s)| ChannelHw::new(sys, fabric, m, s, probed))
+        .collect();
+    let mut engines: Vec<Engine> = kernels
+        .iter()
+        .enumerate()
+        .map(|(i, k)| {
+            let mut vcfg = sys.vproc;
+            if let Some((c, _)) = slots[i] {
+                if channels_hw[c].members.len() > 1 {
+                    // Behind a mux tree, local IDs must leave room for
+                    // the stacked level prefixes.
+                    vcfg.axi_id_bits = LOCAL_ID_BITS;
+                }
+            }
+            Engine::new(vcfg, kinds[i], sys.bus(), k.program.clone())
+        })
+        .collect();
+
+    let mut cycles = 0u64;
+    let mut done_at: Vec<Option<u64>> = vec![None; engines.len()];
+    let mut sched_stats = SchedProbe::default();
+    let mut watchdog = Watchdog::new(sys.watchdog);
+    // Event mode: the same per-engine wake registry as the flat loop;
+    // the fabric as a whole is either drained (skippable) or ready.
+    let mut scheduler = (sys.sched == SchedMode::Event).then(|| {
+        let mut s = simkit::sched::Scheduler::new();
+        let ids: Vec<simkit::sched::CompId> = (0..engines.len())
+            .map(|_| s.add_component("engine", simkit::sched::WakeCond::Countdown))
+            .collect();
+        (s, ids)
+    });
+    loop {
+        if let Some((s, ids)) = scheduler.as_mut() {
+            let fabric_idle = channels_hw.iter().all(ChannelHw::drained);
+            if fabric_idle {
+                for (i, engine) in engines.iter().enumerate() {
+                    let wake = if done_at[i].is_some() {
+                        simkit::sched::Wake::Idle
+                    } else {
+                        engine.next_wake()
+                    };
+                    s.note(ids[i], wake);
+                }
+                if let Some(n) = s.idle_span() {
+                    let span = n.min(sys.max_cycles.saturating_sub(cycles));
+                    if span > 0 {
+                        for (i, engine) in engines.iter_mut().enumerate() {
+                            if done_at[i].is_none() {
+                                engine.fast_forward(span);
+                            }
+                        }
+                        for hw in channels_hw.iter_mut() {
+                            if !hw.members.is_empty() {
+                                hw.adapter.skip_idle(span);
+                            }
+                        }
+                        cycles += span;
+                        s.advance(span);
+                        sched_stats.record_span(span);
+                        for (i, engine) in engines.iter().enumerate() {
+                            if done_at[i].is_none() && engine.done() {
+                                done_at[i] = Some(cycles);
+                            }
+                        }
+                        if done_at.iter().all(Option::is_some) {
+                            break;
+                        }
+                        continue;
+                    }
+                }
+            }
+        }
+        for (i, engine) in engines.iter_mut().enumerate() {
+            if done_at[i].is_some() {
+                continue;
+            }
+            match slots[i] {
+                Some((c, j)) => {
+                    let hw = &mut channels_hw[c];
+                    engine.tick(Some(&mut hw.leaves[j]), hw.adapter.storage_mut());
+                }
+                None => {
+                    let hw = &mut channels_hw[placement.channel_of[i]];
+                    engine.tick(None, hw.adapter.storage_mut());
+                }
+            }
+        }
+        for hw in channels_hw.iter_mut() {
+            hw.tick();
+            hw.end_cycle();
+        }
+        cycles += 1;
+        for (i, engine) in engines.iter().enumerate() {
+            if done_at[i].is_none() && engine.done() {
+                done_at[i] = Some(cycles);
+            }
+        }
+        let drained = channels_hw.iter().all(ChannelHw::drained);
+        if done_at.iter().all(Option::is_some) && drained {
+            break;
+        }
+        let hung = cycles > sys.max_cycles;
+        let sig = engines
+            .iter()
+            .map(|e| engine_progress(e.stats()))
+            .sum::<u64>()
+            + channels_hw
+                .iter()
+                .map(|hw| {
+                    hw.adapter.word_reads() + hw.adapter.word_writes() + hw.adapter.fault_retries()
+                })
+                .sum::<u64>();
+        if hung || watchdog.expired(cycles, sig) {
+            let mut components: Vec<HangComponent> = engines
+                .iter()
+                .enumerate()
+                .map(|(i, e)| HangComponent {
+                    name: format!("requestor {i} engine"),
+                    state: e.describe_state(),
+                    busy: done_at[i].is_none(),
+                })
+                .collect();
+            for (c, hw) in channels_hw.iter().enumerate() {
+                hw.hang_components(c, &mut components);
+            }
+            return Err(hang_error(
+                format!(
+                    "fabric topology of {} requestors over {nch} channels",
+                    engines.len()
+                ),
+                cycles,
+                if hung { sys.max_cycles } else { sys.watchdog },
+                !hung,
+                components,
+            ));
+        }
+    }
+    // Per-level occupancy, aggregated across channels (level 0 is the
+    // leaf level of every channel's tree).
+    let depth = channels_hw
+        .iter()
+        .map(|hw| hw.levels.len())
+        .max()
+        .unwrap_or(0);
+    let levels: Vec<LevelOccupancy> = (0..depth)
+        .map(|l| {
+            let mut muxes = 0u32;
+            let (mut ar_beats, mut r_beats) = (0u64, 0u64);
+            for hw in &channels_hw {
+                if let Some(row) = hw.levels.get(l) {
+                    muxes += row.len() as u32;
+                    ar_beats += row.iter().map(AxiMux::ar_forwarded).sum::<u64>();
+                    r_beats += row.iter().map(AxiMux::r_forwarded).sum::<u64>();
+                }
+            }
+            LevelOccupancy {
+                level: l as u32,
+                muxes,
+                ar_beats,
+                r_beats,
+            }
+        })
+        .collect();
+    let word_accesses: u64 = channels_hw
+        .iter()
+        .map(|hw| hw.adapter.word_reads() + hw.adapter.word_writes())
+        .sum();
+    let bank_conflicts: u64 = channels_hw
+        .iter()
+        .map(|hw| hw.adapter.bank_conflicts())
+        .sum();
+    let bus_beats: u64 = channels_hw.iter().map(|hw| hw.adapter.r_beats()).sum();
+    let fault_snaps: Vec<AdapterFaultSnap> = channels_hw
+        .iter()
+        .map(|hw| AdapterFaultSnap::of(&hw.adapter))
+        .collect();
+    let chan_depth: Vec<usize> = channels_hw.iter().map(|hw| hw.levels.len()).collect();
+    // Consume the hardware: monitors out, per-channel storages out.
+    let mut leaf_monitors: Vec<Monitor> = Vec::new();
+    let mut root_monitors: Vec<Monitor> = Vec::new();
+    let mut storages: Vec<Storage> = Vec::with_capacity(chan_depth.len());
+    for hw in channels_hw {
+        leaf_monitors.extend(hw.leaf_monitors);
+        root_monitors.extend(hw.root_monitor);
+        storages.push(hw.adapter.into_storage());
+    }
+    if let Some(p) = probe {
+        p.monitors = leaf_monitors;
+        p.roots = root_monitors;
+        p.downstream = None;
+        // Digest over the composed windows — every window read from its
+        // owning channel's storage, gaps zero: the same layout a flat
+        // shared store holds, so digests compare across fabric shapes.
+        let mut composed = vec![0u8; placement.storage_bytes];
+        for (i, &b) in bases.iter().enumerate() {
+            let (lo, hi) = (
+                b as usize,
+                b as usize + topo.requestors[i].kernel.storage_size,
+            );
+            composed[lo..hi].copy_from_slice(&storages[placement.channel_of[i]].as_bytes()[lo..hi]);
+        }
+        p.storage_digest = Some(memory_digest(&composed));
+        p.sched = sched_stats;
+    }
+    // Fabric endpoint ID of a leaf-port fault: each level of the path
+    // stacks its port prefix, exactly as the tree remaps on the way down.
+    let level_bits = fabric.level_bits();
+    let arity = fabric.arity.clamp(2, MAX_FAN_IN);
+    let endpoint_id = |c: usize, leaf: usize, local: u16| -> u16 {
+        let mut id = AxiId(local);
+        let mut port = leaf;
+        let mut shift = LOCAL_ID_BITS;
+        for _ in 0..chan_depth[c] {
+            id = AxiMux::prefix_id(shift, port % arity, id);
+            port /= arity;
+            shift += level_bits;
+        }
+        id.0
+    };
+    let bus_bytes = sys.bus().data_bytes() as u64;
+    let mut payload_bytes = 0u64;
+    let mut reports = Vec::with_capacity(engines.len());
+    let mut outcomes = Vec::with_capacity(engines.len());
+    for (i, engine) in engines.iter().enumerate() {
+        let stats = engine.stats();
+        let chan = placement.channel_of[i];
+        match engine.first_fault() {
+            Some(bf) => {
+                let axi_id = match slots[i] {
+                    Some((c, j)) => endpoint_id(c, j, bf.axi_id),
+                    None => bf.axi_id,
+                };
+                outcomes.push(RequestorOutcome::Faulted(fault_abort(
+                    i,
+                    bf,
+                    axi_id,
+                    sys.fault.as_ref(),
+                    &fault_snaps[chan],
+                )));
+            }
+            None => {
+                verify_requestor(&kernels[i], stats, &storages[chan])
+                    .map_err(|e| format!("requestor {i}: {e}"))?;
+                outcomes.push(RequestorOutcome::Completed);
+            }
+        }
+        if kinds[i] != SystemKind::Ideal {
+            payload_bytes += stats.r_util.payload_bytes();
+        }
+        reports.push(build_report(
+            &kernels[i],
+            kinds[i],
+            sys.bus_bits,
+            done_at[i].expect("loop exits only when all done"),
+            stats,
+            None,
+            (0, 0),
+        ));
+    }
+    Ok(SystemReport {
+        cycles,
+        requestors: reports,
+        // Several channels each move up to one R beat per cycle, so the
+        // fabric busy figure is beats-per-cycle across all channels (it
+        // may exceed 1.0); utilization normalizes by the aggregate width.
+        bus_r_busy: bus_beats as f64 / cycles as f64,
+        bus_r_util: payload_bytes as f64 / (cycles * bus_bytes * nch as u64) as f64,
+        bank_conflicts,
+        word_accesses,
+        outcomes,
+        levels,
     })
 }
 
@@ -1273,14 +2101,12 @@ mod tests {
     fn windows_are_aligned_and_disjoint() {
         let cfg = SystemConfig::paper(SystemKind::Pack);
         let p = cfg.kernel_params();
-        let topo = Topology::shared_bus(
-            &cfg,
-            vec![
-                Requestor::new(SystemKind::Pack, ismt::build(16, 1, &p)),
-                Requestor::new(SystemKind::Pack, ismt::build(24, 2, &p)),
-                Requestor::new(SystemKind::Pack, ismt::build(16, 3, &p)),
-            ],
-        );
+        let topo = Topology::builder(&cfg)
+            .requestor(SystemKind::Pack, ismt::build(16, 1, &p))
+            .requestor(SystemKind::Pack, ismt::build(24, 2, &p))
+            .requestor(SystemKind::Pack, ismt::build(16, 3, &p))
+            .build()
+            .expect("DRC-clean");
         let bases = topo.window_bases();
         assert_eq!(bases[0], 0);
         for (i, w) in bases.windows(2).enumerate() {
@@ -1299,13 +2125,11 @@ mod tests {
         let p = cfg.kernel_params();
         let solo =
             run_kernel(&cfg, &gemv::build(32, 7, Dataflow::ColWise, &p)).expect("solo verifies");
-        let topo = Topology::shared_bus(
-            &cfg,
-            vec![
-                Requestor::new(SystemKind::Pack, gemv::build(32, 7, Dataflow::ColWise, &p)),
-                Requestor::new(SystemKind::Pack, gemv::build(32, 8, Dataflow::ColWise, &p)),
-            ],
-        );
+        let topo = Topology::builder(&cfg)
+            .requestor(SystemKind::Pack, gemv::build(32, 7, Dataflow::ColWise, &p))
+            .requestor(SystemKind::Pack, gemv::build(32, 8, Dataflow::ColWise, &p))
+            .build()
+            .expect("DRC-clean");
         let shared = run_system(&topo).expect("shared bus verifies");
         assert_eq!(shared.requestors.len(), 2);
         // Two identical bus-bound kernels sharing one endpoint: both run
@@ -1338,19 +2162,195 @@ mod tests {
         for s in 3..6 {
             reqs.push(Requestor::new(SystemKind::Ideal, ismt::build(16, s, &ip)));
         }
-        let report = run_system(&Topology::shared_bus(&cfg, reqs)).expect("all five verify");
+        let topo = Topology::builder(&cfg)
+            .requestors(reqs)
+            .build()
+            .expect("DRC-clean");
+        let report = run_system(&topo).expect("all five verify");
         assert_eq!(report.requestors.len(), 5);
     }
 
     #[test]
+    #[allow(deprecated)]
     #[should_panic(expected = "bus-attached")]
-    fn five_bus_attached_requestors_rejected() {
+    fn legacy_shared_bus_shim_still_rejects_five_managers() {
+        // The deprecated shim keeps its documented panic — it predates
+        // the mux-tree fabric. The builder accepts the same five
+        // requestors by cascading (see builder_scales_past_the_flat_cap).
         let cfg = SystemConfig::paper(SystemKind::Pack);
         let p = cfg.kernel_params();
         let reqs = (0..5)
             .map(|s| Requestor::new(SystemKind::Pack, ismt::build(16, s, &p)))
             .collect();
         let _ = Topology::shared_bus(&cfg, reqs);
+    }
+
+    #[test]
+    fn builder_scales_past_the_flat_cap() {
+        // Five bus-attached requestors used to be a hard panic; the
+        // fabric cascades them through two mux levels and every one
+        // still verifies against its own scalar reference.
+        let cfg = SystemConfig::paper(SystemKind::Pack);
+        let p = cfg.kernel_params();
+        let topo = Topology::builder(&cfg)
+            .requestors((0..5).map(|s| Requestor::new(SystemKind::Pack, ismt::build(16, s, &p))))
+            .build()
+            .expect("five bus-attached requestors are DRC-clean now");
+        let report = run_system(&topo).expect("all five verify");
+        assert_eq!(report.requestors.len(), 5);
+        // 5 leaves at arity 4 -> level 0 (2 muxes) + root level (1 mux).
+        assert_eq!(report.levels.len(), 2);
+        assert_eq!(report.levels[0].muxes, 2);
+        assert_eq!(report.levels[1].muxes, 1);
+        assert!(report.levels[0].r_beats > 0, "leaf level moved beats");
+        assert_eq!(
+            report.levels[0].r_beats, report.levels[1].r_beats,
+            "every R beat crosses every level of a single-channel tree"
+        );
+    }
+
+    #[test]
+    fn interleaved_channels_split_the_load() {
+        // Four requestors over two channels: two managers per channel,
+        // one single-level mux each. Both channels carry beats and the
+        // aggregate busy figure may legitimately exceed a single bus.
+        let cfg = SystemConfig::paper(SystemKind::Pack);
+        let p = cfg.kernel_params();
+        let topo = Topology::builder(&cfg)
+            .requestors((0..4).map(|s| Requestor::new(SystemKind::Pack, ismt::build(16, s, &p))))
+            .channels(2)
+            .build()
+            .expect("DRC-clean");
+        let place = topo.placement();
+        assert_eq!(place.channel_of, vec![0, 1, 0, 1]);
+        let report = run_system(&topo).expect("all verify");
+        assert_eq!(report.levels.len(), 1);
+        assert_eq!(report.levels[0].muxes, 2, "one mux per channel");
+        // The same four requestors on one channel contend harder.
+        let flat = Topology::builder(&cfg)
+            .requestors((0..4).map(|s| Requestor::new(SystemKind::Pack, ismt::build(16, s, &p))))
+            .build()
+            .expect("DRC-clean");
+        let flat_report = run_system(&flat).expect("all verify");
+        assert!(
+            report.cycles <= flat_report.cycles,
+            "two channels must not be slower than one: {} vs {}",
+            report.cycles,
+            flat_report.cycles
+        );
+    }
+
+    #[test]
+    fn row_buffer_misses_cost_cycles() {
+        // The DRAM-ish timing model: same topology, same kernels, but a
+        // narrow row with a heavy miss penalty must run strictly slower
+        // than the flat-SRAM fabric — and still verify.
+        let cfg = SystemConfig::paper(SystemKind::Pack);
+        let p = cfg.kernel_params();
+        let build = |spec: FabricSpec| {
+            Topology::builder(&cfg)
+                .requestor(SystemKind::Pack, gemv::build(24, 3, Dataflow::ColWise, &p))
+                .requestor(SystemKind::Pack, gemv::build(24, 4, Dataflow::ColWise, &p))
+                .fabric(spec)
+                .build()
+                .expect("DRC-clean")
+        };
+        // row_words > 0 forces the fabric path even on one channel.
+        let dram = run_system(&build(FabricSpec::flat().with_row_buffer(8, 16)))
+            .expect("row-buffer run verifies");
+        let sram = run_system(&build(FabricSpec::flat())).expect("flat run verifies");
+        assert!(
+            dram.cycles > sram.cycles,
+            "row misses must cost cycles: {} vs {}",
+            dram.cycles,
+            sram.cycles
+        );
+    }
+
+    #[test]
+    fn a_solo_requestor_pays_the_row_buffer_too() {
+        // Regression: the 1-requestor shortcut used to ignore the
+        // fabric, so a scaling sweep's solo baseline ran on flat SRAM
+        // timing while every other point paid DRAM-ish row misses.
+        let cfg = SystemConfig::paper(SystemKind::Pack);
+        let p = cfg.kernel_params();
+        let build = |spec: FabricSpec| {
+            Topology::builder(&cfg)
+                .requestor(SystemKind::Pack, gemv::build(24, 3, Dataflow::ColWise, &p))
+                .fabric(spec)
+                .build()
+                .expect("DRC-clean")
+        };
+        let dram = run_system(&build(FabricSpec::flat().with_row_buffer(8, 16)))
+            .expect("row-buffer solo verifies");
+        let sram = run_system(&build(FabricSpec::flat())).expect("flat solo verifies");
+        assert!(
+            dram.cycles > sram.cycles,
+            "a solo run must pay row misses like any other point: {} vs {}",
+            dram.cycles,
+            sram.cycles
+        );
+        // A flat-fabric solo still reproduces the classic
+        // single-requestor loop cycle-for-cycle.
+        let single =
+            run_kernel(&cfg, &gemv::build(24, 3, Dataflow::ColWise, &p)).expect("single verifies");
+        assert_eq!(sram.cycles, single.cycles);
+    }
+
+    #[test]
+    fn builder_surfaces_every_error_as_typed_diagnostics() {
+        // The zero-panic guarantee: every malformed configuration comes
+        // back as RunError::Drc naming the violated rule.
+        use crate::drc::Rule;
+        let cfg = SystemConfig::paper(SystemKind::Pack);
+        let p = cfg.kernel_params();
+        let two = |b: TopologyBuilder| {
+            b.requestor(SystemKind::Pack, ismt::build(16, 1, &p))
+                .requestor(SystemKind::Pack, ismt::build(16, 2, &p))
+        };
+        let rule_of = |err: RunError| -> Vec<Rule> {
+            let report = err.drc_report().expect("typed DRC rejection").clone();
+            Rule::ALL
+                .into_iter()
+                .filter(|r| report.violates(*r))
+                .collect()
+        };
+        // Empty topology: dead-logic rule.
+        let err = Topology::builder(&cfg).build().expect_err("empty rejected");
+        assert!(rule_of(err).contains(&Rule::Unreachable));
+        // Arity below 2 can never converge; above MAX_FAN_IN overflows a
+        // level's port budget. Both are manager-overflow diagnostics.
+        for arity in [0, 1, MAX_FAN_IN + 1] {
+            let err = two(Topology::builder(&cfg))
+                .arity(arity)
+                .build()
+                .expect_err("bad arity rejected");
+            assert!(
+                rule_of(err).contains(&Rule::ManagerOverflow),
+                "arity {arity}"
+            );
+        }
+        // Zero channels: nothing can route anywhere.
+        let err = two(Topology::builder(&cfg))
+            .channels(0)
+            .build()
+            .expect_err("zero channels rejected");
+        assert!(rule_of(err).contains(&Rule::FabricRange));
+        // Outstanding-load limit that cannot fit the mux-narrowed local
+        // ID space: a capacity rejection, not a silent allocator wrap.
+        let mut idcfg = cfg;
+        idcfg.vproc.max_outstanding_loads = 1 << LOCAL_ID_BITS;
+        let err = two(Topology::builder(&idcfg))
+            .build()
+            .expect_err("aliasing IDs rejected");
+        assert!(rule_of(err).contains(&Rule::IdCapacity));
+        // Zero-depth queues: the classic pre-cycle-0 rejection.
+        let mut qcfg = cfg;
+        qcfg.queue_depth = 0;
+        let err = two(Topology::builder(&qcfg))
+            .build()
+            .expect_err("zero-depth queues rejected");
+        assert!(rule_of(err).contains(&Rule::QueueStall));
     }
 
     #[test]
@@ -1362,13 +2362,16 @@ mod tests {
         let mut cfg = SystemConfig::paper(SystemKind::Pack);
         cfg.vproc.max_outstanding_loads = 1 << LOCAL_ID_BITS;
         let p = cfg.kernel_params();
-        let topo = Topology::shared_bus(
-            &cfg,
-            vec![
+        // A hand-rolled literal (not the builder) so the run path's own
+        // DRC gate is what rejects it.
+        let topo = Topology {
+            system: cfg,
+            requestors: vec![
                 Requestor::new(SystemKind::Pack, ismt::build(16, 1, &p)),
                 Requestor::new(SystemKind::Pack, ismt::build(16, 2, &p)),
             ],
-        );
+            fabric: FabricSpec::default(),
+        };
         let err = run_system(&topo).expect_err("aliasing IDs must be rejected");
         let report = err.drc_report().expect("a DRC rejection, not a sim error");
         assert!(report.violates(crate::drc::Rule::IdCapacity), "{report}");
@@ -1382,6 +2385,7 @@ mod tests {
         let topo = Topology {
             system: SystemConfig::paper(SystemKind::Pack),
             requestors: Vec::new(),
+            fabric: FabricSpec::default(),
         };
         let err = run_system(&topo).expect_err("empty topology rejected");
         let report = err.drc_report().expect("a DRC rejection");
@@ -1410,13 +2414,11 @@ mod tests {
         // out (its engine stops ticking once done).
         let cfg = SystemConfig::paper(SystemKind::Pack);
         let p = cfg.kernel_params();
-        let topo = Topology::shared_bus(
-            &cfg,
-            vec![
-                Requestor::new(SystemKind::Pack, ismt::build(12, 1, &p)),
-                Requestor::new(SystemKind::Pack, ismt::build(40, 2, &p)),
-            ],
-        );
+        let topo = Topology::builder(&cfg)
+            .requestor(SystemKind::Pack, ismt::build(12, 1, &p))
+            .requestor(SystemKind::Pack, ismt::build(40, 2, &p))
+            .build()
+            .expect("DRC-clean");
         let report = run_system(&topo).expect("verifies");
         let (short, long) = (&report.requestors[0], &report.requestors[1]);
         assert!(short.cycles < long.cycles);
@@ -1438,13 +2440,11 @@ mod tests {
         let cfg = SystemConfig::paper(SystemKind::Ideal);
         let p = cfg.kernel_params();
         let solo = run_kernel(&cfg, &ismt::build(16, 4, &p)).expect("solo verifies");
-        let topo = Topology::shared_bus(
-            &cfg,
-            vec![
-                Requestor::new(SystemKind::Ideal, ismt::build(16, 4, &p)),
-                Requestor::new(SystemKind::Ideal, ismt::build(16, 5, &p)),
-            ],
-        );
+        let topo = Topology::builder(&cfg)
+            .requestor(SystemKind::Ideal, ismt::build(16, 4, &p))
+            .requestor(SystemKind::Ideal, ismt::build(16, 5, &p))
+            .build()
+            .expect("DRC-clean");
         let shared = run_system(&topo).expect("ideal pair verifies");
         // Per-lane ports: no shared resource, no slowdown.
         assert_eq!(shared.requestors[0].cycles, solo.cycles);

@@ -11,7 +11,7 @@
 
 use axi_pack::cache::{indirect_key, single_run_key, strided_avg_key, topology_key};
 use axi_pack::requestor::SweepConfig;
-use axi_pack::{Requestor, SystemConfig, Topology};
+use axi_pack::{FabricSpec, SystemConfig, Topology};
 use axi_proto::{ElemSize, IdxSize};
 use vproc::SystemKind;
 use workloads::sparse::CsrMatrix;
@@ -25,9 +25,9 @@ fn fixture_gemv(cfg: &SystemConfig) -> workloads::Kernel {
 #[test]
 fn single_run_keys_are_pinned() {
     let cases = [
-        (SystemKind::Base, "d2859859caf48a3ad634b80c9edc1eb2"),
-        (SystemKind::Pack, "559a09f01fd48c68e156ba0ea5c1eed2"),
-        (SystemKind::Ideal, "8cbb453d40ab11b1b8b003c02494b9de"),
+        (SystemKind::Base, "403b2fe66aa95d194aaa3cba24821fe1"),
+        (SystemKind::Pack, "69360235aac12175d9d5ec3395ec6012"),
+        (SystemKind::Ideal, "9cf08c38f688e397dcda44231330cf52"),
     ];
     for (kind, pin) in cases {
         let cfg = SystemConfig::paper(kind);
@@ -43,15 +43,15 @@ fn single_run_keys_are_pinned() {
 #[test]
 fn topology_key_is_pinned() {
     let cfg = SystemConfig::paper(SystemKind::Pack);
-    let mut topo = Topology::single(&cfg, fixture_gemv(&cfg));
     let m = CsrMatrix::random(16, 16, 4.0, 3);
-    topo.requestors.push(Requestor {
-        kind: SystemKind::Base,
-        kernel: spmv::build(&m, 5, &cfg.kernel_params()),
-    });
+    let topo = Topology::builder(&cfg)
+        .requestor(SystemKind::Pack, fixture_gemv(&cfg))
+        .requestor(SystemKind::Base, spmv::build(&m, 5, &cfg.kernel_params()))
+        .build()
+        .expect("two-requestor fixture is DRC-clean");
     assert_eq!(
         topology_key(&topo).to_hex(),
-        "686babbd2528d851c9a70a545a3bedd9",
+        "2c0c8ec8fea869fd7d593a2341cd7785",
         "topology key moved — bump KEY_VERSION if intentional"
     );
 }
@@ -61,12 +61,12 @@ fn utilization_keys_are_pinned() {
     let sweep = SweepConfig::default();
     assert_eq!(
         strided_avg_key(&sweep, ElemSize::B2).to_hex(),
-        "8aa55475f9fc7d7c38a580678b921efa",
+        "384efe642919c6b1048dfac66e27855b",
         "strided-avg key moved — bump KEY_VERSION if intentional"
     );
     assert_eq!(
         indirect_key(&sweep, ElemSize::B4, IdxSize::B2, 11).to_hex(),
-        "89da7c67f4e5b6d5b0d474f7154df2e4",
+        "33247794a583ca9c464c5e6db6b0af51",
         "indirect key moved — bump KEY_VERSION if intentional"
     );
 }
@@ -95,4 +95,25 @@ fn keys_separate_what_must_be_separate() {
         indirect_key(&sweep, ElemSize::B4, IdxSize::B2, 11),
         indirect_key(&sweep, ElemSize::B4, IdxSize::B2, 12)
     );
+
+    // The fabric shape is part of a topology key: the same requestors on
+    // a different channel count or mux arity are different measurements.
+    let topo = Topology::builder(&cfg)
+        .requestor(SystemKind::Pack, fixture_gemv(&cfg))
+        .requestor(
+            SystemKind::Pack,
+            gemv::build(8, 9, Dataflow::ColWise, &cfg.kernel_params()),
+        )
+        .build()
+        .expect("DRC-clean");
+    let flat_key = topology_key(&topo);
+    let mut channels2 = topo.clone();
+    channels2.fabric = FabricSpec::flat().with_channels(2);
+    assert_ne!(flat_key, topology_key(&channels2));
+    let mut tree2 = topo.clone();
+    tree2.fabric = FabricSpec::tree(2);
+    assert_ne!(flat_key, topology_key(&tree2));
+    let mut dram = topo;
+    dram.fabric = FabricSpec::flat().with_row_buffer(8, 16);
+    assert_ne!(flat_key, topology_key(&dram));
 }

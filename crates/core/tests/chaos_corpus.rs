@@ -93,13 +93,14 @@ fn permanent_grant_storm_hang_names_the_mux() {
         ismt::build(16, 7, &base.kernel_params()),
         ismt::build(16, 5, &base.kernel_params()),
     ];
-    let mut topo = Topology::shared_bus(
-        &base,
-        kernels
-            .into_iter()
-            .map(|k| Requestor::new(SystemKind::Pack, k))
-            .collect(),
-    );
+    let mut topo = Topology::builder(&base)
+        .requestors(
+            kernels
+                .into_iter()
+                .map(|k| Requestor::new(SystemKind::Pack, k)),
+        )
+        .build()
+        .expect("DRC-clean");
     topo.system.watchdog = 5_000;
     topo.system.fault = Some(spec);
     let err = run_system(&topo).expect_err("a permanently stormed mux must hang");

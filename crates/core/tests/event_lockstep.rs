@@ -118,7 +118,10 @@ fn corpus_topologies_agree_across_modes() {
             .map(|(&kind, sk)| Requestor::new(kind, sk.kernel.clone()))
             .collect();
         let run = |sched: SchedMode| {
-            let topo = Topology::shared_bus(&system(SystemKind::Pack, sched), requestors.clone());
+            let topo = Topology::builder(&system(SystemKind::Pack, sched))
+                .requestors(requestors.clone())
+                .build()
+                .unwrap_or_else(|e| panic!("seed {}: topology not DRC-clean: {e}", case.seed));
             let mut probe = RunProbe::default();
             let report = run_system_probed(&topo, &mut probe)
                 .unwrap_or_else(|e| panic!("seed {} ({sched}): topology failed: {e}", case.seed));

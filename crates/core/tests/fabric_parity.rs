@@ -1,0 +1,178 @@
+//! Fabric-era compatibility pins and the hierarchical-fabric oracle.
+//!
+//! The hierarchical fabric must not move a single bit of the flat-era
+//! results: 1-requestor runs and flat shared-bus topologies (up to four
+//! bus-attached requestors, one channel, no row buffer) keep the
+//! historical simulation loop. The golden numbers below were captured
+//! by running the same probe on the last pre-fabric commit and on this
+//! tree and diffing the output — they pin that equivalence against
+//! future drift.
+//!
+//! The second half replays the fuzz regression corpus over an
+//! 8-requestor arity-2 mux tree with two interleaved, row-buffered
+//! memory channels — the deep-fabric path — and demands the event-driven
+//! and lockstep schedulers agree on every observable, the same oracle
+//! the flat corpus replay enforces.
+
+use axi_pack::differential::SEED_CORPUS;
+use axi_pack::{
+    run_kernel, run_system, run_system_probed, FabricSpec, Requestor, RunProbe, SchedMode,
+    SystemConfig, Topology,
+};
+use vproc::SystemKind;
+use workloads::{gemv, synth, Dataflow};
+
+#[test]
+fn flat_reports_are_pinned_byte_for_byte() {
+    // Captured from the pre-fabric tree (commit before the fabric
+    // landed): pack/gemv solo and the 4x pack/gemv shared bus. Floats
+    // are pinned by bit pattern — parity means *byte*-identical.
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let p = cfg.kernel_params();
+    let solo = run_kernel(&cfg, &gemv::build(24, 2, Dataflow::ColWise, &p)).expect("verifies");
+    assert_eq!(solo.cycles, 146);
+    assert_eq!(solo.r_util.to_bits(), 0x3fdf8fc7e3f1f8fc);
+    assert_eq!(solo.energy_uj.to_bits(), 0x3f9ec2ce4649906c);
+
+    let reqs: Vec<Requestor> = (0..4)
+        .map(|i| {
+            Requestor::new(
+                SystemKind::Pack,
+                gemv::build(24, 3 + i as u64, Dataflow::ColWise, &p),
+            )
+        })
+        .collect();
+    let topo = Topology::builder(&cfg)
+        .requestors(reqs)
+        .build()
+        .expect("DRC-clean");
+    let r = run_system(&topo).expect("verifies");
+    assert_eq!(r.cycles, 325);
+    assert_eq!(r.bus_r_busy.to_bits(), 0x3fec5b5f4f8e9283);
+    assert_eq!(r.word_accesses, 2400);
+    let per_req: Vec<u64> = r.requestors.iter().map(|q| q.cycles).collect();
+    assert_eq!(per_req, [313, 319, 322, 325]);
+    // The flat shared bus is a one-level fabric: its single mux shows up
+    // in the (new, additive) per-level occupancy without disturbing any
+    // of the pinned legacy fields above.
+    assert_eq!(r.levels.len(), 1, "flat topologies have exactly one level");
+    assert_eq!(r.levels[0].muxes, 1);
+    assert!(r.levels[0].r_beats > 0, "the mux carried every response");
+}
+
+#[test]
+fn an_explicit_flat_fabric_is_the_default_fabric() {
+    // Spelling out FabricSpec::flat() must select the same (historical)
+    // loop as leaving the fabric unset — not a near-identical variant.
+    let cfg = SystemConfig::paper(SystemKind::Pack);
+    let p = cfg.kernel_params();
+    let build = |fabric: Option<FabricSpec>| {
+        let mut b = Topology::builder(&cfg);
+        for i in 0..2 {
+            b = b.requestor(
+                SystemKind::Pack,
+                gemv::build(24, 3 + i, Dataflow::ColWise, &p),
+            );
+        }
+        if let Some(f) = fabric {
+            b = b.fabric(f);
+        }
+        run_system(&b.build().expect("DRC-clean")).expect("verifies")
+    };
+    let implicit = build(None);
+    let explicit = build(Some(FabricSpec::flat()));
+    assert_eq!(implicit.cycles, explicit.cycles);
+    assert_eq!(implicit.bus_r_busy.to_bits(), explicit.bus_r_busy.to_bits());
+    assert_eq!(implicit.word_accesses, explicit.word_accesses);
+    assert_eq!(implicit.levels, explicit.levels);
+}
+
+#[test]
+fn corpus_replays_on_an_eight_requestor_tree_across_modes() {
+    // Every corpus seed, fanned out to 8 requestors (its PACK and BASE
+    // synth kernels alternating across disjoint windows) on an arity-2
+    // tree over two row-buffered channels. Event and lockstep must agree
+    // bit-for-bit on cycles, the shared store, and every per-requestor
+    // and per-level counter — run_fabric under the same oracle as the
+    // flat loop.
+    let fabric = FabricSpec::tree(2).with_channels(2).with_row_buffer(8, 6);
+    let mk_sys = |sched: SchedMode| {
+        let mut sys = SystemConfig::with_bus(SystemKind::Pack, 128);
+        sys.max_cycles = 40_000_000;
+        sys.sched = sched;
+        sys
+    };
+    let max_vl = mk_sys(SchedMode::Event).kernel_params().max_vl;
+    let mut corpus_r_beats = 0u64;
+    for case in SEED_CORPUS {
+        let kinds = [SystemKind::Pack, SystemKind::Base];
+        let built = synth::build_kinds(case.seed, &case.cfg, max_vl, &kinds);
+        let requestors: Vec<Requestor> = (0..8)
+            .map(|i| {
+                let (kind, sk) = (kinds[i % 2], &built[i % 2]);
+                Requestor::new(kind, sk.kernel.clone())
+            })
+            .collect();
+        let run = |sched: SchedMode| {
+            let topo = Topology::builder(&mk_sys(sched))
+                .requestors(requestors.clone())
+                .fabric(fabric)
+                .build()
+                .unwrap_or_else(|e| panic!("seed {}: 8-way tree not DRC-clean: {e}", case.seed));
+            let mut probe = RunProbe::default();
+            let report = run_system_probed(&topo, &mut probe)
+                .unwrap_or_else(|e| panic!("seed {} ({sched}): tree run failed: {e}", case.seed));
+            (report, probe)
+        };
+        let (ev, ev_probe) = run(SchedMode::Event);
+        let (lk, lk_probe) = run(SchedMode::Lockstep);
+        let ctx = format!("seed {} 8-way tree", case.seed);
+        assert_eq!(
+            lk_probe.sched.skip_spans, 0,
+            "{ctx}: lockstep mode must never fast-forward"
+        );
+        assert_eq!(ev.cycles, lk.cycles, "{ctx}: completion cycles");
+        assert_eq!(
+            ev_probe.storage_digest, lk_probe.storage_digest,
+            "{ctx}: shared store differs between modes"
+        );
+        assert_eq!(
+            ev.bus_r_busy.to_bits(),
+            lk.bus_r_busy.to_bits(),
+            "{ctx}: bus_r_busy"
+        );
+        assert_eq!(
+            ev.bank_conflicts, lk.bank_conflicts,
+            "{ctx}: bank_conflicts"
+        );
+        assert_eq!(ev.word_accesses, lk.word_accesses, "{ctx}: word_accesses");
+        assert_eq!(ev.levels, lk.levels, "{ctx}: per-level occupancy");
+        // 4 bus-attached members per channel through arity-2 muxes is a
+        // 2-level cascade; the report must expose both levels. (A
+        // write-only corpus kernel legitimately moves zero AR/R beats,
+        // so response traffic is asserted corpus-wide below.)
+        assert_eq!(ev.levels.len(), 2, "{ctx}: tree depth in the report");
+        let muxes: Vec<u32> = ev.levels.iter().map(|l| l.muxes).collect();
+        assert_eq!(muxes, [4, 2], "{ctx}: mux population per level");
+        corpus_r_beats += ev.levels.iter().map(|l| l.r_beats).sum::<u64>();
+        for (r, (e, l)) in ev.requestors.iter().zip(&lk.requestors).enumerate() {
+            assert_eq!(e.cycles, l.cycles, "{ctx}, requestor {r}: cycles");
+            assert_eq!(
+                e.energy_uj.to_bits(),
+                l.energy_uj.to_bits(),
+                "{ctx}, requestor {r}: energy"
+            );
+            assert_eq!(
+                e.bank_conflicts, l.bank_conflicts,
+                "{ctx}, requestor {r}: bank_conflicts"
+            );
+        }
+        // One probe monitor per channel watched the root links.
+        assert_eq!(ev_probe.roots.len(), 2, "{ctx}: root monitors");
+    }
+    assert!(
+        corpus_r_beats > 0,
+        "no corpus seed moved a response beat through the trees — the \
+         level counters are not wired"
+    );
+}

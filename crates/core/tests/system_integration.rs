@@ -147,7 +147,11 @@ fn single_requestor_topology_matches_run_kernel() {
             &cfg.kernel_params(),
         );
         let classic = run_kernel(&cfg, &k).expect("run_kernel verifies");
-        let sys = run_system(&Topology::single(&cfg, k.clone())).expect("run_system verifies");
+        let topo = Topology::builder(&cfg)
+            .requestor(kind, k.clone())
+            .build()
+            .expect("DRC-clean");
+        let sys = run_system(&topo).expect("run_system verifies");
         assert_eq!(sys.requestors.len(), 1);
         let topo = &sys.requestors[0];
         assert_eq!(classic.cycles, topo.cycles, "{kind}");
@@ -176,19 +180,17 @@ fn two_requestors_in_disjoint_windows_both_match_their_references() {
     let cfg = SystemConfig::paper(SystemKind::Pack);
     let g = CsrMatrix::random_graph(32, 5.0, 11);
     for second_kind in [SystemKind::Pack, SystemKind::Base] {
-        let topo = Topology::shared_bus(
-            &cfg,
-            vec![
-                Requestor::new(
-                    SystemKind::Pack,
-                    ismt::build(20, 6, &cfg.kernel_params_for(SystemKind::Pack)),
-                ),
-                Requestor::new(
-                    second_kind,
-                    sssp::build(&g, 0, 2, &cfg.kernel_params_for(second_kind)),
-                ),
-            ],
-        );
+        let topo = Topology::builder(&cfg)
+            .requestor(
+                SystemKind::Pack,
+                ismt::build(20, 6, &cfg.kernel_params_for(SystemKind::Pack)),
+            )
+            .requestor(
+                second_kind,
+                sssp::build(&g, 0, 2, &cfg.kernel_params_for(second_kind)),
+            )
+            .build()
+            .expect("DRC-clean");
         // run_system errors if either requestor's memory image diverges
         // from its own scalar reference, so success IS the equivalence
         // check for both disjoint regions.
@@ -208,7 +210,7 @@ fn four_requestors_saturate_the_shared_bus() {
     let cfg = SystemConfig::paper(SystemKind::Pack);
     let p = cfg.kernel_params();
     let solo = run_kernel(&cfg, &gemv::build(24, 3, Dataflow::ColWise, &p)).expect("verifies");
-    let reqs = (0..4)
+    let reqs: Vec<Requestor> = (0..4)
         .map(|i| {
             Requestor::new(
                 SystemKind::Pack,
@@ -216,7 +218,11 @@ fn four_requestors_saturate_the_shared_bus() {
             )
         })
         .collect();
-    let report = run_system(&Topology::shared_bus(&cfg, reqs)).expect("all four verify");
+    let topo = Topology::builder(&cfg)
+        .requestors(reqs)
+        .build()
+        .expect("DRC-clean");
+    let report = run_system(&topo).expect("all four verify");
     assert_eq!(report.requestors.len(), 4);
     // Four bus-bound kernels through one endpoint: higher aggregate bus
     // occupancy than one alone, and everyone slower than solo.

@@ -39,6 +39,18 @@ pub struct BankConfig {
     /// If `true`, model an ideal conflict-free memory: every port request is
     /// granted every cycle (the "ideal" series of Fig. 5a).
     pub conflict_free: bool,
+    /// Row-buffer capacity per bank, in bank words. `0` (the default)
+    /// disables the row-buffer model entirely — the paper's on-chip SRAM
+    /// banks have no notion of an open row, and every pre-fabric timing
+    /// result depends on that. Off-chip DRAM-ish channels set this
+    /// nonzero: accesses whose bank row matches the open row proceed at
+    /// [`BankConfig::latency`] (a row hit), while a differing row first
+    /// pays [`BankConfig::row_miss_penalty`] activation cycles.
+    pub row_words: usize,
+    /// Extra grant-stall cycles a row miss charges before the access can
+    /// enter the bank pipeline (precharge + activate). Ignored while
+    /// [`BankConfig::row_words`] is zero.
+    pub row_miss_penalty: usize,
     /// If `false`, write accesses keep their full timing (bank occupancy,
     /// acks) but do not modify the backing store. Used by the system
     /// simulation, where the engine's eager-functional execution is the
@@ -58,6 +70,8 @@ impl Default for BankConfig {
             ports: 8,
             conflict_free: false,
             commit_writes: true,
+            row_words: 0,
+            row_miss_penalty: 0,
         }
     }
 }
@@ -188,9 +202,16 @@ pub struct BankedMemory {
     /// so the per-cycle cost scales with the port count, not the bank
     /// count.
     dirty_banks: Vec<usize>,
+    /// Open row per bank (row-buffer model; unused while
+    /// `cfg.row_words == 0`).
+    open_rows: Vec<Option<u64>>,
+    /// Remaining activation-stall cycles per bank after a row miss.
+    row_stall: Vec<usize>,
     /// Statistics.
     total_accesses: u64,
     conflict_stall_events: u64,
+    row_hits: u64,
+    row_misses: u64,
     cycles: u64,
     /// Installed fault-injection schedules; `None` (the default) keeps
     /// every hook to a single branch on the fault-free hot path.
@@ -230,9 +251,13 @@ impl BankedMemory {
             ideal_delay: std::collections::VecDeque::new(),
             wants_scratch: vec![0; cfg.banks],
             dirty_banks: Vec::with_capacity(cfg.ports),
+            open_rows: vec![None; cfg.banks],
+            row_stall: vec![0; cfg.banks],
             cfg,
             total_accesses: 0,
             conflict_stall_events: 0,
+            row_hits: 0,
+            row_misses: 0,
             cycles: 0,
             faults: None,
             decode_faults: 0,
@@ -363,9 +388,50 @@ impl BankedMemory {
                     self.conflict_stall_events += (contenders - 1) as u64;
                 }
                 if !spiked && self.banks[b].can_insert() {
-                    if let Some(p) = self.arbs[b].grant_mask(want) {
-                        let req = self.pending[p].take().expect("granted port has request");
-                        self.banks[b].insert(req);
+                    if self.row_stall[b] > 0 {
+                        // A row activation is in flight: the bank grants
+                        // nothing until the precharge+activate window
+                        // elapses; the requests stay pending.
+                        self.row_stall[b] -= 1;
+                    } else {
+                        // FR-FCFS: requests hitting the open row arbitrate
+                        // ahead of row misses. Hit-first ordering is what
+                        // real DRAM schedulers do for throughput, and here
+                        // it is also what guarantees forward progress —
+                        // round-robin over raw contenders would let two
+                        // ports on different rows re-open the row against
+                        // each other after every activation window, and
+                        // neither would ever be served.
+                        let choose = match self.row_hit_mask(b, want) {
+                            0 => want,
+                            hits => hits,
+                        };
+                        if let Some(p) = self.arbs[b].grant_mask(choose) {
+                            let req = self.pending[p].take().expect("granted port has request");
+                            if self.cfg.row_words > 0 {
+                                let row =
+                                    self.map.row_of(req.word_addr) / self.cfg.row_words as u64;
+                                if self.open_rows[b] == Some(row) {
+                                    self.row_hits += 1;
+                                    self.banks[b].insert(req);
+                                } else {
+                                    // Row miss: open the row and charge the
+                                    // activation penalty; the request
+                                    // retries — and wins, as a hit — once
+                                    // the window elapses.
+                                    self.open_rows[b] = Some(row);
+                                    self.row_misses += 1;
+                                    if self.cfg.row_miss_penalty == 0 {
+                                        self.banks[b].insert(req);
+                                    } else {
+                                        self.row_stall[b] = self.cfg.row_miss_penalty;
+                                        self.pending[p] = Some(req);
+                                    }
+                                }
+                            } else {
+                                self.banks[b].insert(req);
+                            }
+                        }
                     }
                 }
                 // Re-clear only the entries this cycle touched.
@@ -417,6 +483,29 @@ impl BankedMemory {
                 }
             }
         }
+    }
+
+    /// Contender ports of `want` whose pending request falls in bank
+    /// `b`'s currently open row; `0` when the row-buffer model is off,
+    /// no row is open, or every contender misses.
+    fn row_hit_mask(&self, b: usize, want: u32) -> u32 {
+        if self.cfg.row_words == 0 {
+            return 0;
+        }
+        let Some(open) = self.open_rows[b] else {
+            return 0;
+        };
+        let mut hits = 0u32;
+        let mut m = want;
+        while m != 0 {
+            let p = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let req = self.pending[p].as_ref().expect("wanting port has request");
+            if self.map.row_of(req.word_addr) / self.cfg.row_words as u64 == open {
+                hits |= 1 << p;
+            }
+        }
+        hits
     }
 
     /// Performs one word access, first deciding its fault class:
@@ -519,6 +608,20 @@ impl BankedMemory {
         self.conflict_stall_events
     }
 
+    /// Grants served from an already-open row (row-buffer model only).
+    /// An access that missed counts one activation ([`Self::row_misses`])
+    /// and, once the activation window elapses, one open-row grant here.
+    pub fn row_hits(&self) -> u64 {
+        self.row_hits
+    }
+
+    /// Row activations performed (row-buffer model only): grants whose
+    /// bank row differed from the open row and paid
+    /// [`BankConfig::row_miss_penalty`] cycles.
+    pub fn row_misses(&self) -> u64 {
+        self.row_misses
+    }
+
     /// Faults injected by installed schedules (transient + persistent
     /// bank errors; excludes decode faults).
     pub fn injected_faults(&self) -> u64 {
@@ -591,6 +694,8 @@ mod tests {
                 ports: 4,
                 conflict_free: false,
                 commit_writes: true,
+                row_words: 0,
+                row_miss_penalty: 0,
             },
             storage,
         )
@@ -761,6 +866,8 @@ mod tests {
                 ports: 4,
                 conflict_free: true,
                 commit_writes: true,
+                row_words: 0,
+                row_miss_penalty: 0,
             },
             storage,
         );
@@ -901,6 +1008,152 @@ mod tests {
             0,
             "the delay site stalls; it never corrupts"
         );
+    }
+
+    #[test]
+    fn row_buffer_charges_misses_and_streams_hits() {
+        let mut storage = Storage::new(1 << 16);
+        for w in 0..(1 << 14) {
+            storage.write_u32(w * 4, w as u32);
+        }
+        let mut m = BankedMemory::new(
+            BankConfig {
+                banks: 8,
+                word_bytes: 4,
+                latency: 1,
+                ports: 1,
+                conflict_free: false,
+                commit_writes: true,
+                row_words: 16,
+                row_miss_penalty: 6,
+            },
+            storage,
+        );
+        // 16 sequential accesses to one bank (stride = banks words): all
+        // share bank 0 row 0, so exactly one activation is charged.
+        let mut cycles = 0u64;
+        for k in 0..16u64 {
+            assert!(m.try_issue(WordReq {
+                port: 0,
+                word_addr: k * 8 * 4,
+                op: WordOp::Read,
+                tag: k,
+            }));
+            while !m.quiescent() {
+                m.end_cycle();
+                cycles += 1;
+            }
+        }
+        assert_eq!(m.row_misses(), 1, "one row activation for the stream");
+        assert_eq!(m.row_hits(), 16, "every access is served from the open row");
+        // Crossing into row 1 of the same bank charges another activation.
+        assert!(m.try_issue(WordReq {
+            port: 0,
+            word_addr: 16 * 8 * 4,
+            op: WordOp::Read,
+            tag: 99,
+        }));
+        let before = cycles;
+        while !m.quiescent() {
+            m.end_cycle();
+            cycles += 1;
+        }
+        assert_eq!(m.row_misses(), 2);
+        assert!(
+            cycles - before > 6,
+            "a row miss must pay the activation penalty"
+        );
+    }
+
+    #[test]
+    fn two_ports_on_different_rows_of_one_bank_both_complete() {
+        // Livelock guard for the FR-FCFS grant order: without hit-first
+        // arbitration, round-robin lets port 0 and port 1 re-open the row
+        // against each other after every activation window, and neither
+        // request is ever inserted. Both must be served, each paying one
+        // activation.
+        let mut m = BankedMemory::new(
+            BankConfig {
+                banks: 8,
+                word_bytes: 4,
+                latency: 1,
+                ports: 2,
+                conflict_free: false,
+                commit_writes: true,
+                row_words: 16,
+                row_miss_penalty: 6,
+            },
+            Storage::new(1 << 16),
+        );
+        // Same bank (0), rows 0 and 1: word 0 and word 16*banks.
+        assert!(m.try_issue(WordReq {
+            port: 0,
+            word_addr: 0,
+            op: WordOp::Read,
+            tag: 1,
+        }));
+        assert!(m.try_issue(WordReq {
+            port: 1,
+            word_addr: 16 * 8 * 4,
+            op: WordOp::Read,
+            tag: 2,
+        }));
+        let mut tags = Vec::new();
+        let mut cycles = 0u64;
+        while !m.quiescent() {
+            assert!(cycles < 200, "activation livelock: served only {tags:?}");
+            for r in m.end_cycle() {
+                tags.push(r.tag);
+            }
+            cycles += 1;
+        }
+        tags.sort_unstable();
+        assert_eq!(tags, [1, 2], "both contenders must complete");
+        assert_eq!(m.row_misses(), 2, "one activation per row, not a ping-pong");
+    }
+
+    #[test]
+    fn zero_row_words_is_timing_identical_to_the_sram_model() {
+        // The same access pattern over the SRAM config and a row model
+        // with row_words = 0 must take the same number of cycles.
+        let run = |row_words: usize, row_miss_penalty: usize| -> (u64, Vec<u64>) {
+            let mut storage = Storage::new(1 << 12);
+            let mut m = BankedMemory::new(
+                BankConfig {
+                    banks: 8,
+                    word_bytes: 4,
+                    latency: 2,
+                    ports: 4,
+                    conflict_free: false,
+                    commit_writes: true,
+                    row_words,
+                    row_miss_penalty,
+                },
+                std::mem::replace(&mut storage, Storage::new(1)),
+            );
+            let mut tags = Vec::new();
+            let mut cycles = 0u64;
+            for k in 0..12u64 {
+                let _ = m.try_issue(WordReq {
+                    port: (k % 4) as usize,
+                    word_addr: (k % 16) * 4,
+                    op: WordOp::Read,
+                    tag: k,
+                });
+                for r in m.end_cycle() {
+                    tags.push(r.tag);
+                }
+                cycles += 1;
+            }
+            while !m.quiescent() {
+                for r in m.end_cycle() {
+                    tags.push(r.tag);
+                }
+                cycles += 1;
+            }
+            (cycles, tags)
+        };
+        assert_eq!(run(0, 0), run(0, 99), "penalty is inert without rows");
     }
 
     #[test]

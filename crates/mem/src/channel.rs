@@ -1,0 +1,216 @@
+//! Address-range routing onto interleaved memory channels.
+//!
+//! The hierarchical fabric splits the flat shared endpoint into several
+//! independent memory channels, each with its own controller and banked
+//! memory behind it. A [`ChannelMap`] is the fabric's address decoder: an
+//! ordered list of disjoint address ranges, each owned by one channel.
+//! Requestor windows are interleaved across channels round-robin
+//! ([`ChannelMap::interleaved`]), so neighbouring requestors land on
+//! different channels and fabric bandwidth scales with the channel count.
+//!
+//! The map itself never panics on malformed inputs — overlap, coverage
+//! and reachability are checked by the DRC (which needs the broken map to
+//! exist so it can diagnose it), via [`ChannelMap::overlapping`],
+//! [`ChannelMap::out_of_range`] and [`ChannelMap::unreachable`].
+
+use axi_proto::Addr;
+
+/// One contiguous address range owned by a memory channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelRange {
+    /// First byte address of the range.
+    pub base: Addr,
+    /// Length in bytes.
+    pub size: u64,
+    /// Owning channel index.
+    pub channel: usize,
+}
+
+impl ChannelRange {
+    /// Returns `true` if `addr` falls inside this range.
+    #[inline]
+    pub fn contains(&self, addr: Addr) -> bool {
+        addr >= self.base && addr - self.base < self.size
+    }
+
+    /// One past the last byte address of the range.
+    #[inline]
+    pub fn end(&self) -> Addr {
+        self.base + self.size
+    }
+}
+
+/// Range-routed address-to-channel decoder.
+///
+/// # Examples
+///
+/// ```
+/// use banked_mem::ChannelMap;
+///
+/// // Two windows interleaved across two channels.
+/// let map = ChannelMap::interleaved(&[(0x0, 0x1000), (0x1000, 0x1000)], 2);
+/// assert_eq!(map.route(0x10), Some(0));
+/// assert_eq!(map.route(0x1010), Some(1));
+/// assert_eq!(map.route(0x2000), None);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelMap {
+    channels: usize,
+    /// Ranges sorted by base address.
+    ranges: Vec<ChannelRange>,
+}
+
+impl ChannelMap {
+    /// Creates a map over `channels` channels from explicit ranges. The
+    /// ranges are sorted by base address; zero-sized ranges are dropped.
+    /// No validity checking happens here — a malformed map routes on a
+    /// first-match basis and is diagnosed by the DRC.
+    pub fn new(channels: usize, mut ranges: Vec<ChannelRange>) -> Self {
+        ranges.retain(|r| r.size > 0);
+        ranges.sort_by_key(|r| r.base);
+        ChannelMap { channels, ranges }
+    }
+
+    /// Interleaves the given `(base, size)` windows across `channels`
+    /// channels round-robin by window index — window *i* lands on channel
+    /// `i % channels`, so neighbouring requestors stress different
+    /// channels.
+    pub fn interleaved(windows: &[(Addr, u64)], channels: usize) -> Self {
+        let ranges = windows
+            .iter()
+            .enumerate()
+            .map(|(i, &(base, size))| ChannelRange {
+                base,
+                size,
+                channel: if channels == 0 { 0 } else { i % channels },
+            })
+            .collect();
+        ChannelMap::new(channels, ranges)
+    }
+
+    /// Number of channels this map routes onto.
+    #[inline]
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The ranges, sorted by base address.
+    pub fn ranges(&self) -> &[ChannelRange] {
+        &self.ranges
+    }
+
+    /// Routes an address to its owning channel, or `None` if no range
+    /// covers it (a DECERR at the fabric boundary). With overlapping
+    /// ranges (a DRC error) the covering range with the highest base
+    /// wins — the most specific match.
+    #[inline]
+    pub fn route(&self, addr: Addr) -> Option<usize> {
+        // Candidate: the last range starting at or below `addr`.
+        let idx = self.ranges.partition_point(|r| r.base <= addr);
+        let r = &self.ranges[..idx];
+        match r.last() {
+            Some(last) if last.contains(addr) => Some(last.channel),
+            // Overlap case: an earlier, larger range may still cover it;
+            // take the most specific (highest-based) one.
+            _ => r
+                .iter()
+                .rev()
+                .find(|range| range.contains(addr))
+                .map(|range| range.channel),
+        }
+    }
+
+    /// First pair of overlapping ranges, if any — fabric ranges must be
+    /// disjoint so every address routes to exactly one channel.
+    pub fn overlapping(&self) -> Option<(ChannelRange, ChannelRange)> {
+        self.ranges
+            .windows(2)
+            .find(|w| w[1].base < w[0].end())
+            .map(|w| (w[0], w[1]))
+    }
+
+    /// First range claiming a channel index outside `0..channels`, if any
+    /// — such a range can never be served.
+    pub fn out_of_range(&self) -> Option<ChannelRange> {
+        self.ranges
+            .iter()
+            .copied()
+            .find(|r| r.channel >= self.channels)
+    }
+
+    /// First channel no range routes to, if any — an unreachable channel
+    /// is dead hardware the topology paid for.
+    pub fn unreachable(&self) -> Option<usize> {
+        (0..self.channels).find(|&c| !self.ranges.iter().any(|r| r.channel == c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleave_assigns_round_robin() {
+        let windows = [(0x0, 0x1000), (0x1000, 0x1000), (0x2000, 0x2000)];
+        let map = ChannelMap::interleaved(&windows, 2);
+        assert_eq!(map.route(0x0), Some(0));
+        assert_eq!(map.route(0x1fff), Some(1));
+        assert_eq!(map.route(0x3fff), Some(0));
+        assert_eq!(map.channels(), 2);
+    }
+
+    #[test]
+    fn uncovered_addresses_route_nowhere() {
+        let map = ChannelMap::interleaved(&[(0x1000, 0x1000)], 1);
+        assert_eq!(map.route(0x0fff), None);
+        assert_eq!(map.route(0x2000), None);
+        assert_eq!(map.route(0x1000), Some(0));
+    }
+
+    #[test]
+    fn overlap_detected_and_first_match_routes() {
+        let map = ChannelMap::new(
+            2,
+            vec![
+                ChannelRange {
+                    base: 0x0,
+                    size: 0x2000,
+                    channel: 0,
+                },
+                ChannelRange {
+                    base: 0x1000,
+                    size: 0x1000,
+                    channel: 1,
+                },
+            ],
+        );
+        let (a, b) = map.overlapping().expect("ranges overlap");
+        assert_eq!((a.base, b.base), (0x0, 0x1000));
+        assert_eq!(map.route(0x1800), Some(1), "most specific range wins");
+        assert_eq!(map.route(0x0800), Some(0));
+    }
+
+    #[test]
+    fn out_of_range_and_unreachable_channels_detected() {
+        let map = ChannelMap::new(
+            2,
+            vec![ChannelRange {
+                base: 0x0,
+                size: 0x1000,
+                channel: 5,
+            }],
+        );
+        assert_eq!(map.out_of_range().map(|r| r.channel), Some(5));
+        assert_eq!(map.unreachable(), Some(0));
+        let ok = ChannelMap::interleaved(&[(0x0, 0x100), (0x100, 0x100)], 2);
+        assert!(ok.out_of_range().is_none());
+        assert!(ok.unreachable().is_none());
+    }
+
+    #[test]
+    fn zero_sized_ranges_are_inert() {
+        let map = ChannelMap::interleaved(&[(0x0, 0), (0x0, 0x100)], 2);
+        assert_eq!(map.route(0x0), Some(1));
+        assert!(map.overlapping().is_none());
+    }
+}

@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 
 pub mod banked;
+pub mod channel;
 pub mod map;
 pub mod storage;
 
 pub use banked::{
     BankConfig, BankedMemory, WordBuf, WordFault, WordOp, WordReq, WordResp, MAX_WORD_BYTES,
 };
+pub use channel::{ChannelMap, ChannelRange};
 pub use map::{is_prime, BankMap};
 pub use storage::Storage;

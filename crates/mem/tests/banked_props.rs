@@ -34,6 +34,8 @@ proptest! {
             ports: 4,
             conflict_free: false,
             commit_writes: true,
+            row_words: 0,
+            row_miss_penalty: 0,
         };
         let mut mem = BankedMemory::new(cfg, storage);
         let mut pending: Vec<(u64, u64)> = addrs
@@ -82,6 +84,8 @@ proptest! {
             ports: 4,
             conflict_free: false,
             commit_writes: true,
+            row_words: 0,
+            row_miss_penalty: 0,
         };
         let mut mem = BankedMemory::new(cfg, Storage::new(1 << 12));
         // Issue all writes (later writes to the same word win by issue

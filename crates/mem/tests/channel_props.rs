@@ -1,0 +1,71 @@
+//! Property tests of the fabric's address-to-channel routing: over any
+//! well-formed (disjoint) range set every address routes to exactly one
+//! channel, and interleaving windows round-robin then routing any address
+//! inside a window recovers exactly that window's channel.
+
+use banked_mem::{ChannelMap, ChannelRange};
+use proptest::prelude::*;
+
+/// Window sizes in 4 KiB-ish units, laid out back to back — the shape
+/// `Topology::window_bases` produces.
+fn windows() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(1u64..8, 1..24)
+}
+
+proptest! {
+    /// route ∘ interleave round-trips: every address inside window *i*
+    /// routes to channel `i % channels`, and nothing outside any window
+    /// routes anywhere.
+    #[test]
+    fn route_interleave_roundtrips(
+        sizes in windows(),
+        channels in 1usize..8,
+        probe in 0u64..64,
+    ) {
+        let mut base = 0u64;
+        let mut placed = Vec::new();
+        for &s in &sizes {
+            let size = s * 0x1000;
+            placed.push((base, size));
+            base += size;
+        }
+        let map = ChannelMap::interleaved(&placed, channels);
+        prop_assert!(map.overlapping().is_none());
+        prop_assert!(map.out_of_range().is_none());
+        for (i, &(wbase, wsize)) in placed.iter().enumerate() {
+            // First, last, and a pseudo-random interior address.
+            for addr in [wbase, wbase + wsize - 1, wbase + (probe * 97) % wsize] {
+                prop_assert_eq!(map.route(addr), Some(i % channels));
+            }
+        }
+        prop_assert_eq!(map.route(base), None, "past the last window");
+    }
+
+    /// Exactly-one-channel: against any disjoint range set, `route`
+    /// agrees with a linear scan, and the scan never matches twice.
+    #[test]
+    fn every_address_routes_to_exactly_one_channel(
+        sizes in windows(),
+        gaps in proptest::collection::vec(0u64..3, 1..24),
+        channels in 1usize..8,
+        probe in 0u64..1_000_000,
+    ) {
+        let mut base = 0u64;
+        let mut ranges = Vec::new();
+        for (i, &s) in sizes.iter().enumerate() {
+            base += gaps.get(i).copied().unwrap_or(0) * 0x1000;
+            let size = s * 0x1000;
+            ranges.push(ChannelRange { base, size, channel: i % channels });
+            base += size;
+        }
+        let map = ChannelMap::new(channels, ranges.clone());
+        let addr = probe % (base + 0x1000);
+        let matches: Vec<usize> = ranges
+            .iter()
+            .filter(|r| r.contains(addr))
+            .map(|r| r.channel)
+            .collect();
+        prop_assert!(matches.len() <= 1, "disjoint ranges double-matched");
+        prop_assert_eq!(map.route(addr), matches.first().copied());
+    }
+}

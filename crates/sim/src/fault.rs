@@ -223,8 +223,9 @@ pub struct FaultReport {
     /// Requestor index in the topology (0 for single-requestor runs).
     pub requestor: usize,
     /// AXI transaction id of the aborted burst, as seen downstream of the
-    /// mux (manager-prefixed in multi-requestor topologies).
-    pub axi_id: u8,
+    /// fabric (prefixed with each mux level's manager index in
+    /// multi-requestor topologies).
+    pub axi_id: u16,
     /// Response class that reached the requestor: `"SLVERR"` or `"DECERR"`.
     pub resp: &'static str,
     /// Whether the aborted burst was a write.

@@ -376,8 +376,13 @@ pub struct Scheduler {
     names: Vec<&'static str>,
     conds: Vec<WakeCond>,
     heap: WakeHeap,
-    /// Components whose last note was `Ready`.
-    ready: u64,
+    /// Components whose last note was `Ready`, one bit per component in
+    /// 64-wide words — a 128-requestor fabric registers hundreds of
+    /// components, so a single `u64` mask is not enough.
+    ready: Vec<u64>,
+    /// Population count of `ready`, so the hot idle-span check stays a
+    /// single compare regardless of word count.
+    ready_count: usize,
     now: u64,
 }
 
@@ -388,26 +393,21 @@ impl Scheduler {
             names: Vec::new(),
             conds: Vec::new(),
             heap: WakeHeap::new(0),
-            ready: 0,
+            ready: Vec::new(),
+            ready_count: 0,
             now: 0,
         }
     }
 
     /// Registers a component with a debug `name` and the [`WakeCond`] it
-    /// characteristically sleeps on. Returns its [`CompId`].
-    ///
-    /// # Panics
-    ///
-    /// Panics beyond 64 components (the ready/noted sets are bitmasks; the
-    /// run loops here register a handful).
+    /// characteristically sleeps on. Returns its [`CompId`]. Component
+    /// count is unbounded; all per-component storage is sized here, never
+    /// on the hot path.
     pub fn add_component(&mut self, name: &'static str, cond: WakeCond) -> CompId {
-        assert!(
-            self.names.len() < 64,
-            "scheduler supports up to 64 components"
-        );
         self.names.push(name);
         self.conds.push(cond);
         self.heap = WakeHeap::new(self.names.len());
+        self.ready.resize(self.names.len().div_ceil(64), 0);
         CompId(self.names.len() - 1)
     }
 
@@ -432,18 +432,22 @@ impl Scheduler {
     /// Records `comp`'s wake for the current cycle boundary.
     #[inline]
     pub fn note(&mut self, id: CompId, wake: Wake) {
-        let bit = 1u64 << id.0;
+        let (word, bit) = (id.0 / 64, 1u64 << (id.0 % 64));
+        let was_ready = self.ready[word] & bit != 0;
         match wake {
             Wake::Ready => {
-                self.ready |= bit;
+                self.ready[word] |= bit;
+                self.ready_count += usize::from(!was_ready);
                 self.heap.cancel(id.0);
             }
             Wake::Sleep(n) => {
-                self.ready &= !bit;
+                self.ready[word] &= !bit;
+                self.ready_count -= usize::from(was_ready);
                 self.heap.register(id.0, self.now + n.max(1));
             }
             Wake::Idle => {
-                self.ready &= !bit;
+                self.ready[word] &= !bit;
+                self.ready_count -= usize::from(was_ready);
                 self.heap.cancel(id.0);
             }
         }
@@ -456,7 +460,7 @@ impl Scheduler {
     /// turn a deadlock's `max_cycles` overrun into silence).
     #[inline]
     pub fn idle_span(&mut self) -> Option<u64> {
-        if self.ready != 0 {
+        if self.ready_count != 0 {
             return None;
         }
         let (cycle, _) = self.heap.peek()?;
@@ -468,7 +472,8 @@ impl Scheduler {
     pub fn advance(&mut self, span: u64) {
         self.now += span;
         // Notes are per-boundary: require fresh ones after a skip.
-        self.ready = 0;
+        self.ready.fill(0);
+        self.ready_count = 0;
     }
 
     // simcheck: hot-path end
@@ -576,6 +581,27 @@ mod tests {
         s.note(b, Wake::Idle);
         s.note(a, Wake::Idle);
         assert_eq!(s.idle_span(), None, "all-idle means deadlock: tick");
+    }
+
+    #[test]
+    fn hundreds_of_components_schedule_correctly() {
+        // A 128-requestor fabric registers several hundred components;
+        // the ready set must work across word boundaries, not silently
+        // alias bit 65 onto bit 1.
+        let mut s = Scheduler::new();
+        let ids: Vec<CompId> = (0..300)
+            .map(|_| s.add_component("leaf", WakeCond::Countdown))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            s.note(*id, Wake::Sleep(1 + i as u64));
+        }
+        assert_eq!(s.idle_span(), Some(1), "earliest sleeper bounds the skip");
+        s.note(ids[257], Wake::Ready);
+        assert_eq!(s.idle_span(), None, "a ready bit past word 4 forces a tick");
+        s.note(ids[257], Wake::Idle);
+        assert_eq!(s.idle_span(), Some(1));
+        s.advance(1);
+        assert_eq!(s.now(), 1);
     }
 
     #[test]

@@ -103,8 +103,9 @@ impl EngineStats {
 /// drain always completes (errors must never wedge the pipeline).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusFault {
-    /// AXI transaction id that carried the error.
-    pub axi_id: u8,
+    /// AXI transaction id that carried the error (widened so multi-level
+    /// fabrics can fold their manager prefixes in when reporting).
+    pub axi_id: u16,
     /// `true` when the error arrived on the B (write response) channel.
     pub is_write: bool,
     /// Response class name, `"SLVERR"` or `"DECERR"`.
@@ -416,8 +417,12 @@ impl Engine {
             let run = self
                 .store_active
                 .as_mut()
-                .filter(|r| r.axi_id == b.id.0)
-                .or_else(|| self.stores_draining.iter_mut().find(|r| r.axi_id == b.id.0))
+                .filter(|r| u16::from(r.axi_id) == b.id.0)
+                .or_else(|| {
+                    self.stores_draining
+                        .iter_mut()
+                        .find(|r| u16::from(r.axi_id) == b.id.0)
+                })
                 .expect("B response matches an outstanding store");
             run.b_received += 1;
             if run.b_received == run.b_expected {
@@ -504,11 +509,11 @@ impl Engine {
         let run = self
             .load_issuing
             .as_mut()
-            .filter(|r| r.axi_id == beat.id.0)
+            .filter(|r| u16::from(r.axi_id) == beat.id.0)
             .or_else(|| {
                 self.loads_draining
                     .iter_mut()
-                    .find(|r| r.axi_id == beat.id.0)
+                    .find(|r| u16::from(r.axi_id) == beat.id.0)
             })
             .expect("R beat matches an outstanding load");
         let elems = run
